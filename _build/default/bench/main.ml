@@ -1,0 +1,336 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md for the index), printing our
+   measurements next to the paper's reported numbers.
+
+   Usage:
+     dune exec bench/main.exe             # everything, quick scale
+     dune exec bench/main.exe -- fig8a    # one experiment
+     dune exec bench/main.exe -- --paper  # paper-scale runs (slow)
+     dune exec bench/main.exe -- --micro  # Bechamel microbenchmarks
+
+   Quick scale uses shorter runs and fewer repetitions than the paper's
+   10 x 90 s; the shapes are stable well below that. *)
+
+open Domino_stats
+
+let seed = 20201204L (* CoNEXT'20 *)
+
+type experiment = {
+  id : string;
+  describe : string;
+  run : quick:bool -> unit;
+}
+
+let print_tables ts = List.iter Tablefmt.print ts
+
+let experiments =
+  [
+    {
+      id = "table1";
+      describe = "Globe RTT matrix (input constants)";
+      run = (fun ~quick:_ -> Tablefmt.print (Domino_exp.Exp_traces.table1 ()));
+    };
+    {
+      id = "table4";
+      describe = "NA RTT matrix (input constants)";
+      run = (fun ~quick:_ -> Tablefmt.print (Domino_exp.Exp_traces.table4 ()));
+    };
+    {
+      id = "fig1";
+      describe = "delay stability from VA (synthetic Azure traces)";
+      run =
+        (fun ~quick ->
+          let duration =
+            if quick then Domino_sim.Time_ns.sec 300
+            else Domino_sim.Time_ns.sec 3600
+          in
+          Tablefmt.print (Domino_exp.Exp_traces.fig1 ~duration ~seed ()));
+    };
+    {
+      id = "fig2";
+      describe = "one minute of VA-WA delays in 1s boxes";
+      run = (fun ~quick:_ -> Tablefmt.print (Domino_exp.Exp_traces.fig2 ~seed ()));
+    };
+    {
+      id = "fig3";
+      describe = "correct prediction rate vs percentile x window";
+      run =
+        (fun ~quick ->
+          let duration =
+            if quick then Domino_sim.Time_ns.sec 300
+            else Domino_sim.Time_ns.sec 1800
+          in
+          Tablefmt.print (Domino_exp.Exp_traces.fig3 ~duration ~seed ()));
+    };
+    {
+      id = "table2";
+      describe = "p99 misprediction, half-RTT estimator";
+      run =
+        (fun ~quick ->
+          let duration =
+            if quick then Domino_sim.Time_ns.sec 7200
+            else Domino_sim.Time_ns.sec 86_400
+          in
+          Tablefmt.print (Domino_exp.Exp_traces.table2 ~duration ~seed ()));
+    };
+    {
+      id = "table3";
+      describe = "p99 misprediction, Domino's OWD estimator";
+      run =
+        (fun ~quick ->
+          let duration =
+            if quick then Domino_sim.Time_ns.sec 7200
+            else Domino_sim.Time_ns.sec 86_400
+          in
+          Tablefmt.print (Domino_exp.Exp_traces.table3 ~duration ~seed ()));
+    };
+    {
+      id = "geometry";
+      describe = "section 4 placement analysis + figure 4";
+      run = (fun ~quick:_ -> print_tables (Domino_exp.Exp_geometry.tables ()));
+    };
+    {
+      id = "fig4";
+      describe = "worked example: Multi-Paxos 30ms vs Fast Paxos 35ms";
+      run = (fun ~quick:_ -> print_tables (Domino_exp.Exp_geometry.tables ()));
+    };
+    {
+      id = "fig7";
+      describe = "Fast Paxos vs Multi-Paxos, 1 and 2 clients";
+      run =
+        (fun ~quick -> Tablefmt.print (Domino_exp.Exp_fig7.run ~quick ~seed ()));
+    };
+    {
+      id = "fig8a";
+      describe = "commit latency, NA, 3 replicas";
+      run =
+        (fun ~quick ->
+          Tablefmt.print (Domino_exp.Exp_fig8.run ~quick ~seed Domino_exp.Exp_fig8.Na3 ()));
+    };
+    {
+      id = "fig8b";
+      describe = "commit latency, NA, 5 replicas";
+      run =
+        (fun ~quick ->
+          Tablefmt.print (Domino_exp.Exp_fig8.run ~quick ~seed Domino_exp.Exp_fig8.Na5 ()));
+    };
+    {
+      id = "fig8c";
+      describe = "commit latency, Globe, 3 replicas";
+      run =
+        (fun ~quick ->
+          Tablefmt.print
+            (Domino_exp.Exp_fig8.run ~quick ~seed Domino_exp.Exp_fig8.Globe ()));
+    };
+    {
+      id = "fig9";
+      describe = "p99 commit latency vs percentile x additional delay";
+      run =
+        (fun ~quick -> Tablefmt.print (Domino_exp.Exp_fig9.run ~quick ~seed ()));
+    };
+    {
+      id = "fig10a";
+      describe = "execution latency, Zipf alpha 0.75";
+      run =
+        (fun ~quick ->
+          Tablefmt.print (Domino_exp.Exp_fig10.run ~quick ~seed ~alpha:0.75 ()));
+    };
+    {
+      id = "fig10b";
+      describe = "execution latency, Zipf alpha 0.95";
+      run =
+        (fun ~quick ->
+          Tablefmt.print (Domino_exp.Exp_fig10.run ~quick ~seed ~alpha:0.95 ()));
+    };
+    {
+      id = "fig11";
+      describe = "execution latency vs additional delay";
+      run =
+        (fun ~quick -> Tablefmt.print (Domino_exp.Exp_fig11.run ~quick ~seed ()));
+    };
+    {
+      id = "fig12a";
+      describe = "adapting to client-replica delay changes";
+      run = (fun ~quick:_ -> print_tables (Domino_exp.Exp_fig12.table ~seed ()));
+    };
+    {
+      id = "fig12b";
+      describe = "adapting to replica-replica delay changes";
+      run = (fun ~quick:_ -> ());
+      (* covered by fig12a's table call; kept as an alias below *)
+    };
+    {
+      id = "ablation";
+      describe = "Domino design-knob ablation (additional delay, feedback, learners, percentile)";
+      run =
+        (fun ~quick ->
+          Tablefmt.print (Domino_exp.Exp_ablation.run ~quick ~seed ()));
+    };
+    {
+      id = "storage";
+      describe = "section 6 storage compression of the no-op log";
+      run =
+        (fun ~quick:_ ->
+          let open Domino_sim in
+          let open Domino_net in
+          let open Domino_core in
+          let engine = Engine.create ~seed:31L () in
+          let placement = [| "WA"; "PR"; "NSW"; "VA" |] in
+          let net = Topology.make_net engine Topology.globe ~placement () in
+          let cfg = Config.make ~replicas:[| 0; 1; 2 |] () in
+          let d = Domino.create ~net ~cfg ~observer:Domino_smr.Observer.null () in
+          let _w =
+            Domino_kv.Workload.create ~rate:200. ~clients:[ 3 ]
+              ~duration:(Time_ns.sec 10) ~submit:(Domino.submit d)
+              ~note_submit:(fun _ ~now:_ -> ())
+              engine
+          in
+          Engine.run ~until:(Time_ns.sec 12) engine;
+          let t =
+            Tablefmt.create
+              ~title:
+                "Section 6: storage for the decided DFP lane after 10s at \
+                 200 req/s (1e9 positions/s)"
+              ~header:[ "replica"; "ops held"; "noop positions"; "stored noop nodes" ]
+          in
+          for i = 0 to 2 do
+            let s = Replica.storage_stats (Domino.replica d i) in
+            Tablefmt.add_row t
+              [
+                Printf.sprintf "r%d" i;
+                string_of_int s.Replica.log_ops;
+                Printf.sprintf "%.2e" (float_of_int s.Replica.noop_positions);
+                string_of_int s.Replica.noop_ranges;
+              ]
+          done;
+          Tablefmt.print t);
+    };
+    {
+      id = "fig13";
+      describe = "peak throughput, 3 replicas, LAN cluster";
+      run =
+        (fun ~quick ->
+          Tablefmt.print (Domino_exp.Exp_fig13.table ~quick ~seed ()));
+    };
+  ]
+
+(* fig12b aliases fig12a's combined output; drop the duplicate. *)
+let experiments = List.filter (fun e -> e.id <> "fig12b") experiments
+
+(* --- Bechamel microbenchmarks for the core data structures --- *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let window_bench =
+    Test.make ~name:"window-add+percentile"
+      (Staged.stage (fun () ->
+           let open Domino_measure in
+           let open Domino_sim in
+           let w = Window.create ~window:(Time_ns.sec 1) in
+           for i = 1 to 100 do
+             Window.add w ~now:(i * Time_ns.ms 10) (Time_ns.ms (50 + (i mod 7)))
+           done;
+           ignore (Window.percentile w ~now:(Time_ns.sec 1) 95.)))
+  in
+  let interval_bench =
+    Test.make ~name:"interval-set-1k-merges"
+      (Staged.stage (fun () ->
+           let open Domino_log in
+           let s = ref Interval_set.empty in
+           for i = 0 to 999 do
+             s := Interval_set.add_range ~lo:(i * 3) ~hi:((i * 3) + 4) !s
+           done;
+           ignore (Interval_set.range_count !s)))
+  in
+  let heap_bench =
+    Test.make ~name:"pheap-1k-push-pop"
+      (Staged.stage (fun () ->
+           let open Domino_sim in
+           let h = Pheap.create () in
+           for i = 0 to 999 do
+             ignore (Pheap.push h ~time:((i * 7919) mod 1000) i)
+           done;
+           let rec drain () = match Pheap.pop h with None -> () | Some _ -> drain () in
+           drain ()))
+  in
+  let exec_bench =
+    Test.make ~name:"exec-engine-1k-decisions"
+      (Staged.stage (fun () ->
+           let open Domino_log in
+           let eng = Exec_engine.create ~n_lanes:4 ~on_exec:(fun _ _ -> ()) in
+           for i = 0 to 999 do
+             Exec_engine.decide_op eng { Position.ts = i; lane = i mod 4 } ()
+           done;
+           for l = 0 to 3 do
+             Exec_engine.set_watermark eng ~lane:l 1000
+           done))
+  in
+  let zipf_bench =
+    let z =
+      Domino_kv.Workload.Zipf.create ~n:1_000_000 (Domino_sim.Rng.create 1L)
+    in
+    Test.make ~name:"zipf-10k-samples"
+      (Staged.stage (fun () ->
+           for _ = 1 to 10_000 do
+             ignore (Domino_kv.Workload.Zipf.sample z)
+           done))
+  in
+  let tests =
+    Test.make_grouped ~name:"domino-core"
+      [ window_bench; interval_bench; heap_bench; exec_bench; zipf_bench ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) i raw) instances
+  in
+  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) instances results in
+  print_endline "Microbenchmarks (ns/run, OLS estimate):";
+  Hashtbl.iter
+    (fun _measure tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-32s %12.1f ns\n" name est
+          | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+        tbl)
+    results
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let paper = List.mem "--paper" args in
+  let quick = not paper in
+  let micro_only = List.mem "--micro" args in
+  let wanted =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  if micro_only then micro ()
+  else begin
+    let selected =
+      match wanted with
+      | [] -> experiments
+      | ids ->
+        List.filter
+          (fun e -> List.exists (fun w -> w = e.id || (w = "fig12b" && e.id = "fig12a")) ids)
+          experiments
+    in
+    if selected = [] then begin
+      Printf.printf "unknown experiment id; available:\n";
+      List.iter (fun e -> Printf.printf "  %-8s %s\n" e.id e.describe) experiments;
+      exit 1
+    end;
+    Printf.printf
+      "Domino reproduction benchmarks (%s scale; seed %Ld)\n\
+       Each block prints our measurement next to the paper's number.\n\n"
+      (if quick then "quick" else "paper")
+      seed;
+    List.iter
+      (fun e ->
+        Printf.printf "=== %s: %s ===\n%!" e.id e.describe;
+        let t0 = Unix.gettimeofday () in
+        e.run ~quick;
+        Printf.printf "(%.1fs)\n\n%!" (Unix.gettimeofday () -. t0))
+      selected
+  end

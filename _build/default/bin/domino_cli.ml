@@ -1,0 +1,196 @@
+(* domino-sim: command-line front end for the Domino reproduction.
+
+   Subcommands:
+     run        simulate one protocol over a deployment and print latency
+     probe      generate a synthetic inter-DC trace and analyse predictability
+     geometry   the paper's §4 placement analysis
+     experiment regenerate one (or all) of the paper's tables/figures *)
+
+open Cmdliner
+open Domino_sim
+open Domino_smr
+open Domino_exp
+
+(* --- shared argument parsers --- *)
+
+let seed_arg =
+  let doc = "Random seed (runs are deterministic per seed)." in
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"N" ~doc)
+
+let setting_arg =
+  let settings =
+    [
+      ("globe3", Exp_common.globe3);
+      ("na3", Exp_common.na3);
+      ("na5", Exp_common.na5);
+      ("fig7-single", Exp_common.fig7_single);
+      ("fig7-double", Exp_common.fig7_double);
+    ]
+  in
+  let doc =
+    "Deployment: one of " ^ String.concat ", " (List.map fst settings) ^ "."
+  in
+  Arg.(
+    value
+    & opt (enum settings) Exp_common.globe3
+    & info [ "setting" ] ~docv:"SETTING" ~doc)
+
+let protocol_arg additional_delay percentile =
+  let mk = function
+    | "domino" ->
+      Exp_common.Domino
+        {
+          additional_delay = Time_ns.of_ms_f additional_delay;
+          percentile;
+          every_replica_learns = false;
+          adaptive = false;
+        }
+    | "mencius" -> Exp_common.Mencius
+    | "epaxos" -> Exp_common.Epaxos
+    | "multipaxos" -> Exp_common.Multi_paxos
+    | "fastpaxos" -> Exp_common.Fast_paxos
+    | _ -> assert false
+  in
+  mk
+
+let protocol_name_arg =
+  let doc = "Protocol: domino, mencius, epaxos, multipaxos or fastpaxos." in
+  Arg.(
+    value
+    & opt (enum
+             [
+               ("domino", "domino");
+               ("mencius", "mencius");
+               ("epaxos", "epaxos");
+               ("multipaxos", "multipaxos");
+               ("fastpaxos", "fastpaxos");
+             ])
+        "domino"
+    & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc)
+
+(* --- run --- *)
+
+let run_cmd =
+  let duration =
+    Arg.(value & opt int 15 & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Simulated run length.")
+  in
+  let rate =
+    Arg.(value & opt float 200. & info [ "rate" ] ~docv:"RPS"
+           ~doc:"Requests per second per client.")
+  in
+  let alpha =
+    Arg.(value & opt float 0.75 & info [ "alpha" ] ~docv:"A"
+           ~doc:"Zipfian skew of the key distribution.")
+  in
+  let additional_delay =
+    Arg.(value & opt float 0. & info [ "additional-delay" ] ~docv:"MS"
+           ~doc:"Extra delay added to DFP request timestamps (Domino).")
+  in
+  let percentile =
+    Arg.(value & opt float 95. & info [ "percentile" ] ~docv:"P"
+           ~doc:"Percentile used for delay estimates (Domino).")
+  in
+  let action seed setting proto_name duration rate alpha additional percentile =
+    let proto = protocol_arg additional percentile proto_name in
+    let r =
+      Exp_common.run ~seed ~rate ~alpha ~duration:(Time_ns.sec duration)
+        setting proto
+    in
+    let commit = Observer.Recorder.commit_latency_ms r.recorder in
+    let exec = Observer.Recorder.exec_latency_ms r.recorder in
+    Format.printf "%s on %d replicas, %d clients, %.0f req/s each:@."
+      (Exp_common.protocol_name proto)
+      (Array.length setting.Exp_common.replica_dcs)
+      (Array.length setting.Exp_common.client_dcs)
+      rate;
+    Format.printf "  submitted %d, committed %d@."
+      (Observer.Recorder.submitted r.recorder)
+      (Observer.Recorder.committed r.recorder);
+    Format.printf "  commit latency: %a@." Domino_stats.Summary.pp_brief commit;
+    Format.printf "  exec   latency: %a@." Domino_stats.Summary.pp_brief exec;
+    (match r.domino_stats with
+    | Some s ->
+      Format.printf
+        "  domino: dfp=%d dm=%d fast=%d slow=%d conflicts=%d late=%d@."
+        s.Domino_core.Domino.dfp_submissions s.dm_submissions
+        s.dfp_fast_decisions s.dfp_slow_decisions s.dfp_conflicts
+        s.late_decisions
+    | None ->
+      if r.fast_commits + r.slow_commits > 0 then
+        Format.printf "  fast commits: %d, slow: %d@." r.fast_commits
+          r.slow_commits);
+    match r.store_fingerprints with
+    | x :: rest when List.for_all (fun y -> y = x) rest ->
+      Format.printf "  replicas converged ✓@."
+    | _ -> Format.printf "  WARNING: replica state diverged@."
+  in
+  let term =
+    Term.(
+      const action $ seed_arg $ setting_arg $ protocol_name_arg $ duration
+      $ rate $ alpha $ additional_delay $ percentile)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate one protocol over a WAN deployment")
+    term
+
+(* --- probe --- *)
+
+let probe_cmd =
+  let src =
+    Arg.(value & opt string "VA" & info [ "src" ] ~docv:"DC" ~doc:"Source datacenter.")
+  in
+  let dst =
+    Arg.(value & opt string "WA" & info [ "dst" ] ~docv:"DC" ~doc:"Destination datacenter.")
+  in
+  let minutes =
+    Arg.(value & opt int 10 & info [ "minutes" ] ~docv:"MIN" ~doc:"Trace length.")
+  in
+  let action seed src dst minutes =
+    let open Domino_net in
+    let open Domino_trace in
+    let spec = Trace_gen.azure_pair Topology.globe ~src ~dst in
+    let probes =
+      Trace_gen.generate ~duration:(Time_ns.sec (minutes * 60)) ~seed spec
+    in
+    let s = Trace_analysis.fig1_summary probes in
+    Format.printf "%s -> %s, %d probes over %d min:@." src dst
+      (Array.length probes) minutes;
+    Format.printf "  RTT min/p50/p95/p99: %.1f / %.1f / %.1f / %.1f ms@."
+      s.minimum s.p50 s.p95 s.p99;
+    List.iter
+      (fun p ->
+        let rate =
+          Trace_analysis.prediction_rate ~window:(Time_ns.sec 1) ~percentile:p
+            probes
+        in
+        Format.printf "  correct prediction rate at p%.0f (1s window): %.1f%%@."
+          p (100. *. rate))
+      [ 50.; 90.; 95.; 99. ];
+    Format.printf "  p99 misprediction: half-RTT %.2fms, Domino OWD %.2fms@."
+      (Trace_analysis.p99_misprediction_half_rtt ~window:(Time_ns.sec 1)
+         ~percentile:95. probes)
+      (Trace_analysis.p99_misprediction_owd ~window:(Time_ns.sec 1)
+         ~percentile:95. probes)
+  in
+  Cmd.v
+    (Cmd.info "probe" ~doc:"Analyse delay predictability for a datacenter pair")
+    Term.(const action $ seed_arg $ src $ dst $ minutes)
+
+(* --- geometry --- *)
+
+let geometry_cmd =
+  let action () = List.iter Domino_stats.Tablefmt.print (Exp_geometry.tables ()) in
+  Cmd.v
+    (Cmd.info "geometry" ~doc:"Run the paper's §4 placement analysis")
+    Term.(const action $ const ())
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "domino-sim" ~version:"1.0.0"
+      ~doc:"Domino (CoNEXT'20) reproduction: simulate, probe, analyse"
+  in
+  exit (Cmd.eval (Cmd.group ~default info [ run_cmd; probe_cmd; geometry_cmd ]))

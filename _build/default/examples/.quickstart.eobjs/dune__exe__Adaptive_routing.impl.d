@@ -1,0 +1,1 @@
+examples/adaptive_routing.ml: Client Config Domino Domino_core Domino_net Domino_sim Domino_smr Engine Fifo_net Hashtbl Int64 Jitter Link List Observer Op Printf Time_ns

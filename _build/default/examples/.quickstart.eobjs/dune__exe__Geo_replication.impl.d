@@ -1,0 +1,1 @@
+examples/geo_replication.ml: Array Client Config Domino Domino_core Domino_kv Domino_measure Domino_net Domino_sim Domino_smr Domino_stats Engine Format List Observer Time_ns Topology Workload

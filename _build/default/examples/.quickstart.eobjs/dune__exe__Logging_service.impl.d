@@ -1,0 +1,1 @@
+examples/logging_service.ml: Domino_core Domino_exp Domino_sim Domino_smr Domino_stats Exp_common Format Observer Time_ns

@@ -1,0 +1,1 @@
+examples/logging_service.mli:

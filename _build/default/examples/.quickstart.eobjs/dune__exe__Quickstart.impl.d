@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Domino Domino_core Domino_net Domino_sim Domino_smr Engine Format Int64 Observer Op Time_ns Topology

@@ -1,0 +1,1 @@
+lib/core/client.ml: Array Config Domino_measure Domino_net Domino_sim Domino_smr Engine Estimator Feedback Fifo_net Hashtbl Message Nodeid Observer Op Stdlib Time_ns

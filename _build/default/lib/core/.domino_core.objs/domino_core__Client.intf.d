@@ -1,0 +1,1 @@
+lib/core/client.mli: Config Domino_measure Domino_net Domino_sim Domino_smr Fifo_net Message Nodeid Observer Op

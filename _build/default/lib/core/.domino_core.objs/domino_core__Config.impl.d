@@ -1,0 +1,1 @@
+lib/core/config.ml: Array Domino_net Domino_sim Domino_smr Nodeid Quorum Time_ns

@@ -1,0 +1,1 @@
+lib/core/config.mli: Domino_net Domino_sim Nodeid Time_ns

@@ -1,0 +1,1 @@
+lib/core/dfp_coordinator.ml: Array Config Domino_sim Domino_smr Hashtbl Int List Message Op Set Stdlib Time_ns

@@ -1,0 +1,1 @@
+lib/core/dfp_coordinator.mli: Config Domino_sim Domino_smr Message Op Time_ns

@@ -1,0 +1,1 @@
+lib/core/domino.ml: Array Client Config Dfp_coordinator Domino_net Domino_sim Domino_smr Engine Fifo_net Hashtbl Message Nodeid Op Replica

@@ -1,0 +1,1 @@
+lib/core/domino.mli: Client Config Domino_net Domino_smr Fifo_net Message Nodeid Observer Op Replica

@@ -1,0 +1,1 @@
+lib/core/feedback.ml: Array Domino_sim Stdlib Time_ns

@@ -1,0 +1,1 @@
+lib/core/feedback.mli: Domino_sim Time_ns

@@ -1,0 +1,1 @@
+lib/core/message.mli: Domino_measure Domino_sim Domino_smr Format Op Probe Time_ns

@@ -1,0 +1,1 @@
+lib/core/replica.mli: Config Domino_net Domino_sim Domino_smr Fifo_net Message Nodeid Observer Op Time_ns

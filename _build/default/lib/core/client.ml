@@ -1,0 +1,178 @@
+open Domino_sim
+open Domino_net
+open Domino_smr
+open Domino_measure
+
+type pending = { op : Op.t; mutable accepts : int; mutable done_ : bool }
+
+type t = {
+  net : Message.msg Fifo_net.t;
+  cfg : Config.t;
+  self : Nodeid.t;
+  estimator : Estimator.t;
+  observer : Observer.t;
+  pending : (Op.id, pending) Hashtbl.t;
+  feedback : Feedback.t option;  (** §5.4 adaptive controller *)
+  mutable ts_cursor : Time_ns.t;
+  mutable probe_seq : int;
+  mutable dfp_count : int;
+  mutable dm_count : int;
+  mutable last_choice : Estimator.choice option;
+}
+
+let now_local t = Fifo_net.local_time t.net t.self
+
+let send t ~dst msg = Fifo_net.send t.net ~src:t.self ~dst msg
+
+let replicas t = t.cfg.Config.replicas
+
+let send_probes t =
+  Array.iter
+    (fun r ->
+      t.probe_seq <- t.probe_seq + 1;
+      send t ~dst:r
+        (Message.Probe_req { seq = t.probe_seq; sent_local = now_local t }))
+    (replicas t)
+
+let create ~net ~cfg ~self ~observer () =
+  let t =
+    {
+      net;
+      cfg;
+      self;
+      estimator =
+        Estimator.create ~window:cfg.Config.window
+          ~percentile:cfg.Config.percentile ~n_replicas:(Config.n cfg) ();
+      observer;
+      pending = Hashtbl.create 64;
+      feedback =
+        (if cfg.Config.adaptive then
+           Some (Feedback.create ~baseline:cfg.Config.additional_delay ())
+         else None);
+      ts_cursor = -1;
+      probe_seq = 0;
+      dfp_count = 0;
+      dm_count = 0;
+      last_choice = None;
+    }
+  in
+  ignore
+    (Engine.every (Fifo_net.engine net) ~jitter:(Time_ns.us 500)
+       ~interval:cfg.Config.probe_interval (fun () -> send_probes t));
+  t
+
+let note_outcome t outcome =
+  match t.feedback with
+  | Some f -> Feedback.record f outcome
+  | None -> ()
+
+let commit t (op : Op.t) ~fast =
+  let id = Op.id op in
+  match Hashtbl.find_opt t.pending id with
+  | Some p when not p.done_ ->
+    p.done_ <- true;
+    note_outcome t (if fast then Feedback.Fast else Feedback.Slow);
+    t.observer.Observer.on_commit op ~now:(Engine.now (Fifo_net.engine t.net));
+    Hashtbl.remove t.pending id
+  | Some _ -> ()
+  | None ->
+    (* DM replies have no pending entry on the DFP table. *)
+    t.observer.Observer.on_commit op ~now:(Engine.now (Fifo_net.engine t.net))
+
+let submit_dm t (op : Op.t) ~leader =
+  t.dm_count <- t.dm_count + 1;
+  send t ~dst:(replicas t).(leader) (Message.Dm_request op)
+
+let submit_dfp t (op : Op.t) ~ts =
+  t.dfp_count <- t.dfp_count + 1;
+  let ts = Stdlib.max ts (t.ts_cursor + 1) in
+  t.ts_cursor <- ts;
+  Hashtbl.replace t.pending (Op.id op) { op; accepts = 0; done_ = false };
+  Array.iter (fun r -> send t ~dst:r (Message.Dfp_propose { ts; op })) (replicas t)
+
+let closest_leader t ~now_local =
+  (* Fallback when nothing is measured yet: replica 0. *)
+  let n = Config.n t.cfg in
+  let best = ref None in
+  for i = 0 to n - 1 do
+    match Estimator.rtt t.estimator ~replica:i ~now_local with
+    | Some rtt -> begin
+      match !best with
+      | Some (b, _) when b <= rtt -> ()
+      | _ -> best := Some (rtt, i)
+    end
+    | None -> ()
+  done;
+  match !best with Some (_, i) -> i | None -> 0
+
+let extra_delay t =
+  match t.feedback with
+  | Some f -> Feedback.extra_delay f
+  | None -> t.cfg.Config.additional_delay
+
+let submit t (op : Op.t) =
+  let local = now_local t in
+  let q = Config.supermajority t.cfg in
+  let avoid_dfp =
+    match t.feedback with
+    | Some f -> Feedback.should_avoid_dfp f
+    | None -> false
+  in
+  let choice =
+    if t.cfg.Config.force_dfp then Estimator.Dfp
+    else if avoid_dfp then
+      (* §5.4: a persistently failing fast path means the measurements
+         are not predicting this client's paths; use DM. *)
+      Estimator.choose t.estimator ~q:(Config.n t.cfg + 1) ~now_local:local
+    else Estimator.choose t.estimator ~q ~now_local:local
+  in
+  t.last_choice <- Some choice;
+  match choice with
+  | Estimator.Dfp -> begin
+    match
+      Estimator.request_timestamp t.estimator ~now_local:local ~q
+        ~extra:(extra_delay t)
+    with
+    | Some ts -> submit_dfp t op ~ts
+    | None -> submit_dm t op ~leader:(closest_leader t ~now_local:local)
+  end
+  | Estimator.Dm leader -> submit_dm t op ~leader
+
+let on_vote t ~subject ~report =
+  let id = Op.id subject in
+  match Hashtbl.find_opt t.pending id with
+  | None -> ()
+  | Some p ->
+    if not p.done_ then begin
+      match report with
+      | Message.Voted_op op when Op.compare_id (Op.id op) id = 0 ->
+        p.accepts <- p.accepts + 1;
+        if p.accepts >= Config.supermajority t.cfg then
+          commit t subject ~fast:true
+      | Message.Voted_op _ | Message.Voted_noop ->
+        (* The fast path may fail; the coordinator's slow path or DM
+           rescue will resolve this request. *)
+        ()
+    end
+
+let handle t ~src msg =
+  match msg with
+  | Message.Probe_rep reply ->
+    let idx = Config.replica_index t.cfg src in
+    Estimator.record_reply t.estimator ~replica:idx ~now_local:(now_local t)
+      reply
+  | Message.Dfp_vote { subject; report; _ } -> on_vote t ~subject ~report
+  | Message.Dfp_slow_reply { op } | Message.Dm_reply { op } ->
+    commit t op ~fast:false
+  | _ -> ()
+
+let dfp_submissions t = t.dfp_count
+
+let dm_submissions t = t.dm_count
+
+let last_choice t = t.last_choice
+
+let current_extra_delay = extra_delay
+
+let fast_path_rate t =
+  match t.feedback with Some f -> Feedback.fast_rate f | None -> 1.

@@ -1,0 +1,52 @@
+open Domino_net
+open Domino_smr
+
+(** A Domino client (the client library of §5.2).
+
+    The client probes every replica each probe interval, estimating RTT
+    and arrival offset per replica (§5.4) and collecting piggybacked
+    DM replication latencies (§5.6). Per request it compares the
+    estimated commit latency of DFP ([D_q], the q-th smallest RTT) and
+    DM ([min_r E_r + L_r]) and uses the cheaper subsystem:
+
+    - {b DFP}: stamps the request with the q-th smallest predicted
+      arrival time (plus the configured additional delay), sends it to
+      every replica, and acts as learner — q matching votes commit the
+      request in a single roundtrip. If the fast path fails, the
+      coordinator's slow-path (or rescue-through-DM) reply resolves it.
+    - {b DM}: sends the request to the chosen leader and waits for its
+      reply.
+
+    Timestamps are strictly increasing per client, so two requests from
+    one client can never collide at a position. *)
+
+type t
+
+val create :
+  net:Message.msg Fifo_net.t ->
+  cfg:Config.t ->
+  self:Nodeid.t ->
+  observer:Observer.t ->
+  unit ->
+  t
+(** Starts the probing timer. The node's handler is installed by
+    {!Domino.create}, which routes messages via {!handle}. *)
+
+val handle : t -> src:Nodeid.t -> Message.msg -> unit
+
+val submit : t -> Op.t -> unit
+
+val dfp_submissions : t -> int
+val dm_submissions : t -> int
+
+val last_choice : t -> Domino_measure.Estimator.choice option
+(** What the client picked for its most recent request. *)
+
+val current_extra_delay : t -> Domino_sim.Time_ns.span
+(** The additional delay currently applied to DFP timestamps — the
+    configured constant, or the {!Feedback} controller's value when
+    [adaptive] is on. *)
+
+val fast_path_rate : t -> float
+(** Observed DFP fast-path rate over the feedback window (1.0 without
+    the adaptive controller or before any DFP commits). *)

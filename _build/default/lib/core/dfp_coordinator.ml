@@ -1,0 +1,308 @@
+open Domino_sim
+open Domino_smr
+
+module Iset = Set.Make (Int)
+
+type callbacks = {
+  send_commit : Time_ns.t -> Op.t option -> unit;
+  send_p2a : Time_ns.t -> Op.t option -> unit;
+  send_slow_reply : Op.t -> unit;
+  send_watermark : Time_ns.t -> unit;
+  rescue : Op.t -> unit;
+}
+
+type value = Op.t option
+
+type post = {
+  ts : Time_ns.t;
+  mutable reports : (int * Message.dfp_report) list;
+      (** arrival order (newest first), at most one per acceptor *)
+  mutable subjects : Op.t Op.Idmap.t;  (** ops proposed at this position *)
+  mutable decided : value option;
+  mutable recovering : value option;  (** the round-1 value, if started *)
+  mutable p2bs : Iset.t;
+}
+
+type t = {
+  cfg : Config.t;
+  cb : callbacks;
+  n : int;
+  q : int;
+  m : int;
+  watermarks : Time_ns.t array;  (** per-acceptor no-op fill time T_i *)
+  applied_wm : Time_ns.t array;
+      (** per-acceptor frontier up to which implied no-op reports have
+          been folded into tracked posts (avoids rescanning the whole
+          undecided set on every heartbeat) *)
+  tracked : (Time_ns.t, post) Hashtbl.t;
+  mutable undecided : Iset.t;  (** timestamps of tracked undecided posts *)
+  mutable w_dec : Time_ns.t;
+  mutable w_sent : Time_ns.t;
+  mutable committed_ops : Op.Idset.t;
+  mutable rescued : Op.Idset.t;
+  mutable fast : int;
+  mutable slow : int;
+  mutable conflicts : int;
+  mutable ticks : int;
+}
+
+let create cfg cb =
+  let n = Config.n cfg in
+  {
+    cfg;
+    cb;
+    n;
+    q = Config.supermajority cfg;
+    m = Config.majority cfg;
+    watermarks = Array.make n (-1);
+    applied_wm = Array.make n (-1);
+    tracked = Hashtbl.create 1024;
+    undecided = Iset.empty;
+    w_dec = -1;
+    w_sent = -1;
+    committed_ops = Op.Idset.empty;
+    rescued = Op.Idset.empty;
+    fast = 0;
+    slow = 0;
+    conflicts = 0;
+    ticks = 0;
+  }
+
+let decided_watermark t = t.w_dec
+
+let fast_decisions t = t.fast
+
+let slow_decisions t = t.slow
+
+let noop_conflicts t = t.conflicts
+
+let undecided_positions t = Iset.cardinal t.undecided
+
+(* q-th largest acceptor watermark: positions strictly below it have
+   no-op coverage from at least a supermajority of replicas. *)
+let w_fast t =
+  let sorted = Array.copy t.watermarks in
+  Array.sort (fun a b -> Int.compare b a) sorted;
+  sorted.(t.q - 1) - 1
+
+let recompute_w_dec t =
+  let bound =
+    match Iset.min_elt_opt t.undecided with
+    | None -> w_fast t
+    | Some ts -> Stdlib.min (w_fast t) (ts - 1)
+  in
+  if bound > t.w_dec then t.w_dec <- bound
+
+let rescue_op t (op : Op.t) =
+  let id = Op.id op in
+  if
+    (not (Op.Idset.mem id t.committed_ops))
+    && not (Op.Idset.mem id t.rescued)
+  then begin
+    t.rescued <- Op.Idset.add id t.rescued;
+    t.conflicts <- t.conflicts + 1;
+    t.cb.rescue op
+  end
+
+let value_id = function None -> None | Some op -> Some (Op.id op)
+
+let decide t post value ~slow_path =
+  if post.decided = None then begin
+    post.decided <- Some value;
+    t.undecided <- Iset.remove post.ts t.undecided;
+    if slow_path then t.slow <- t.slow + 1 else t.fast <- t.fast + 1;
+    t.cb.send_commit post.ts value;
+    (match value with
+    | Some op ->
+      t.committed_ops <- Op.Idset.add (Op.id op) t.committed_ops;
+      if slow_path then t.cb.send_slow_reply op
+    | None -> ());
+    (* Subjects that were not chosen at this position are lost; hand
+       them to DM. *)
+    let chosen = value_id value in
+    Op.Idmap.iter
+      (fun id op -> if Some id <> chosen then rescue_op t op)
+      post.subjects;
+    recompute_w_dec t
+  end
+
+(* Count reports per candidate value. Returns (best op candidate with
+   count, noop count, reported). *)
+let tally reports =
+  let ops, noops =
+    List.fold_left
+      (fun (ops, noops) (_, report) ->
+        match report with
+        | Message.Voted_noop -> (ops, noops + 1)
+        | Message.Voted_op op ->
+          let id = Op.id op in
+          let c =
+            match Op.Idmap.find_opt id ops with Some (c, _) -> c | None -> 0
+          in
+          (Op.Idmap.add id (c + 1, op) ops, noops))
+      (Op.Idmap.empty, 0) reports
+  in
+  let best =
+    Op.Idmap.fold
+      (fun _ (c, op) acc ->
+        match acc with
+        | Some (bc, _) when bc >= c -> acc
+        | _ -> Some (c, op))
+      ops None
+  in
+  (ops, best, noops)
+
+(* Fast Paxos value-picking rule over the first classic quorum of
+   round-0 reports: a value voted by >= q - f members of that quorum
+   may have been chosen and must be re-proposed; otherwise prefer the
+   most-voted operation (helps the client), else no-op. *)
+let recovery_value t post =
+  let quorum = List.filteri (fun i _ -> i < t.m) (List.rev post.reports) in
+  let _, best, noops = tally quorum in
+  let threshold = t.q - Config.f t.cfg in
+  match best with
+  | Some (c, op) when c >= threshold -> Some op
+  | _ when noops >= threshold -> None
+  | _ -> begin
+    match best with Some (_, op) -> Some op | None -> None
+  end
+
+let start_recovery t post =
+  if post.decided = None && post.recovering = None then begin
+    let value = recovery_value t post in
+    post.recovering <- Some value;
+    t.cb.send_p2a post.ts value
+  end
+
+let check_decision t post =
+  if post.decided = None && post.recovering = None then begin
+    let _, best, noops = tally post.reports in
+    let reported = List.length post.reports in
+    let undetermined = t.n - reported in
+    let best_op_count = match best with Some (c, _) -> c | None -> 0 in
+    if best_op_count >= t.q then begin
+      match best with
+      | Some (_, op) -> decide t post (Some op) ~slow_path:false
+      | None -> assert false
+    end
+    else if noops >= t.q then decide t post None ~slow_path:false
+    else if Stdlib.max best_op_count noops + undetermined < t.q then
+      start_recovery t post
+  end
+
+let get_post t ts =
+  match Hashtbl.find_opt t.tracked ts with
+  | Some post -> post
+  | None ->
+    let post =
+      {
+        ts;
+        reports = [];
+        subjects = Op.Idmap.empty;
+        decided = None;
+        recovering = None;
+        p2bs = Iset.empty;
+      }
+    in
+    Hashtbl.replace t.tracked ts post;
+    t.undecided <- Iset.add ts t.undecided;
+    post
+
+let has_report post acceptor =
+  List.exists (fun (a, _) -> a = acceptor) post.reports
+
+let add_report t post acceptor report =
+  if not (has_report post acceptor) then begin
+    post.reports <- (acceptor, report) :: post.reports;
+    check_decision t post
+  end
+
+(* Apply a watermark advance: every tracked undecided position below
+   [T] with no report from this acceptor gains an implicit no-op
+   report (sound thanks to FIFO ordering, see .mli). Only the band
+   between the previously applied frontier and [T] needs scanning:
+   older positions were handled when the frontier passed them, and
+   posts created later back-fill implied reports in [fold_in_implied]. *)
+let advance_watermark t ~acceptor ~watermark =
+  if watermark > t.watermarks.(acceptor) then begin
+    t.watermarks.(acceptor) <- watermark;
+    let prev = t.applied_wm.(acceptor) in
+    t.applied_wm.(acceptor) <- watermark;
+    (* Band = positions with prev <= ts < watermark (the frontier value
+       itself was not yet covered when it was the frontier). *)
+    let _, at_prev, above_prev = Iset.split prev t.undecided in
+    let band, _, _ = Iset.split watermark above_prev in
+    let band = if at_prev then Iset.add prev band else band in
+    Iset.iter
+      (fun ts ->
+        match Hashtbl.find_opt t.tracked ts with
+        | Some post -> add_report t post acceptor Message.Voted_noop
+        | None -> ())
+      band;
+    recompute_w_dec t
+  end
+
+(* A freshly tracked position may already be expired at some acceptors
+   (their watermark passed its timestamp before any vote arrived):
+   those acceptors implicitly voted no-op — FIFO guarantees their
+   accept, had there been one, would have arrived first. *)
+let fold_in_implied t post =
+  Array.iteri
+    (fun acceptor wm ->
+      if wm > post.ts && not (has_report post acceptor) then
+        add_report t post acceptor Message.Voted_noop)
+    t.watermarks
+
+let on_vote t ~ts ~subject ~report ~acceptor ~watermark =
+  (if ts <= t.w_dec then
+     (* Position already bulk-decided as no-op; a late op is lost. *)
+     rescue_op t subject
+   else begin
+     let fresh = not (Hashtbl.mem t.tracked ts) in
+     let post = get_post t ts in
+     if fresh then fold_in_implied t post;
+     if not (Op.Idmap.mem (Op.id subject) post.subjects) then
+       post.subjects <- Op.Idmap.add (Op.id subject) subject post.subjects;
+     (match post.decided with
+     | Some chosen when value_id chosen <> Some (Op.id subject) ->
+       (* Position decided without this op. *)
+       rescue_op t subject
+     | _ -> ());
+     add_report t post acceptor report
+   end);
+  advance_watermark t ~acceptor ~watermark
+
+let on_heartbeat t ~acceptor ~watermark = advance_watermark t ~acceptor ~watermark
+
+let on_p2b t ~ts ~acceptor =
+  match Hashtbl.find_opt t.tracked ts with
+  | None -> ()
+  | Some post -> begin
+    post.p2bs <- Iset.add acceptor post.p2bs;
+    match post.recovering with
+    | Some value when post.decided = None && Iset.cardinal post.p2bs >= t.m ->
+      decide t post value ~slow_path:true
+    | _ -> ()
+  end
+
+let prune_interval = Time_ns.sec 2
+
+let prune t =
+  (* Decided positions well below the decided watermark can no longer
+     receive meaningful traffic (late votes are rescued straight away),
+     so drop them to bound memory over long runs. *)
+  let cutoff = t.w_dec - prune_interval in
+  if Hashtbl.length t.tracked > 4096 then
+    Hashtbl.filter_map_inplace
+      (fun ts post ->
+        if post.decided <> None && ts < cutoff then None else Some post)
+      t.tracked
+
+let tick t =
+  recompute_w_dec t;
+  if t.w_dec > t.w_sent then begin
+    t.w_sent <- t.w_dec;
+    t.cb.send_watermark t.w_dec
+  end;
+  t.ticks <- t.ticks + 1;
+  if t.ticks land 0xFF = 0 then prune t

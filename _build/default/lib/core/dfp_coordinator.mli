@@ -1,0 +1,69 @@
+open Domino_sim
+open Domino_smr
+
+(** The DFP coordinator: learner of every DFP instance, driver of
+    coordinated recovery, and producer of the decided watermark.
+
+    Soundness of the implicit no-op fill rests on FIFO channels: a
+    heartbeat carrying watermark [T] from replica [i] is processed only
+    after every vote [i] cast for positions below [T], so "no vote from
+    [i] at ts < T_i" really means [i] accepted a no-op there (§5.3.2).
+
+    Per tracked position (one with at least one vote) the coordinator
+    decides:
+    - {e fast} when q reports agree on a value (an op, or no-op);
+    - {e slow} (coordinated recovery, classic round 1) once no value
+      can reach q: the value picked is the one voted by ≥ q−f of the
+      first classic quorum of reports — the Fast Paxos safety rule —
+      defaulting to the most-voted operation.
+
+    Positions that never see a vote are no-op-committed in bulk: the
+    q-th largest replica watermark bounds them. The decided watermark
+    [upto] announced to replicas is the largest timestamp below which
+    every position is decided; it stalls at undecided tracked
+    positions, which is why slow paths delay execution (§5.7).
+
+    Operations that lose their position (late arrival or collision) are
+    handed to the [rescue] callback, which re-proposes them through
+    Domino's Mencius (§5.3.3). *)
+
+type callbacks = {
+  send_commit : Time_ns.t -> Op.t option -> unit;
+      (** broadcast a decision to every replica *)
+  send_p2a : Time_ns.t -> Op.t option -> unit;
+  send_slow_reply : Op.t -> unit;
+      (** notify the submitting client of a slow-path commit *)
+  send_watermark : Time_ns.t -> unit;  (** broadcast decided watermark *)
+  rescue : Op.t -> unit;  (** re-propose a lost operation via DM *)
+}
+
+type t
+
+val create : Config.t -> callbacks -> t
+
+val on_vote :
+  t ->
+  ts:Time_ns.t ->
+  subject:Op.t ->
+  report:Message.dfp_report ->
+  acceptor:int ->
+  watermark:Time_ns.t ->
+  unit
+
+val on_heartbeat : t -> acceptor:int -> watermark:Time_ns.t -> unit
+
+val on_p2b : t -> ts:Time_ns.t -> acceptor:int -> unit
+
+val tick : t -> unit
+(** Called every heartbeat interval: announces the decided watermark if
+    it advanced. *)
+
+val decided_watermark : t -> Time_ns.t
+
+val fast_decisions : t -> int
+val slow_decisions : t -> int
+val noop_conflicts : t -> int
+(** Positions where a client operation collided with no-ops or another
+    operation (i.e. DFP's fast path failed for that op). *)
+
+val undecided_positions : t -> int

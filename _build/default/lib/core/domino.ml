@@ -1,0 +1,110 @@
+open Domino_sim
+open Domino_net
+open Domino_smr
+
+type t = {
+  net : Message.msg Fifo_net.t;
+  cfg : Config.t;
+  replicas : Replica.t array;
+  coordinator : Dfp_coordinator.t;
+  clients : (Nodeid.t, Client.t) Hashtbl.t;
+}
+
+type stats = {
+  dfp_fast_decisions : int;
+  dfp_slow_decisions : int;
+  dfp_conflicts : int;
+  dfp_submissions : int;
+  dm_submissions : int;
+  late_decisions : int;
+}
+
+let create ~net ~cfg ~observer () =
+  let n = Config.n cfg in
+  let replicas =
+    Array.init n (fun index -> Replica.create ~net ~cfg ~index ~observer ())
+  in
+  let coord_node = cfg.Config.coordinator in
+  let coord_index = Config.replica_index cfg coord_node in
+  let send_from_coord ~dst msg = Fifo_net.send net ~src:coord_node ~dst msg in
+  let broadcast_from_coord msg =
+    Array.iter (fun r -> send_from_coord ~dst:r msg) cfg.Config.replicas
+  in
+  let callbacks =
+    {
+      Dfp_coordinator.send_commit =
+        (fun ts value -> broadcast_from_coord (Message.Dfp_commit { ts; value }));
+      send_p2a =
+        (fun ts value -> broadcast_from_coord (Message.Dfp_p2a { ts; value }));
+      send_slow_reply =
+        (fun op ->
+          send_from_coord ~dst:op.Op.client (Message.Dfp_slow_reply { op }));
+      send_watermark =
+        (fun upto ->
+          broadcast_from_coord (Message.Dfp_decided_watermark { upto }));
+      rescue = (fun op -> Replica.dm_propose replicas.(coord_index) op);
+    }
+  in
+  let coordinator = Dfp_coordinator.create cfg callbacks in
+  let clients = Hashtbl.create 16 in
+  let t = { net; cfg; replicas; coordinator; clients } in
+  (* Handlers: the coordinator replica sees learner traffic first, then
+     regular replica dispatch. *)
+  Array.iteri
+    (fun index r ->
+      let is_coord = Nodeid.equal r coord_node in
+      let handler ~src msg =
+        (if is_coord then
+           match msg with
+           | Message.Dfp_vote { ts; subject; report; acceptor; watermark } ->
+             Dfp_coordinator.on_vote coordinator ~ts ~subject ~report
+               ~acceptor ~watermark
+           | Message.Replica_heartbeat { acceptor; watermark } ->
+             Dfp_coordinator.on_heartbeat coordinator ~acceptor ~watermark
+           | Message.Dfp_p2b { ts; acceptor } ->
+             Dfp_coordinator.on_p2b coordinator ~ts ~acceptor
+           | _ -> ());
+        Replica.handle t.replicas.(index) ~src msg
+      in
+      Fifo_net.set_handler net r handler)
+    cfg.Config.replicas;
+  for node = 0 to Fifo_net.size net - 1 do
+    if not (Array.exists (Nodeid.equal node) cfg.Config.replicas) then begin
+      let client = Client.create ~net ~cfg ~self:node ~observer () in
+      Hashtbl.replace clients node client;
+      Fifo_net.set_handler net node (Client.handle client)
+    end
+  done;
+  ignore
+    (Engine.every (Fifo_net.engine net)
+       ~interval:cfg.Config.heartbeat_interval (fun () ->
+         Dfp_coordinator.tick coordinator));
+  t
+
+let client t node =
+  match Hashtbl.find_opt t.clients node with
+  | Some c -> c
+  | None -> invalid_arg "Domino.client: node is not a client"
+
+let replica t index = t.replicas.(index)
+
+let submit t (op : Op.t) = Client.submit (client t op.Op.client) op
+
+let stats t =
+  let dfp_submissions =
+    Hashtbl.fold (fun _ c acc -> acc + Client.dfp_submissions c) t.clients 0
+  in
+  let dm_submissions =
+    Hashtbl.fold (fun _ c acc -> acc + Client.dm_submissions c) t.clients 0
+  in
+  let late =
+    Array.fold_left (fun acc r -> acc + Replica.late_decisions r) 0 t.replicas
+  in
+  {
+    dfp_fast_decisions = Dfp_coordinator.fast_decisions t.coordinator;
+    dfp_slow_decisions = Dfp_coordinator.slow_decisions t.coordinator;
+    dfp_conflicts = Dfp_coordinator.noop_conflicts t.coordinator;
+    dfp_submissions;
+    dm_submissions;
+    late_decisions = late;
+  }

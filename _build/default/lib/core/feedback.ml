@@ -1,0 +1,63 @@
+open Domino_sim
+
+type outcome = Fast | Slow
+
+type t = {
+  window : int;
+  target : float;
+  giveup : float;
+  step : Time_ns.span;
+  max_extra : Time_ns.span;
+  baseline : Time_ns.span;
+  outcomes : bool array;  (** ring buffer: true = fast *)
+  mutable size : int;
+  mutable next : int;
+  mutable fast : int;  (** fast outcomes currently in the ring *)
+  mutable extra : Time_ns.span;
+}
+
+let create ?(window = 50) ?(target = 0.95) ?(giveup = 0.5)
+    ?(step = Time_ns.ms 2) ?(max_extra = Time_ns.ms 32) ~baseline () =
+  if window <= 0 then invalid_arg "Feedback.create: window";
+  {
+    window;
+    target;
+    giveup;
+    step;
+    max_extra;
+    baseline;
+    outcomes = Array.make window false;
+    size = 0;
+    next = 0;
+    fast = 0;
+    extra = baseline;
+  }
+
+let fast_rate t =
+  if t.size = 0 then 1. else float_of_int t.fast /. float_of_int t.size
+
+let adjust t =
+  let rate = fast_rate t in
+  if t.size >= t.window / 2 then begin
+    if rate < t.target then
+      t.extra <- Stdlib.min t.max_extra (t.extra + t.step)
+    else if rate >= 1. -. ((1. -. t.target) /. 2.) then
+      (* Comfortably above target: decay toward the baseline. *)
+      t.extra <- Stdlib.max t.baseline (t.extra - (t.step / 4))
+  end
+
+let record t outcome =
+  let fast = outcome = Fast in
+  if t.size = t.window then begin
+    (* Overwriting the oldest entry. *)
+    if t.outcomes.(t.next) then t.fast <- t.fast - 1
+  end
+  else t.size <- t.size + 1;
+  t.outcomes.(t.next) <- fast;
+  if fast then t.fast <- t.fast + 1;
+  t.next <- (t.next + 1) mod t.window;
+  adjust t
+
+let extra_delay t = t.extra
+
+let should_avoid_dfp t = t.size >= t.window / 2 && fast_rate t < t.giveup

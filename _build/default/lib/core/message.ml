@@ -1,0 +1,76 @@
+open Domino_sim
+open Domino_smr
+open Domino_measure
+
+type dfp_report = Voted_op of Op.t | Voted_noop
+
+type msg =
+  | Probe_req of Probe.request
+  | Probe_rep of Probe.reply
+  | Dfp_propose of { ts : Time_ns.t; op : Op.t }
+  | Dfp_vote of {
+      ts : Time_ns.t;
+      subject : Op.t;
+      report : dfp_report;
+      acceptor : int;
+      watermark : Time_ns.t;
+    }
+  | Dfp_p2a of { ts : Time_ns.t; value : Op.t option }
+  | Dfp_p2b of { ts : Time_ns.t; acceptor : int }
+  | Dfp_commit of { ts : Time_ns.t; value : Op.t option }
+  | Dfp_decided_watermark of { upto : Time_ns.t }
+  | Replica_heartbeat of { acceptor : int; watermark : Time_ns.t }
+  | Dfp_slow_reply of { op : Op.t }
+  | Dm_request of Op.t
+  | Dm_accept of { leader : int; ts : Time_ns.t; op : Op.t }
+  | Dm_accepted of { leader : int; ts : Time_ns.t; acceptor : int }
+  | Dm_commit of { leader : int; ts : Time_ns.t; op : Op.t }
+  | Dm_watermark of { leader : int; upto : Time_ns.t }
+  | Dm_reply of { op : Op.t }
+
+let pp fmt = function
+  | Probe_req r -> Format.fprintf fmt "Probe_req(%a)" Probe.pp_request r
+  | Probe_rep r -> Format.fprintf fmt "Probe_rep(%a)" Probe.pp_reply r
+  | Dfp_propose { ts; op } ->
+    Format.fprintf fmt "Dfp_propose(%a, %a)" Time_ns.pp ts Op.pp op
+  | Dfp_vote { ts; report; acceptor; _ } ->
+    Format.fprintf fmt "Dfp_vote(%a, %s, a%d)" Time_ns.pp ts
+      (match report with Voted_op _ -> "op" | Voted_noop -> "noop")
+      acceptor
+  | Dfp_p2a { ts; value } ->
+    Format.fprintf fmt "Dfp_p2a(%a, %s)" Time_ns.pp ts
+      (match value with Some _ -> "op" | None -> "noop")
+  | Dfp_p2b { ts; acceptor } ->
+    Format.fprintf fmt "Dfp_p2b(%a, a%d)" Time_ns.pp ts acceptor
+  | Dfp_commit { ts; value } ->
+    Format.fprintf fmt "Dfp_commit(%a, %s)" Time_ns.pp ts
+      (match value with Some _ -> "op" | None -> "noop")
+  | Dfp_decided_watermark { upto } ->
+    Format.fprintf fmt "Dfp_decided_watermark(%a)" Time_ns.pp upto
+  | Replica_heartbeat { acceptor; watermark } ->
+    Format.fprintf fmt "Replica_heartbeat(a%d, %a)" acceptor Time_ns.pp
+      watermark
+  | Dfp_slow_reply { op } -> Format.fprintf fmt "Dfp_slow_reply(%a)" Op.pp op
+  | Dm_request op -> Format.fprintf fmt "Dm_request(%a)" Op.pp op
+  | Dm_accept { leader; ts; _ } ->
+    Format.fprintf fmt "Dm_accept(l%d, %a)" leader Time_ns.pp ts
+  | Dm_accepted { leader; ts; acceptor } ->
+    Format.fprintf fmt "Dm_accepted(l%d, %a, a%d)" leader Time_ns.pp ts
+      acceptor
+  | Dm_commit { leader; ts; _ } ->
+    Format.fprintf fmt "Dm_commit(l%d, %a)" leader Time_ns.pp ts
+  | Dm_watermark { leader; upto } ->
+    Format.fprintf fmt "Dm_watermark(l%d, %a)" leader Time_ns.pp upto
+  | Dm_reply { op } -> Format.fprintf fmt "Dm_reply(%a)" Op.pp op
+
+let classify : msg -> Domino_smr.Msg_class.t =
+  let open Domino_smr.Msg_class in
+  function
+  | Dfp_propose _ -> Replication
+  | Dfp_vote _ | Dfp_p2b _ | Dm_accepted _ -> Ack
+  | Dfp_p2a _ | Dm_accept _ -> Replication
+  | Dm_request _ -> Proposal
+  | Dfp_commit _ | Dm_commit _ -> Commit_notice
+  | Probe_req _ | Probe_rep _ | Replica_heartbeat _
+  | Dfp_decided_watermark _ | Dm_watermark _
+  | Dfp_slow_reply _ | Dm_reply _ -> Control

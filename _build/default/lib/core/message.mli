@@ -1,0 +1,56 @@
+open Domino_sim
+open Domino_smr
+open Domino_measure
+
+(** Domino's wire protocol.
+
+    One message type covers both subsystems plus measurement traffic.
+    DFP votes and replica heartbeats to the coordinator share a FIFO
+    channel, which is what makes the piggybacked watermark [T] sound:
+    when the coordinator processes a heartbeat carrying [T], it has
+    already received every vote that replica cast for positions below
+    [T] (§5.3.2). *)
+
+type dfp_report =
+  | Voted_op of Op.t  (** round-0 accept of this operation *)
+  | Voted_noop  (** position had expired (or was occupied by a no-op) *)
+
+type msg =
+  | Probe_req of Probe.request
+  | Probe_rep of Probe.reply
+  (* --- DFP --- *)
+  | Dfp_propose of { ts : Time_ns.t; op : Op.t }
+      (** client -> every replica *)
+  | Dfp_vote of {
+      ts : Time_ns.t;
+      subject : Op.t;  (** the proposal this vote answers *)
+      report : dfp_report;
+      acceptor : int;  (** replica index *)
+      watermark : Time_ns.t;  (** acceptor's no-op fill time T *)
+    }  (** acceptor -> coordinator + submitting client (+ all replicas
+           when [every_replica_learns]) *)
+  | Dfp_p2a of { ts : Time_ns.t; value : Op.t option }
+      (** coordinated recovery, round 1 *)
+  | Dfp_p2b of { ts : Time_ns.t; acceptor : int }
+  | Dfp_commit of { ts : Time_ns.t; value : Op.t option }
+      (** coordinator -> replicas *)
+  | Dfp_decided_watermark of { upto : Time_ns.t }
+      (** coordinator -> replicas: every DFP position <= [upto] is
+          decided (no-op unless an explicit commit was sent earlier on
+          this channel) *)
+  | Replica_heartbeat of { acceptor : int; watermark : Time_ns.t }
+      (** replica -> coordinator, every heartbeat interval *)
+  | Dfp_slow_reply of { op : Op.t }  (** coordinator -> client *)
+  (* --- DM --- *)
+  | Dm_request of Op.t  (** client -> chosen DM leader *)
+  | Dm_accept of { leader : int; ts : Time_ns.t; op : Op.t }
+  | Dm_accepted of { leader : int; ts : Time_ns.t; acceptor : int }
+  | Dm_commit of { leader : int; ts : Time_ns.t; op : Op.t }
+  | Dm_watermark of { leader : int; upto : Time_ns.t }
+      (** leader -> all: its lane's no-op fill time *)
+  | Dm_reply of { op : Op.t }  (** leader -> client *)
+
+val pp : Format.formatter -> msg -> unit
+
+val classify : msg -> Domino_smr.Msg_class.t
+(** Cost class of a message, for the Figure 13 throughput model. *)

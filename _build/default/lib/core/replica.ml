@@ -1,0 +1,316 @@
+open Domino_sim
+open Domino_net
+open Domino_smr
+open Domino_log
+open Domino_measure
+
+module Tsmap = Map.Make (Int)
+
+type dm_inst = { op : Op.t; mutable acks : int; mutable committed : bool }
+
+type t = {
+  net : Message.msg Fifo_net.t;
+  cfg : Config.t;
+  self : Nodeid.t;
+  index : int;
+  estimator : Estimator.t;
+  exec : Op.t Exec_engine.t;
+  observer : Observer.t;
+  (* DFP acceptor: round-0 accepted proposals. *)
+  mutable dfp_accepted : Op.t Tsmap.t;
+  (* Storage for the decided DFP lane (§6): explicit ops plus
+     compressed no-op ranges, trimmed behind the decided watermark. *)
+  dfp_log : Op.t Decided_log.t;
+  mutable dfp_log_wm : Time_ns.t;
+  (* DM leader. *)
+  mutable dm_cursor : Time_ns.t;
+  mutable dm_pending : dm_inst Tsmap.t;
+  mutable dm_watermark_sent : Time_ns.t;
+  (* Optional learner role (every_replica_learns): per (ts, op) accept
+     counts from broadcast votes. *)
+  learner_counts : (Time_ns.t * Op.id, int ref) Hashtbl.t;
+  mutable probe_seq : int;
+  mutable executed : int;
+}
+
+let now_local t = Fifo_net.local_time t.net t.self
+
+let replicas t = t.cfg.Config.replicas
+
+let send t ~dst msg = Fifo_net.send t.net ~src:t.self ~dst msg
+
+let broadcast t msg =
+  Array.iter (fun r -> send t ~dst:r msg) (replicas t)
+
+let coordinator t = t.cfg.Config.coordinator
+
+(* --- Measurement --- *)
+
+let replication_latency t =
+  match
+    Estimator.replication_latency t.estimator ~m:(Config.majority t.cfg)
+      ~now_local:(now_local t)
+  with
+  | Some l -> l
+  | None -> max_int
+
+let answer_probe t ~src (req : Probe.request) =
+  let reply =
+    Probe.reply_of_request req ~replica_local:(now_local t)
+      ~replication_latency:(replication_latency t)
+  in
+  send t ~dst:src (Message.Probe_rep reply)
+
+let send_probes t =
+  Array.iteri
+    (fun i r ->
+      if i <> t.index then begin
+        t.probe_seq <- t.probe_seq + 1;
+        send t ~dst:r
+          (Message.Probe_req { seq = t.probe_seq; sent_local = now_local t })
+      end)
+    (replicas t)
+
+let on_probe_reply t ~src (reply : Probe.reply) =
+  let idx = Config.replica_index t.cfg src in
+  Estimator.record_reply t.estimator ~replica:idx ~now_local:(now_local t)
+    reply
+
+(* --- DFP acceptor --- *)
+
+let dfp_on_propose t (op : Op.t) ~ts =
+  let local = now_local t in
+  let report =
+    match Tsmap.find_opt ts t.dfp_accepted with
+    | Some existing -> Message.Voted_op existing
+    | None ->
+      if ts > local then begin
+        t.dfp_accepted <- Tsmap.add ts op t.dfp_accepted;
+        Message.Voted_op op
+      end
+      else
+        (* The position expired: it already holds an implicit no-op. *)
+        Message.Voted_noop
+  in
+  let vote =
+    Message.Dfp_vote
+      { ts; subject = op; report; acceptor = t.index; watermark = local }
+  in
+  send t ~dst:(coordinator t) vote;
+  if not (Nodeid.equal op.Op.client (coordinator t)) then
+    send t ~dst:op.Op.client vote;
+  if t.cfg.Config.every_replica_learns then
+    Array.iter
+      (fun r -> if not (Nodeid.equal r (coordinator t)) then send t ~dst:r vote)
+      (replicas t)
+
+let dfp_on_p2a t ~ts ~value =
+  (* Round 1 from the single coordinator always supersedes the fast
+     round; record the value so a duplicate proposal reports it. *)
+  (match value with
+  | Some op -> t.dfp_accepted <- Tsmap.add ts op t.dfp_accepted
+  | None -> ());
+  send t ~dst:(coordinator t) (Message.Dfp_p2b { ts; acceptor = t.index })
+
+let dfp_lane t = Config.dfp_lane t.cfg
+
+let dfp_on_commit t ~ts ~value =
+  (match value with
+  | Some op ->
+    Exec_engine.decide_op t.exec { Position.ts; lane = dfp_lane t } op;
+    Decided_log.record_op t.dfp_log ts op
+  | None ->
+    Exec_engine.decide_noop t.exec { Position.ts; lane = dfp_lane t };
+    Decided_log.record_noop_range t.dfp_log ~lo:ts ~hi:ts);
+  (* The position is settled; drop acceptor state. *)
+  t.dfp_accepted <- Tsmap.remove ts t.dfp_accepted
+
+(* The §6 storage claim in numbers: a billion log positions per second
+   collapse into a handful of interval nodes. We blanket the newly
+   decided range with a no-op run (explicit ops shadow it in lookups)
+   and trim everything the state machine has long executed. *)
+let dfp_log_retention = Time_ns.sec 2
+
+let dfp_on_decided_watermark t ~upto =
+  Exec_engine.set_watermark t.exec ~lane:(dfp_lane t) upto;
+  if upto > t.dfp_log_wm then begin
+    Decided_log.record_noop_range t.dfp_log ~lo:(t.dfp_log_wm + 1) ~hi:upto;
+    t.dfp_log_wm <- upto;
+    Decided_log.trim t.dfp_log ~upto:(upto - dfp_log_retention)
+  end
+
+(* Learner role (§5.7 optimisation): watch broadcast votes and commit
+   fast-path decisions locally, ahead of the coordinator's notice. *)
+let learner_on_vote t ~ts ~report =
+  match report with
+  | Message.Voted_noop -> ()
+  | Message.Voted_op op ->
+    let key = (ts, Op.id op) in
+    let count =
+      match Hashtbl.find_opt t.learner_counts key with
+      | Some c -> c
+      | None ->
+        let c = ref 0 in
+        Hashtbl.replace t.learner_counts key c;
+        c
+    in
+    incr count;
+    if !count >= Config.supermajority t.cfg then begin
+      Exec_engine.decide_op t.exec { Position.ts; lane = dfp_lane t } op;
+      Hashtbl.remove t.learner_counts key
+    end;
+    if Hashtbl.length t.learner_counts > 65536 then
+      (* Stale entries for positions that went through the slow path. *)
+      Hashtbl.reset t.learner_counts
+
+(* --- DM --- *)
+
+let dm_propose t (op : Op.t) =
+  let local = now_local t in
+  let lat =
+    match
+      Estimator.replication_latency t.estimator ~m:(Config.majority t.cfg)
+        ~now_local:local
+    with
+    | Some l -> l
+    | None -> Time_ns.ms 10 (* warm-up fallback *)
+  in
+  let ts = Stdlib.max (Time_ns.add local lat) (t.dm_cursor + 1) in
+  t.dm_cursor <- ts;
+  t.dm_pending <-
+    Tsmap.add ts { op; acks = 1; committed = false } t.dm_pending;
+  Array.iteri
+    (fun i r ->
+      if i <> t.index then
+        send t ~dst:r (Message.Dm_accept { leader = t.index; ts; op }))
+    (replicas t)
+
+let dm_on_accept t ~leader ~ts ~op =
+  ignore op;
+  send t ~dst:(replicas t).(leader)
+    (Message.Dm_accepted { leader; ts; acceptor = t.index })
+
+let dm_on_accepted t ~ts =
+  match Tsmap.find_opt ts t.dm_pending with
+  | None -> ()
+  | Some inst ->
+    inst.acks <- inst.acks + 1;
+    if (not inst.committed) && inst.acks >= Config.majority t.cfg then begin
+      inst.committed <- true;
+      t.dm_pending <- Tsmap.remove ts t.dm_pending;
+      broadcast t (Message.Dm_commit { leader = t.index; ts; op = inst.op });
+      send t ~dst:inst.op.Op.client (Message.Dm_reply { op = inst.op })
+    end
+
+let dm_on_commit t ~leader ~ts ~op =
+  Exec_engine.decide_op t.exec { Position.ts; lane = leader } op
+
+let dm_on_watermark t ~leader ~upto =
+  Exec_engine.set_watermark t.exec ~lane:leader upto
+
+(* The lane watermark a DM leader may announce: its local clock,
+   bounded by its oldest uncommitted proposal. *)
+let dm_send_watermark t =
+  let local = now_local t in
+  let bound =
+    match Tsmap.min_binding_opt t.dm_pending with
+    | None -> local
+    | Some (ts, _) -> Stdlib.min local (ts - 1)
+  in
+  if bound > t.dm_watermark_sent then begin
+    t.dm_watermark_sent <- bound;
+    broadcast t (Message.Dm_watermark { leader = t.index; upto = bound })
+  end
+
+(* --- Heartbeats --- *)
+
+let send_heartbeat t =
+  send t ~dst:(coordinator t)
+    (Message.Replica_heartbeat
+       { acceptor = t.index; watermark = now_local t });
+  dm_send_watermark t
+
+(* --- Dispatch --- *)
+
+let handle t ~src msg =
+  match msg with
+  | Message.Probe_req req -> answer_probe t ~src req
+  | Message.Probe_rep reply -> on_probe_reply t ~src reply
+  | Message.Dfp_propose { ts; op } -> dfp_on_propose t op ~ts
+  | Message.Dfp_p2a { ts; value } -> dfp_on_p2a t ~ts ~value
+  | Message.Dfp_commit { ts; value } -> dfp_on_commit t ~ts ~value
+  | Message.Dfp_decided_watermark { upto } ->
+    dfp_on_decided_watermark t ~upto
+  | Message.Dfp_vote { ts; report; _ } when t.cfg.Config.every_replica_learns
+    ->
+    learner_on_vote t ~ts ~report
+  | Message.Dm_request op -> dm_propose t op
+  | Message.Dm_accept { leader; ts; op } -> dm_on_accept t ~leader ~ts ~op
+  | Message.Dm_accepted { ts; _ } -> dm_on_accepted t ~ts
+  | Message.Dm_commit { leader; ts; op } -> dm_on_commit t ~leader ~ts ~op
+  | Message.Dm_watermark { leader; upto } -> dm_on_watermark t ~leader ~upto
+  | Message.Dfp_vote _ | Message.Dfp_p2b _ | Message.Replica_heartbeat _
+  | Message.Dfp_slow_reply _ | Message.Dm_reply _ ->
+    (* Coordinator traffic (routed by Domino.create) or client replies
+       that never target replicas. *)
+    ()
+
+let create ~net ~cfg ~index ~observer () =
+  let self = cfg.Config.replicas.(index) in
+  let n = Config.n cfg in
+  let rec t =
+    lazy
+      {
+        net;
+        cfg;
+        self;
+        index;
+        estimator =
+          Estimator.create ~window:cfg.Config.window
+            ~percentile:cfg.Config.percentile ~self:index ~n_replicas:n ();
+        exec =
+          Exec_engine.create ~n_lanes:(n + 1) ~on_exec:(fun _pos op ->
+              let state = Lazy.force t in
+              state.executed <- state.executed + 1;
+              observer.Observer.on_execute ~replica:self op
+                ~now:(Engine.now (Fifo_net.engine net)));
+        observer;
+        dfp_accepted = Tsmap.empty;
+        dfp_log = Decided_log.create ();
+        dfp_log_wm = -1;
+        dm_cursor = -1;
+        dm_pending = Tsmap.empty;
+        dm_watermark_sent = -1;
+        learner_counts = Hashtbl.create 256;
+        probe_seq = 0;
+        executed = 0;
+      }
+  in
+  let t = Lazy.force t in
+  let engine = Fifo_net.engine net in
+  ignore
+    (Engine.every engine ~jitter:(Time_ns.us 500)
+       ~interval:cfg.Config.probe_interval (fun () -> send_probes t));
+  ignore
+    (Engine.every engine ~jitter:(Time_ns.us 500)
+       ~interval:cfg.Config.heartbeat_interval (fun () -> send_heartbeat t));
+  t
+
+type storage_stats = {
+  log_ops : int;  (** explicit decided operations held *)
+  noop_positions : int;  (** no-op log positions represented *)
+  noop_ranges : int;  (** compressed nodes actually stored (§6) *)
+}
+
+let storage_stats t =
+  {
+    log_ops = Decided_log.op_count t.dfp_log;
+    noop_positions = Decided_log.noop_positions t.dfp_log;
+    noop_ranges = Decided_log.noop_ranges t.dfp_log;
+  }
+
+let executed_ops t = t.executed
+
+let late_decisions t = Exec_engine.late_decisions t.exec
+
+let exec_frontier_lane_watermark t ~lane = Exec_engine.watermark t.exec ~lane

@@ -1,0 +1,60 @@
+open Domino_sim
+open Domino_net
+open Domino_smr
+
+(** A Domino replica.
+
+    Every replica simultaneously plays four roles:
+    - {b DFP acceptor}: votes client proposals into timestamp-indexed
+      positions if they arrive before their timestamp, implicitly
+      accepting no-ops for expired empty positions (§5.3); votes and
+      the no-op watermark T travel to the coordinator on one FIFO
+      channel;
+    - {b DM leader} of its own lane: assigns arriving requests a future
+      timestamp (now + its estimated majority-replication latency
+      [L_r]) and replicates them with one accept round (§5.5);
+    - {b DM acceptor} for the other leaders' lanes;
+    - {b executor}: applies decided operations in global log order,
+      merging the coordinator's DFP decided watermark with the DM
+      leaders' lane watermarks (§5.7).
+
+    It also answers measurement probes with its local clock reading and
+    its current [L_r] (§5.4, §5.6), and probes its peers to maintain
+    that estimate. *)
+
+type t
+
+val create :
+  net:Message.msg Fifo_net.t ->
+  cfg:Config.t ->
+  index:int ->
+  observer:Observer.t ->
+  unit ->
+  t
+(** Builds the replica state for [cfg.replicas.(index)]. The node's
+    network handler is installed by {!Domino.create}, which routes
+    messages here via {!handle} (and to the coordinator when
+    co-located). Starts the probing and heartbeat/watermark timers. *)
+
+val handle : t -> src:Nodeid.t -> Message.msg -> unit
+
+val dm_propose : t -> Op.t -> unit
+(** Act as DM leader for this operation (used for client DM requests
+    and for coordinator rescues). *)
+
+type storage_stats = {
+  log_ops : int;  (** explicit decided operations held *)
+  noop_positions : int;  (** no-op log positions represented *)
+  noop_ranges : int;  (** compressed nodes actually stored (§6) *)
+}
+
+val storage_stats : t -> storage_stats
+(** Storage accounting for the decided DFP lane: the §6 compression
+    keeps [noop_ranges] tiny while [noop_positions] grows by a billion
+    per simulated second. *)
+
+val executed_ops : t -> int
+val late_decisions : t -> int
+(** Safety telemetry from the execution engine; must be 0. *)
+
+val exec_frontier_lane_watermark : t -> lane:int -> Time_ns.t

@@ -1,0 +1,1 @@
+lib/exp/exp_common.ml: Array Domino_core Domino_kv Domino_net Domino_proto Domino_sim Domino_smr Domino_stats Engine Fifo_net Fun Int64 List Observer Op Stdlib Store Time_ns Topology Workload

@@ -1,0 +1,1 @@
+lib/exp/exp_common.mli: Domino_core Domino_net Domino_sim Domino_smr Domino_stats Observer Time_ns Topology

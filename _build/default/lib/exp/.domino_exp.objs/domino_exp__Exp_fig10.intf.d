@@ -1,0 +1,1 @@
+lib/exp/exp_fig10.mli: Domino_stats

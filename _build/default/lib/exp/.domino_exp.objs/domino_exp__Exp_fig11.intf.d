@@ -1,0 +1,1 @@
+lib/exp/exp_fig11.mli: Domino_stats

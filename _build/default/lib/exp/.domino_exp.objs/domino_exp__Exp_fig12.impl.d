@@ -1,0 +1,1 @@
+lib/exp/exp_fig12.ml: Array Domino_core Domino_kv Domino_net Domino_proto Domino_sim Domino_smr Domino_stats Engine Fifo_net Jitter Link List Observer Printf Stdlib Summary Tablefmt Time_ns

@@ -1,0 +1,1 @@
+lib/exp/exp_fig12.mli: Domino_sim Domino_stats Time_ns

@@ -1,0 +1,1 @@
+lib/exp/exp_fig13.ml: Array Domino_core Domino_kv Domino_net Domino_proto Domino_sim Domino_smr Domino_stats Engine Fifo_net Float Link List Msg_class Observer Op Printf Tablefmt Time_ns

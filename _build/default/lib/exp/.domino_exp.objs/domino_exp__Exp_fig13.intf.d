@@ -1,0 +1,1 @@
+lib/exp/exp_fig13.mli: Domino_stats

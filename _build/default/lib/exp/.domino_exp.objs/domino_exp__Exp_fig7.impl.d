@@ -1,0 +1,1 @@
+lib/exp/exp_fig7.ml: Domino_sim Domino_smr Domino_stats Exp_common List Observer Printf Summary Tablefmt Time_ns

@@ -1,0 +1,1 @@
+lib/exp/exp_fig7.mli: Domino_stats

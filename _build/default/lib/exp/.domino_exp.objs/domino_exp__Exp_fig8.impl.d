@@ -1,0 +1,1 @@
+lib/exp/exp_fig8.ml: Domino_core Domino_sim Domino_stats Exp_common List Printf Summary Tablefmt Time_ns

@@ -1,0 +1,1 @@
+lib/exp/exp_fig8.mli: Domino_stats

@@ -1,0 +1,1 @@
+lib/exp/exp_fig9.ml: Domino_sim Domino_stats Exp_common List Printf Summary Tablefmt Time_ns

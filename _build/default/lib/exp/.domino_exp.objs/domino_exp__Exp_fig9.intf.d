@@ -1,0 +1,1 @@
+lib/exp/exp_fig9.mli: Domino_stats

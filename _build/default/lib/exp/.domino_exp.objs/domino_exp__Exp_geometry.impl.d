@@ -1,0 +1,1 @@
+lib/exp/exp_geometry.ml: Domino_net Domino_smr Domino_stats Float List Printf Topology

@@ -1,0 +1,1 @@
+lib/exp/exp_traces.ml: Domino_net Domino_sim Domino_stats Domino_trace Hashtbl Int64 List Printf String Summary Tablefmt Time_ns Topology Trace_analysis Trace_gen

@@ -1,0 +1,16 @@
+(** Ablation study of Domino's design knobs (DESIGN.md calls these out;
+    none of them is a paper figure, but each isolates one mechanism):
+
+    - {b additional delay} (0 vs 8 ms): how much of Domino's tail
+      behaviour comes from absorbing arrival-time mispredictions;
+    - {b adaptive feedback} (§5.4 future work): a per-client controller
+      instead of a hand-tuned constant;
+    - {b every-replica-learns} (§5.7): executing DFP commits without
+      waiting for the coordinator's notification;
+    - {b estimate percentile} (p50 vs p95): how much the conservative
+      percentile matters for the fast path.
+
+    All variants run on the Globe deployment with identical seeds and
+    workload. *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Domino_stats.Tablefmt.t

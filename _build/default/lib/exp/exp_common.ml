@@ -1,0 +1,283 @@
+open Domino_sim
+open Domino_net
+open Domino_smr
+open Domino_kv
+
+type setting = {
+  topo : Topology.t;
+  replica_dcs : string array;
+  client_dcs : string array;
+  leader : int;
+}
+
+let na3 =
+  {
+    topo = Topology.na;
+    replica_dcs = [| "WA"; "VA"; "QC" |];
+    client_dcs =
+      [| "VA"; "TX"; "CA"; "IA"; "WA"; "WY"; "IL"; "QC"; "TRT" |];
+    leader = 0;
+  }
+
+let na5 =
+  {
+    topo = Topology.na;
+    replica_dcs = [| "WA"; "VA"; "QC"; "CA"; "TX" |];
+    client_dcs =
+      [| "VA"; "TX"; "CA"; "IA"; "WA"; "WY"; "IL"; "QC"; "TRT" |];
+    leader = 0;
+  }
+
+let globe3 =
+  {
+    topo = Topology.globe;
+    replica_dcs = [| "WA"; "PR"; "NSW" |];
+    client_dcs = [| "VA"; "WA"; "PR"; "NSW"; "SG"; "HK" |];
+    leader = 0;
+  }
+
+let fig7_single =
+  {
+    topo = Topology.na;
+    replica_dcs = [| "WA"; "VA"; "QC" |];
+    client_dcs = [| "IA" |];
+    leader = 0;
+  }
+
+let fig7_double =
+  {
+    topo = Topology.na;
+    replica_dcs = [| "WA"; "VA"; "QC" |];
+    client_dcs = [| "IA"; "WA" |];
+    leader = 0;
+  }
+
+type protocol =
+  | Domino of {
+      additional_delay : Time_ns.span;
+      percentile : float;
+      every_replica_learns : bool;
+      adaptive : bool;
+    }
+  | Mencius
+  | Epaxos
+  | Multi_paxos
+  | Fast_paxos
+
+let domino_default =
+  Domino
+    {
+      additional_delay = 0;
+      percentile = 95.;
+      every_replica_learns = false;
+      adaptive = false;
+    }
+
+let domino_exec =
+  Domino
+    {
+      additional_delay = Time_ns.ms 8;
+      percentile = 95.;
+      every_replica_learns = false;
+      adaptive = false;
+    }
+
+let domino_adaptive =
+  Domino
+    {
+      additional_delay = 0;
+      percentile = 95.;
+      every_replica_learns = false;
+      adaptive = true;
+    }
+
+let protocol_name = function
+  | Domino _ -> "Domino"
+  | Mencius -> "Mencius"
+  | Epaxos -> "EPaxos"
+  | Multi_paxos -> "Multi-Paxos"
+  | Fast_paxos -> "Fast Paxos"
+
+type result = {
+  recorder : Observer.Recorder.t;
+  domino_stats : Domino_core.Domino.stats option;
+  fast_commits : int;
+  slow_commits : int;
+  store_fingerprints : int list;
+  wall_events : int;
+}
+
+let closest_replica setting ~client_dc =
+  let ci = Topology.index setting.topo client_dc in
+  let best = ref (0, infinity) in
+  Array.iteri
+    (fun idx dc ->
+      let ri = Topology.index setting.topo dc in
+      let rtt = Topology.rtt_ms setting.topo ci ri in
+      if rtt < snd !best then best := (idx, rtt))
+    setting.replica_dcs;
+  fst !best
+
+(* Node layout: replicas first, then clients. *)
+let layout setting =
+  let n_rep = Array.length setting.replica_dcs in
+  let n_cli = Array.length setting.client_dcs in
+  let placement = Array.append setting.replica_dcs setting.client_dcs in
+  let replicas = Array.init n_rep Fun.id in
+  let clients = List.init n_cli (fun i -> n_rep + i) in
+  (placement, replicas, clients)
+
+let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
+    ?(duration = Time_ns.sec 30) ?measure_from ?measure_until setting proto =
+  let measure_from =
+    match measure_from with
+    | Some v -> v
+    | None -> Stdlib.min (Time_ns.sec 5) (duration / 4)
+  in
+  let measure_until =
+    match measure_until with
+    | Some v -> v
+    | None -> duration - Stdlib.min (Time_ns.sec 2) (duration / 8)
+  in
+  let engine = Engine.create ~seed () in
+  let placement, replicas, clients = layout setting in
+  let recorder = Observer.Recorder.create () in
+  Observer.Recorder.start_measuring recorder measure_from;
+  Observer.Recorder.stop_measuring recorder measure_until;
+  let n_rep = Array.length replicas in
+  let stores = Array.init n_rep (fun _ -> Store.create ()) in
+  let store_observer =
+    {
+      Observer.on_commit = (fun _ ~now:_ -> ());
+      on_execute =
+        (fun ~replica op ~now:_ ->
+          if replica < n_rep then Store.apply stores.(replica) op);
+    }
+  in
+  let exec_replica_for (op : Op.t) =
+    let client_dc = placement.(op.Op.client) in
+    Some (closest_replica setting ~client_dc)
+  in
+  let observer =
+    Observer.both
+      (Observer.Recorder.observer recorder ~exec_replica_for ())
+      store_observer
+  in
+  let coordinator_of client =
+    closest_replica setting ~client_dc:placement.(client)
+  in
+  let drain = Time_ns.sec 3 in
+  let run_workload submit =
+    let note_submit op ~now = Observer.Recorder.note_submit recorder op ~now in
+    let _workload =
+      Workload.create ~alpha ~rate ~clients ~duration ~submit ~note_submit
+        engine
+    in
+    Engine.run ~until:(duration + drain) engine
+  in
+  match proto with
+  | Domino { additional_delay; percentile; every_replica_learns; adaptive } ->
+    let net = Topology.make_net engine setting.topo ~placement () in
+    let cfg =
+      Domino_core.Config.make ~additional_delay ~percentile
+        ~every_replica_learns ~adaptive ~coordinator:replicas.(setting.leader)
+        ~replicas ()
+    in
+    let d = Domino_core.Domino.create ~net ~cfg ~observer () in
+    run_workload (Domino_core.Domino.submit d);
+    let events = Fifo_net.messages_delivered net in
+    let stats = Domino_core.Domino.stats d in
+    {
+      recorder;
+      domino_stats = Some stats;
+      fast_commits = stats.Domino_core.Domino.dfp_fast_decisions;
+      slow_commits = stats.Domino_core.Domino.dfp_slow_decisions;
+      store_fingerprints =
+        Array.to_list (Array.map Store.fingerprint stores);
+      wall_events = events;
+    }
+  | Mencius ->
+    let net = Topology.make_net engine setting.topo ~placement () in
+    let p =
+      Domino_proto.Mencius.create ~net ~replicas
+        ~coordinator_of:(fun c -> replicas.(coordinator_of c))
+        ~observer ()
+    in
+    run_workload (Domino_proto.Mencius.submit p);
+    let events = Fifo_net.messages_delivered net in
+    {
+      recorder;
+      domino_stats = None;
+      fast_commits = 0;
+      slow_commits = 0;
+      store_fingerprints =
+        Array.to_list (Array.map Store.fingerprint stores);
+      wall_events = events;
+    }
+  | Epaxos ->
+    let net = Topology.make_net engine setting.topo ~placement () in
+    let p =
+      Domino_proto.Epaxos.create ~net ~replicas
+        ~coordinator_of:(fun c -> replicas.(coordinator_of c))
+        ~observer ()
+    in
+    run_workload (Domino_proto.Epaxos.submit p);
+    let events = Fifo_net.messages_delivered net in
+    {
+      recorder;
+      domino_stats = None;
+      fast_commits = Domino_proto.Epaxos.fast_commits p;
+      slow_commits = Domino_proto.Epaxos.slow_commits p;
+      store_fingerprints =
+        Array.to_list (Array.map Store.fingerprint stores);
+      wall_events = events;
+    }
+  | Multi_paxos ->
+    let net = Topology.make_net engine setting.topo ~placement () in
+    let p =
+      Domino_proto.Multipaxos.create ~net ~replicas
+        ~leader:replicas.(setting.leader) ~observer ()
+    in
+    run_workload (Domino_proto.Multipaxos.submit p);
+    let events = Fifo_net.messages_delivered net in
+    {
+      recorder;
+      domino_stats = None;
+      fast_commits = 0;
+      slow_commits = 0;
+      store_fingerprints =
+        Array.to_list (Array.map Store.fingerprint stores);
+      wall_events = events;
+    }
+  | Fast_paxos ->
+    let net = Topology.make_net engine setting.topo ~placement () in
+    let p =
+      Domino_proto.Fastpaxos.create ~net ~replicas
+        ~coordinator:replicas.(setting.leader) ~observer ()
+    in
+    run_workload (Domino_proto.Fastpaxos.submit p);
+    let events = Fifo_net.messages_delivered net in
+    {
+      recorder;
+      domino_stats = None;
+      fast_commits = Domino_proto.Fastpaxos.fast_commits p;
+      slow_commits = Domino_proto.Fastpaxos.slow_commits p;
+      store_fingerprints =
+        Array.to_list (Array.map Store.fingerprint stores);
+      wall_events = events;
+    }
+
+let run_many ?(runs = 3) ?(seed = 42L) ?rate ?alpha ?duration setting proto =
+  let commit = ref (Domino_stats.Summary.create ()) in
+  let exec = ref (Domino_stats.Summary.create ()) in
+  for i = 0 to runs - 1 do
+    let seed = Int64.add seed (Int64.of_int (i * 1_000_003)) in
+    let result = run ~seed ?rate ?alpha ?duration setting proto in
+    commit :=
+      Domino_stats.Summary.merge !commit
+        (Observer.Recorder.commit_latency_ms result.recorder);
+    exec :=
+      Domino_stats.Summary.merge !exec
+        (Observer.Recorder.exec_latency_ms result.recorder)
+  done;
+  (!commit, !exec)

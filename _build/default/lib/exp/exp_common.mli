@@ -1,0 +1,104 @@
+open Domino_sim
+open Domino_net
+open Domino_smr
+
+(** Shared machinery for reproducing the paper's experiments (§7.1).
+
+    A {!setting} is a cluster layout: the topology, which datacenters
+    host replicas, which host clients, and where the Multi-Paxos
+    leader / Fast Paxos & DFP coordinator live. {!run} executes one
+    simulated experiment of a given protocol over a setting and
+    returns the recorder with its latency samples; {!run_many} repeats
+    it with different seeds and merges results, the paper's
+    10-runs-combined methodology. *)
+
+type setting = {
+  topo : Topology.t;
+  replica_dcs : string array;
+  client_dcs : string array;
+  leader : int;  (** replica index hosting Multi-Paxos leader and the
+                     Fast Paxos / DFP coordinator *)
+}
+
+val na3 : setting
+(** Figure 8a: NA, replicas WA/VA/QC (leader+coordinator WA), one
+    client in each of the 9 NA datacenters. *)
+
+val na5 : setting
+(** Figure 8b: NA, replicas WA/VA/QC/CA/TX. *)
+
+val globe3 : setting
+(** Figure 8c (and 9-11): Globe, replicas WA/PR/NSW, one client per
+    datacenter. *)
+
+val fig7_single : setting
+(** Figure 7: replicas WA/VA/QC, one client in IA. *)
+
+val fig7_double : setting
+(** Figure 7: same replicas, clients in IA and WA. *)
+
+type protocol =
+  | Domino of {
+      additional_delay : Time_ns.span;
+      percentile : float;
+      every_replica_learns : bool;
+      adaptive : bool;  (** §5.4 feedback controller *)
+    }
+  | Mencius
+  | Epaxos
+  | Multi_paxos
+  | Fast_paxos
+
+val domino_default : protocol
+(** Domino with no additional delay, p95 estimates. *)
+
+val domino_exec : protocol
+(** Domino with the paper's +8 ms execution-latency setting (§7.2.3). *)
+
+val domino_adaptive : protocol
+(** Domino with the §5.4 feedback controller instead of a static
+    additional delay. *)
+
+val protocol_name : protocol -> string
+
+type result = {
+  recorder : Observer.Recorder.t;
+  domino_stats : Domino_core.Domino.stats option;
+  fast_commits : int;  (** protocol-reported fast-path commits, if any *)
+  slow_commits : int;
+  store_fingerprints : int list;
+      (** per-replica state-machine digests after the run; all equal
+          iff replicas executed identically *)
+  wall_events : int;  (** messages delivered, for cost reporting *)
+}
+
+val run :
+  ?seed:int64 ->
+  ?rate:float ->
+  ?alpha:float ->
+  ?duration:Time_ns.span ->
+  ?measure_from:Time_ns.span ->
+  ?measure_until:Time_ns.span ->
+  setting ->
+  protocol ->
+  result
+(** Defaults: 200 req/s per client, alpha 0.75, 30 s runs measured over
+    \[5 s, 28 s\] — a scaled-down version of the paper's 90 s runs
+    measured over the middle 60 s. *)
+
+val run_many :
+  ?runs:int ->
+  ?seed:int64 ->
+  ?rate:float ->
+  ?alpha:float ->
+  ?duration:Time_ns.span ->
+  setting ->
+  protocol ->
+  Domino_stats.Summary.t * Domino_stats.Summary.t
+(** [(commit_latency_ms, exec_latency_ms)] merged over [runs] (default
+    3) independent seeds. *)
+
+val closest_replica : setting -> client_dc:string -> int
+(** Index of the replica with the lowest RTT to the client's
+    datacenter (static, as the paper pre-configures for Mencius and
+    EPaxos). *)

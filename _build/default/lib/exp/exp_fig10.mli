@@ -1,0 +1,13 @@
+(** Figure 10: execution latency under low and high contention (Globe,
+    Domino with +8 ms additional delay).
+
+    Paper's findings:
+    - α = 0.75 (a): EPaxos lowest around the median (out-of-order
+      execution of non-interfering ops); roughly a third of Domino's
+      requests execute later than the others (in-order log with
+      coordinator-notified DFP commits); Domino lowest at p95 thanks to
+      its fast-path rate; Mencius highest at p95.
+    - α = 0.95 (b): EPaxos degrades sharply (conflict chains); Domino
+      and Multi-Paxos unaffected (log order); Mencius mildly affected. *)
+
+val run : ?quick:bool -> ?seed:int64 -> alpha:float -> unit -> Domino_stats.Tablefmt.t

@@ -1,0 +1,9 @@
+(** Figure 11: Domino execution latency vs the additional delay added
+    to DFP request timestamps (Globe).
+
+    Paper's finding: no additional delay leaves slow-path positions
+    stalling the in-order log, so execution latency is {e higher} than
+    with a small delay; ~8 ms minimises it; beyond that the delay
+    itself dominates (+8 → +36 ms raises the median by ~23 ms). *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Domino_stats.Tablefmt.t

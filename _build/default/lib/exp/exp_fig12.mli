@@ -1,0 +1,25 @@
+open Domino_sim
+
+(** Figure 12: microbenchmark — Domino adapts to network delay changes
+    (emulated delays, 3 replicas + 1 client; Mencius's client is
+    pre-assigned to replica R = replica 0).
+
+    (a) client↔replica changes: all RTTs start at 30 ms; at 1/3 of the
+    run client↔R rises to 50 ms, at 2/3 to 70 ms. Domino stays on DFP
+    (30 → 50 ms), then switches to DM through another replica (60 ms);
+    Mencius is stuck with R (30 → 80 → 100 ms).
+
+    (b) replica↔replica changes: client↔R 30 ms, client↔others 70 ms,
+    inter-replica 30 ms; at 1/3, R's links to both peers rise to 60 ms
+    (Mencius 60 → 90 ms; Domino switches away from DM-through-R); at
+    2/3 the remaining peer link rises too and Domino settles on DFP
+    (70 ms), still below Mencius (90 ms). *)
+
+type phase = { from_sec : float; domino_ms : float; mencius_ms : float }
+
+val run_a : ?seed:int64 -> ?duration:Time_ns.span -> unit -> phase list
+(** Median commit latency per phase (thirds of the run). *)
+
+val run_b : ?seed:int64 -> ?duration:Time_ns.span -> unit -> phase list
+
+val table : ?seed:int64 -> unit -> Domino_stats.Tablefmt.t list

@@ -1,0 +1,15 @@
+(** Figure 7: Fast Paxos vs Multi-Paxos with one and two clients.
+
+    Replicas in WA/VA/QC (coordinator and leader in WA); one client in
+    IA, then clients in IA and WA. The paper's findings:
+    - one client: Fast Paxos commits ~65 ms below Multi-Paxos at the
+      median (its fast path always succeeds);
+    - two clients: interleaved arrival orders force Fast Paxos onto its
+      slow path, pushing it {e above} Multi-Paxos; Multi-Paxos' WA
+      client sees ~65 ms and its IA client ~100 ms. *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Domino_stats.Tablefmt.t
+
+val fast_paxos_slow_fraction : ?seed:int64 -> clients:int -> unit -> float
+(** Fraction of Fast Paxos commits that needed the slow path (for
+    tests: ~0 with one client, ~1 with two). *)

@@ -1,0 +1,19 @@
+(** Figure 8: commit latency of Domino vs Mencius, EPaxos, Multi-Paxos.
+
+    Three deployments, one client per datacenter at 200 req/s:
+    - (a) NA, 3 replicas (WA/VA/QC) — paper medians/p95s:
+      Domino 48/70, EPaxos 64/87, Mencius 75/94, Multi-Paxos 107/134;
+    - (b) NA, 5 replicas (+CA, TX) — same ordering;
+    - (c) Globe, 3 replicas (WA/PR/NSW) — Domino ~86 ms below EPaxos at
+      the 95th percentile; below the median Domino tracks EPaxos since
+      the co-located half of the clients choose DM. *)
+
+type variant = Na3 | Na5 | Globe
+
+val run :
+  ?quick:bool -> ?seed:int64 -> variant -> unit -> Domino_stats.Tablefmt.t
+
+val domino_client_mix :
+  ?quick:bool -> ?seed:int64 -> variant -> unit -> int * int
+(** (requests sent via DFP, via DM) — the paper reports 5 of 9 NA
+    clients choosing DFP with 3 replicas, and 3 of 6 Globe clients. *)

@@ -1,0 +1,56 @@
+open Domino_sim
+open Domino_stats
+
+let percentiles quick = if quick then [ 50.; 90.; 95.; 99. ] else [ 50.; 75.; 90.; 95.; 99. ]
+
+let delays_ms quick = if quick then [ 0; 2; 8; 16 ] else [ 0; 1; 2; 4; 8; 12; 16 ]
+
+let duration quick = if quick then Time_ns.sec 12 else Time_ns.sec 30
+
+let p99 ?seed ?duration proto =
+  let commit, _ =
+    Exp_common.run_many ~runs:1 ?seed ?duration Exp_common.globe3 proto
+  in
+  Summary.percentile commit 99.
+
+let run ?(quick = true) ?(seed = 42L) () =
+  let d = duration quick in
+  let t =
+    Tablefmt.create
+      ~title:
+        "Figure 9: Domino p99 commit latency (ms) vs percentile x \
+         additional delay, Globe (paper: decreasing in both; baselines \
+         shown for reference)"
+      ~header:
+        ("percentile"
+        :: List.map (fun ms -> Printf.sprintf "+%dms" ms) (delays_ms quick))
+  in
+  List.iter
+    (fun pct ->
+      let row =
+        List.map
+          (fun delay_ms ->
+            let proto =
+              Exp_common.Domino
+                {
+                  additional_delay = Time_ns.ms delay_ms;
+                  percentile = pct;
+                  every_replica_learns = false;
+                  adaptive = false;
+                }
+            in
+            Tablefmt.cell_ms (p99 ~seed ~duration:d proto))
+          (delays_ms quick)
+      in
+      Tablefmt.add_row t (Printf.sprintf "p%.0f" pct :: row))
+    (percentiles quick);
+  List.iter
+    (fun proto ->
+      let v = p99 ~seed ~duration:d proto in
+      Tablefmt.add_row t
+        [
+          Exp_common.protocol_name proto ^ " (reference)";
+          Tablefmt.cell_ms v;
+        ])
+    [ Exp_common.Mencius; Exp_common.Epaxos; Exp_common.Multi_paxos ];
+  t

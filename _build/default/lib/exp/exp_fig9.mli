@@ -1,0 +1,10 @@
+(** Figure 9: Domino's p99 commit latency vs the measurement percentile
+    and the additional delay added to DFP request timestamps (Globe
+    deployment).
+
+    The paper's findings: with no additional delay, higher percentiles
+    give lower p99 (fewer slow paths); a few ms of additional delay
+    collapses the p99 toward the fast-path latency; reference lines
+    show Mencius / EPaxos / Multi-Paxos p99. *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Domino_stats.Tablefmt.t

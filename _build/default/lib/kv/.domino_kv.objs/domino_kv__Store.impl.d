@@ -1,0 +1,1 @@
+lib/kv/store.ml: Domino_smr Hashtbl List Op

@@ -1,0 +1,1 @@
+lib/kv/workload.ml: Domino_sim Domino_smr Engine List Op Rng Stdlib Time_ns

@@ -1,0 +1,1 @@
+lib/kv/workload.mli: Domino_net Domino_sim Domino_smr Engine Nodeid Op Rng Time_ns

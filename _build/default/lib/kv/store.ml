@@ -1,0 +1,24 @@
+open Domino_smr
+
+type t = { table : (int, int64) Hashtbl.t; mutable version : int }
+
+let create () = { table = Hashtbl.create 4096; version = 0 }
+
+let apply t (op : Op.t) =
+  Hashtbl.replace t.table op.Op.key op.Op.value;
+  t.version <- t.version + 1
+
+let get t key = Hashtbl.find_opt t.table key
+
+let size t = Hashtbl.length t.table
+
+let version t = t.version
+
+let fingerprint t =
+  (* Content digest over sorted bindings: order-insensitive, so two
+     replicas converge iff every key holds the same final value —
+     protocols that execute commuting operations out of order (EPaxos)
+     still fingerprint equal. *)
+  let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [] in
+  let sorted = List.sort compare bindings in
+  Hashtbl.hash (t.version, sorted)

@@ -1,0 +1,28 @@
+open Domino_smr
+
+(** The replicated key-value state machine (§7.1 workload).
+
+    Write-only from the replication protocol's point of view, exactly
+    like the paper's evaluation: applying an operation stores its value
+    under its key. [version] counts applied operations so tests can
+    assert replica state machines converge. *)
+
+type t
+
+val create : unit -> t
+
+val apply : t -> Op.t -> unit
+
+val get : t -> int -> int64 option
+
+val size : t -> int
+(** Number of distinct keys present. *)
+
+val version : t -> int
+(** Number of operations applied. *)
+
+val fingerprint : t -> int
+(** Digest of (applied-op count, sorted key/value contents). Replicas
+    that applied the same multiset of operations with the same same-key
+    order have equal fingerprints; commuting reorderings (different
+    keys) do not affect it. *)

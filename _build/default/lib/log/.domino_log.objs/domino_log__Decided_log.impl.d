@@ -1,0 +1,1 @@
+lib/log/decided_log.ml: Domino_sim Int Interval_set Map Stdlib Time_ns

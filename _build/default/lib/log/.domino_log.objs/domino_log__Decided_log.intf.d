@@ -1,0 +1,1 @@
+lib/log/decided_log.mli: Domino_sim Time_ns

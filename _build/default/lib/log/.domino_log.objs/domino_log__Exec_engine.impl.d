@@ -1,0 +1,1 @@
+lib/log/exec_engine.ml: Array Domino_sim Int Interval_set Map Position Stdlib Time_ns

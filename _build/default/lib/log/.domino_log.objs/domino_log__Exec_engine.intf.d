@@ -1,0 +1,1 @@
+lib/log/exec_engine.mli: Domino_sim Position Time_ns

@@ -1,0 +1,1 @@
+lib/log/interval_set.ml: Format Int List Map Stdlib

@@ -1,0 +1,1 @@
+lib/log/interval_set.mli: Format

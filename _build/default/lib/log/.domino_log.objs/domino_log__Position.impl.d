@@ -1,0 +1,1 @@
+lib/log/position.ml: Domino_sim Format Int Map Set Time_ns

@@ -1,0 +1,1 @@
+lib/log/position.mli: Domino_sim Format Map Set Time_ns

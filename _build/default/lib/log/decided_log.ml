@@ -1,0 +1,49 @@
+open Domino_sim
+
+module Tsmap = Map.Make (Int)
+
+type 'op entry = Noop | Op of 'op
+
+type 'op t = {
+  mutable ops : 'op Tsmap.t;
+  mutable noops : Interval_set.t;
+  mutable trim_frontier : Time_ns.t;
+}
+
+let create () =
+  { ops = Tsmap.empty; noops = Interval_set.empty; trim_frontier = min_int }
+
+let record_op t ts op =
+  if ts > t.trim_frontier && not (Tsmap.mem ts t.ops) then
+    t.ops <- Tsmap.add ts op t.ops
+
+let record_noop_range t ~lo ~hi =
+  let lo = Stdlib.max lo (t.trim_frontier + 1) in
+  if lo <= hi then t.noops <- Interval_set.add_range ~lo ~hi t.noops
+
+let find t ts =
+  match Tsmap.find_opt ts t.ops with
+  | Some op -> Some (Op op)
+  | None -> if Interval_set.mem ts t.noops then Some Noop else None
+
+let trim t ~upto =
+  if upto > t.trim_frontier then begin
+    t.trim_frontier <- upto;
+    let _, _, above = Tsmap.split upto t.ops in
+    t.ops <- above;
+    (* Rebuild the noop set above the frontier; ranges are few. *)
+    t.noops <-
+      Interval_set.fold_ranges
+        (fun ~lo ~hi acc ->
+          if hi <= upto then acc
+          else Interval_set.add_range ~lo:(Stdlib.max lo (upto + 1)) ~hi acc)
+        t.noops Interval_set.empty
+  end
+
+let op_count t = Tsmap.cardinal t.ops
+
+let noop_positions t = Interval_set.cardinal t.noops
+
+let noop_ranges t = Interval_set.range_count t.noops
+
+let trimmed_below t = t.trim_frontier

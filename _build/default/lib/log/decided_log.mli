@@ -1,0 +1,39 @@
+(** Compressed storage for one lane of the decided log (§6).
+
+    The paper's prototype compresses continuous no-op entries into one
+    node and trims the committed prefix to bound memory. This module is
+    that storage layer for a single lane: explicit operations live in a
+    map, no-op runs live in an {!Interval_set} keyed by timestamp, and
+    [trim] drops everything at or below an execution frontier. Replicas
+    keep one per lane; tests assert the compression invariants and the
+    benches measure the storage win. *)
+
+open Domino_sim
+
+type 'op entry = Noop | Op of 'op
+
+type 'op t
+
+val create : unit -> 'op t
+
+val record_op : 'op t -> Time_ns.t -> 'op -> unit
+(** Record a decided operation at a timestamp. Re-recording the same
+    position keeps the first value. *)
+
+val record_noop_range : 'op t -> lo:Time_ns.t -> hi:Time_ns.t -> unit
+
+val find : 'op t -> Time_ns.t -> 'op entry option
+
+val trim : 'op t -> upto:Time_ns.t -> unit
+(** Forget all entries with timestamp <= [upto] (already executed). *)
+
+val op_count : 'op t -> int
+
+val noop_positions : 'op t -> int
+(** Number of no-op log positions currently represented. *)
+
+val noop_ranges : 'op t -> int
+(** Number of compressed no-op nodes actually stored. *)
+
+val trimmed_below : 'op t -> Time_ns.t
+(** The current trim frontier (min representable timestamp). *)

@@ -1,0 +1,55 @@
+(** In-order execution of Domino's interleaved log (§5.7).
+
+    Domino executes a committed request only once every earlier log
+    position is decided and executed. Positions form lanes (n DM lanes
+    + the DFP lane, see {!Position}); each lane feeds this engine two
+    kinds of progress:
+
+    - {b explicit decisions}: a committed operation (or an explicit
+      no-op from recovery) at one position;
+    - {b a watermark}: a monotonically increasing timestamp [W] meaning
+      "every position of this lane with timestamp <= W that has no
+      explicit decision is a no-op" — the compressed no-op fill of
+      §5.3.2/§5.5 (replicas piggyback their clock T; the coordinator
+      and DM leaders turn it into decided-noop coverage).
+
+    The engine executes explicit operations in global position order as
+    soon as all lanes' coverage reaches them, invoking [on_exec].
+    No-ops execute implicitly (they do not touch the state machine).
+
+    Duplicate decisions (e.g. a replica that learned a commit both
+    directly and from the coordinator) are detected and dropped. A
+    decision arriving for a position already passed as a no-op would be
+    a protocol-safety bug; it is dropped but counted in
+    [late_decisions] so tests can assert it never happens. *)
+
+open Domino_sim
+
+type 'op t
+
+val create : n_lanes:int -> on_exec:(Position.t -> 'op -> unit) -> 'op t
+
+val decide_op : 'op t -> Position.t -> 'op -> unit
+(** Record a committed operation. [Position.lane] must be < [n_lanes]. *)
+
+val decide_noop : 'op t -> Position.t -> unit
+(** Record an explicit no-op decision (slow-path recovery outcome). *)
+
+val set_watermark : 'op t -> lane:int -> Time_ns.t -> unit
+(** Raise a lane's no-op watermark (monotone: lower values ignored). *)
+
+val watermark : 'op t -> lane:int -> Time_ns.t
+
+val frontier : 'op t -> Position.t option
+(** The last globally executed-or-covered position, if any explicit
+    operation has executed. *)
+
+val executed_ops : 'op t -> int
+(** Number of explicit operations executed so far. *)
+
+val pending_ops : 'op t -> int
+(** Explicit decisions waiting for coverage. *)
+
+val late_decisions : 'op t -> int
+(** Decisions that arrived for positions already passed — must stay 0
+    in a correct protocol run. *)

@@ -1,0 +1,74 @@
+(* Ranges stored as a map from range start -> inclusive range end.
+   Invariant: ranges are disjoint and non-adjacent (gap >= 1 between
+   consecutive ranges), so every range is maximal. *)
+
+module M = Map.Make (Int)
+
+type t = int M.t
+
+let empty = M.empty
+
+let is_empty = M.is_empty
+
+(* The range containing or immediately preceding [x]. *)
+let pred_range t x = M.find_last_opt (fun lo -> lo <= x) t
+
+let mem x t =
+  match pred_range t x with None -> false | Some (_, hi) -> x <= hi
+
+let covered_from t x =
+  match pred_range t x with
+  | Some (_, hi) when x <= hi -> Some hi
+  | _ -> None
+
+let add_range ~lo ~hi t =
+  if lo > hi then t
+  else begin
+    (* Absorb every range overlapping or adjacent to [lo-1, hi+1]. The
+       predecessor lookup uses [lo] itself so a range starting exactly
+       at [lo] is found too. *)
+    let lo', hi0, t =
+      match pred_range t lo with
+      | Some (plo, phi) when plo = lo || phi >= lo - 1 ->
+        (Stdlib.min plo lo, Stdlib.max hi phi, M.remove plo t)
+      | _ -> (lo, hi, t)
+    in
+    let rec absorb hi' t =
+      match M.find_first_opt (fun l -> l > lo') t with
+      | Some (nlo, nhi) when nlo <= (if hi' = max_int then hi' else hi' + 1) ->
+        absorb (Stdlib.max hi' nhi) (M.remove nlo t)
+      | _ -> (hi', t)
+    in
+    let hi', t = absorb hi0 t in
+    M.add lo' hi' t
+  end
+
+let add x t = add_range ~lo:x ~hi:x t
+
+let range_count = M.cardinal
+
+let cardinal t = M.fold (fun lo hi acc -> acc + (hi - lo) + 1) t 0
+
+let next_gap t x =
+  match pred_range t x with
+  | Some (_, hi) when x <= hi -> if hi = max_int then max_int else hi + 1
+  | _ -> x
+
+let union a b =
+  if M.cardinal a >= M.cardinal b then
+    M.fold (fun lo hi acc -> add_range ~lo ~hi acc) b a
+  else M.fold (fun lo hi acc -> add_range ~lo ~hi acc) a b
+
+let fold_ranges f t acc = M.fold (fun lo hi acc -> f ~lo ~hi acc) t acc
+
+let to_ranges t = List.rev (fold_ranges (fun ~lo ~hi acc -> (lo, hi) :: acc) t [])
+
+let pp fmt t =
+  let ranges = to_ranges t in
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       (fun fmt (lo, hi) ->
+         if lo = hi then Format.fprintf fmt "%d" lo
+         else Format.fprintf fmt "%d-%d" lo hi))
+    ranges

@@ -1,0 +1,1 @@
+lib/measure/estimator.ml: Array Domino_sim Format Fun List Probe Stdlib Time_ns Window

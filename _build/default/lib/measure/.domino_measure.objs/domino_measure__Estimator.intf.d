@@ -1,0 +1,1 @@
+lib/measure/estimator.mli: Domino_sim Format Probe Time_ns

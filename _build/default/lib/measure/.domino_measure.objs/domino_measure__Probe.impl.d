@@ -1,0 +1,1 @@
+lib/measure/probe.ml: Domino_sim Format Time_ns

@@ -1,0 +1,1 @@
+lib/measure/probe.mli: Domino_sim Format Time_ns

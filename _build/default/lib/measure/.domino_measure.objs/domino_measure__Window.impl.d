@@ -1,0 +1,1 @@
+lib/measure/window.ml: Array Domino_sim Float Int Time_ns

@@ -1,0 +1,1 @@
+lib/measure/window.mli: Domino_sim Time_ns

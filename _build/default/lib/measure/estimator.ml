@@ -1,0 +1,153 @@
+open Domino_sim
+
+type peer = {
+  rtt_window : Window.t;
+  offset_window : Window.t;
+  mutable last_reply : Time_ns.t option;  (** local time of last reply *)
+  mutable peer_replication_latency : Time_ns.span option;  (** piggybacked L_r *)
+}
+
+type t = {
+  peers : peer array;
+  mutable percentile : float;
+  probe_timeout : Time_ns.span;
+  self : int option;
+}
+
+type choice = Dfp | Dm of int
+
+let create ?(window = Time_ns.sec 1) ?(percentile = 95.)
+    ?(probe_timeout = Time_ns.sec 1) ?self ~n_replicas () =
+  if n_replicas <= 0 then invalid_arg "Estimator.create: n_replicas";
+  let mk _ =
+    {
+      rtt_window = Window.create ~window;
+      offset_window = Window.create ~window;
+      last_reply = None;
+      peer_replication_latency = None;
+    }
+  in
+  { peers = Array.init n_replicas mk; percentile; probe_timeout; self }
+
+let n_replicas t = Array.length t.peers
+
+let percentile_used t = t.percentile
+
+let set_percentile t p = t.percentile <- p
+
+let record_reply t ~replica ~now_local (reply : Probe.reply) =
+  let peer = t.peers.(replica) in
+  let rtt = Time_ns.diff now_local reply.sent_local in
+  let offset = Time_ns.diff reply.replica_local reply.sent_local in
+  Window.add peer.rtt_window ~now:now_local (Stdlib.max 0 rtt);
+  Window.add peer.offset_window ~now:now_local offset;
+  peer.last_reply <- Some now_local;
+  if reply.replication_latency <> max_int then
+    peer.peer_replication_latency <- Some reply.replication_latency
+
+let is_self t replica =
+  match t.self with Some s -> s = replica | None -> false
+
+let fresh t peer ~now_local =
+  match peer.last_reply with
+  | None -> false
+  | Some at -> Time_ns.diff now_local at <= t.probe_timeout
+
+let rtt t ~replica ~now_local =
+  if is_self t replica then Some 0
+  else begin
+    let peer = t.peers.(replica) in
+    if not (fresh t peer ~now_local) then None
+    else Window.percentile peer.rtt_window ~now:now_local t.percentile
+  end
+
+let arrival_offset t ~replica ~now_local =
+  if is_self t replica then Some 0
+  else begin
+    let peer = t.peers.(replica) in
+    if not (fresh t peer ~now_local) then None
+    else Window.percentile peer.offset_window ~now:now_local t.percentile
+  end
+
+let predict_arrival t ~replica ~now_local =
+  match arrival_offset t ~replica ~now_local with
+  | None -> None
+  | Some off -> Some (Time_ns.add now_local off)
+
+let request_timestamp t ~now_local ~q ~extra =
+  let n = n_replicas t in
+  let arrivals =
+    List.filter_map
+      (fun replica -> predict_arrival t ~replica ~now_local)
+      (List.init n Fun.id)
+  in
+  if List.length arrivals < q then None
+  else begin
+    let sorted = List.sort compare arrivals in
+    let qth = List.nth sorted (q - 1) in
+    Some (Time_ns.add qth extra)
+  end
+
+let sorted_rtts t ~now_local =
+  let n = n_replicas t in
+  let rtts =
+    List.filter_map (fun replica -> rtt t ~replica ~now_local) (List.init n Fun.id)
+  in
+  List.sort compare rtts
+
+let replication_latency t ~m ~now_local =
+  let rtts = sorted_rtts t ~now_local in
+  if List.length rtts < m then None else Some (List.nth rtts (m - 1))
+
+let lat_dfp t ~q ~now_local =
+  let rtts = sorted_rtts t ~now_local in
+  if List.length rtts < q then None else Some (List.nth rtts (q - 1))
+
+let lat_dm t ~now_local =
+  let n = n_replicas t in
+  let candidate replica =
+    match rtt t ~replica ~now_local with
+    | None -> None
+    | Some e_r -> begin
+      match t.peers.(replica).peer_replication_latency with
+      | None -> None
+      | Some l_r -> Some (e_r + l_r, replica)
+    end
+  in
+  List.filter_map candidate (List.init n Fun.id)
+  |> List.fold_left
+       (fun best c ->
+         match best with
+         | None -> Some c
+         | Some (b, _) -> if fst c < b then Some c else best)
+       None
+
+let closest_live t ~now_local =
+  let n = n_replicas t in
+  List.filter_map
+    (fun replica ->
+      match rtt t ~replica ~now_local with
+      | None -> None
+      | Some e -> Some (e, replica))
+    (List.init n Fun.id)
+  |> List.fold_left
+       (fun best c ->
+         match best with
+         | None -> Some c
+         | Some (b, _) -> if fst c < b then Some c else best)
+       None
+
+let choose t ~q ~now_local =
+  match (lat_dfp t ~q ~now_local, lat_dm t ~now_local) with
+  | Some dfp, Some (dm, leader) -> if dfp < dm then Dfp else Dm leader
+  | Some _, None -> Dfp
+  | None, Some (_, leader) -> Dm leader
+  | None, None -> begin
+    match closest_live t ~now_local with
+    | Some (_, leader) -> Dm leader
+    | None -> Dfp
+  end
+
+let pp_choice fmt = function
+  | Dfp -> Format.pp_print_string fmt "DFP"
+  | Dm r -> Format.fprintf fmt "DM(leader=n%d)" r

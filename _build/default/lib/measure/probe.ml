@@ -1,0 +1,25 @@
+open Domino_sim
+
+type request = { seq : int; sent_local : Time_ns.t }
+
+type reply = {
+  seq : int;
+  sent_local : Time_ns.t;
+  replica_local : Time_ns.t;
+  replication_latency : Time_ns.span;
+}
+
+let reply_of_request (req : request) ~replica_local ~replication_latency =
+  {
+    seq = req.seq;
+    sent_local = req.sent_local;
+    replica_local;
+    replication_latency;
+  }
+
+let pp_request fmt (r : request) =
+  Format.fprintf fmt "probe#%d@%a" r.seq Time_ns.pp r.sent_local
+
+let pp_reply fmt (r : reply) =
+  Format.fprintf fmt "reply#%d replica=%a L_r=%a" r.seq Time_ns.pp
+    r.replica_local Time_ns.pp r.replication_latency

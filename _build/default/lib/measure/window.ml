@@ -1,0 +1,93 @@
+open Domino_sim
+
+type t = {
+  window : Time_ns.span;
+  (* Circular buffer of (time, value), oldest at [head]. *)
+  mutable times : Time_ns.t array;
+  mutable values : Time_ns.span array;
+  mutable head : int;
+  mutable size : int;
+  mutable last_added : Time_ns.span option;
+}
+
+let initial_capacity = 64
+
+let create ~window =
+  if window <= 0 then invalid_arg "Window.create: window must be positive";
+  {
+    window;
+    times = Array.make initial_capacity 0;
+    values = Array.make initial_capacity 0;
+    head = 0;
+    size = 0;
+    last_added = None;
+  }
+
+let window_span t = t.window
+
+let capacity t = Array.length t.times
+
+let grow t =
+  let cap = capacity t in
+  let ncap = 2 * cap in
+  let ntimes = Array.make ncap 0 and nvalues = Array.make ncap 0 in
+  for i = 0 to t.size - 1 do
+    let src = (t.head + i) mod cap in
+    ntimes.(i) <- t.times.(src);
+    nvalues.(i) <- t.values.(src)
+  done;
+  t.times <- ntimes;
+  t.values <- nvalues;
+  t.head <- 0
+
+let expire t ~now =
+  let cutoff = now - t.window in
+  while t.size > 0 && t.times.(t.head) < cutoff do
+    t.head <- (t.head + 1) mod capacity t;
+    t.size <- t.size - 1
+  done
+
+let add t ~now value =
+  expire t ~now;
+  if t.size = capacity t then grow t;
+  let idx = (t.head + t.size) mod capacity t in
+  t.times.(idx) <- now;
+  t.values.(idx) <- value;
+  t.size <- t.size + 1;
+  t.last_added <- Some value
+
+let length t ~now =
+  expire t ~now;
+  t.size
+
+let percentile t ~now p =
+  expire t ~now;
+  if t.size = 0 then None
+  else begin
+    let live = Array.make t.size 0 in
+    let cap = capacity t in
+    for i = 0 to t.size - 1 do
+      live.(i) <- t.values.((t.head + i) mod cap)
+    done;
+    Array.sort Int.compare live;
+    let p = Float.max 0. (Float.min 100. p) in
+    let rank = p /. 100. *. float_of_int (t.size - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    let v =
+      if lo = hi then live.(lo)
+      else begin
+        let frac = rank -. float_of_int lo in
+        live.(lo)
+        + int_of_float (frac *. float_of_int (live.(hi) - live.(lo)))
+      end
+    in
+    Some v
+  end
+
+let last t = t.last_added
+
+let clear t =
+  t.head <- 0;
+  t.size <- 0;
+  t.last_added <- None

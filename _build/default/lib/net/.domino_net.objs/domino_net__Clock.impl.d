@@ -1,0 +1,1 @@
+lib/net/clock.ml: Domino_sim Rng Time_ns

@@ -1,0 +1,1 @@
+lib/net/fifo_net.ml: Array Clock Domino_sim Engine Link List Nodeid Printf Rng Time_ns

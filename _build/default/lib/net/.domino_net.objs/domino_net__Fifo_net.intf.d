@@ -1,0 +1,1 @@
+lib/net/fifo_net.mli: Clock Domino_sim Engine Link Nodeid Time_ns

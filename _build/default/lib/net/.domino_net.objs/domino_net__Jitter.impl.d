@@ -1,0 +1,1 @@
+lib/net/jitter.ml: Dist Domino_sim Float Rng Time_ns

@@ -1,0 +1,1 @@
+lib/net/jitter.mli: Dist Domino_sim Rng Time_ns

@@ -1,0 +1,1 @@
+lib/net/link.ml: Domino_sim Jitter Rng Stdlib Time_ns

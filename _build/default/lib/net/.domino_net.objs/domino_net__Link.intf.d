@@ -1,0 +1,1 @@
+lib/net/link.mli: Domino_sim Jitter Rng Time_ns

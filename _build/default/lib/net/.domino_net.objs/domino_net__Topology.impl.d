@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Domino_sim Engine Fifo_net Hashtbl Jitter Link List Stdlib String Time_ns

@@ -1,0 +1,1 @@
+lib/net/topology.mli: Domino_sim Engine Fifo_net Jitter

@@ -1,0 +1,25 @@
+open Domino_sim
+
+type t = { mutable offset : Time_ns.span; mutable drift_ppm : float }
+
+let perfect = { offset = 0; drift_ppm = 0. }
+
+let create ?(offset = 0) ?(drift_ppm = 0.) () = { offset; drift_ppm }
+
+let random rng ~max_offset ~max_drift_ppm =
+  let offset =
+    if max_offset = 0 then 0
+    else Rng.int rng (2 * max_offset) - max_offset
+  in
+  let drift_ppm = Rng.uniform rng (-.max_drift_ppm) max_drift_ppm in
+  { offset; drift_ppm }
+
+let now t true_time =
+  let drift =
+    int_of_float (t.drift_ppm *. float_of_int true_time /. 1e6)
+  in
+  true_time + t.offset + drift
+
+let offset t = t.offset
+let drift_ppm t = t.drift_ppm
+let set_offset t off = t.offset <- off

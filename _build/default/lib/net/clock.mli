@@ -1,0 +1,33 @@
+(** Per-node local clocks with bounded offset and drift.
+
+    Domino assumes loosely NTP-synchronised clocks (§5.1): skew hurts
+    performance, never correctness. A node's local clock reads
+
+    [local(t) = t + offset + drift_ppm * t / 1e6]
+
+    where [t] is true simulated time. DFP's OWD estimator measures
+    (delay + skew) together, which is why stable skew does not degrade
+    its predictions (§5.4) — the tests assert exactly this. *)
+
+type t
+
+val perfect : t
+(** Zero offset, zero drift. *)
+
+val create : ?offset:Domino_sim.Time_ns.span -> ?drift_ppm:float -> unit -> t
+
+val random :
+  Domino_sim.Rng.t ->
+  max_offset:Domino_sim.Time_ns.span ->
+  max_drift_ppm:float ->
+  t
+(** Offset uniform in [±max_offset], drift uniform in [±max_drift_ppm]. *)
+
+val now : t -> Domino_sim.Time_ns.t -> Domino_sim.Time_ns.t
+(** [now clock true_time] is the node's local reading. *)
+
+val offset : t -> Domino_sim.Time_ns.span
+val drift_ppm : t -> float
+
+val set_offset : t -> Domino_sim.Time_ns.span -> unit
+(** Step the clock (e.g. an NTP adjustment mid-experiment). *)

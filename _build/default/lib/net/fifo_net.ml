@@ -1,0 +1,125 @@
+open Domino_sim
+
+type 'msg service = {
+  slots : Time_ns.t array;  (** busy-until per worker *)
+  cost : 'msg -> Time_ns.span;
+  mutable busy : Time_ns.span;
+}
+
+type 'msg node_state = {
+  mutable handler : (src:Nodeid.t -> 'msg -> unit) option;
+  mutable clock : Clock.t;
+  mutable up : bool;
+  mutable service : 'msg service option;
+}
+
+type 'msg t = {
+  engine : Engine.t;
+  nodes : 'msg node_state array;
+  links : Link.t option array array;
+  self_rng : Rng.t;
+  (* FIFO state: earliest allowed delivery time per directed pair. *)
+  last_delivery : Time_ns.t array array;
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+let create engine ~n =
+  {
+    engine;
+    nodes =
+      Array.init n (fun _ ->
+          { handler = None; clock = Clock.perfect; up = true; service = None });
+    links = Array.make_matrix n n None;
+    self_rng = Rng.split (Engine.rng engine);
+    last_delivery = Array.make_matrix n n Time_ns.zero;
+    sent = 0;
+    delivered = 0;
+  }
+
+let engine t = t.engine
+
+let size t = Array.length t.nodes
+
+let set_link t ~src ~dst link = t.links.(src).(dst) <- Some link
+
+let link t ~src ~dst =
+  match t.links.(src).(dst) with
+  | Some l -> l
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Fifo_net.link: no link n%d -> n%d" src dst)
+
+let set_clock t node clock = t.nodes.(node).clock <- clock
+
+let local_time t node = Clock.now t.nodes.(node).clock (Engine.now t.engine)
+
+let set_handler t node handler = t.nodes.(node).handler <- Some handler
+
+(* Self-delivery still goes through the event queue (never synchronous:
+   protocol handlers assume messages arrive "later") with a small
+   in-process latency. *)
+let self_delay t = Time_ns.us 5 + Rng.int t.self_rng (Time_ns.us 5)
+
+let delay_for t ~src ~dst =
+  if src = dst then self_delay t
+  else Link.sample (link t ~src ~dst) ~now:(Engine.now t.engine)
+
+let send t ~src ~dst msg =
+  if t.nodes.(src).up then begin
+    t.sent <- t.sent + 1;
+    let now = Engine.now t.engine in
+    let raw = Time_ns.add now (delay_for t ~src ~dst) in
+    let at = Time_ns.max raw (Time_ns.add t.last_delivery.(src).(dst) 1) in
+    t.last_delivery.(src).(dst) <- at;
+    let handle () =
+      let node = t.nodes.(dst) in
+      if node.up then begin
+        match node.handler with
+        | None -> ()
+        | Some handler ->
+          t.delivered <- t.delivered + 1;
+          handler ~src msg
+      end
+    in
+    let deliver () =
+      let node = t.nodes.(dst) in
+      match node.service with
+      | None -> handle ()
+      | Some service ->
+        (* Pick the earliest-free worker. *)
+        let best = ref 0 in
+        Array.iteri
+          (fun i busy_until ->
+            if busy_until < service.slots.(!best) then best := i)
+          service.slots;
+        let now = Engine.now t.engine in
+        let start = Time_ns.max now service.slots.(!best) in
+        let cost = service.cost msg in
+        let finish = Time_ns.add start cost in
+        service.slots.(!best) <- finish;
+        service.busy <- service.busy + cost;
+        ignore (Engine.schedule_at t.engine ~at:finish handle)
+    in
+    ignore (Engine.schedule_at t.engine ~at deliver)
+  end
+
+let broadcast t ~src ~dsts f = List.iter (fun dst -> send t ~src ~dst (f dst)) dsts
+
+let set_service t node ~workers ~cost =
+  if workers <= 0 then invalid_arg "Fifo_net.set_service: workers";
+  t.nodes.(node).service <-
+    Some { slots = Array.make workers Time_ns.zero; cost; busy = 0 }
+
+let service_busy_ns t node =
+  match t.nodes.(node).service with None -> 0 | Some s -> s.busy
+
+let crash t node = t.nodes.(node).up <- false
+
+let restart t node = t.nodes.(node).up <- true
+
+let is_up t node = t.nodes.(node).up
+
+let messages_sent t = t.sent
+
+let messages_delivered t = t.delivered

@@ -1,0 +1,75 @@
+(** Simulated message network with per-link FIFO delivery.
+
+    Domino requires FIFO channels between nodes (§5.1; it uses TCP).
+    This module delivers each message after a delay drawn from the
+    directed {!Link}, but never earlier than the previously sent
+    message on the same directed pair — exactly TCP's in-order
+    guarantee, including head-of-line blocking behind a retransmitted
+    segment.
+
+    The network is polymorphic in the message type: each experiment
+    instantiates one network per protocol under test. Crashed nodes
+    silently drop traffic in both directions (crash failure model). *)
+
+open Domino_sim
+
+type 'msg t
+
+val create : Engine.t -> n:int -> 'msg t
+(** [create engine ~n] makes a network of [n] nodes with perfect clocks
+    and no links. Links must be installed with {!set_link} (or
+    {!install_matrix}) before traffic flows between distinct nodes;
+    self-delivery works out of the box. *)
+
+val engine : 'msg t -> Engine.t
+
+val size : 'msg t -> int
+
+val set_link : 'msg t -> src:Nodeid.t -> dst:Nodeid.t -> Link.t -> unit
+
+val link : 'msg t -> src:Nodeid.t -> dst:Nodeid.t -> Link.t
+(** @raise Invalid_argument if absent. *)
+
+val set_clock : 'msg t -> Nodeid.t -> Clock.t -> unit
+
+val local_time : 'msg t -> Nodeid.t -> Time_ns.t
+(** The node's local clock reading at the current simulated instant.
+    Protocol code must use this, never {!Engine.now}, for anything that
+    ends up in a timestamp. *)
+
+val set_handler : 'msg t -> Nodeid.t -> (src:Nodeid.t -> 'msg -> unit) -> unit
+(** Install the message handler for a node (replaces any previous). *)
+
+val send : 'msg t -> src:Nodeid.t -> dst:Nodeid.t -> 'msg -> unit
+(** Queue a message. Delivery invokes the destination handler after the
+    link delay, in FIFO order per (src, dst). Messages to or from a
+    crashed node are dropped. Sending without an installed link between
+    distinct nodes raises. *)
+
+val broadcast :
+  'msg t -> src:Nodeid.t -> dsts:Nodeid.t list -> (Nodeid.t -> 'msg) -> unit
+(** [broadcast t ~src ~dsts f] sends [f dst] to each destination. *)
+
+val crash : 'msg t -> Nodeid.t -> unit
+(** Take a node down: all in-flight and future messages involving it
+    are dropped until {!restart}. *)
+
+val restart : 'msg t -> Nodeid.t -> unit
+
+val is_up : 'msg t -> Nodeid.t -> bool
+
+val set_service :
+  'msg t -> Nodeid.t -> workers:int -> cost:('msg -> Time_ns.span) -> unit
+(** Give a node finite message-processing capacity: each delivered
+    message occupies one of [workers] service slots for [cost msg]
+    before the handler runs (an M/G/k queue). Used by the throughput
+    study (paper Figure 13), where CPU, not propagation, is the
+    bottleneck. Unset nodes process instantly. *)
+
+val service_busy_ns : 'msg t -> Nodeid.t -> Time_ns.span
+(** Cumulative service time consumed at the node (0 if no service). *)
+
+val messages_sent : 'msg t -> int
+(** Total messages accepted by {!send} since creation. *)
+
+val messages_delivered : 'msg t -> int

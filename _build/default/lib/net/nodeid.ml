@@ -1,0 +1,8 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp fmt t = Format.fprintf fmt "n%d" t
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

@@ -1,0 +1,14 @@
+(** Node identities.
+
+    A node is anything with a network endpoint and a local clock: a
+    replica server or a client (the paper's "application server"). Node
+    ids are dense integers so protocol state can live in arrays. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,1 @@
+lib/proto/epaxos.ml: Array Domino_net Domino_sim Domino_smr Engine Fifo_net Hashtbl Int List Map Msg_class Nodeid Observer Op Quorum Stdlib

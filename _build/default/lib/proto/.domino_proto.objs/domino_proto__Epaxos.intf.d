@@ -1,0 +1,1 @@
+lib/proto/epaxos.mli: Domino_net Domino_smr Fifo_net Msg_class Nodeid Observer Op

@@ -1,0 +1,1 @@
+lib/proto/fastpaxos.ml: Array Domino_log Domino_net Domino_sim Domino_smr Engine Exec_engine Fifo_net Int Interval_set List Map Msg_class Nodeid Observer Op Position Quorum Set Stdlib Time_ns

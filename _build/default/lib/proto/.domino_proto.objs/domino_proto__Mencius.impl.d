@@ -1,0 +1,1 @@
+lib/proto/mencius.ml: Array Domino_log Domino_net Domino_sim Domino_smr Engine Exec_engine Fifo_net Hashtbl Int Lazy Map Msg_class Nodeid Observer Op Position Quorum Stdlib

@@ -1,0 +1,413 @@
+open Domino_sim
+open Domino_net
+open Domino_smr
+
+type inst_id = { lane : int; iid : int }
+
+module Instmap = Map.Make (struct
+  type t = inst_id
+
+  let compare a b =
+    match Int.compare a.lane b.lane with
+    | 0 -> Int.compare a.iid b.iid
+    | c -> c
+end)
+
+type attrs = { seq : int; deps : inst_id list }
+
+let union_deps a b =
+  List.sort_uniq compare (List.rev_append a b)
+
+let attrs_equal a b =
+  a.seq = b.seq
+  && List.sort_uniq compare a.deps = List.sort_uniq compare b.deps
+
+type msg =
+  | Request of Op.t
+  | PreAccept of { inst : inst_id; op : Op.t; attrs : attrs }
+  | PreAcceptOk of { inst : inst_id; attrs : attrs; acceptor : Nodeid.t }
+  | MAccept of { inst : inst_id; op : Op.t; attrs : attrs }
+  | MAcceptOk of { inst : inst_id; acceptor : Nodeid.t }
+  | Commit of { inst : inst_id; op : Op.t; attrs : attrs }
+  | Reply of { op : Op.t }
+
+type status = Preaccepted | Accepted | Committed | Executed
+
+type cmd = {
+  op : Op.t;
+  mutable attrs : attrs;
+  mutable status : status;
+}
+
+type pending = {
+  initial : attrs;
+  mutable replies : attrs list;
+  mutable acks : int;  (** MAcceptOk count (leader included) *)
+  mutable in_accept : bool;
+}
+
+type replica_state = {
+  self : Nodeid.t;
+  lane : int;
+  mutable next_iid : int;
+  mutable cmds : cmd Instmap.t;
+  key_last : (int, inst_id * int) Hashtbl.t;
+      (** key -> (latest interfering instance, its seq) *)
+  mutable pending : pending Instmap.t;
+  mutable waiters : inst_id list Instmap.t;
+      (** dep -> instances whose execution waits on it *)
+}
+
+type t = {
+  net : msg Fifo_net.t;
+  replicas : Nodeid.t array;
+  n : int;
+  f : int;
+  observer : Observer.t;
+  coordinator_of : Nodeid.t -> Nodeid.t;
+  mutable states : replica_state array;
+  mutable fast : int;
+  mutable slow : int;
+}
+
+let now t = Engine.now (Fifo_net.engine t.net)
+
+(* --- Attribute computation against the local interference table --- *)
+
+let local_attrs st ~key ~exclude =
+  match Hashtbl.find_opt st.key_last key with
+  | Some (inst, seq) when inst <> exclude -> { seq = seq + 1; deps = [ inst ] }
+  | _ -> { seq = 1; deps = [] }
+
+let merge_attrs st ~key ~exclude (attrs : attrs) =
+  let local = local_attrs st ~key ~exclude in
+  { seq = Stdlib.max attrs.seq local.seq; deps = union_deps attrs.deps local.deps }
+
+let note_instance st ~key ~inst ~seq =
+  match Hashtbl.find_opt st.key_last key with
+  | Some (_, s) when s >= seq -> ()
+  | _ -> Hashtbl.replace st.key_last key (inst, seq)
+
+(* --- Execution: dependency graph with SCCs in seq order --- *)
+
+let add_waiter st ~dep ~inst =
+  let cur =
+    match Instmap.find_opt dep st.waiters with Some l -> l | None -> []
+  in
+  st.waiters <- Instmap.add dep (inst :: cur) st.waiters
+
+(* Attempt to execute the dependency closure of [root]. Returns the
+   instances executed (in order) or [] if blocked on an uncommitted
+   dependency. Tarjan's algorithm over the committed subgraph; SCCs
+   execute in reverse-topological order, members ordered by (seq, id). *)
+let try_execute t st root =
+  let module M = Instmap in
+  let index = ref 0 in
+  let indices = ref M.empty in
+  let lowlink = ref M.empty in
+  let on_stack = ref M.empty in
+  let stack = ref [] in
+  let sccs = ref [] in
+  let blocked = ref false in
+  let rec strongconnect v =
+    let cmd = M.find v st.cmds in
+    indices := M.add v !index !indices;
+    lowlink := M.add v !index !lowlink;
+    incr index;
+    stack := v :: !stack;
+    on_stack := M.add v true !on_stack;
+    List.iter
+      (fun dep ->
+        if not !blocked then begin
+          match M.find_opt dep st.cmds with
+          | None ->
+            add_waiter st ~dep ~inst:root;
+            blocked := true
+          | Some dcmd -> begin
+            match dcmd.status with
+            | Executed -> ()
+            | Preaccepted | Accepted ->
+              add_waiter st ~dep ~inst:root;
+              blocked := true
+            | Committed ->
+              if not (M.mem dep !indices) then begin
+                strongconnect dep;
+                if not !blocked then
+                  lowlink :=
+                    M.add v
+                      (Stdlib.min (M.find v !lowlink) (M.find dep !lowlink))
+                      !lowlink
+              end
+              else if M.find_opt dep !on_stack = Some true then
+                lowlink :=
+                  M.add v
+                    (Stdlib.min (M.find v !lowlink) (M.find dep !indices))
+                    !lowlink
+          end
+        end)
+      cmd.attrs.deps;
+    if (not !blocked) && M.find v !lowlink = M.find v !indices then begin
+      (* Pop the SCC. *)
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          on_stack := M.add w false !on_stack;
+          let acc = w :: acc in
+          if w = v then acc else pop acc
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  (match M.find_opt root st.cmds with
+  | Some { status = Committed; _ } -> strongconnect root
+  | _ -> blocked := true);
+  if !blocked then []
+  else begin
+    (* Tarjan emits SCCs in reverse topological order of the dependency
+       DAG (dependencies first since deps are edges out of later ops):
+       [sccs] currently has the root's SCC last; dependencies were
+       completed (and consed) first, so execute in reverse list order. *)
+    let ordered = List.rev !sccs in
+    let executed = ref [] in
+    List.iter
+      (fun scc ->
+        let members =
+          List.sort
+            (fun a b ->
+              let ca = M.find a st.cmds and cb = M.find b st.cmds in
+              match Int.compare ca.attrs.seq cb.attrs.seq with
+              | 0 -> compare a b
+              | c -> c)
+            scc
+        in
+        List.iter
+          (fun v ->
+            let cmd = M.find v st.cmds in
+            if cmd.status = Committed then begin
+              cmd.status <- Executed;
+              executed := v :: !executed;
+              t.observer.Observer.on_execute ~replica:st.self cmd.op
+                ~now:(now t)
+            end)
+          members)
+      ordered;
+    List.rev !executed
+  end
+
+let rec wake_waiters t st insts =
+  List.iter
+    (fun inst ->
+      match Instmap.find_opt inst st.waiters with
+      | None -> ()
+      | Some waiting ->
+        st.waiters <- Instmap.remove inst st.waiters;
+        List.iter
+          (fun w ->
+            match Instmap.find_opt w st.cmds with
+            | Some { status = Committed; _ } ->
+              let executed = try_execute t st w in
+              wake_waiters t st executed
+            | _ -> ())
+          waiting)
+    insts
+
+let record_commit t st ~inst ~op ~attrs =
+  let cmd =
+    match Instmap.find_opt inst st.cmds with
+    | Some c ->
+      c.attrs <- attrs;
+      if c.status <> Executed then c.status <- Committed;
+      c
+    | None ->
+      let c = { op; attrs; status = Committed } in
+      st.cmds <- Instmap.add inst c st.cmds;
+      c
+  in
+  note_instance st ~key:op.Op.key ~inst ~seq:attrs.seq;
+  if cmd.status = Committed then begin
+    let executed = try_execute t st inst in
+    wake_waiters t st (inst :: executed)
+  end
+
+(* --- Leader logic --- *)
+
+let broadcast_commit t st ~inst ~op ~attrs =
+  Array.iter
+    (fun r ->
+      if not (Nodeid.equal r st.self) then
+        Fifo_net.send t.net ~src:st.self ~dst:r (Commit { inst; op; attrs }))
+    t.replicas;
+  record_commit t st ~inst ~op ~attrs;
+  Fifo_net.send t.net ~src:st.self ~dst:op.Op.client (Reply { op })
+
+let leader_on_request t st (op : Op.t) =
+  let inst = { lane = st.lane; iid = st.next_iid } in
+  st.next_iid <- st.next_iid + 1;
+  let attrs = local_attrs st ~key:op.Op.key ~exclude:inst in
+  st.cmds <- Instmap.add inst { op; attrs; status = Preaccepted } st.cmds;
+  note_instance st ~key:op.Op.key ~inst ~seq:attrs.seq;
+  st.pending <-
+    Instmap.add inst
+      { initial = attrs; replies = []; acks = 0; in_accept = false }
+      st.pending;
+  if t.n = 1 then broadcast_commit t st ~inst ~op ~attrs
+  else
+    Array.iter
+      (fun r ->
+        if not (Nodeid.equal r st.self) then
+          Fifo_net.send t.net ~src:st.self ~dst:r (PreAccept { inst; op; attrs }))
+      t.replicas
+
+let fast_quorum_peers t = (2 * t.f) - 1
+(* peer replies needed so that, with the leader, 2f replicas agree *)
+
+let leader_on_preaccept_ok t st ~inst ~(attrs : attrs) =
+  match Instmap.find_opt inst st.pending with
+  | None -> ()
+  | Some p ->
+    if not p.in_accept then begin
+      p.replies <- attrs :: p.replies;
+      let needed = fast_quorum_peers t in
+      if List.length p.replies >= needed then begin
+        let cmd = Instmap.find inst st.cmds in
+        if cmd.status = Preaccepted then begin
+          let all_match =
+            List.for_all (fun a -> attrs_equal a p.initial) p.replies
+          in
+          if all_match then begin
+            t.fast <- t.fast + 1;
+            st.pending <- Instmap.remove inst st.pending;
+            broadcast_commit t st ~inst ~op:cmd.op ~attrs:p.initial
+          end
+          else begin
+            (* Union attributes and run the accept round. *)
+            let attrs =
+              List.fold_left
+                (fun acc a ->
+                  {
+                    seq = Stdlib.max acc.seq a.seq;
+                    deps = union_deps acc.deps a.deps;
+                  })
+                p.initial p.replies
+            in
+            p.in_accept <- true;
+            p.acks <- 1 (* leader *);
+            cmd.attrs <- attrs;
+            cmd.status <- Accepted;
+            Array.iter
+              (fun r ->
+                if not (Nodeid.equal r st.self) then
+                  Fifo_net.send t.net ~src:st.self ~dst:r
+                    (MAccept { inst; op = cmd.op; attrs }))
+              t.replicas
+          end
+        end
+      end
+    end
+
+let leader_on_accept_ok t st ~inst =
+  match Instmap.find_opt inst st.pending with
+  | None -> ()
+  | Some p ->
+    if p.in_accept then begin
+      p.acks <- p.acks + 1;
+      if p.acks >= t.f + 1 then begin
+        let cmd = Instmap.find inst st.cmds in
+        if cmd.status = Accepted then begin
+          t.slow <- t.slow + 1;
+          st.pending <- Instmap.remove inst st.pending;
+          broadcast_commit t st ~inst ~op:cmd.op ~attrs:cmd.attrs
+        end
+      end
+    end
+
+(* --- Acceptor logic --- *)
+
+let acceptor_on_preaccept t st ~inst ~(op : Op.t) ~attrs =
+  let merged = merge_attrs st ~key:op.Op.key ~exclude:inst attrs in
+  st.cmds <- Instmap.add inst { op; attrs = merged; status = Preaccepted } st.cmds;
+  note_instance st ~key:op.Op.key ~inst ~seq:merged.seq;
+  Fifo_net.send t.net ~src:st.self
+    ~dst:t.replicas.(inst.lane)
+    (PreAcceptOk { inst; attrs = merged; acceptor = st.self })
+
+let acceptor_on_accept t st ~inst ~(op : Op.t) ~attrs =
+  (match Instmap.find_opt inst st.cmds with
+  | Some cmd ->
+    cmd.attrs <- attrs;
+    if cmd.status = Preaccepted then cmd.status <- Accepted
+  | None ->
+    st.cmds <- Instmap.add inst { op; attrs; status = Accepted } st.cmds);
+  note_instance st ~key:op.Op.key ~inst ~seq:attrs.seq;
+  Fifo_net.send t.net ~src:st.self
+    ~dst:t.replicas.(inst.lane)
+    (MAcceptOk { inst; acceptor = st.self })
+
+let handle t lane ~src:_ msg =
+  let st = t.states.(lane) in
+  match msg with
+  | Request op -> leader_on_request t st op
+  | PreAccept { inst; op; attrs } -> acceptor_on_preaccept t st ~inst ~op ~attrs
+  | PreAcceptOk { inst; attrs; acceptor = _ } ->
+    leader_on_preaccept_ok t st ~inst ~attrs
+  | MAccept { inst; op; attrs } -> acceptor_on_accept t st ~inst ~op ~attrs
+  | MAcceptOk { inst; acceptor = _ } -> leader_on_accept_ok t st ~inst
+  | Commit { inst; op; attrs } -> record_commit t st ~inst ~op ~attrs
+  | Reply _ -> ()
+
+let handle_client t ~src:_ msg =
+  match msg with
+  | Reply { op } -> t.observer.Observer.on_commit op ~now:(now t)
+  | _ -> ()
+
+let create ~net ~replicas ~coordinator_of ~observer () =
+  let n = Array.length replicas in
+  let t =
+    {
+      net;
+      replicas;
+      n;
+      f = Quorum.f_of_n n;
+      observer;
+      coordinator_of;
+      states = [||];
+      fast = 0;
+      slow = 0;
+    }
+  in
+  t.states <-
+    Array.init n (fun lane ->
+        {
+          self = replicas.(lane);
+          lane;
+          next_iid = 0;
+          cmds = Instmap.empty;
+          key_last = Hashtbl.create 1024;
+          pending = Instmap.empty;
+          waiters = Instmap.empty;
+        });
+  Array.iteri
+    (fun lane r -> Fifo_net.set_handler net r (handle t lane))
+    replicas;
+  for node = 0 to Fifo_net.size net - 1 do
+    if not (Array.exists (Nodeid.equal node) replicas) then
+      Fifo_net.set_handler net node (handle_client t)
+  done;
+  t
+
+let submit t (op : Op.t) =
+  let dst = t.coordinator_of op.Op.client in
+  Fifo_net.send t.net ~src:op.Op.client ~dst (Request op)
+
+let fast_commits t = t.fast
+
+let slow_commits t = t.slow
+
+let classify : msg -> Msg_class.t = function
+  | Request _ -> Msg_class.Proposal
+  | PreAccept _ | MAccept _ -> Msg_class.Replication
+  | PreAcceptOk _ | MAcceptOk _ -> Msg_class.Ack
+  | Commit _ -> Msg_class.Commit_notice
+  | Reply _ -> Msg_class.Control

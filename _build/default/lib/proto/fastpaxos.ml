@@ -1,0 +1,398 @@
+open Domino_sim
+open Domino_net
+open Domino_smr
+open Domino_log
+
+module Imap = Map.Make (Int)
+module Islot = Set.Make (Int)
+
+type msg =
+  | Propose of Op.t  (** client -> every acceptor *)
+  | Vote of { slot : int; op : Op.t; acceptor : Nodeid.t }
+      (** fast round-0 vote, acceptor -> coordinator and client *)
+  | P2a of { slot : int; value : Op.t option }  (** recovery round 1 *)
+  | P2b of { slot : int; acceptor : Nodeid.t }
+  | Commit of { slot : int; value : Op.t option }
+  | Reply of { op : Op.t }  (** coordinator -> client, slow path result *)
+
+type acceptor_state = {
+  self : Nodeid.t;
+  mutable next_free : int;
+  mutable voted : (int * Op.t) Imap.t;  (** slot -> (round, op) *)
+}
+
+type slot_tally = {
+  mutable votes : (Nodeid.t * Op.t) list;  (** round-0 reports, arrival order *)
+  mutable p2b : Nodeid.Set.t;
+  mutable recovering : Op.t option option;  (** round-1 value if started *)
+  mutable decided : bool;
+  mutable opened : Time_ns.t;  (** when the coordinator first saw this slot *)
+}
+
+type t = {
+  net : msg Fifo_net.t;
+  replicas : Nodeid.t array;
+  coordinator : Nodeid.t;
+  observer : Observer.t;
+  n : int;
+  majority : int;
+  supermajority : int;
+  (* Coordinator learner state. *)
+  mutable tallies : slot_tally Imap.t;
+  mutable undecided_slots : Islot.t;
+  mutable committed_ops : Op.Idset.t;
+  mutable op_slots : int list Op.Idmap.t;  (** op -> slots it was voted at *)
+  mutable ops_seen : Op.t Op.Idmap.t;
+  mutable max_slot : int;
+  mutable reproposed : Op.Idset.t;
+  (* Acceptors, indexed by replica position. *)
+  acceptors : acceptor_state array;
+  (* Execution: decided slots per replica. *)
+  mutable decided_sets : Interval_set.t array;
+  execs : Op.t Exec_engine.t array;
+  (* Client-side fast learning: (client view) slot -> votes for its op. *)
+  mutable client_votes : Nodeid.Set.t Imap.t Op.Idmap.t;
+  mutable fast : int;
+  mutable slow : int;
+}
+
+let now t = Engine.now (Fifo_net.engine t.net)
+
+let broadcast t ~src msg =
+  Array.iter (fun r -> Fifo_net.send t.net ~src ~dst:r msg) t.replicas
+
+let tally t slot =
+  match Imap.find_opt slot t.tallies with
+  | Some tl -> tl
+  | None ->
+    let tl =
+      {
+        votes = [];
+        p2b = Nodeid.Set.empty;
+        recovering = None;
+        decided = false;
+        opened = now t;
+      }
+    in
+    t.tallies <- Imap.add slot tl t.tallies;
+    t.undecided_slots <- Islot.add slot t.undecided_slots;
+    tl
+
+(* --- Execution (slot order at every replica) --- *)
+
+let deliver_commit t idx slot value =
+  let decided = Interval_set.add slot t.decided_sets.(idx) in
+  t.decided_sets.(idx) <- decided;
+  let exec = t.execs.(idx) in
+  (match value with
+  | Some op -> Exec_engine.decide_op exec { Position.ts = slot; lane = 0 } op
+  | None -> Exec_engine.decide_noop exec { Position.ts = slot; lane = 0 });
+  (* Watermark = the contiguous decided prefix. *)
+  (match Interval_set.covered_from decided 0 with
+  | Some hi -> Exec_engine.set_watermark exec ~lane:0 hi
+  | None -> ())
+
+(* --- Coordinator logic --- *)
+
+(* A vote that arrives after its slot was decided may reveal a lost
+   operation (its other slots may all be settled). *)
+let maybe_rescue_late t (op : Op.t) =
+  let id = Op.id op in
+  let slots =
+    match Op.Idmap.find_opt id t.op_slots with Some s -> s | None -> []
+  in
+  if
+    (not (Op.Idset.mem id t.committed_ops))
+    && (not (Op.Idset.mem id t.reproposed))
+    && List.for_all
+         (fun s ->
+           match Imap.find_opt s t.tallies with
+           | Some stl -> stl.decided
+           | None -> false)
+         slots
+  then begin
+    t.reproposed <- Op.Idset.add id t.reproposed;
+    t.max_slot <- t.max_slot + 1;
+    let slot = t.max_slot in
+    let fresh = tally t slot in
+    fresh.recovering <- Some (Some op);
+    broadcast t ~src:t.coordinator (P2a { slot; value = Some op })
+  end
+
+let commit_slot t slot value ~fast_path =
+  let tl = tally t slot in
+  if not tl.decided then begin
+    tl.decided <- true;
+    t.undecided_slots <- Islot.remove slot t.undecided_slots;
+    if fast_path then t.fast <- t.fast + 1 else t.slow <- t.slow + 1;
+    broadcast t ~src:t.coordinator (Commit { slot; value });
+    (match value with
+    | Some op when not (Op.Idset.mem (Op.id op) t.committed_ops) ->
+      t.committed_ops <- Op.Idset.add (Op.id op) t.committed_ops;
+      (* The client may already have learned a fast commit; the
+         recorder deduplicates. *)
+      Fifo_net.send t.net ~src:t.coordinator ~dst:op.Op.client (Reply { op })
+    | _ -> ());
+    (* If this slot was carrying a rescued/recovered operation that just
+       lost to a competing round-0 value, put it back in play. *)
+    match tl.recovering with
+    | Some (Some op')
+      when (match value with
+           | Some w -> Op.compare_id (Op.id w) (Op.id op') <> 0
+           | None -> true)
+           && not (Op.Idset.mem (Op.id op') t.committed_ops) ->
+      t.reproposed <- Op.Idset.remove (Op.id op') t.reproposed;
+      maybe_rescue_late t op'
+    | _ -> ()
+  end
+
+(* The Fast Paxos coordinated-recovery value rule: inside the first
+   classic quorum Q of round-0 reports, any value voted by at least
+   q + m - n (= q - f) members of Q may have been chosen and must be
+   picked; otherwise any reported value is safe (we take the
+   most-voted to resolve as many operations as possible). *)
+let recovery_pick t (tl : slot_tally) =
+  let q_reports =
+    List.filteri (fun i _ -> i < t.majority) (List.rev tl.votes)
+  in
+  let threshold = t.supermajority + t.majority - t.n in
+  let counts =
+    List.fold_left
+      (fun acc (_, op) ->
+        let id = Op.id op in
+        let c = match Op.Idmap.find_opt id acc with Some (c, _) -> c | None -> 0 in
+        Op.Idmap.add id (c + 1, op) acc)
+      Op.Idmap.empty q_reports
+  in
+  let best =
+    Op.Idmap.fold
+      (fun _ (c, op) acc ->
+        match acc with
+        | Some (bc, _) when bc >= c -> acc
+        | _ -> Some (c, op))
+      counts None
+  in
+  match best with
+  | Some (c, op) when c >= threshold -> Some op
+  | Some (_, op) -> Some op
+  | None -> None (* a timed-out slot nobody voted: fill with no-op *)
+
+let start_recovery t slot =
+  let tl = tally t slot in
+  if (not tl.decided) && tl.recovering = None then begin
+    let value = recovery_pick t tl in
+    tl.recovering <- Some value;
+    broadcast t ~src:t.coordinator (P2a { slot; value })
+  end
+
+(* Re-propose operations that lost every slot they were voted into —
+   without this a losing client would hang forever. Only operations
+   that participated in the just-decided slot can newly become lost, so
+   the check is local to that slot's voters. *)
+let rescue_lost_ops t (tl : slot_tally) =
+  let candidates =
+    List.sort_uniq Op.compare_id (List.map (fun (_, op) -> Op.id op) tl.votes)
+  in
+  List.iter
+    (fun id ->
+      let slots =
+        match Op.Idmap.find_opt id t.op_slots with Some s -> s | None -> []
+      in
+      if
+        (not (Op.Idset.mem id t.committed_ops))
+        && (not (Op.Idset.mem id t.reproposed))
+        && List.for_all
+             (fun s ->
+               match Imap.find_opt s t.tallies with
+               | Some stl -> stl.decided
+               | None -> false)
+             slots
+      then begin
+        t.reproposed <- Op.Idset.add id t.reproposed;
+        let op = Op.Idmap.find id t.ops_seen in
+        t.max_slot <- t.max_slot + 1;
+        let slot = t.max_slot in
+        let fresh = tally t slot in
+        fresh.recovering <- Some (Some op);
+        broadcast t ~src:t.coordinator (P2a { slot; value = Some op })
+      end)
+    candidates
+
+let coordinator_on_vote t ~slot ~(op : Op.t) ~acceptor =
+  t.max_slot <- Stdlib.max t.max_slot slot;
+  let id = Op.id op in
+  if not (Op.Idmap.mem id t.ops_seen) then
+    t.ops_seen <- Op.Idmap.add id op t.ops_seen;
+  let slots =
+    match Op.Idmap.find_opt id t.op_slots with Some s -> s | None -> []
+  in
+  if not (List.mem slot slots) then
+    t.op_slots <- Op.Idmap.add id (slot :: slots) t.op_slots;
+  let tl = tally t slot in
+  if tl.decided then maybe_rescue_late t op
+  else begin
+    if not (List.exists (fun (a, _) -> Nodeid.equal a acceptor) tl.votes) then
+      tl.votes <- (acceptor, op) :: tl.votes;
+    (* Count round-0 votes per op. *)
+    let counts =
+      List.fold_left
+        (fun acc (_, vop) ->
+          let vid = Op.id vop in
+          let c = match Op.Idmap.find_opt vid acc with Some c -> c | None -> 0 in
+          Op.Idmap.add vid (c + 1) acc)
+        Op.Idmap.empty tl.votes
+    in
+    let best = Op.Idmap.fold (fun _ c acc -> Stdlib.max c acc) counts 0 in
+    let winner =
+      Op.Idmap.fold
+        (fun vid c acc -> if c >= t.supermajority then Some vid else acc)
+        counts None
+    in
+    (match winner with
+    | Some vid ->
+      let wop = Op.Idmap.find vid t.ops_seen in
+      commit_slot t slot (Some wop) ~fast_path:true
+    | None ->
+      let remaining = t.n - List.length tl.votes in
+      if best + remaining < t.supermajority then start_recovery t slot);
+    if tl.decided then rescue_lost_ops t tl
+  end
+
+let coordinator_on_p2b t ~slot ~acceptor =
+  let tl = tally t slot in
+  tl.p2b <- Nodeid.Set.add acceptor tl.p2b;
+  match tl.recovering with
+  | Some value when (not tl.decided) && Nodeid.Set.cardinal tl.p2b >= t.majority
+    ->
+    commit_slot t slot value ~fast_path:false;
+    rescue_lost_ops t tl
+  | _ -> ()
+
+(* --- Acceptor logic --- *)
+
+let acceptor_on_propose t (st : acceptor_state) (op : Op.t) =
+  let slot = st.next_free in
+  st.next_free <- slot + 1;
+  st.voted <- Imap.add slot (0, op) st.voted;
+  let vote = Vote { slot; op; acceptor = st.self } in
+  Fifo_net.send t.net ~src:st.self ~dst:t.coordinator vote;
+  Fifo_net.send t.net ~src:st.self ~dst:op.Op.client vote
+
+let acceptor_on_p2a t (st : acceptor_state) ~slot ~value =
+  (* Round 1 overrides any round-0 vote; there is a single coordinator,
+     so no promise bookkeeping is needed. *)
+  (match value with
+  | Some op -> st.voted <- Imap.add slot (1, op) st.voted
+  | None -> ());
+  Fifo_net.send t.net ~src:st.self ~dst:t.coordinator
+    (P2b { slot; acceptor = st.self })
+
+(* --- Client-side fast learning --- *)
+
+let client_on_vote t ~slot ~(op : Op.t) ~acceptor =
+  let id = Op.id op in
+  let slots =
+    match Op.Idmap.find_opt id t.client_votes with
+    | Some m -> m
+    | None -> Imap.empty
+  in
+  let votes =
+    match Imap.find_opt slot slots with
+    | Some s -> s
+    | None -> Nodeid.Set.empty
+  in
+  let votes = Nodeid.Set.add acceptor votes in
+  t.client_votes <- Op.Idmap.add id (Imap.add slot votes slots) t.client_votes;
+  if Nodeid.Set.cardinal votes >= t.supermajority then
+    t.observer.Observer.on_commit op ~now:(now t)
+
+let create ~net ~replicas ~coordinator ~observer () =
+  let n = Array.length replicas in
+  let t =
+    {
+      net;
+      replicas;
+      coordinator;
+      observer;
+      n;
+      majority = Quorum.majority n;
+      supermajority = Quorum.supermajority n;
+      tallies = Imap.empty;
+      undecided_slots = Islot.empty;
+      committed_ops = Op.Idset.empty;
+      op_slots = Op.Idmap.empty;
+      ops_seen = Op.Idmap.empty;
+      max_slot = -1;
+      reproposed = Op.Idset.empty;
+      acceptors =
+        Array.map (fun r -> { self = r; next_free = 0; voted = Imap.empty }) replicas;
+      decided_sets = Array.make n Interval_set.empty;
+      execs = [||];
+      client_votes = Op.Idmap.empty;
+      fast = 0;
+      slow = 0;
+    }
+  in
+  let execs =
+    Array.mapi
+      (fun _i r ->
+        Exec_engine.create ~n_lanes:1 ~on_exec:(fun _pos op ->
+            observer.Observer.on_execute ~replica:r op ~now:(now t)))
+      replicas
+  in
+  let t = { t with execs } in
+  (* Quiescence recovery: a slot some acceptors voted but that can no
+     longer fill up naturally (e.g. the workload stopped) is recovered
+     by the coordinator after a timeout comfortably above any RTT. *)
+  let recovery_timeout = Time_ns.ms 500 in
+  ignore
+    (Engine.every (Fifo_net.engine net) ~interval:(Time_ns.ms 100) (fun () ->
+         let cutoff = now t - recovery_timeout in
+         Islot.iter
+           (fun slot ->
+             match Imap.find_opt slot t.tallies with
+             | Some tl
+               when (not tl.decided) && tl.recovering = None
+                    && tl.opened < cutoff ->
+               start_recovery t slot
+             | _ -> ())
+           t.undecided_slots));
+  Array.iteri
+    (fun idx r ->
+      let st = t.acceptors.(idx) in
+      let handler ~src:_ msg =
+        match msg with
+        | Propose op -> acceptor_on_propose t st op
+        | P2a { slot; value } -> acceptor_on_p2a t st ~slot ~value
+        | Commit { slot; value } -> deliver_commit t idx slot value
+        | Vote { slot; op; acceptor } when Nodeid.equal r t.coordinator ->
+          coordinator_on_vote t ~slot ~op ~acceptor
+        | P2b { slot; acceptor } when Nodeid.equal r t.coordinator ->
+          coordinator_on_p2b t ~slot ~acceptor
+        | Vote _ | P2b _ | Reply _ -> ()
+      in
+      Fifo_net.set_handler net r handler)
+    replicas;
+  for node = 0 to Fifo_net.size net - 1 do
+    if not (Array.exists (Nodeid.equal node) replicas) then
+      Fifo_net.set_handler net node (fun ~src:_ msg ->
+          match msg with
+          | Vote { slot; op; acceptor } -> client_on_vote t ~slot ~op ~acceptor
+          | Reply { op } -> t.observer.Observer.on_commit op ~now:(now t)
+          | _ -> ())
+  done;
+  t
+
+let submit t (op : Op.t) =
+  broadcast t ~src:op.Op.client (Propose op)
+
+let fast_commits t = t.fast
+
+let slow_commits t = t.slow
+
+let classify : msg -> Msg_class.t = function
+  | Propose _ -> Msg_class.Replication
+  | Vote _ | P2b _ -> Msg_class.Ack
+  | P2a _ -> Msg_class.Replication
+  | Commit _ -> Msg_class.Commit_notice
+  | Reply _ -> Msg_class.Control

@@ -1,0 +1,215 @@
+open Domino_sim
+open Domino_net
+open Domino_smr
+open Domino_log
+
+type msg =
+  | Request of Op.t
+  | Accept of { slot : int; op : Op.t }
+  | Accepted of { slot : int; acceptor : Nodeid.t }
+  | Skip of { owner_lane : int; upto_k : int }
+      (** the owner's lane positions with index < [upto_k] and no
+          explicit proposal are no-ops *)
+  | Reply of { op : Op.t }
+
+type proposal = {
+  op : Op.t;
+  mutable acks : Nodeid.Set.t;
+  mutable committed : bool;  (** majority acknowledged *)
+  mutable ordered : bool;  (** all earlier slots decided at the owner *)
+  mutable replied : bool;
+}
+
+module Imap = Map.Make (Int)
+
+type replica_state = {
+  self : Nodeid.t;
+  lane : int;  (** this replica's lane = its index in [replicas] *)
+  exec : Op.t Exec_engine.t;
+  mutable next_k : int;  (** next unused index in own lane *)
+  mutable proposals : proposal Imap.t;  (** own slot -> proposal *)
+  own_by_id : (Op.id, proposal) Hashtbl.t;
+  mutable skip_sent : int;  (** last [upto_k] broadcast *)
+}
+
+type t = {
+  net : msg Fifo_net.t;
+  replicas : Nodeid.t array;
+  n : int;
+  majority : int;
+  observer : Observer.t;
+  mutable states : replica_state array;  (** indexed by lane *)
+  coordinator_of : Nodeid.t -> Nodeid.t;
+  mutable committed_count : int;
+}
+
+let now t = Engine.now (Fifo_net.engine t.net)
+
+let slot_of ~n ~lane ~k = (k * n) + lane
+let k_of ~n slot = slot / n
+let owner_lane ~n slot = slot mod n
+
+let broadcast t ~src msg =
+  Array.iter (fun r -> Fifo_net.send t.net ~src ~dst:r msg) t.replicas
+
+(* The skip bound an owner may announce: its cursor, held down by its
+   oldest unacknowledged proposal (which must stay recoverable if the
+   owner fails). *)
+let maybe_broadcast_skip t st =
+  let limit =
+    match Imap.min_binding_opt st.proposals with
+    | None -> st.next_k
+    | Some (slot, _) -> Stdlib.min st.next_k (k_of ~n:t.n slot)
+  in
+  if limit > st.skip_sent then begin
+    st.skip_sent <- limit;
+    broadcast t ~src:st.self (Skip { owner_lane = st.lane; upto_k = limit })
+  end
+
+let apply_skip t lane_idx ~owner_lane ~upto_k =
+  let st = t.states.(lane_idx) in
+  Exec_engine.set_watermark st.exec ~lane:owner_lane (upto_k - 1)
+
+(* The owner is the only proposer of its slots, so an accepted value is
+   final in failure-free runs: replicas treat a received ACCEPT as the
+   slot's decision — the optimization Mencius relies on to commit in
+   two one-way delays plus the majority round at the owner. *)
+let record_decision t lane_idx slot op =
+  let st = t.states.(lane_idx) in
+  Exec_engine.decide_op st.exec
+    { Position.ts = k_of ~n:t.n slot; lane = owner_lane ~n:t.n slot }
+    op
+
+(* Seeing slot [s] proposed by another owner forces this replica to
+   skip its own unused slots below [s] (Mencius' SKIP rule). *)
+let advance_past t st slot =
+  let own_next_slot = slot_of ~n:t.n ~lane:st.lane ~k:st.next_k in
+  if own_next_slot < slot then begin
+    (* Smallest k with slot_of k > slot. *)
+    let k = ((slot - st.lane) / t.n) + 1 in
+    st.next_k <- Stdlib.max st.next_k k;
+    maybe_broadcast_skip t st
+  end
+
+let maybe_reply t st (p : proposal) =
+  if p.committed && p.ordered && not p.replied then begin
+    p.replied <- true;
+    Hashtbl.remove st.own_by_id (Op.id p.op);
+    Fifo_net.send t.net ~src:st.self ~dst:p.op.Op.client (Reply { op = p.op })
+  end
+
+let handle t lane_idx ~src:_ msg =
+  let st = t.states.(lane_idx) in
+  match msg with
+  | Request op ->
+    let slot = slot_of ~n:t.n ~lane:st.lane ~k:st.next_k in
+    st.next_k <- st.next_k + 1;
+    let p =
+      {
+        op;
+        acks = Nodeid.Set.singleton st.self;
+        committed = false;
+        ordered = false;
+        replied = false;
+      }
+    in
+    st.proposals <- Imap.add slot p st.proposals;
+    Hashtbl.replace st.own_by_id (Op.id op) p;
+    Array.iter
+      (fun r ->
+        if not (Nodeid.equal r st.self) then
+          Fifo_net.send t.net ~src:st.self ~dst:r (Accept { slot; op }))
+      t.replicas;
+    (* The owner's own acceptance decides the slot locally. *)
+    record_decision t lane_idx slot op
+  | Accept { slot; op } ->
+    advance_past t st slot;
+    Fifo_net.send t.net ~src:st.self
+      ~dst:t.replicas.(owner_lane ~n:t.n slot)
+      (Accepted { slot; acceptor = st.self });
+    record_decision t lane_idx slot op
+  | Accepted { slot; acceptor } -> begin
+    match Imap.find_opt slot st.proposals with
+    | None -> ()
+    | Some p ->
+      p.acks <- Nodeid.Set.add acceptor p.acks;
+      if (not p.committed) && Nodeid.Set.cardinal p.acks >= t.majority then begin
+        p.committed <- true;
+        t.committed_count <- t.committed_count + 1;
+        st.proposals <- Imap.remove slot st.proposals;
+        (* Committing may unblock the skip bound held down by this
+           proposal. *)
+        maybe_broadcast_skip t st;
+        maybe_reply t st p
+      end
+  end
+  | Skip { owner_lane; upto_k } -> apply_skip t lane_idx ~owner_lane ~upto_k
+  | Reply _ -> ()
+
+let handle_client t ~src:_ msg =
+  match msg with
+  | Reply { op } -> t.observer.Observer.on_commit op ~now:(now t)
+  | _ -> ()
+
+let create ~net ~replicas ~coordinator_of ~observer () =
+  let n = Array.length replicas in
+  let t =
+    {
+      net;
+      replicas;
+      n;
+      majority = Quorum.majority n;
+      observer;
+      states = [||];
+      coordinator_of;
+      committed_count = 0;
+    }
+  in
+  let mk_state lane =
+    let self = replicas.(lane) in
+    let rec st =
+      lazy
+        {
+          self;
+          lane;
+          exec =
+            Exec_engine.create ~n_lanes:n ~on_exec:(fun _pos op ->
+                observer.Observer.on_execute ~replica:self op ~now:(now t);
+                (* The owner reports the commit only when the op is both
+                   majority-acknowledged and decided in order (Mencius'
+                   delayed commit). *)
+                let state = Lazy.force st in
+                match Hashtbl.find_opt state.own_by_id (Op.id op) with
+                | Some p ->
+                  p.ordered <- true;
+                  maybe_reply t state p
+                | None -> ());
+          next_k = 0;
+          proposals = Imap.empty;
+          own_by_id = Hashtbl.create 256;
+          skip_sent = 0;
+        }
+    in
+    Lazy.force st
+  in
+  t.states <- Array.init n mk_state;
+  Array.iteri
+    (fun lane r -> Fifo_net.set_handler net r (handle t lane))
+    replicas;
+  for node = 0 to Fifo_net.size net - 1 do
+    if not (Array.exists (Nodeid.equal node) replicas) then
+      Fifo_net.set_handler net node (handle_client t)
+  done;
+  t
+
+let submit t (op : Op.t) =
+  let dst = t.coordinator_of op.Op.client in
+  Fifo_net.send t.net ~src:op.Op.client ~dst (Request op)
+
+let committed_count t = t.committed_count
+
+let classify : msg -> Msg_class.t = function
+  | Request _ -> Msg_class.Proposal
+  | Accept _ -> Msg_class.Replication
+  | Accepted _ | Skip _ -> Msg_class.Ack
+  | Reply _ -> Msg_class.Control

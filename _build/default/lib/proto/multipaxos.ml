@@ -1,0 +1,137 @@
+open Domino_sim
+open Domino_net
+open Domino_smr
+open Domino_log
+
+type msg =
+  | Request of Op.t
+  | Accept of { slot : int; op : Op.t }
+  | Accepted of { slot : int; acceptor : Nodeid.t }
+  | Commit of { slot : int; op : Op.t }
+  | Reply of { op : Op.t }
+
+type slot_state = {
+  op : Op.t;
+  mutable acks : Nodeid.Set.t;
+  mutable committed : bool;
+}
+
+type t = {
+  net : msg Fifo_net.t;
+  replicas : Nodeid.t array;
+  leader : Nodeid.t;
+  observer : Observer.t;
+  majority : int;
+  (* Leader proposal state. *)
+  mutable next_slot : int;
+  slots : (int, slot_state) Hashtbl.t;
+  (* Per-replica execution in slot order. *)
+  execs : (Nodeid.t, Op.t Exec_engine.t) Hashtbl.t;
+  mutable committed_count : int;
+}
+
+let now t = Engine.now (Fifo_net.engine t.net)
+
+let exec_engine t node = Hashtbl.find t.execs node
+
+(* Commits arrive on the FIFO channel from the leader in slot order, so
+   advancing the single-lane watermark to [slot - 1] keeps execution
+   strictly in order without tracking gaps. *)
+let apply_commit t node slot op =
+  let exec = exec_engine t node in
+  Exec_engine.set_watermark exec ~lane:0 (slot - 1);
+  Exec_engine.decide_op exec { Position.ts = slot; lane = 0 } op
+
+let handle_leader t ~src:_ msg =
+  match msg with
+  | Request op ->
+    let slot = t.next_slot in
+    t.next_slot <- slot + 1;
+    let state =
+      { op; acks = Nodeid.Set.singleton t.leader; committed = false }
+    in
+    Hashtbl.replace t.slots slot state;
+    Array.iter
+      (fun r ->
+        if not (Nodeid.equal r t.leader) then
+          Fifo_net.send t.net ~src:t.leader ~dst:r (Accept { slot; op }))
+      t.replicas
+  | Accepted { slot; acceptor } -> begin
+    match Hashtbl.find_opt t.slots slot with
+    | None -> ()
+    | Some state ->
+      state.acks <- Nodeid.Set.add acceptor state.acks;
+      if (not state.committed) && Nodeid.Set.cardinal state.acks >= t.majority
+      then begin
+        state.committed <- true;
+        t.committed_count <- t.committed_count + 1;
+        Hashtbl.remove t.slots slot;
+        Fifo_net.send t.net ~src:t.leader ~dst:state.op.Op.client
+          (Reply { op = state.op });
+        Array.iter
+          (fun r ->
+            Fifo_net.send t.net ~src:t.leader ~dst:r
+              (Commit { slot; op = state.op }))
+          t.replicas
+      end
+  end
+  | Commit { slot; op } -> apply_commit t t.leader slot op
+  | Accept _ | Reply _ -> ()
+
+let handle_follower t self ~src:_ msg =
+  match msg with
+  | Accept { slot; _ } ->
+    Fifo_net.send t.net ~src:self ~dst:t.leader
+      (Accepted { slot; acceptor = self })
+  | Commit { slot; op } -> apply_commit t self slot op
+  | Request _ | Accepted _ | Reply _ -> ()
+
+let handle_client t ~src:_ msg =
+  match msg with
+  | Reply { op } -> t.observer.Observer.on_commit op ~now:(now t)
+  | _ -> ()
+
+let create ~net ~replicas ~leader ~observer () =
+  let n = Array.length replicas in
+  let t =
+    {
+      net;
+      replicas;
+      leader;
+      observer;
+      majority = Quorum.majority n;
+      next_slot = 0;
+      slots = Hashtbl.create 1024;
+      execs = Hashtbl.create 8;
+      committed_count = 0;
+    }
+  in
+  Array.iter
+    (fun r ->
+      let exec =
+        Exec_engine.create ~n_lanes:1 ~on_exec:(fun _pos op ->
+            observer.Observer.on_execute ~replica:r op ~now:(now t))
+      in
+      Hashtbl.replace t.execs r exec;
+      if Nodeid.equal r leader then
+        Fifo_net.set_handler net r (handle_leader t)
+      else Fifo_net.set_handler net r (handle_follower t r))
+    replicas;
+  (* Any node that is not a replica is a client of this protocol. *)
+  for node = 0 to Fifo_net.size net - 1 do
+    if not (Array.exists (Nodeid.equal node) replicas) then
+      Fifo_net.set_handler net node (handle_client t)
+  done;
+  t
+
+let submit t (op : Op.t) =
+  Fifo_net.send t.net ~src:op.Op.client ~dst:t.leader (Request op)
+
+let committed_count t = t.committed_count
+
+let classify : msg -> Msg_class.t = function
+  | Request _ -> Msg_class.Proposal
+  | Accept _ -> Msg_class.Replication
+  | Accepted _ -> Msg_class.Ack
+  | Commit _ -> Msg_class.Commit_notice
+  | Reply _ -> Msg_class.Control

@@ -1,0 +1,34 @@
+open Domino_net
+open Domino_smr
+
+(** Multi-Paxos with a stable leader (steady state, no view changes).
+
+    Clients send requests to the fixed leader; the leader assigns
+    consecutive log slots and replicates with a single accept round to
+    a majority (counting itself). Committed slots are broadcast and
+    every replica executes in slot order. A client therefore pays
+    client→leader→majority→leader→client: the two WAN roundtrips the
+    paper's introduction attributes to leader-based SMR. *)
+
+type msg
+
+type t
+
+val create :
+  net:msg Fifo_net.t ->
+  replicas:Nodeid.t array ->
+  leader:Nodeid.t ->
+  observer:Observer.t ->
+  unit ->
+  t
+(** Installs handlers on [net] for every replica. [leader] must be one
+    of [replicas]. *)
+
+val submit : t -> Op.t -> unit
+(** Send [op] from [op.client] (a node on the same network) to the
+    leader. *)
+
+val committed_count : t -> int
+
+val classify : msg -> Msg_class.t
+(** Cost class of a message, for the Figure 13 throughput model. *)

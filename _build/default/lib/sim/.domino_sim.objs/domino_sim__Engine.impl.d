@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Hashtbl Pheap Rng Stdlib Time_ns

@@ -1,0 +1,114 @@
+type kind =
+  | Once of (unit -> unit)
+  | Periodic of periodic
+
+and periodic = {
+  interval : Time_ns.span;
+  jitter : Time_ns.span;
+  body : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type t = {
+  mutable clock : Time_ns.t;
+  queue : kind Pheap.t;
+  root_rng : Rng.t;
+  canceller : (int, unit -> unit) Hashtbl.t;
+  mutable next_id : int;
+}
+
+type event_id = int
+
+let create ?(seed = 1L) () =
+  {
+    clock = Time_ns.zero;
+    queue = Pheap.create ();
+    root_rng = Rng.create seed;
+    canceller = Hashtbl.create 64;
+    next_id = 0;
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let register t thunk =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.canceller id thunk;
+  id
+
+let schedule_at t ~at f =
+  let at = Time_ns.max at t.clock in
+  let id_ref = ref (-1) in
+  (* Drop the canceller when the event fires so the table stays small
+     over long simulations. *)
+  let body () =
+    Hashtbl.remove t.canceller !id_ref;
+    f ()
+  in
+  let handle = Pheap.push t.queue ~time:at (Once body) in
+  let id = register t (fun () -> Pheap.cancel t.queue handle) in
+  id_ref := id;
+  id
+
+let schedule t ~delay f =
+  let delay = Stdlib.max 0 delay in
+  schedule_at t ~at:(Time_ns.add t.clock delay) f
+
+let every t ?(jitter = 0) ~interval body =
+  if interval <= 0 then invalid_arg "Engine.every: interval must be positive";
+  let p = { interval; jitter; body; cancelled = false } in
+  let first =
+    let j = if jitter > 0 then Rng.int t.root_rng jitter else 0 in
+    Time_ns.add t.clock (interval + j)
+  in
+  ignore (Pheap.push t.queue ~time:first (Periodic p));
+  register t (fun () -> p.cancelled <- true)
+
+let cancel t id =
+  match Hashtbl.find_opt t.canceller id with
+  | None -> ()
+  | Some thunk ->
+    Hashtbl.remove t.canceller id;
+    thunk ()
+
+let run_event t kind =
+  match kind with
+  | Once f -> f ()
+  | Periodic p ->
+    if not p.cancelled then begin
+      p.body ();
+      if not p.cancelled then begin
+        let j = if p.jitter > 0 then Rng.int t.root_rng p.jitter else 0 in
+        let next = Time_ns.add t.clock (p.interval + j) in
+        ignore (Pheap.push t.queue ~time:next (Periodic p))
+      end
+    end
+
+let step t =
+  match Pheap.pop t.queue with
+  | None -> false
+  | Some (time, kind) ->
+    t.clock <- Time_ns.max t.clock time;
+    run_event t kind;
+    true
+
+let run ?until t =
+  let continue () =
+    match until with
+    | None -> true
+    | Some deadline -> begin
+      match Pheap.peek_time t.queue with
+      | None -> false
+      | Some next -> next <= deadline
+    end
+  in
+  while (not (Pheap.is_empty t.queue)) && continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some deadline when t.clock < deadline -> t.clock <- deadline
+  | _ -> ()
+
+let pending t = Pheap.length t.queue

@@ -1,0 +1,106 @@
+type 'a entry = {
+  time : Time_ns.t;
+  seq : int;
+  value : 'a;
+  mutable dead : bool;
+}
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+type handle = Obj.t
+(* A handle is the entry itself, type-erased so that [handle] does not
+   carry the element type parameter. Only [cancel] looks inside. *)
+
+let create () = { data = [||]; size = 0; next_seq = 0; live = 0 }
+
+let length t = t.live
+
+let is_empty t = t.live = 0
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && before t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t entry =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let ndata = Array.make ncap entry in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end
+
+let push t ~time value =
+  let entry = { time; seq = t.next_seq; value; dead = false } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  t.live <- t.live + 1;
+  sift_up t (t.size - 1);
+  Obj.repr entry
+
+let cancel t handle =
+  let entry : 'a entry = Obj.obj handle in
+  if not entry.dead then begin
+    entry.dead <- true;
+    t.live <- t.live - 1
+  end
+
+let pop_min t =
+  let entry = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.data.(0) <- t.data.(t.size);
+    sift_down t 0
+  end;
+  entry
+
+let rec pop t =
+  if t.size = 0 then None
+  else begin
+    let entry = pop_min t in
+    if entry.dead then pop t
+    else begin
+      t.live <- t.live - 1;
+      Some (entry.time, entry.value)
+    end
+  end
+
+let rec peek_time t =
+  if t.size = 0 then None
+  else begin
+    let entry = t.data.(0) in
+    if entry.dead then begin
+      ignore (pop_min t);
+      peek_time t
+    end
+    else Some entry.time
+  end

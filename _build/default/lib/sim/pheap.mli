@@ -1,0 +1,30 @@
+(** Array-based binary min-heap keyed by [(time, sequence)].
+
+    The event queue of the simulator. Ties on time are broken by an
+    insertion sequence number so that the execution order of
+    simultaneous events is deterministic (insertion order). Cancelled
+    events are removed lazily. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) entries. *)
+
+val is_empty : 'a t -> bool
+
+type handle
+(** Identifies an inserted entry, for cancellation. *)
+
+val push : 'a t -> time:Time_ns.t -> 'a -> handle
+(** Insert an entry. Entries pushed at equal [time] pop in push order. *)
+
+val cancel : 'a t -> handle -> unit
+(** Mark an entry dead; it will be skipped on pop. Idempotent. *)
+
+val pop : 'a t -> (Time_ns.t * 'a) option
+(** Remove and return the minimum live entry, or [None] if empty. *)
+
+val peek_time : 'a t -> Time_ns.t option
+(** Time of the minimum live entry without removing it. *)

@@ -1,0 +1,62 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let next_seed t =
+  t.state <- Int64.add t.state golden_gamma;
+  t.state
+
+(* SplitMix64 output mix (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t = mix (next_seed t)
+
+let split t = create (int64 t)
+
+let copy t = { state = t.state }
+
+let float t =
+  (* 53 random bits into the mantissa. *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Mask to 62 bits so the value stays non-negative as an OCaml int;
+     modulo bias is negligible for bounds far below 2^62. *)
+  let v = Int64.to_int (int64 t) land max_int in
+  v mod bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+
+let normal t ~mean ~std =
+  let rec nonzero () =
+    let u = float t in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t in
+  let r = sqrt (-2. *. log u1) in
+  mean +. (std *. r *. cos (2. *. Float.pi *. u2))
+
+let exponential t ~mean =
+  let rec nonzero () =
+    let u = float t in
+    if u > 0. then u else nonzero ()
+  in
+  -.mean *. log (nonzero ())
+
+let lognormal t ~mu ~sigma = exp (normal t ~mean:mu ~std:sigma)
+
+let pareto t ~scale ~shape =
+  let rec nonzero () =
+    let u = float t in
+    if u > 0. then u else nonzero ()
+  in
+  scale /. (nonzero () ** (1. /. shape))

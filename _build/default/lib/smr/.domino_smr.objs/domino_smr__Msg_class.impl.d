@@ -1,0 +1,1 @@
+lib/smr/msg_class.ml: Format

@@ -1,0 +1,1 @@
+lib/smr/msg_class.mli: Format

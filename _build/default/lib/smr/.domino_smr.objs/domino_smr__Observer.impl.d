@@ -1,0 +1,1 @@
+lib/smr/observer.ml: Domino_net Domino_sim Domino_stats List Nodeid Op Time_ns

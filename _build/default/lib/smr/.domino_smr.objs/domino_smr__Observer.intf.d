@@ -1,0 +1,1 @@
+lib/smr/observer.mli: Domino_net Domino_sim Domino_stats Nodeid Op Time_ns

@@ -1,0 +1,1 @@
+lib/smr/op.ml: Domino_net Format Int Map Nodeid Set

@@ -1,0 +1,1 @@
+lib/smr/op.mli: Domino_net Format Map Nodeid Set

@@ -1,0 +1,1 @@
+lib/smr/service.ml: Domino_net Domino_sim Engine Nodeid Time_ns

@@ -1,0 +1,8 @@
+type t = Proposal | Replication | Ack | Commit_notice | Control
+
+let pp fmt = function
+  | Proposal -> Format.pp_print_string fmt "proposal"
+  | Replication -> Format.pp_print_string fmt "replication"
+  | Ack -> Format.pp_print_string fmt "ack"
+  | Commit_notice -> Format.pp_print_string fmt "commit"
+  | Control -> Format.pp_print_string fmt "control"

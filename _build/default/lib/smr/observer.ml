@@ -1,0 +1,127 @@
+open Domino_sim
+open Domino_net
+
+type t = {
+  on_commit : Op.t -> now:Time_ns.t -> unit;
+  on_execute : replica:Nodeid.t -> Op.t -> now:Time_ns.t -> unit;
+}
+
+let null =
+  { on_commit = (fun _ ~now:_ -> ()); on_execute = (fun ~replica:_ _ ~now:_ -> ()) }
+
+let both a b =
+  {
+    on_commit =
+      (fun op ~now ->
+        a.on_commit op ~now;
+        b.on_commit op ~now);
+    on_execute =
+      (fun ~replica op ~now ->
+        a.on_execute ~replica op ~now;
+        b.on_execute ~replica op ~now);
+  }
+
+module Recorder = struct
+  type observer = t
+
+  type t = {
+    mutable submit_times : Time_ns.t Op.Idmap.t;
+    mutable committed_ids : Op.Idset.t;
+    mutable executed_ids : Op.Idset.t;
+    commit_ms : Domino_stats.Summary.t;
+    exec_ms : Domino_stats.Summary.t;
+    mutable per_client : Domino_stats.Summary.t Nodeid.Map.t;
+    mutable commits : (Op.id * Time_ns.t) list;
+    mutable series : (Time_ns.t * float) list;  (** (submit time, latency ms) *)
+    mutable measure_from : Time_ns.t;
+    mutable measure_until : Time_ns.t;
+    mutable submitted : int;
+  }
+
+  let create () =
+    {
+      submit_times = Op.Idmap.empty;
+      committed_ids = Op.Idset.empty;
+      executed_ids = Op.Idset.empty;
+      commit_ms = Domino_stats.Summary.create ();
+      exec_ms = Domino_stats.Summary.create ();
+      per_client = Nodeid.Map.empty;
+      commits = [];
+      series = [];
+      measure_from = min_int;
+      measure_until = max_int;
+      submitted = 0;
+    }
+
+  let note_submit t op ~now =
+    t.submitted <- t.submitted + 1;
+    t.submit_times <- Op.Idmap.add (Op.id op) now t.submit_times
+
+  let start_measuring t at = t.measure_from <- at
+
+  let stop_measuring t at = t.measure_until <- at
+
+  let in_window t sent = sent >= t.measure_from && sent <= t.measure_until
+
+  let client_summary t client =
+    match Nodeid.Map.find_opt client t.per_client with
+    | Some s -> s
+    | None ->
+      let s = Domino_stats.Summary.create () in
+      t.per_client <- Nodeid.Map.add client s t.per_client;
+      s
+
+  let observer t ?exec_replica_for () =
+    let on_commit (op : Op.t) ~now =
+      let id = Op.id op in
+      if not (Op.Idset.mem id t.committed_ids) then begin
+        t.committed_ids <- Op.Idset.add id t.committed_ids;
+        match Op.Idmap.find_opt id t.submit_times with
+        | None -> ()
+        | Some sent ->
+          if in_window t sent then begin
+            let lat = Time_ns.to_ms_f (Time_ns.diff now sent) in
+            Domino_stats.Summary.add t.commit_ms lat;
+            Domino_stats.Summary.add (client_summary t op.client) lat;
+            t.commits <- (id, now) :: t.commits;
+            t.series <- (sent, lat) :: t.series
+          end
+      end
+    in
+    let on_execute ~replica (op : Op.t) ~now =
+      let id = Op.id op in
+      let wanted =
+        match exec_replica_for with
+        | None -> not (Op.Idset.mem id t.executed_ids)
+        | Some f -> begin
+          match f op with
+          | None -> not (Op.Idset.mem id t.executed_ids)
+          | Some r -> Nodeid.equal r replica
+        end
+      in
+      if wanted && not (Op.Idset.mem id t.executed_ids) then begin
+        t.executed_ids <- Op.Idset.add id t.executed_ids;
+        match Op.Idmap.find_opt id t.submit_times with
+        | None -> ()
+        | Some sent ->
+          if in_window t sent then
+            Domino_stats.Summary.add t.exec_ms
+              (Time_ns.to_ms_f (Time_ns.diff now sent))
+      end
+    in
+    { on_commit; on_execute }
+
+  let commit_latency_ms t = t.commit_ms
+
+  let exec_latency_ms t = t.exec_ms
+
+  let commit_latency_of_client_ms t client = client_summary t client
+
+  let committed t = Op.Idset.cardinal t.committed_ids
+
+  let submitted t = t.submitted
+
+  let commit_times t = List.rev t.commits
+
+  let latency_series t = List.rev t.series
+end

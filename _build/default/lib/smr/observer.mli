@@ -1,0 +1,62 @@
+open Domino_sim
+open Domino_net
+
+(** Observation points shared by every protocol implementation.
+
+    A protocol reports two events per operation:
+    - [commit]: the moment the {e submitting client} learns the
+      operation is committed (the paper's commit latency, §5);
+    - [execute]: the moment a given {e replica} applies the operation
+      to its state machine (used for the paper's execution latency,
+      measured at the replica closest to the client, §7.2.3).
+
+    {!Recorder} is the standard implementation: it timestamps
+    submissions and turns the events into latency samples. *)
+
+type t = {
+  on_commit : Op.t -> now:Time_ns.t -> unit;
+  on_execute : replica:Nodeid.t -> Op.t -> now:Time_ns.t -> unit;
+}
+
+val null : t
+(** Discards all events. *)
+
+val both : t -> t -> t
+
+module Recorder : sig
+  type observer = t
+
+  type t
+
+  val create : unit -> t
+
+  val observer : t -> ?exec_replica_for:(Op.t -> Nodeid.t option) -> unit -> observer
+  (** The observer to hand to a protocol. [exec_replica_for] selects,
+      per operation, the replica whose execution event should produce
+      the execution-latency sample (default: record the {e first}
+      replica to execute it). *)
+
+  val note_submit : t -> Op.t -> now:Time_ns.t -> unit
+  (** Must be called when the client sends the operation. *)
+
+  val start_measuring : t -> Time_ns.t -> unit
+  (** Samples from operations submitted before this instant are
+      discarded — the paper uses the middle 60 s of each 90 s run. *)
+
+  val stop_measuring : t -> Time_ns.t -> unit
+
+  val commit_latency_ms : t -> Domino_stats.Summary.t
+  val exec_latency_ms : t -> Domino_stats.Summary.t
+
+  val commit_latency_of_client_ms : t -> Nodeid.t -> Domino_stats.Summary.t
+
+  val committed : t -> int
+  val submitted : t -> int
+
+  val commit_times : t -> (Op.id * Time_ns.t) list
+  (** (id, commit instant) pairs. *)
+
+  val latency_series : t -> (Time_ns.t * float) list
+  (** (submit instant, commit latency ms) pairs in submit order, for
+      time-series figures (Fig 12). *)
+end

@@ -1,0 +1,15 @@
+let f_of_n n =
+  if n < 3 || n mod 2 = 0 then
+    invalid_arg "Quorum.f_of_n: need odd n >= 3"
+  else (n - 1) / 2
+
+let majority n = f_of_n n + 1
+
+let supermajority n =
+  let f = f_of_n n in
+  (* ceil (3f/2) + 1 *)
+  ((3 * f) + 1) / 2 + 1
+
+let epaxos_fast n = 2 * f_of_n n
+
+let recovery_pick_threshold n = supermajority n - f_of_n n

@@ -1,0 +1,18 @@
+(** Quorum arithmetic for n = 2f+1 replicas (paper footnote 1).
+
+    - classic (majority) quorum: f+1
+    - fast (supermajority) quorum: ⌈3f/2⌉+1 — e.g. 3 of 3, 4 of 5
+    - EPaxos simplified fast quorum: 2f — e.g. 2 of 3, 4 of 5
+    - Fast Paxos value-picking threshold in recovery: a value accepted
+      by at least q − f acceptors among the classic quorum's reports
+      may have been chosen and must be re-proposed. *)
+
+val f_of_n : int -> int
+(** Tolerated failures for n replicas; requires odd n >= 3. *)
+
+val majority : int -> int
+val supermajority : int -> int
+val epaxos_fast : int -> int
+
+val recovery_pick_threshold : int -> int
+(** [q - f] for n replicas. *)

@@ -1,0 +1,1 @@
+lib/stats/tablefmt.ml: Array Buffer Float List Printf Stdlib String

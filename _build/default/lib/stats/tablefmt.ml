@@ -1,0 +1,52 @@
+type t = {
+  title : string;
+  header : string list;
+  mutable rows : string list list;
+}
+
+let create ~title ~header = { title; header; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let add_rows t rows = List.iter (add_row t) rows
+
+let cell_f x = if Float.is_nan x then "-" else Printf.sprintf "%.2f" x
+
+let cell_ms x = if Float.is_nan x then "-" else Printf.sprintf "%.1fms" x
+
+let widths t =
+  let rows = t.header :: List.rev t.rows in
+  let ncols =
+    List.fold_left (fun acc row -> Stdlib.max acc (List.length row)) 0 rows
+  in
+  let w = Array.make ncols 0 in
+  let scan row =
+    List.iteri (fun i cell -> w.(i) <- Stdlib.max w.(i) (String.length cell)) row
+  in
+  List.iter scan rows;
+  w
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  let w = widths t in
+  let total =
+    Array.fold_left (fun acc x -> acc + x + 2) 0 w |> Stdlib.max (String.length t.title)
+  in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  let emit row =
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf cell;
+        let pad = w.(i) - String.length cell + 2 in
+        Buffer.add_string buf (String.make pad ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit t.header;
+  List.iter emit (List.rev t.rows);
+  Buffer.contents buf
+
+let print t = print_string (to_string t)

@@ -1,0 +1,23 @@
+(** Aligned plain-text tables for the benchmark harness output.
+
+    Each reproduced paper table/figure is printed as one of these so
+    the bench output reads like the paper's evaluation section. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+
+val add_row : t -> string list -> unit
+
+val add_rows : t -> string list list -> unit
+
+val cell_f : float -> string
+(** Render a float with 2 decimals; "-" for nan. *)
+
+val cell_ms : float -> string
+(** Render a millisecond value, e.g. ["48.3ms"]; "-" for nan. *)
+
+val print : t -> unit
+(** Print to stdout with aligned columns and a title rule. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/trace/trace_analysis.ml: Array Domino_measure Domino_sim Domino_stats Float Fun List Time_ns Trace_gen Window

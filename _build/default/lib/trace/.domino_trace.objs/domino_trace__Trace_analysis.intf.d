@@ -1,0 +1,1 @@
+lib/trace/trace_analysis.mli: Domino_sim Time_ns Trace_gen

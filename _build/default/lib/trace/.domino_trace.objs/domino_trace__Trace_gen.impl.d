@@ -1,0 +1,1 @@
+lib/trace/trace_gen.ml: Array Domino_net Domino_sim Hashtbl Jitter Rng String Time_ns Topology

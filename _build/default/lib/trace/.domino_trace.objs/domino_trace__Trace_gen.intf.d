@@ -1,0 +1,1 @@
+lib/trace/trace_gen.mli: Domino_net Domino_sim Jitter Time_ns Topology

@@ -1,0 +1,70 @@
+open Domino_sim
+open Domino_net
+
+type probe = {
+  t_send : Time_ns.t;
+  rtt : Time_ns.span;
+  arrival_offset : Time_ns.span;
+  true_fwd_owd : Time_ns.span;
+}
+
+type node_clock = { base_offset_ms : float; drift_ppm : float }
+
+let well_disciplined name =
+  let h = Hashtbl.hash (name, "clock") in
+  let offset = (float_of_int (h mod 4000) /. 1000.) -. 2. in
+  let drift = (float_of_int (h / 7 mod 100) /. 1000.) -. 0.05 in
+  { base_offset_ms = offset; drift_ppm = drift }
+
+let drifting ~drift_ppm = { base_offset_ms = 0.; drift_ppm }
+
+type pair_spec = {
+  rtt_ms : float;
+  fwd_fraction : float;
+  jitter : Jitter.params;
+  src_clock : node_clock;
+  dst_clock : node_clock;
+}
+
+let nsw_drift_ppm = -30.
+
+let clock_for name =
+  if String.equal name "NSW" then drifting ~drift_ppm:nsw_drift_ppm
+  else well_disciplined name
+
+let azure_pair topo ~src ~dst =
+  let i = Topology.index topo src and j = Topology.index topo dst in
+  {
+    rtt_ms = Topology.rtt_ms topo i j;
+    fwd_fraction = Topology.forward_fraction topo i j;
+    jitter = Topology.wan_jitter;
+    src_clock = clock_for src;
+    dst_clock = clock_for dst;
+  }
+
+(* Clock reading at true time [t]. *)
+let clock_at clock t =
+  let t_ms = Time_ns.to_ms_f t in
+  clock.base_offset_ms +. (clock.drift_ppm *. t_ms /. 1e6) +. t_ms
+
+let generate ?(interval = Time_ns.ms 10) ?(duration = Time_ns.sec 600) ~seed
+    spec =
+  let rng = Rng.create seed in
+  let count = duration / interval in
+  let fwd_base = spec.rtt_ms *. spec.fwd_fraction in
+  let rev_base = spec.rtt_ms -. fwd_base in
+  let fwd_jitter = Jitter.create ~params:spec.jitter rng in
+  let rev_jitter = Jitter.create ~params:spec.jitter rng in
+  Array.init count (fun i ->
+      let t = i * interval in
+      let fwd_ms = fwd_base +. Jitter.sample_ms fwd_jitter ~now:t in
+      let rev_ms = rev_base +. Jitter.sample_ms rev_jitter ~now:t in
+      let t_send_local = clock_at spec.src_clock t in
+      let t_arrival = Time_ns.add t (Time_ns.of_ms_f fwd_ms) in
+      let t_arrival_local = clock_at spec.dst_clock t_arrival in
+      {
+        t_send = Time_ns.of_ms_f t_send_local;
+        rtt = Time_ns.of_ms_f (fwd_ms +. rev_ms);
+        arrival_offset = Time_ns.of_ms_f (t_arrival_local -. t_send_local);
+        true_fwd_owd = Time_ns.of_ms_f fwd_ms;
+      })

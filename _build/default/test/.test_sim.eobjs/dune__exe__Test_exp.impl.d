@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Array Domino_exp Domino_sim Domino_smr Domino_stats Exp_common Exp_fig12 Exp_geometry Float Time_ns

@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Array Domino_kv Domino_sim Domino_smr Engine List Op Rng Set Store Time_ns Workload

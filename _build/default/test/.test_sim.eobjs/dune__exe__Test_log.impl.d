@@ -1,0 +1,1 @@
+test/test_log.ml: Alcotest Decided_log Domino_log Exec_engine Fun Hashtbl Int Interval_set List Position QCheck QCheck_alcotest Set

@@ -1,0 +1,1 @@
+test/test_measure.ml: Alcotest Array Domino_measure Domino_sim Estimator Gen List Option Probe QCheck QCheck_alcotest Time_ns Window

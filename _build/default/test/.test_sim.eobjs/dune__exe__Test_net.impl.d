@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Clock Domino_net Domino_sim Engine Fifo_net Float Jitter Link List Rng Time_ns Topology

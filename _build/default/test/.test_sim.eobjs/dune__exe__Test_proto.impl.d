@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Domino_exp Domino_sim Domino_smr Domino_stats Exp_common Exp_fig7 Float List Observer Time_ns

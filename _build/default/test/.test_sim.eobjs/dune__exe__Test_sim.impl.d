@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dist Domino_sim Engine Float Format Fun List Option Pheap QCheck QCheck_alcotest Rng String Time_ns

@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Domino_sim Domino_smr Domino_stats Engine List Observer Op QCheck QCheck_alcotest Quorum Service Time_ns

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Cdf Domino_stats Float Gen List QCheck QCheck_alcotest String Summary Tablefmt

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Domino_net Domino_sim Domino_stats Domino_trace Float List Time_ns Topology Trace_analysis Trace_gen

@@ -1,0 +1,307 @@
+(* Tests for the replicated-log structures: positions, compressed
+   interval sets, the decided-log storage, and the execution engine. *)
+
+open Domino_log
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Position --- *)
+
+let test_position_ordering () =
+  let n = 3 in
+  let dm0 = Position.dm ~replica:0 100 in
+  let dm2 = Position.dm ~replica:2 100 in
+  let dfp = Position.dfp ~n_replicas:n 100 in
+  let dfp_99 = Position.dfp ~n_replicas:n 99 in
+  check_bool "dm before dfp at same ts" true (Position.compare dm0 dfp < 0);
+  check_bool "dm lanes ordered" true (Position.compare dm0 dm2 < 0);
+  check_bool "earlier ts first" true (Position.compare dfp_99 dm0 < 0);
+  check_bool "equal" true (Position.equal dm0 (Position.dm ~replica:0 100))
+
+let prop_position_total_order =
+  QCheck.Test.make ~name:"position compare is a total order" ~count:300
+    QCheck.(triple (pair small_nat small_nat) (pair small_nat small_nat) (pair small_nat small_nat))
+    (fun ((t1, l1), (t2, l2), (t3, l3)) ->
+      let a = { Position.ts = t1; lane = l1 } in
+      let b = { Position.ts = t2; lane = l2 } in
+      let c = { Position.ts = t3; lane = l3 } in
+      let ( <= ) x y = Position.compare x y <= 0 in
+      (* antisymmetry + transitivity spot checks *)
+      (not (a <= b && b <= a) || Position.equal a b)
+      && (not (a <= b && b <= c) || a <= c))
+
+(* --- Interval_set --- *)
+
+let test_interval_basic () =
+  let s = Interval_set.empty |> Interval_set.add 5 |> Interval_set.add 7 in
+  check_bool "mem 5" true (Interval_set.mem 5 s);
+  check_bool "not mem 6" false (Interval_set.mem 6 s);
+  check_int "two ranges" 2 (Interval_set.range_count s);
+  let s = Interval_set.add 6 s in
+  check_int "merged" 1 (Interval_set.range_count s);
+  check_int "cardinal" 3 (Interval_set.cardinal s)
+
+let test_interval_range_merge () =
+  let s = Interval_set.add_range ~lo:1 ~hi:10 Interval_set.empty in
+  let s = Interval_set.add_range ~lo:5 ~hi:20 s in
+  check_int "one range" 1 (Interval_set.range_count s);
+  check_int "cardinal" 20 (Interval_set.cardinal s);
+  Alcotest.(check (list (pair int int))) "ranges" [ (1, 20) ]
+    (Interval_set.to_ranges s)
+
+let test_interval_adjacent_merge () =
+  let s = Interval_set.add_range ~lo:1 ~hi:5 Interval_set.empty in
+  let s = Interval_set.add_range ~lo:6 ~hi:9 s in
+  check_int "adjacent merge" 1 (Interval_set.range_count s)
+
+let test_interval_next_gap () =
+  let s = Interval_set.add_range ~lo:0 ~hi:4 Interval_set.empty in
+  let s = Interval_set.add_range ~lo:7 ~hi:9 s in
+  check_int "gap after prefix" 5 (Interval_set.next_gap s 0);
+  check_int "gap at uncovered" 5 (Interval_set.next_gap s 5);
+  check_int "gap after second" 10 (Interval_set.next_gap s 8)
+
+let test_interval_covered_from () =
+  let s = Interval_set.add_range ~lo:3 ~hi:8 Interval_set.empty in
+  Alcotest.(check (option int)) "inside" (Some 8) (Interval_set.covered_from s 5);
+  Alcotest.(check (option int)) "outside" None (Interval_set.covered_from s 9)
+
+let test_interval_empty_range () =
+  let s = Interval_set.add_range ~lo:10 ~hi:5 Interval_set.empty in
+  check_bool "still empty" true (Interval_set.is_empty s)
+
+module Iset = Set.Make (Int)
+
+let prop_interval_matches_naive =
+  QCheck.Test.make ~name:"interval set = naive set" ~count:300
+    QCheck.(list (pair (int_bound 60) (int_bound 8)))
+    (fun ranges ->
+      let s =
+        List.fold_left
+          (fun acc (lo, len) -> Interval_set.add_range ~lo ~hi:(lo + len) acc)
+          Interval_set.empty ranges
+      in
+      let naive =
+        List.fold_left
+          (fun acc (lo, len) ->
+            List.fold_left (fun acc x -> Iset.add x acc) acc
+              (List.init (len + 1) (fun i -> lo + i)))
+          Iset.empty ranges
+      in
+      let ok_membership =
+        List.for_all (fun x -> Interval_set.mem x s = Iset.mem x naive)
+          (List.init 80 Fun.id)
+      in
+      ok_membership && Interval_set.cardinal s = Iset.cardinal naive)
+
+let prop_interval_ranges_are_maximal =
+  QCheck.Test.make ~name:"stored ranges are disjoint and maximal" ~count:300
+    QCheck.(list (pair (int_bound 60) (int_bound 8)))
+    (fun ranges ->
+      let s =
+        List.fold_left
+          (fun acc (lo, len) -> Interval_set.add_range ~lo ~hi:(lo + len) acc)
+          Interval_set.empty ranges
+      in
+      let rec ok = function
+        | [] | [ _ ] -> true
+        | (_, hi1) :: ((lo2, _) :: _ as rest) -> lo2 > hi1 + 1 && ok rest
+      in
+      ok (Interval_set.to_ranges s))
+
+(* --- Decided_log --- *)
+
+let test_decided_log_basic () =
+  let log = Decided_log.create () in
+  Decided_log.record_op log 100 "a";
+  Decided_log.record_noop_range log ~lo:0 ~hi:99;
+  check_bool "op found" true (Decided_log.find log 100 = Some (Decided_log.Op "a"));
+  check_bool "noop found" true (Decided_log.find log 50 = Some Decided_log.Noop);
+  check_bool "unknown" true (Decided_log.find log 101 = None);
+  check_int "compressed" 1 (Decided_log.noop_ranges log);
+  check_int "positions" 100 (Decided_log.noop_positions log)
+
+let test_decided_log_first_write_wins () =
+  let log = Decided_log.create () in
+  Decided_log.record_op log 5 "first";
+  Decided_log.record_op log 5 "second";
+  check_bool "keeps first" true (Decided_log.find log 5 = Some (Decided_log.Op "first"))
+
+let test_decided_log_trim () =
+  let log = Decided_log.create () in
+  Decided_log.record_op log 10 "a";
+  Decided_log.record_op log 20 "b";
+  Decided_log.record_noop_range log ~lo:0 ~hi:15;
+  Decided_log.trim log ~upto:12;
+  check_bool "trimmed op gone" true (Decided_log.find log 10 = None);
+  check_bool "later op kept" true (Decided_log.find log 20 = Some (Decided_log.Op "b"));
+  check_bool "noop above frontier kept" true
+    (Decided_log.find log 14 = Some Decided_log.Noop);
+  check_int "frontier" 12 (Decided_log.trimmed_below log);
+  (* Writes at or below the frontier are ignored. *)
+  Decided_log.record_op log 11 "zombie";
+  check_bool "no zombie" true (Decided_log.find log 11 = None)
+
+(* --- Exec_engine --- *)
+
+let mk_engine ?(n_lanes = 2) () =
+  let log = ref [] in
+  let eng =
+    Exec_engine.create ~n_lanes ~on_exec:(fun pos op ->
+        log := (pos.Position.ts, pos.Position.lane, op) :: !log)
+  in
+  (eng, log)
+
+let test_exec_waits_for_watermarks () =
+  let eng, log = mk_engine () in
+  Exec_engine.decide_op eng { Position.ts = 10; lane = 0 } "a";
+  Alcotest.(check int) "blocked" 0 (List.length !log);
+  Exec_engine.set_watermark eng ~lane:0 9;
+  (* lane 1 still at -1: positions (..,1) below (10,0)? lane 1 needs
+     watermark >= 9 (ts-1). *)
+  Alcotest.(check int) "still blocked on lane 1" 0 (List.length !log);
+  Exec_engine.set_watermark eng ~lane:1 9;
+  Alcotest.(check (list (triple int int string))) "executed" [ (10, 0, "a") ]
+    (List.rev !log)
+
+let test_exec_lane_order_at_equal_ts () =
+  let eng, log = mk_engine () in
+  Exec_engine.set_watermark eng ~lane:0 9;
+  Exec_engine.set_watermark eng ~lane:1 9;
+  (* The DFP-lane decision arrives first but must wait for the DM lane
+     at the same timestamp (DM positions order before DFP, §5.5); once
+     the DM decision executes it extends lane 0's coverage to 10. *)
+  Exec_engine.decide_op eng { Position.ts = 10; lane = 1 } "dfp";
+  Alcotest.(check int) "dfp waits for dm lane" 0 (List.length !log);
+  Exec_engine.decide_op eng { Position.ts = 10; lane = 0 } "dm";
+  Alcotest.(check (list (triple int int string))) "dm executes before dfp"
+    [ (10, 0, "dm"); (10, 1, "dfp") ]
+    (List.rev !log)
+
+let test_exec_interleaves_lanes () =
+  let eng, log = mk_engine () in
+  Exec_engine.decide_op eng { Position.ts = 5; lane = 0 } "a";
+  Exec_engine.decide_op eng { Position.ts = 3; lane = 1 } "b";
+  Exec_engine.decide_op eng { Position.ts = 7; lane = 1 } "c";
+  Exec_engine.set_watermark eng ~lane:0 10;
+  Exec_engine.set_watermark eng ~lane:1 10;
+  Alcotest.(check (list (triple int int string))) "timestamp order"
+    [ (3, 1, "b"); (5, 0, "a"); (7, 1, "c") ]
+    (List.rev !log)
+
+let test_exec_noop_decision_unblocks () =
+  let eng, log = mk_engine () in
+  Exec_engine.decide_noop eng { Position.ts = 5; lane = 0 };
+  Exec_engine.decide_op eng { Position.ts = 6; lane = 0 } "x";
+  Exec_engine.set_watermark eng ~lane:0 4;
+  Exec_engine.set_watermark eng ~lane:1 6;
+  (* noop at 5 covers the gap; op at 6 runs once lane 0's prefix is
+     complete (watermark 4 + explicit noop at 5). *)
+  Alcotest.(check (list (triple int int string))) "executed" [ (6, 0, "x") ]
+    (List.rev !log);
+  Alcotest.(check int) "one op executed" 1 (Exec_engine.executed_ops eng)
+
+let test_exec_duplicate_decisions () =
+  let eng, log = mk_engine () in
+  Exec_engine.set_watermark eng ~lane:1 100;
+  Exec_engine.decide_op eng { Position.ts = 5; lane = 0 } "x";
+  Exec_engine.set_watermark eng ~lane:0 4;
+  Exec_engine.decide_op eng { Position.ts = 5; lane = 0 } "x";
+  Alcotest.(check int) "executed once" 1 (List.length !log);
+  Alcotest.(check int) "no late decisions" 0 (Exec_engine.late_decisions eng)
+
+let test_exec_late_decision_detected () =
+  let eng, _log = mk_engine () in
+  Exec_engine.set_watermark eng ~lane:0 100;
+  Exec_engine.set_watermark eng ~lane:1 100;
+  (* Position 50/lane0 was covered as noop; an op decision now is a
+     protocol-safety violation and must be counted. *)
+  Exec_engine.decide_op eng { Position.ts = 50; lane = 0 } "too late";
+  Alcotest.(check int) "late" 1 (Exec_engine.late_decisions eng)
+
+let test_exec_watermark_monotone () =
+  let eng, _ = mk_engine () in
+  Exec_engine.set_watermark eng ~lane:0 50;
+  Exec_engine.set_watermark eng ~lane:0 10;
+  Alcotest.(check int) "keeps max" 50 (Exec_engine.watermark eng ~lane:0)
+
+let test_exec_pending_count () =
+  let eng, _ = mk_engine () in
+  Exec_engine.decide_op eng { Position.ts = 5; lane = 0 } "x";
+  Exec_engine.decide_op eng { Position.ts = 9; lane = 1 } "y";
+  Alcotest.(check int) "pending" 2 (Exec_engine.pending_ops eng)
+
+let prop_exec_runs_in_position_order =
+  (* Feed random decisions + watermarks; whatever executes must come
+     out in strictly increasing position order. *)
+  QCheck.Test.make ~name:"execution follows global position order" ~count:200
+    QCheck.(list (pair (int_bound 50) (int_bound 2)))
+    (fun decisions ->
+      let order = ref [] in
+      let eng =
+        Exec_engine.create ~n_lanes:3 ~on_exec:(fun pos _ ->
+            order := pos :: !order)
+      in
+      (* Dedup positions: one decision per (ts,lane). *)
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun (ts, lane) ->
+          if not (Hashtbl.mem seen (ts, lane)) then begin
+            Hashtbl.replace seen (ts, lane) ();
+            Exec_engine.decide_op eng { Position.ts; lane } ()
+          end)
+        decisions;
+      (* Raise watermarks gradually across lanes. *)
+      List.iter
+        (fun w ->
+          Exec_engine.set_watermark eng ~lane:(w mod 3) (w * 2))
+        (List.init 30 Fun.id);
+      List.iter (fun l -> Exec_engine.set_watermark eng ~lane:l 100) [ 0; 1; 2 ];
+      let rec sorted = function
+        | [] | [ _ ] -> true
+        | a :: (b :: _ as rest) -> Position.compare a b < 0 && sorted rest
+      in
+      sorted (List.rev !order) && Exec_engine.late_decisions eng = 0)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "log"
+    [
+      ( "position",
+        [
+          Alcotest.test_case "ordering" `Quick test_position_ordering;
+          q prop_position_total_order;
+        ] );
+      ( "interval_set",
+        [
+          Alcotest.test_case "basic" `Quick test_interval_basic;
+          Alcotest.test_case "range merge" `Quick test_interval_range_merge;
+          Alcotest.test_case "adjacent merge" `Quick test_interval_adjacent_merge;
+          Alcotest.test_case "next gap" `Quick test_interval_next_gap;
+          Alcotest.test_case "covered_from" `Quick test_interval_covered_from;
+          Alcotest.test_case "empty range" `Quick test_interval_empty_range;
+          q prop_interval_matches_naive;
+          q prop_interval_ranges_are_maximal;
+        ] );
+      ( "decided_log",
+        [
+          Alcotest.test_case "basic" `Quick test_decided_log_basic;
+          Alcotest.test_case "first write wins" `Quick test_decided_log_first_write_wins;
+          Alcotest.test_case "trim" `Quick test_decided_log_trim;
+        ] );
+      ( "exec_engine",
+        [
+          Alcotest.test_case "waits for watermarks" `Quick test_exec_waits_for_watermarks;
+          Alcotest.test_case "lane order at equal ts" `Quick
+            test_exec_lane_order_at_equal_ts;
+          Alcotest.test_case "interleaves lanes" `Quick test_exec_interleaves_lanes;
+          Alcotest.test_case "noop decisions" `Quick test_exec_noop_decision_unblocks;
+          Alcotest.test_case "duplicates" `Quick test_exec_duplicate_decisions;
+          Alcotest.test_case "late decisions detected" `Quick
+            test_exec_late_decision_detected;
+          Alcotest.test_case "watermark monotone" `Quick test_exec_watermark_monotone;
+          Alcotest.test_case "pending count" `Quick test_exec_pending_count;
+          q prop_exec_runs_in_position_order;
+        ] );
+    ]

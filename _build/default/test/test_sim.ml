@@ -1,0 +1,311 @@
+(* Tests for the discrete-event simulation engine: time arithmetic,
+   deterministic RNG, the event heap, and the scheduler. *)
+
+open Domino_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Time_ns --- *)
+
+let test_time_units () =
+  check_int "us" 1_000 (Time_ns.us 1);
+  check_int "ms" 1_000_000 (Time_ns.ms 1);
+  check_int "sec" 1_000_000_000 (Time_ns.sec 1);
+  check_int "of_ms_f rounds" 1_500_000 (Time_ns.of_ms_f 1.5);
+  Alcotest.(check (float 1e-9)) "to_ms_f" 2.5 (Time_ns.to_ms_f (Time_ns.of_ms_f 2.5));
+  check_int "add" 15 (Time_ns.add 10 5);
+  check_int "diff" (-5) (Time_ns.diff 10 15)
+
+let test_time_pp () =
+  let s v = Format.asprintf "%a" Time_ns.pp v in
+  check_bool "ns" true (String.length (s 12) > 0);
+  Alcotest.(check string) "ms" "2.50ms" (s (Time_ns.of_ms_f 2.5));
+  Alcotest.(check string) "s" "3.000s" (s (Time_ns.sec 3))
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7L in
+  let b = Rng.split a in
+  let xs = List.init 16 (fun _ -> Rng.int64 a) in
+  let ys = List.init 16 (fun _ -> Rng.int64 b) in
+  check_bool "streams differ" true (xs <> ys)
+
+let test_rng_float_range () =
+  let rng = Rng.create 3L in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    check_bool "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 5L in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 17 in
+    check_bool "in range" true (x >= 0 && x < 17)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_normal_moments () =
+  let rng = Rng.create 11L in
+  let n = 50_000 in
+  let sum = ref 0. and sumsq = ref 0. in
+  for _ = 1 to n do
+    let x = Rng.normal rng ~mean:5. ~std:2. in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  check_bool "mean ~5" true (Float.abs (mean -. 5.) < 0.1);
+  check_bool "var ~4" true (Float.abs (var -. 4.) < 0.3)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 13L in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:3.
+  done;
+  check_bool "mean ~3" true (Float.abs ((!sum /. float_of_int n) -. 3.) < 0.15)
+
+(* --- Dist --- *)
+
+let test_dist_constant () =
+  let rng = Rng.create 1L in
+  Alcotest.(check (float 0.)) "constant" 4.2 (Dist.sample_ms (Dist.Constant 4.2) rng)
+
+let test_dist_nonnegative () =
+  let rng = Rng.create 1L in
+  let d = Dist.Shifted (-5., Dist.Constant 1.) in
+  Alcotest.(check (float 0.)) "clamped" 0. (Dist.sample_ms d rng)
+
+let test_dist_mixture_mean () =
+  let rng = Rng.create 17L in
+  let d = Dist.Mixture [ (0.5, Dist.Constant 2.); (0.5, Dist.Constant 4.) ] in
+  Alcotest.(check (float 1e-9)) "analytic mean" 3. (Dist.mean_ms d);
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Dist.sample_ms d rng
+  done;
+  check_bool "empirical mean ~3" true (Float.abs ((!sum /. float_of_int n) -. 3.) < 0.05)
+
+let test_dist_lognormal_median () =
+  let rng = Rng.create 19L in
+  let d = Dist.Lognormal { median_ms = 2.; sigma = 0.5 } in
+  let samples = Array.init 20_001 (fun _ -> Dist.sample_ms d rng) in
+  Array.sort compare samples;
+  check_bool "median ~2" true (Float.abs (samples.(10_000) -. 2.) < 0.1)
+
+(* --- Pheap --- *)
+
+let test_heap_orders () =
+  let h = Pheap.create () in
+  let ts = [ 5; 1; 9; 3; 7; 1; 0 ] in
+  List.iteri (fun i t -> ignore (Pheap.push h ~time:t i)) ts;
+  let out = ref [] in
+  let rec drain () =
+    match Pheap.pop h with
+    | None -> ()
+    | Some (t, _) ->
+      out := t :: !out;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 1; 3; 5; 7; 9 ] (List.rev !out)
+
+let test_heap_fifo_on_ties () =
+  let h = Pheap.create () in
+  for i = 0 to 9 do
+    ignore (Pheap.push h ~time:42 i)
+  done;
+  let order = ref [] in
+  let rec drain () =
+    match Pheap.pop h with
+    | None -> ()
+    | Some (_, v) ->
+      order := v :: !order;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "insertion order" (List.init 10 Fun.id)
+    (List.rev !order)
+
+let test_heap_cancel () =
+  let h = Pheap.create () in
+  let _a = Pheap.push h ~time:1 "a" in
+  let b = Pheap.push h ~time:2 "b" in
+  let _c = Pheap.push h ~time:3 "c" in
+  Pheap.cancel h b;
+  Pheap.cancel h b (* idempotent *);
+  check_int "live" 2 (Pheap.length h);
+  let out = ref [] in
+  let rec drain () =
+    match Pheap.pop h with
+    | None -> ()
+    | Some (_, v) ->
+      out := v :: !out;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "b skipped" [ "a"; "c" ] (List.rev !out)
+
+let test_heap_peek () =
+  let h = Pheap.create () in
+  Alcotest.(check (option int)) "empty" None (Pheap.peek_time h);
+  let a = Pheap.push h ~time:5 () in
+  ignore (Pheap.push h ~time:9 ());
+  Alcotest.(check (option int)) "min" (Some 5) (Pheap.peek_time h);
+  Pheap.cancel h a;
+  Alcotest.(check (option int)) "skips dead" (Some 9) (Pheap.peek_time h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"pheap drains any input sorted" ~count:200
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let h = Pheap.create () in
+      List.iter (fun t -> ignore (Pheap.push h ~time:t ())) times;
+      let rec drain acc =
+        match Pheap.pop h with
+        | None -> List.rev acc
+        | Some (t, ()) -> drain (t :: acc)
+      in
+      drain [] = List.sort compare times)
+
+(* --- Engine --- *)
+
+let test_engine_runs_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:(Time_ns.ms 5) (fun () -> log := 5 :: !log));
+  ignore (Engine.schedule e ~delay:(Time_ns.ms 1) (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule e ~delay:(Time_ns.ms 3) (fun () -> log := 3 :: !log));
+  Engine.run e;
+  Alcotest.(check (list int)) "order" [ 1; 3; 5 ] (List.rev !log);
+  check_int "clock at last event" (Time_ns.ms 5) (Engine.now e)
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  ignore
+    (Engine.schedule e ~delay:1 (fun () ->
+         incr hits;
+         ignore (Engine.schedule e ~delay:1 (fun () -> incr hits))));
+  Engine.run e;
+  check_int "both ran" 2 !hits
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  ignore (Engine.schedule e ~delay:(Time_ns.ms 1) (fun () -> incr hits));
+  ignore (Engine.schedule e ~delay:(Time_ns.ms 10) (fun () -> incr hits));
+  Engine.run ~until:(Time_ns.ms 5) e;
+  check_int "only first" 1 !hits;
+  check_int "clock clamped to until" (Time_ns.ms 5) (Engine.now e);
+  Engine.run e;
+  check_int "second runs later" 2 !hits
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  let id = Engine.schedule e ~delay:1 (fun () -> incr hits) in
+  Engine.cancel e id;
+  Engine.run e;
+  check_int "cancelled" 0 !hits
+
+let test_engine_every () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  let id = Engine.every e ~interval:(Time_ns.ms 10) (fun () -> incr hits) in
+  Engine.run ~until:(Time_ns.ms 95) e;
+  check_int "9 ticks in 95ms" 9 !hits;
+  Engine.cancel e id;
+  Engine.run ~until:(Time_ns.ms 200) e;
+  check_int "no ticks after cancel" 9 !hits
+
+let test_engine_every_cancel_inside () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  let id = ref None in
+  id :=
+    Some
+      (Engine.every e ~interval:1 (fun () ->
+           incr hits;
+           if !hits = 3 then Option.iter (Engine.cancel e) !id));
+  Engine.run ~until:(Time_ns.ms 1) e;
+  check_int "self-cancel stops series" 3 !hits
+
+let test_engine_clock_monotone () =
+  let e = Engine.create () in
+  let last = ref (-1) in
+  for i = 1 to 50 do
+    ignore
+      (Engine.schedule e ~delay:(i mod 7) (fun () ->
+           Alcotest.(check bool) "monotone" true (Engine.now e >= !last);
+           last := Engine.now e))
+  done;
+  Engine.run e
+
+let test_engine_past_deadline_clamped () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:(Time_ns.ms 5) (fun () -> ()));
+  Engine.run e;
+  let hit_at = ref (-1) in
+  ignore (Engine.schedule_at e ~at:0 (fun () -> hit_at := Engine.now e));
+  Engine.run e;
+  check_int "past deadline runs now" (Time_ns.ms 5) !hit_at
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "time_ns",
+        [
+          Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "pretty-printing" `Quick test_time_pp;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "normal moments" `Slow test_rng_normal_moments;
+          Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "constant" `Quick test_dist_constant;
+          Alcotest.test_case "non-negative" `Quick test_dist_nonnegative;
+          Alcotest.test_case "mixture mean" `Quick test_dist_mixture_mean;
+          Alcotest.test_case "lognormal median" `Slow test_dist_lognormal_median;
+        ] );
+      ( "pheap",
+        [
+          Alcotest.test_case "orders" `Quick test_heap_orders;
+          Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_on_ties;
+          Alcotest.test_case "cancel" `Quick test_heap_cancel;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+          q prop_heap_sorts;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "periodic" `Quick test_engine_every;
+          Alcotest.test_case "periodic self-cancel" `Quick test_engine_every_cancel_inside;
+          Alcotest.test_case "clock monotone" `Quick test_engine_clock_monotone;
+          Alcotest.test_case "past deadline clamps" `Quick test_engine_past_deadline_clamped;
+        ] );
+    ]

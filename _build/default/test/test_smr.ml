@@ -1,0 +1,209 @@
+(* Tests for the SMR framework: quorum arithmetic, operations, the
+   observer/recorder, and message classes. *)
+
+open Domino_sim
+open Domino_smr
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Quorum --- *)
+
+let test_quorum_sizes () =
+  check_int "f(3)" 1 (Quorum.f_of_n 3);
+  check_int "f(5)" 2 (Quorum.f_of_n 5);
+  check_int "f(7)" 3 (Quorum.f_of_n 7);
+  check_int "majority(3)" 2 (Quorum.majority 3);
+  check_int "majority(5)" 3 (Quorum.majority 5);
+  (* Footnote 1: supermajority = ceil(3f/2)+1. *)
+  check_int "super(3)" 3 (Quorum.supermajority 3);
+  check_int "super(5)" 4 (Quorum.supermajority 5);
+  check_int "super(7)" 6 (Quorum.supermajority 7);
+  check_int "epaxos(3)" 2 (Quorum.epaxos_fast 3);
+  check_int "epaxos(5)" 4 (Quorum.epaxos_fast 5);
+  check_int "pick(3)" 2 (Quorum.recovery_pick_threshold 3);
+  check_int "pick(5)" 2 (Quorum.recovery_pick_threshold 5)
+
+let test_quorum_rejects_even () =
+  Alcotest.check_raises "even n"
+    (Invalid_argument "Quorum.f_of_n: need odd n >= 3") (fun () ->
+      ignore (Quorum.f_of_n 4))
+
+let prop_quorum_intersections =
+  (* Any two supermajorities intersect in at least q - f nodes, and a
+     supermajority intersects any majority — the safety foundations. *)
+  QCheck.Test.make ~name:"quorum intersection sizes" ~count:50
+    QCheck.(int_range 1 15)
+    (fun f ->
+      let n = (2 * f) + 1 in
+      let q = Quorum.supermajority n in
+      let m = Quorum.majority n in
+      (2 * q) - n >= Quorum.recovery_pick_threshold n
+      && q + m - n >= 1
+      && (2 * m) - n >= 1)
+
+(* --- Op --- *)
+
+let test_op_identity_and_conflicts () =
+  let a = Op.make ~client:1 ~seq:1 ~key:5 ~value:1L in
+  let b = Op.make ~client:1 ~seq:2 ~key:5 ~value:2L in
+  let c = Op.make ~client:2 ~seq:1 ~key:9 ~value:3L in
+  check_bool "same key conflicts" true (Op.conflicts a b);
+  check_bool "different key no conflict" false (Op.conflicts a c);
+  check_bool "no self conflict" false (Op.conflicts a a);
+  check_int "id order" (-1)
+    (compare (Op.compare_id (Op.id a) (Op.id b)) 0)
+
+(* --- Observer.Recorder --- *)
+
+let op ~client ~seq = Op.make ~client ~seq ~key:0 ~value:0L
+
+let test_recorder_commit_latency () =
+  let r = Observer.Recorder.create () in
+  let obs = Observer.Recorder.observer r () in
+  let o = op ~client:7 ~seq:0 in
+  Observer.Recorder.note_submit r o ~now:(Time_ns.ms 100);
+  obs.Observer.on_commit o ~now:(Time_ns.ms 150);
+  let s = Observer.Recorder.commit_latency_ms r in
+  Alcotest.(check (float 1e-9)) "50ms" 50. (Domino_stats.Summary.mean s);
+  check_int "committed" 1 (Observer.Recorder.committed r)
+
+let test_recorder_dedupes_commits () =
+  let r = Observer.Recorder.create () in
+  let obs = Observer.Recorder.observer r () in
+  let o = op ~client:7 ~seq:0 in
+  Observer.Recorder.note_submit r o ~now:0;
+  obs.Observer.on_commit o ~now:(Time_ns.ms 10);
+  obs.Observer.on_commit o ~now:(Time_ns.ms 99);
+  check_int "one commit" 1
+    (Domino_stats.Summary.count (Observer.Recorder.commit_latency_ms r));
+  Alcotest.(check (float 1e-9)) "first wins" 10.
+    (Domino_stats.Summary.mean (Observer.Recorder.commit_latency_ms r))
+
+let test_recorder_measure_window () =
+  let r = Observer.Recorder.create () in
+  Observer.Recorder.start_measuring r (Time_ns.ms 100);
+  Observer.Recorder.stop_measuring r (Time_ns.ms 200);
+  let obs = Observer.Recorder.observer r () in
+  let early = op ~client:1 ~seq:0 in
+  let inside = op ~client:1 ~seq:1 in
+  let late = op ~client:1 ~seq:2 in
+  Observer.Recorder.note_submit r early ~now:(Time_ns.ms 50);
+  Observer.Recorder.note_submit r inside ~now:(Time_ns.ms 150);
+  Observer.Recorder.note_submit r late ~now:(Time_ns.ms 250);
+  obs.Observer.on_commit early ~now:(Time_ns.ms 160);
+  obs.Observer.on_commit inside ~now:(Time_ns.ms 170);
+  obs.Observer.on_commit late ~now:(Time_ns.ms 270);
+  check_int "only in-window sample" 1
+    (Domino_stats.Summary.count (Observer.Recorder.commit_latency_ms r))
+
+let test_recorder_exec_first_replica_by_default () =
+  let r = Observer.Recorder.create () in
+  let obs = Observer.Recorder.observer r () in
+  let o = op ~client:1 ~seq:0 in
+  Observer.Recorder.note_submit r o ~now:0;
+  obs.Observer.on_execute ~replica:2 o ~now:(Time_ns.ms 30);
+  obs.Observer.on_execute ~replica:0 o ~now:(Time_ns.ms 99);
+  let s = Observer.Recorder.exec_latency_ms r in
+  check_int "one sample" 1 (Domino_stats.Summary.count s);
+  Alcotest.(check (float 1e-9)) "first exec" 30. (Domino_stats.Summary.mean s)
+
+let test_recorder_exec_specific_replica () =
+  let r = Observer.Recorder.create () in
+  let obs =
+    Observer.Recorder.observer r ~exec_replica_for:(fun _ -> Some 1) ()
+  in
+  let o = op ~client:1 ~seq:0 in
+  Observer.Recorder.note_submit r o ~now:0;
+  obs.Observer.on_execute ~replica:0 o ~now:(Time_ns.ms 10);
+  check_int "ignored wrong replica" 0
+    (Domino_stats.Summary.count (Observer.Recorder.exec_latency_ms r));
+  obs.Observer.on_execute ~replica:1 o ~now:(Time_ns.ms 25);
+  Alcotest.(check (float 1e-9)) "selected replica" 25.
+    (Domino_stats.Summary.mean (Observer.Recorder.exec_latency_ms r))
+
+let test_recorder_per_client () =
+  let r = Observer.Recorder.create () in
+  let obs = Observer.Recorder.observer r () in
+  let a = op ~client:1 ~seq:0 and b = op ~client:2 ~seq:0 in
+  Observer.Recorder.note_submit r a ~now:0;
+  Observer.Recorder.note_submit r b ~now:0;
+  obs.Observer.on_commit a ~now:(Time_ns.ms 10);
+  obs.Observer.on_commit b ~now:(Time_ns.ms 30);
+  Alcotest.(check (float 1e-9)) "client 1" 10.
+    (Domino_stats.Summary.mean (Observer.Recorder.commit_latency_of_client_ms r 1));
+  Alcotest.(check (float 1e-9)) "client 2" 30.
+    (Domino_stats.Summary.mean (Observer.Recorder.commit_latency_of_client_ms r 2))
+
+let test_observer_both () =
+  let hits = ref 0 in
+  let mk () =
+    {
+      Observer.on_commit = (fun _ ~now:_ -> incr hits);
+      on_execute = (fun ~replica:_ _ ~now:_ -> incr hits);
+    }
+  in
+  let o = Observer.both (mk ()) (mk ()) in
+  o.Observer.on_commit (op ~client:0 ~seq:0) ~now:0;
+  o.Observer.on_execute ~replica:0 (op ~client:0 ~seq:0) ~now:0;
+  check_int "fanout" 4 !hits
+
+let test_latency_series () =
+  let r = Observer.Recorder.create () in
+  let obs = Observer.Recorder.observer r () in
+  let a = op ~client:1 ~seq:0 in
+  Observer.Recorder.note_submit r a ~now:(Time_ns.ms 5);
+  obs.Observer.on_commit a ~now:(Time_ns.ms 25);
+  match Observer.Recorder.latency_series r with
+  | [ (sent, lat) ] ->
+    check_int "sent" (Time_ns.ms 5) sent;
+    Alcotest.(check (float 1e-9)) "lat" 20. lat
+  | _ -> Alcotest.fail "expected one point"
+
+(* --- Service --- *)
+
+let test_service_wrap () =
+  let engine = Engine.create () in
+  let processed = ref [] in
+  let svc =
+    Service.wrap engine ~service_time:(Time_ns.ms 5) (fun ~src:_ msg ->
+        processed := (msg, Engine.now engine) :: !processed)
+  in
+  Service.handler svc ~src:0 "a";
+  Service.handler svc ~src:0 "b";
+  check_int "queued" 2 (Service.queue_depth svc);
+  Engine.run engine;
+  (match List.rev !processed with
+  | [ ("a", ta); ("b", tb) ] ->
+    check_int "a at 5ms" (Time_ns.ms 5) ta;
+    check_int "b at 10ms" (Time_ns.ms 10) tb
+  | _ -> Alcotest.fail "expected a then b");
+  check_int "count" 2 (Service.processed svc);
+  check_int "busy" (Time_ns.ms 10) (Service.busy_time svc)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "smr"
+    [
+      ( "quorum",
+        [
+          Alcotest.test_case "sizes" `Quick test_quorum_sizes;
+          Alcotest.test_case "rejects even" `Quick test_quorum_rejects_even;
+          q prop_quorum_intersections;
+        ] );
+      ("op", [ Alcotest.test_case "identity/conflicts" `Quick test_op_identity_and_conflicts ]);
+      ( "recorder",
+        [
+          Alcotest.test_case "commit latency" `Quick test_recorder_commit_latency;
+          Alcotest.test_case "dedupes" `Quick test_recorder_dedupes_commits;
+          Alcotest.test_case "measure window" `Quick test_recorder_measure_window;
+          Alcotest.test_case "exec default replica" `Quick
+            test_recorder_exec_first_replica_by_default;
+          Alcotest.test_case "exec specific replica" `Quick
+            test_recorder_exec_specific_replica;
+          Alcotest.test_case "per client" `Quick test_recorder_per_client;
+          Alcotest.test_case "observer fanout" `Quick test_observer_both;
+          Alcotest.test_case "latency series" `Quick test_latency_series;
+        ] );
+      ("service", [ Alcotest.test_case "wrap" `Quick test_service_wrap ]);
+    ]

@@ -1,0 +1,145 @@
+(* Tests for the statistics toolkit: summaries, percentiles, CDFs and
+   table formatting. *)
+
+open Domino_stats
+
+let check_f = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+
+let of_list xs =
+  let s = Summary.create () in
+  Summary.add_list s xs;
+  s
+
+let test_summary_basic () =
+  let s = of_list [ 1.; 2.; 3.; 4.; 5. ] in
+  Alcotest.(check int) "count" 5 (Summary.count s);
+  check_f "mean" 3. (Summary.mean s);
+  check_f "min" 1. (Summary.minimum s);
+  check_f "max" 5. (Summary.maximum s);
+  check_f "median" 3. (Summary.median s)
+
+let test_summary_empty () =
+  let s = Summary.create () in
+  check_bool "empty" true (Summary.is_empty s);
+  check_bool "mean nan" true (Float.is_nan (Summary.mean s));
+  check_bool "percentile nan" true (Float.is_nan (Summary.percentile s 50.))
+
+let test_summary_percentile_interpolation () =
+  let s = of_list [ 0.; 10. ] in
+  check_f "p25" 2.5 (Summary.percentile s 25.);
+  check_f "p0" 0. (Summary.percentile s 0.);
+  check_f "p100" 10. (Summary.percentile s 100.);
+  check_f "clamp" 10. (Summary.percentile s 150.)
+
+let test_summary_stddev () =
+  let s = of_list [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  check_bool "stddev ~2.138" true (Float.abs (Summary.stddev s -. 2.13809) < 1e-4)
+
+let test_summary_add_after_query () =
+  (* Adding after a sorted query must keep results correct. *)
+  let s = of_list [ 3.; 1. ] in
+  check_f "median" 2. (Summary.median s);
+  Summary.add s 100.;
+  check_f "max updated" 100. (Summary.maximum s);
+  Alcotest.(check int) "count" 3 (Summary.count s)
+
+let test_summary_merge () =
+  let a = of_list [ 1.; 2. ] and b = of_list [ 3.; 4. ] in
+  let m = Summary.merge a b in
+  Alcotest.(check int) "count" 4 (Summary.count m);
+  check_f "mean" 2.5 (Summary.mean m);
+  (* inputs untouched *)
+  Alcotest.(check int) "a count" 2 (Summary.count a)
+
+let test_confidence95 () =
+  let s = of_list (List.init 100 (fun i -> float_of_int (i mod 10))) in
+  let ci = Summary.confidence95 s in
+  check_bool "ci positive" true (ci > 0.);
+  check_bool "ci small for n=100" true (ci < 1.)
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within [min,max]" ~count:300
+    QCheck.(pair (list_of_size (Gen.int_range 1 50) (float_bound_exclusive 1000.)) (float_bound_inclusive 100.))
+    (fun (xs, p) ->
+      let s = of_list xs in
+      let v = Summary.percentile s p in
+      v >= Summary.minimum s -. 1e-9 && v <= Summary.maximum s +. 1e-9)
+
+let prop_median_matches_sorted =
+  QCheck.Test.make ~name:"median = middle of sorted (odd n)" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 25) (float_bound_exclusive 100.))
+    (fun xs ->
+      let xs = if List.length xs mod 2 = 0 then 1. :: xs else xs in
+      let s = of_list xs in
+      let sorted = List.sort compare xs in
+      let mid = List.nth sorted (List.length xs / 2) in
+      Float.abs (Summary.median s -. mid) < 1e-9)
+
+let test_cdf_roundtrip () =
+  let c = Cdf.of_list [ 10.; 20.; 30.; 40. ] in
+  check_f "q0" 10. (Cdf.value_at c 0.);
+  check_f "q1" 40. (Cdf.value_at c 1.);
+  check_f "q0.5" 25. (Cdf.value_at c 0.5);
+  check_f "fraction below 20" 0.5 (Cdf.fraction_below c 20.);
+  check_f "fraction below 9" 0. (Cdf.fraction_below c 9.);
+  check_f "fraction below 100" 1. (Cdf.fraction_below c 100.)
+
+let test_cdf_standard_rows () =
+  let c = Cdf.of_list (List.init 100 float_of_int) in
+  let rows = Cdf.standard_rows c in
+  Alcotest.(check int) "9 rows" 9 (List.length rows);
+  let fracs = List.map fst rows in
+  check_bool "sorted fracs" true (fracs = List.sort compare fracs)
+
+let test_tablefmt_renders () =
+  let t = Tablefmt.create ~title:"T" ~header:[ "a"; "bb" ] in
+  Tablefmt.add_row t [ "1"; "2" ];
+  Tablefmt.add_rows t [ [ "333"; "4" ] ];
+  let s = Tablefmt.to_string t in
+  check_bool "has title" true (String.length s > 0 && String.sub s 0 1 = "T");
+  let contains needle =
+    let n = String.length needle in
+    let rec find i =
+      if i + n > String.length s then false
+      else if String.sub s i n = needle then true
+      else find (i + 1)
+    in
+    find 0
+  in
+  check_bool "contains row" true (contains "333");
+  check_bool "header aligned" true (contains "bb")
+
+let test_tablefmt_cells () =
+  Alcotest.(check string) "float" "3.14" (Tablefmt.cell_f 3.14159);
+  Alcotest.(check string) "nan" "-" (Tablefmt.cell_f nan);
+  Alcotest.(check string) "ms" "12.3ms" (Tablefmt.cell_ms 12.34)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "basics" `Quick test_summary_basic;
+          Alcotest.test_case "empty" `Quick test_summary_empty;
+          Alcotest.test_case "percentile interpolation" `Quick
+            test_summary_percentile_interpolation;
+          Alcotest.test_case "stddev" `Quick test_summary_stddev;
+          Alcotest.test_case "add after query" `Quick test_summary_add_after_query;
+          Alcotest.test_case "merge" `Quick test_summary_merge;
+          Alcotest.test_case "confidence" `Quick test_confidence95;
+          q prop_percentile_bounds;
+          q prop_median_matches_sorted;
+        ] );
+      ( "cdf",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_cdf_roundtrip;
+          Alcotest.test_case "standard rows" `Quick test_cdf_standard_rows;
+        ] );
+      ( "tablefmt",
+        [
+          Alcotest.test_case "renders" `Quick test_tablefmt_renders;
+          Alcotest.test_case "cells" `Quick test_tablefmt_cells;
+        ] );
+    ]

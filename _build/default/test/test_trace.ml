@@ -1,0 +1,127 @@
+(* Tests for the synthetic trace generator and the §3 analyses. *)
+
+open Domino_sim
+open Domino_net
+open Domino_trace
+
+let check_bool = Alcotest.(check bool)
+
+let spec_va_wa = Trace_gen.azure_pair Topology.globe ~src:"VA" ~dst:"WA"
+
+let test_generate_count_and_times () =
+  let probes =
+    Trace_gen.generate ~interval:(Time_ns.ms 10) ~duration:(Time_ns.sec 10)
+      ~seed:1L spec_va_wa
+  in
+  Alcotest.(check int) "count" 1_000 (Array.length probes);
+  (* Send times increase ~10ms apart (well-disciplined clocks). *)
+  let ok = ref true in
+  for i = 1 to Array.length probes - 1 do
+    if probes.(i).Trace_gen.t_send <= probes.(i - 1).Trace_gen.t_send then
+      ok := false
+  done;
+  check_bool "monotone send times" true !ok
+
+let test_generate_rtt_near_matrix () =
+  let probes = Trace_gen.generate ~duration:(Time_ns.sec 30) ~seed:2L spec_va_wa in
+  let s = Domino_stats.Summary.create () in
+  Array.iter
+    (fun (p : Trace_gen.probe) ->
+      Domino_stats.Summary.add s (Time_ns.to_ms_f p.rtt))
+    probes;
+  let median = Domino_stats.Summary.median s in
+  check_bool "median near 67ms" true (Float.abs (median -. 67.) < 3.);
+  check_bool "min at least base" true (Domino_stats.Summary.minimum s >= 67.)
+
+let test_generate_asymmetry () =
+  (* Forward OWD should not be RTT/2: that gap is what Table 2 shows. *)
+  let probes = Trace_gen.generate ~duration:(Time_ns.sec 10) ~seed:3L spec_va_wa in
+  let fwd = Domino_stats.Summary.create () in
+  Array.iter
+    (fun (p : Trace_gen.probe) ->
+      Domino_stats.Summary.add fwd (Time_ns.to_ms_f p.true_fwd_owd))
+    probes;
+  let topo = Topology.globe in
+  let i = Topology.index topo "VA" and j = Topology.index topo "WA" in
+  let expected = Topology.owd_ms topo i j in
+  check_bool "fwd near owd split" true
+    (Float.abs (Domino_stats.Summary.median fwd -. expected) < 2.);
+  check_bool "owd differs from half rtt" true
+    (Float.abs (expected -. (Topology.rtt_ms topo i j /. 2.)) > 1.)
+
+let test_clock_skew_in_offsets () =
+  (* NSW's drifting clock must leak into arrival offsets over time. *)
+  let spec = Trace_gen.azure_pair Topology.globe ~src:"NSW" ~dst:"VA" in
+  let probes =
+    Trace_gen.generate ~interval:(Time_ns.ms 100) ~duration:(Time_ns.sec 3600)
+      ~seed:4L spec
+  in
+  let early = probes.(10).Trace_gen.arrival_offset in
+  let late = probes.(Array.length probes - 10).Trace_gen.arrival_offset in
+  (* NSW runs slow (-30ppm): its send stamps fall behind, so measured
+     offsets grow by ~108ms over an hour. *)
+  check_bool "offset grows" true (late - early > Time_ns.ms 50)
+
+let test_prediction_rate_sane () =
+  let probes = Trace_gen.generate ~duration:(Time_ns.sec 120) ~seed:5L spec_va_wa in
+  let rate =
+    Trace_analysis.prediction_rate ~window:(Time_ns.sec 1) ~percentile:95. probes
+  in
+  (* The paper's Figure 3: ~94% at p95 with a 1s window. *)
+  check_bool "in [88, 99]" true (rate > 0.88 && rate < 0.99);
+  let low =
+    Trace_analysis.prediction_rate ~window:(Time_ns.sec 1) ~percentile:10. probes
+  in
+  check_bool "monotone in percentile" true (rate > low)
+
+let test_misprediction_owd_beats_half_rtt_under_skew () =
+  let spec = Trace_gen.azure_pair Topology.globe ~src:"NSW" ~dst:"VA" in
+  let probes =
+    Trace_gen.generate ~interval:(Time_ns.ms 100) ~duration:(Time_ns.sec 1800)
+      ~seed:6L spec
+  in
+  let w = Time_ns.sec 1 in
+  let half = Trace_analysis.p99_misprediction_half_rtt ~window:w ~percentile:95. probes in
+  let owd = Trace_analysis.p99_misprediction_owd ~window:w ~percentile:95. probes in
+  (* Table 2 vs Table 3: half-RTT blows up with the drifting clock,
+     the timestamp-based estimator stays in single-digit ms. *)
+  check_bool "half-rtt large" true (half > 20.);
+  check_bool "owd small" true (owd < 10.);
+  check_bool "owd much better" true (owd *. 3. < half)
+
+let test_fig2_stability () =
+  let probes = Trace_gen.generate ~duration:(Time_ns.sec 70) ~seed:7L spec_va_wa in
+  let boxes = Trace_analysis.fig2_boxes probes in
+  check_bool "60 boxes" true (List.length boxes >= 59);
+  List.iter
+    (fun (b : Trace_analysis.box) ->
+      check_bool "band small vs base" true (b.p95 -. b.p5 < 10.);
+      check_bool "median near base" true (Float.abs (b.p50 -. 67.) < 5.))
+    boxes
+
+let test_fig1_summary () =
+  let probes = Trace_gen.generate ~duration:(Time_ns.sec 60) ~seed:8L spec_va_wa in
+  let s = Trace_analysis.fig1_summary probes in
+  check_bool "concentrated" true (s.within_3ms_of_median > 0.9);
+  check_bool "p99 above p95" true (s.p99 >= s.p95);
+  check_bool "min below median" true (s.minimum <= s.p50)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "trace_gen",
+        [
+          Alcotest.test_case "count and times" `Quick test_generate_count_and_times;
+          Alcotest.test_case "rtt near matrix" `Quick test_generate_rtt_near_matrix;
+          Alcotest.test_case "asymmetry" `Quick test_generate_asymmetry;
+          Alcotest.test_case "clock skew leaks" `Slow test_clock_skew_in_offsets;
+        ] );
+      ( "trace_analysis",
+        [
+          Alcotest.test_case "prediction rate" `Slow test_prediction_rate_sane;
+          Alcotest.test_case "owd beats half-rtt" `Slow
+            test_misprediction_owd_beats_half_rtt_under_skew;
+          Alcotest.test_case "fig2 stability" `Quick test_fig2_stability;
+          Alcotest.test_case "fig1 summary" `Quick test_fig1_summary;
+        ] );
+    ]
