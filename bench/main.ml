@@ -181,9 +181,7 @@ let experiments =
           let d = Domino.create ~net ~cfg ~observer:Domino_smr.Observer.null () in
           let _w =
             Domino_kv.Workload.create ~rate:200. ~clients:[ 3 ]
-              ~duration:(Time_ns.sec 10) ~submit:(Domino.submit d)
-              ~note_submit:(fun _ ~now:_ -> ())
-              engine
+              ~duration:(Time_ns.sec 10) ~submit:(Domino.submit d) engine
           in
           Engine.run ~until:(Time_ns.sec 12) engine;
           let t =
@@ -211,6 +209,36 @@ let experiments =
       run =
         (fun ~quick ->
           Tablefmt.print (Domino_exp.Exp_fig13.table ~quick ~seed ()));
+    };
+    {
+      id = "obs";
+      describe = "observability layer: event-loop throughput + registry dump";
+      run =
+        (fun ~quick ->
+          let open Domino_sim in
+          let open Domino_obs in
+          let duration = Time_ns.sec (if quick then 10 else 30) in
+          let metrics = Metrics.create () in
+          let t0 = Unix.gettimeofday () in
+          let r =
+            Domino_exp.Exp_common.run ~seed ~duration ~metrics
+              Domino_exp.Exp_common.globe3
+              Domino_exp.Exp_common.domino_default
+          in
+          let wall = Unix.gettimeofday () -. t0 in
+          let events =
+            match Metrics.find_gauge metrics "sim.events" with
+            | Some g -> Metrics.gauge_value g
+            | None -> 0.
+          in
+          Printf.printf
+            "event loop: %.0f simulated events in %.2fs wall = %.0f events/s\n"
+            events wall (events /. wall);
+          Printf.printf "(%d messages delivered, %d ops committed)\n\n"
+            r.Domino_exp.Exp_common.wall_events
+            (Domino_smr.Observer.Recorder.committed
+               r.Domino_exp.Exp_common.recorder);
+          print_tables (Metrics.to_tables metrics));
     };
   ]
 

@@ -91,11 +91,24 @@ let run_cmd =
     Arg.(value & opt float 95. & info [ "percentile" ] ~docv:"P"
            ~doc:"Percentile used for delay estimates (Domino).")
   in
-  let action seed setting proto_name duration rate alpha additional percentile =
+  let metrics_out =
+    Arg.(value & opt (some string) None
+           & info [ "metrics-out" ] ~docv:"FILE"
+               ~doc:"Write the run's metrics registry (message-class \
+                     counters, latency histograms) as JSON to $(docv).")
+  in
+  let trace_op =
+    Arg.(value & opt (some int) None
+           & info [ "trace-op" ] ~docv:"N"
+               ~doc:"Print the life of the N-th submitted operation \
+                     (0-based, global submit order) as a span tree.")
+  in
+  let action seed setting proto_name duration rate alpha additional percentile
+      metrics_out trace_op =
     let proto = protocol_arg additional percentile proto_name in
     let r =
       Exp_common.run ~seed ~rate ~alpha ~duration:(Time_ns.sec duration)
-        setting proto
+        ?trace_op setting proto
     in
     let commit = Observer.Recorder.commit_latency_ms r.recorder in
     let exec = Observer.Recorder.exec_latency_ms r.recorder in
@@ -109,26 +122,41 @@ let run_cmd =
       (Observer.Recorder.committed r.recorder);
     Format.printf "  commit latency: %a@." Domino_stats.Summary.pp_brief commit;
     Format.printf "  exec   latency: %a@." Domino_stats.Summary.pp_brief exec;
-    (match r.domino_stats with
-    | Some s ->
-      Format.printf
-        "  domino: dfp=%d dm=%d fast=%d slow=%d conflicts=%d late=%d@."
-        s.Domino_core.Domino.dfp_submissions s.dm_submissions
-        s.dfp_fast_decisions s.dfp_slow_decisions s.dfp_conflicts
-        s.late_decisions
-    | None ->
+    (match r.extra with
+    | [] ->
       if r.fast_commits + r.slow_commits > 0 then
         Format.printf "  fast commits: %d, slow: %d@." r.fast_commits
-          r.slow_commits);
-    match r.store_fingerprints with
+          r.slow_commits
+    | extra ->
+      Format.printf "  %s:@." (Exp_common.protocol_name proto);
+      List.iter (fun (k, v) -> Format.printf "    %s = %d@." k v) extra);
+    (match r.store_fingerprints with
     | x :: rest when List.for_all (fun y -> y = x) rest ->
       Format.printf "  replicas converged ✓@."
-    | _ -> Format.printf "  WARNING: replica state diverged@."
+    | _ -> Format.printf "  WARNING: replica state diverged@.");
+    (match metrics_out with
+    | Some file -> (
+      match open_out file with
+      | oc ->
+        output_string oc (Domino_obs.Metrics.to_json_string r.metrics);
+        close_out oc;
+        Format.printf "  metrics written to %s@." file
+      | exception Sys_error msg ->
+        Format.eprintf "domino-sim: cannot write metrics: %s@." msg;
+        exit 1)
+    | None -> ());
+    match trace_op with
+    | Some n ->
+      let tree = Domino_obs.Trace.span_tree r.trace in
+      if tree = "" then
+        Format.printf "@.no trace recorded: fewer than %d operations@." (n + 1)
+      else Format.printf "@.%s" tree
+    | None -> ()
   in
   let term =
     Term.(
       const action $ seed_arg $ setting_arg $ protocol_name_arg $ duration
-      $ rate $ alpha $ additional_delay $ percentile)
+      $ rate $ alpha $ additional_delay $ percentile $ metrics_out $ trace_op)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one protocol over a WAN deployment")

@@ -55,7 +55,6 @@ let () =
          incr seq;
          let client = Domino.client domino 3 in
          let dfp_before = Client.dfp_submissions client in
-         Observer.Recorder.note_submit recorder op ~now:(Engine.now engine);
          Domino.submit domino op;
          let path =
            if Client.dfp_submissions client > dfp_before then "DFP" else "DM"

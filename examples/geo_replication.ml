@@ -33,9 +33,7 @@ let () =
   let clients = List.init (List.length client_dcs) (fun i -> 3 + i) in
   let _workload =
     Workload.create ~rate:200. ~clients ~duration:(Time_ns.sec 10)
-      ~submit:(Domino.submit domino)
-      ~note_submit:(fun op ~now -> Observer.Recorder.note_submit recorder op ~now)
-      engine
+      ~submit:(Domino.submit domino) engine
   in
   Engine.run ~until:(Time_ns.sec 13) engine;
 

@@ -38,14 +38,13 @@ let () =
     "Append-only log, 3 replicas (WA/PR/NSW), appenders in 6 regions, \
      100 appends/s each:@.@.";
   let d = run "Domino (+8ms)" Exp_common.domino_exec in
-  (match d.Exp_common.domino_stats with
-  | Some s ->
-    Format.printf
-      "               fast-path appends: %d, slow: %d, conflicts: %d@.@."
-      s.Domino_core.Domino.dfp_fast_decisions
-      s.Domino_core.Domino.dfp_slow_decisions
-      s.Domino_core.Domino.dfp_conflicts
-  | None -> ());
+  let stat k =
+    match List.assoc_opt k d.Exp_common.extra with Some v -> v | None -> 0
+  in
+  Format.printf
+    "               fast-path appends: %d, slow: %d, conflicts: %d@.@."
+    (stat "dfp_fast_decisions") (stat "dfp_slow_decisions")
+    (stat "dfp_conflicts");
   let _ = run "Multi-Paxos" Exp_common.Multi_paxos in
   Format.printf
     "@.The log client blocks only on commit; Domino commits an append in \

@@ -27,7 +27,10 @@ let () =
   let committed = ref 0 in
   let observer =
     {
-      Observer.on_commit =
+      Observer.on_submit =
+        (fun op ~now ->
+          Format.printf "submitting %a at %a@." Op.pp op Time_ns.pp_ms now);
+      on_commit =
         (fun op ~now ->
           incr committed;
           Format.printf "  committed %a at %a@." Op.pp op Time_ns.pp_ms now);
@@ -49,8 +52,6 @@ let () =
          ~at:(Time_ns.sec 2 + (i * Time_ns.ms 100))
          (fun () ->
            let op = Op.make ~client:3 ~seq:i ~key:i ~value:(Int64.of_int i) in
-           Format.printf "submitting %a at %a@." Op.pp op Time_ns.pp_ms
-             (Engine.now engine);
            Domino.submit domino op))
   done;
 

@@ -17,6 +17,7 @@ type t = {
   mutable probe_seq : int;
   mutable dfp_count : int;
   mutable dm_count : int;
+  mutable commit_count : int;
   mutable last_choice : Estimator.choice option;
 }
 
@@ -53,6 +54,7 @@ let create ~net ~cfg ~self ~observer () =
       probe_seq = 0;
       dfp_count = 0;
       dm_count = 0;
+      commit_count = 0;
       last_choice = None;
     }
   in
@@ -72,11 +74,13 @@ let commit t (op : Op.t) ~fast =
   | Some p when not p.done_ ->
     p.done_ <- true;
     note_outcome t (if fast then Feedback.Fast else Feedback.Slow);
+    t.commit_count <- t.commit_count + 1;
     t.observer.Observer.on_commit op ~now:(Engine.now (Fifo_net.engine t.net));
     Hashtbl.remove t.pending id
   | Some _ -> ()
   | None ->
     (* DM replies have no pending entry on the DFP table. *)
+    t.commit_count <- t.commit_count + 1;
     t.observer.Observer.on_commit op ~now:(Engine.now (Fifo_net.engine t.net))
 
 let submit_dm t (op : Op.t) ~leader =
@@ -111,6 +115,7 @@ let extra_delay t =
   | None -> t.cfg.Config.additional_delay
 
 let submit t (op : Op.t) =
+  t.observer.Observer.on_submit op ~now:(Engine.now (Fifo_net.engine t.net));
   let local = now_local t in
   let q = Config.supermajority t.cfg in
   let avoid_dfp =
@@ -167,6 +172,8 @@ let handle t ~src msg =
   | _ -> ()
 
 let dfp_submissions t = t.dfp_count
+
+let commits t = t.commit_count
 
 let dm_submissions t = t.dm_count
 

@@ -39,6 +39,9 @@ val submit : t -> Op.t -> unit
 val dfp_submissions : t -> int
 val dm_submissions : t -> int
 
+val commits : t -> int
+(** Operations this client has learned committed. *)
+
 val last_choice : t -> Domino_measure.Estimator.choice option
 (** What the client picked for its most recent request. *)
 

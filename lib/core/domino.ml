@@ -90,6 +90,9 @@ let replica t index = t.replicas.(index)
 
 let submit t (op : Op.t) = Client.submit (client t op.Op.client) op
 
+let committed_count t =
+  Hashtbl.fold (fun _ c acc -> acc + Client.commits c) t.clients 0
+
 let stats t =
   let dfp_submissions =
     Hashtbl.fold (fun _ c acc -> acc + Client.dfp_submissions c) t.clients 0
@@ -108,3 +111,46 @@ let stats t =
     dm_submissions;
     late_decisions = late;
   }
+
+module Api = struct
+  type nonrec t = t
+
+  let name = "domino"
+
+  let create (env : Protocol_intf.env) =
+    let net = env.Protocol_intf.make_net () in
+    Protocol_intf.instrument env ~name ~classify:Message.classify
+      ~op_of:Message.op_of net;
+    let cfg =
+      Config.make
+        ~additional_delay:
+          (Time_ns.of_ms_f
+             (Protocol_intf.param env "additional_delay_ms" ~default:0.))
+        ~percentile:(Protocol_intf.param env "percentile" ~default:95.)
+        ~every_replica_learns:
+          (Protocol_intf.flag env "every_replica_learns" ~default:false)
+        ~adaptive:(Protocol_intf.flag env "adaptive" ~default:false)
+        ~force_dfp:(Protocol_intf.flag env "force_dfp" ~default:false)
+        ~coordinator:env.Protocol_intf.leader
+        ~replicas:env.Protocol_intf.replicas ()
+    in
+    create ~net ~cfg ~observer:env.Protocol_intf.observer ()
+
+  let submit = submit
+  let committed_count = committed_count
+
+  let fast_slow_counts t =
+    let s = stats t in
+    Some (s.dfp_fast_decisions, s.dfp_slow_decisions)
+
+  let extra_stats t =
+    let s = stats t in
+    [
+      ("dfp_fast_decisions", s.dfp_fast_decisions);
+      ("dfp_slow_decisions", s.dfp_slow_decisions);
+      ("dfp_conflicts", s.dfp_conflicts);
+      ("dfp_submissions", s.dfp_submissions);
+      ("dm_submissions", s.dm_submissions);
+      ("late_decisions", s.late_decisions);
+    ]
+end

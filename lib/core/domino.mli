@@ -36,3 +36,11 @@ val client : t -> Nodeid.t -> Client.t
 val replica : t -> int -> Replica.t
 
 val stats : t -> stats
+
+val committed_count : t -> int
+(** Operations some client has learned committed (DFP or DM). *)
+
+module Api : Protocol_intf.S with type t = t
+(** The registry entry ("domino"). Config knobs travel in [env.params]:
+    [additional_delay_ms], [percentile], [every_replica_learns],
+    [adaptive], [force_dfp] (booleans as 0/1). *)

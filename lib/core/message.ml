@@ -63,6 +63,18 @@ let pp fmt = function
     Format.fprintf fmt "Dm_watermark(l%d, %a)" leader Time_ns.pp upto
   | Dm_reply { op } -> Format.fprintf fmt "Dm_reply(%a)" Op.pp op
 
+let op_of = function
+  | Dfp_propose { op; _ }
+  | Dfp_slow_reply { op }
+  | Dm_request op
+  | Dm_accept { op; _ }
+  | Dm_commit { op; _ }
+  | Dm_reply { op } -> Some op
+  | Dfp_vote { subject; _ } -> Some subject
+  | Dfp_p2a { value; _ } | Dfp_commit { value; _ } -> value
+  | Dfp_p2b _ | Dfp_decided_watermark _ | Replica_heartbeat _
+  | Dm_accepted _ | Dm_watermark _ | Probe_req _ | Probe_rep _ -> None
+
 let classify : msg -> Domino_smr.Msg_class.t =
   let open Domino_smr.Msg_class in
   function

@@ -54,3 +54,7 @@ val pp : Format.formatter -> msg -> unit
 
 val classify : msg -> Domino_smr.Msg_class.t
 (** Cost class of a message, for the Figure 13 throughput model. *)
+
+val op_of : msg -> Op.t option
+(** The operation a message carries (a DFP vote's [subject]), if any —
+    per-op trace attribution. *)

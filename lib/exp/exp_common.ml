@@ -1,6 +1,7 @@
 open Domino_sim
 open Domino_net
 open Domino_smr
+open Domino_obs
 open Domino_kv
 
 type setting = {
@@ -52,7 +53,7 @@ let fig7_double =
     leader = 0;
   }
 
-type protocol =
+type protocol = Protocols.t =
   | Domino of {
       additional_delay : Time_ns.span;
       percentile : float;
@@ -64,45 +65,18 @@ type protocol =
   | Multi_paxos
   | Fast_paxos
 
-let domino_default =
-  Domino
-    {
-      additional_delay = 0;
-      percentile = 95.;
-      every_replica_learns = false;
-      adaptive = false;
-    }
-
-let domino_exec =
-  Domino
-    {
-      additional_delay = Time_ns.ms 8;
-      percentile = 95.;
-      every_replica_learns = false;
-      adaptive = false;
-    }
-
-let domino_adaptive =
-  Domino
-    {
-      additional_delay = 0;
-      percentile = 95.;
-      every_replica_learns = false;
-      adaptive = true;
-    }
-
-let protocol_name = function
-  | Domino _ -> "Domino"
-  | Mencius -> "Mencius"
-  | Epaxos -> "EPaxos"
-  | Multi_paxos -> "Multi-Paxos"
-  | Fast_paxos -> "Fast Paxos"
+let domino_default = Protocols.domino_default
+let domino_exec = Protocols.domino_exec
+let domino_adaptive = Protocols.domino_adaptive
+let protocol_name = Protocols.name
 
 type result = {
   recorder : Observer.Recorder.t;
-  domino_stats : Domino_core.Domino.stats option;
+  metrics : Metrics.t;
+  trace : Trace.t;
   fast_commits : int;
   slow_commits : int;
+  extra : (string * int) list;
   store_fingerprints : int list;
   wall_events : int;
 }
@@ -127,8 +101,58 @@ let layout setting =
   let clients = List.init n_cli (fun i -> n_rep + i) in
   (placement, replicas, clients)
 
+(* The harness-side observability observer: run-level counters, the
+   commit/execution latency histograms, and the submit/commit/execute
+   span events for the focused operation. *)
+let obs_observer metrics trace tracer ~trace_op ~exec_replica_for =
+  let submitted_c = Metrics.counter metrics "run.submitted" in
+  let committed_c = Metrics.counter metrics "run.committed" in
+  let executed_c = Metrics.counter metrics "run.executed" in
+  let commit_h = Metrics.histogram metrics "run.commit_latency_ms" in
+  let exec_h = Metrics.histogram metrics "run.exec_latency_ms" in
+  let submit_times : (Op.id, Time_ns.t) Hashtbl.t = Hashtbl.create 1024 in
+  let submit_count = ref 0 in
+  let latency_ms op ~now =
+    match Hashtbl.find_opt submit_times (Op.id op) with
+    | Some at -> Some (Time_ns.to_ms_f (Time_ns.diff now at))
+    | None -> None
+  in
+  {
+    Observer.on_submit =
+      (fun op ~now ->
+        Metrics.inc submitted_c;
+        Hashtbl.replace submit_times (Op.id op) now;
+        (match trace_op with
+        | Some n when !submit_count = n -> Trace.set_focus tracer (Op.id op)
+        | _ -> ());
+        incr submit_count;
+        if Trace.enabled trace then
+          Trace.emit trace
+            (Trace.Submit { op = Op.id op; node = op.Op.client; at = now }));
+    on_commit =
+      (fun op ~now ->
+        Metrics.inc committed_c;
+        (match latency_ms op ~now with
+        | Some l -> Metrics.observe commit_h l
+        | None -> ());
+        if Trace.enabled trace then
+          Trace.emit trace
+            (Trace.Committed { op = Op.id op; node = op.Op.client; at = now }));
+    on_execute =
+      (fun ~replica op ~now ->
+        Metrics.inc executed_c;
+        (if exec_replica_for op = Some replica then
+           match latency_ms op ~now with
+           | Some l -> Metrics.observe exec_h l
+           | None -> ());
+        if Trace.enabled trace then
+          Trace.emit trace
+            (Trace.Executed { op = Op.id op; replica; at = now }));
+  }
+
 let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
-    ?(duration = Time_ns.sec 30) ?measure_from ?measure_until setting proto =
+    ?(duration = Time_ns.sec 30) ?measure_from ?measure_until ?metrics
+    ?trace_op setting proto =
   let measure_from =
     match measure_from with
     | Some v -> v
@@ -139,6 +163,11 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
     | Some v -> v
     | None -> duration - Stdlib.min (Time_ns.sec 2) (duration / 8)
   in
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let tracer = Trace.create () in
+  let trace =
+    match trace_op with Some _ -> Trace.sink tracer | None -> Trace.null
+  in
   let engine = Engine.create ~seed () in
   let placement, replicas, clients = layout setting in
   let recorder = Observer.Recorder.create () in
@@ -148,7 +177,8 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
   let stores = Array.init n_rep (fun _ -> Store.create ()) in
   let store_observer =
     {
-      Observer.on_commit = (fun _ ~now:_ -> ());
+      Observer.on_submit = (fun _ ~now:_ -> ());
+      on_commit = (fun _ ~now:_ -> ());
       on_execute =
         (fun ~replica op ~now:_ ->
           if replica < n_rep then Store.apply stores.(replica) op);
@@ -160,112 +190,60 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
   in
   let observer =
     Observer.both
-      (Observer.Recorder.observer recorder ~exec_replica_for ())
-      store_observer
+      (Observer.both
+         (Observer.Recorder.observer recorder ~exec_replica_for ())
+         store_observer)
+      (obs_observer metrics trace tracer ~trace_op ~exec_replica_for)
   in
   let coordinator_of client =
     closest_replica setting ~client_dc:placement.(client)
   in
-  let drain = Time_ns.sec 3 in
-  let run_workload submit =
-    let note_submit op ~now = Observer.Recorder.note_submit recorder op ~now in
-    let _workload =
-      Workload.create ~alpha ~rate ~clients ~duration ~submit ~note_submit
-        engine
-    in
-    Engine.run ~until:(duration + drain) engine
+  let delivered = ref (fun () -> 0) in
+  let env =
+    {
+      Protocol_intf.make_net =
+        (fun () ->
+          let net = Topology.make_net engine setting.topo ~placement () in
+          delivered := (fun () -> Fifo_net.messages_delivered net);
+          net);
+      replicas;
+      leader = replicas.(setting.leader);
+      coordinator_of = (fun c -> replicas.(coordinator_of c));
+      observer;
+      metrics;
+      trace;
+      params = Protocols.params proto;
+    }
   in
-  match proto with
-  | Domino { additional_delay; percentile; every_replica_learns; adaptive } ->
-    let net = Topology.make_net engine setting.topo ~placement () in
-    let cfg =
-      Domino_core.Config.make ~additional_delay ~percentile
-        ~every_replica_learns ~adaptive ~coordinator:replicas.(setting.leader)
-        ~replicas ()
-    in
-    let d = Domino_core.Domino.create ~net ~cfg ~observer () in
-    run_workload (Domino_core.Domino.submit d);
-    let events = Fifo_net.messages_delivered net in
-    let stats = Domino_core.Domino.stats d in
-    {
-      recorder;
-      domino_stats = Some stats;
-      fast_commits = stats.Domino_core.Domino.dfp_fast_decisions;
-      slow_commits = stats.Domino_core.Domino.dfp_slow_decisions;
-      store_fingerprints =
-        Array.to_list (Array.map Store.fingerprint stores);
-      wall_events = events;
-    }
-  | Mencius ->
-    let net = Topology.make_net engine setting.topo ~placement () in
-    let p =
-      Domino_proto.Mencius.create ~net ~replicas
-        ~coordinator_of:(fun c -> replicas.(coordinator_of c))
-        ~observer ()
-    in
-    run_workload (Domino_proto.Mencius.submit p);
-    let events = Fifo_net.messages_delivered net in
-    {
-      recorder;
-      domino_stats = None;
-      fast_commits = 0;
-      slow_commits = 0;
-      store_fingerprints =
-        Array.to_list (Array.map Store.fingerprint stores);
-      wall_events = events;
-    }
-  | Epaxos ->
-    let net = Topology.make_net engine setting.topo ~placement () in
-    let p =
-      Domino_proto.Epaxos.create ~net ~replicas
-        ~coordinator_of:(fun c -> replicas.(coordinator_of c))
-        ~observer ()
-    in
-    run_workload (Domino_proto.Epaxos.submit p);
-    let events = Fifo_net.messages_delivered net in
-    {
-      recorder;
-      domino_stats = None;
-      fast_commits = Domino_proto.Epaxos.fast_commits p;
-      slow_commits = Domino_proto.Epaxos.slow_commits p;
-      store_fingerprints =
-        Array.to_list (Array.map Store.fingerprint stores);
-      wall_events = events;
-    }
-  | Multi_paxos ->
-    let net = Topology.make_net engine setting.topo ~placement () in
-    let p =
-      Domino_proto.Multipaxos.create ~net ~replicas
-        ~leader:replicas.(setting.leader) ~observer ()
-    in
-    run_workload (Domino_proto.Multipaxos.submit p);
-    let events = Fifo_net.messages_delivered net in
-    {
-      recorder;
-      domino_stats = None;
-      fast_commits = 0;
-      slow_commits = 0;
-      store_fingerprints =
-        Array.to_list (Array.map Store.fingerprint stores);
-      wall_events = events;
-    }
-  | Fast_paxos ->
-    let net = Topology.make_net engine setting.topo ~placement () in
-    let p =
-      Domino_proto.Fastpaxos.create ~net ~replicas
-        ~coordinator:replicas.(setting.leader) ~observer ()
-    in
-    run_workload (Domino_proto.Fastpaxos.submit p);
-    let events = Fifo_net.messages_delivered net in
-    {
-      recorder;
-      domino_stats = None;
-      fast_commits = Domino_proto.Fastpaxos.fast_commits p;
-      slow_commits = Domino_proto.Fastpaxos.slow_commits p;
-      store_fingerprints =
-        Array.to_list (Array.map Store.fingerprint stores);
-      wall_events = events;
-    }
+  let (module P : Protocol_intf.S) = Protocols.resolve proto in
+  let p = P.create env in
+  let drain = Time_ns.sec 3 in
+  let _workload =
+    Workload.create ~alpha ~rate ~clients ~duration ~submit:(P.submit p) engine
+  in
+  Engine.run ~until:(duration + drain) engine;
+  let fast_commits, slow_commits =
+    match P.fast_slow_counts p with Some (f, s) -> (f, s) | None -> (0, 0)
+  in
+  Metrics.add (Metrics.counter metrics "run.fast_commits") fast_commits;
+  Metrics.add (Metrics.counter metrics "run.slow_commits") slow_commits;
+  Metrics.set
+    (Metrics.gauge metrics "sim.events")
+    (float_of_int (Engine.events_executed engine));
+  let wall_events = !delivered () in
+  Metrics.set
+    (Metrics.gauge metrics "net.messages_delivered")
+    (float_of_int wall_events);
+  {
+    recorder;
+    metrics;
+    trace = tracer;
+    fast_commits;
+    slow_commits;
+    extra = P.extra_stats p;
+    store_fingerprints = Array.to_list (Array.map Store.fingerprint stores);
+    wall_events;
+  }
 
 let run_many ?(runs = 3) ?(seed = 42L) ?rate ?alpha ?duration setting proto =
   let commit = ref (Domino_stats.Summary.create ()) in

@@ -1,16 +1,19 @@
 open Domino_sim
 open Domino_net
 open Domino_smr
+open Domino_obs
 
 (** Shared machinery for reproducing the paper's experiments (§7.1).
 
     A {!setting} is a cluster layout: the topology, which datacenters
     host replicas, which host clients, and where the Multi-Paxos
     leader / Fast Paxos & DFP coordinator live. {!run} executes one
-    simulated experiment of a given protocol over a setting and
-    returns the recorder with its latency samples; {!run_many} repeats
-    it with different seeds and merges results, the paper's
-    10-runs-combined methodology. *)
+    simulated experiment of a given protocol over a setting —
+    dispatching through the {!Protocol_intf} registry, so it contains
+    no per-protocol wiring — and returns the recorder with its latency
+    samples plus the run's metrics registry and (optional) operation
+    trace; {!run_many} repeats it with different seeds and merges
+    results, the paper's 10-runs-combined methodology. *)
 
 type setting = {
   topo : Topology.t;
@@ -37,7 +40,7 @@ val fig7_single : setting
 val fig7_double : setting
 (** Figure 7: same replicas, clients in IA and WA. *)
 
-type protocol =
+type protocol = Protocols.t =
   | Domino of {
       additional_delay : Time_ns.span;
       percentile : float;
@@ -48,6 +51,7 @@ type protocol =
   | Epaxos
   | Multi_paxos
   | Fast_paxos
+(** Re-export of {!Protocols.t}, the experiment-facing selector. *)
 
 val domino_default : protocol
 (** Domino with no additional delay, p95 estimates. *)
@@ -63,9 +67,18 @@ val protocol_name : protocol -> string
 
 type result = {
   recorder : Observer.Recorder.t;
-  domino_stats : Domino_core.Domino.stats option;
+  metrics : Metrics.t;
+      (** the run's registry: [run.*] counters and latency histograms,
+          per-class [<protocol>.msg.*] counters, [sim.events] *)
+  trace : Trace.t;
+      (** span events of the op selected by [trace_op]; empty
+          otherwise *)
   fast_commits : int;  (** protocol-reported fast-path commits, if any *)
   slow_commits : int;
+  extra : (string * int) list;
+      (** protocol-specific counters with stable keys — Domino reports
+          [dfp_fast_decisions], [dfp_slow_decisions], [dfp_conflicts],
+          [dfp_submissions], [dm_submissions], [late_decisions] *)
   store_fingerprints : int list;
       (** per-replica state-machine digests after the run; all equal
           iff replicas executed identically *)
@@ -79,12 +92,19 @@ val run :
   ?duration:Time_ns.span ->
   ?measure_from:Time_ns.span ->
   ?measure_until:Time_ns.span ->
+  ?metrics:Metrics.t ->
+  ?trace_op:int ->
   setting ->
   protocol ->
   result
 (** Defaults: 200 req/s per client, alpha 0.75, 30 s runs measured over
     \[5 s, 28 s\] — a scaled-down version of the paper's 90 s runs
-    measured over the middle 60 s. *)
+    measured over the middle 60 s.
+
+    [metrics] shares a caller's registry (default: a fresh one, in
+    [result.metrics]). [trace_op] selects the Nth submitted operation
+    (0-based, global submit order) for span tracing; without it tracing
+    is disabled and costs nothing. *)
 
 val run_many :
   ?runs:int ->

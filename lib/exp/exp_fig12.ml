@@ -67,10 +67,8 @@ let run_proto ~seed ~duration ~rate ~initial_rtt ~changes proto =
       in
       Domino_proto.Mencius.submit p
   in
-  let note_submit op ~now = Observer.Recorder.note_submit recorder op ~now in
   let _w =
-    Domino_kv.Workload.create ~rate ~clients:[ client ] ~duration ~submit
-      ~note_submit engine
+    Domino_kv.Workload.create ~rate ~clients:[ client ] ~duration ~submit engine
   in
   Engine.run ~until:(duration + Time_ns.sec 2) engine;
   Observer.Recorder.latency_series recorder

@@ -68,11 +68,10 @@ let run_load (type msg) ~seed ~(make : msg Fifo_net.t -> Observer.t -> Op.t -> u
       Fifo_net.set_service net r ~workers ~cost:(fun m -> cost ~replica:r m))
     replicas;
   let duration = Time_ns.ms 3000 in
-  let note_submit op ~now = Observer.Recorder.note_submit recorder op ~now in
   let _w =
     Domino_kv.Workload.create
       ~rate:(rate /. float_of_int (List.length clients))
-      ~clients ~duration ~submit ~note_submit engine
+      ~clients ~duration ~submit engine
   in
   Engine.run ~until:duration engine;
   (* Peak throughput = commit events per second inside the window —

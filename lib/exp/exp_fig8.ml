@@ -70,7 +70,7 @@ let domino_client_mix ?(quick = true) ?(seed = 42L) variant () =
     Exp_common.run ~seed ~duration:(duration quick) (setting variant)
       Exp_common.domino_default
   in
-  match r.domino_stats with
-  | Some s ->
-    (s.Domino_core.Domino.dfp_submissions, s.Domino_core.Domino.dm_submissions)
-  | None -> (0, 0)
+  let stat k =
+    match List.assoc_opt k r.Exp_common.extra with Some v -> v | None -> 0
+  in
+  (stat "dfp_submissions", stat "dm_submissions")

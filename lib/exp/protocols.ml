@@ -1,0 +1,89 @@
+open Domino_sim
+open Domino_smr
+
+type t =
+  | Domino of {
+      additional_delay : Time_ns.span;
+      percentile : float;
+      every_replica_learns : bool;
+      adaptive : bool;
+    }
+  | Mencius
+  | Epaxos
+  | Multi_paxos
+  | Fast_paxos
+
+let domino_default =
+  Domino
+    {
+      additional_delay = 0;
+      percentile = 95.;
+      every_replica_learns = false;
+      adaptive = false;
+    }
+
+let domino_exec =
+  Domino
+    {
+      additional_delay = Time_ns.ms 8;
+      percentile = 95.;
+      every_replica_learns = false;
+      adaptive = false;
+    }
+
+let domino_adaptive =
+  Domino
+    {
+      additional_delay = 0;
+      percentile = 95.;
+      every_replica_learns = false;
+      adaptive = true;
+    }
+
+let name = function
+  | Domino _ -> "Domino"
+  | Mencius -> "Mencius"
+  | Epaxos -> "EPaxos"
+  | Multi_paxos -> "Multi-Paxos"
+  | Fast_paxos -> "Fast Paxos"
+
+let api_name = function
+  | Domino _ -> "domino"
+  | Mencius -> "mencius"
+  | Epaxos -> "epaxos"
+  | Multi_paxos -> "multipaxos"
+  | Fast_paxos -> "fastpaxos"
+
+let params = function
+  | Domino { additional_delay; percentile; every_replica_learns; adaptive } ->
+    [
+      ("additional_delay_ms", Time_ns.to_ms_f additional_delay);
+      ("percentile", percentile);
+      ("every_replica_learns", if every_replica_learns then 1. else 0.);
+      ("adaptive", if adaptive then 1. else 0.);
+    ]
+  | Mencius | Epaxos | Multi_paxos | Fast_paxos -> []
+
+let of_api_name = function
+  | "domino" -> Some domino_default
+  | "mencius" -> Some Mencius
+  | "epaxos" -> Some Epaxos
+  | "multipaxos" -> Some Multi_paxos
+  | "fastpaxos" -> Some Fast_paxos
+  | _ -> None
+
+let register_all () =
+  List.iter Protocol_intf.register
+    [
+      (module Domino_core.Domino.Api : Protocol_intf.S);
+      (module Domino_proto.Mencius.Api);
+      (module Domino_proto.Epaxos.Api);
+      (module Domino_proto.Multipaxos.Api);
+      (module Domino_proto.Fastpaxos.Api);
+    ]
+
+let resolve proto =
+  register_all ();
+  match Protocol_intf.find (api_name proto) with
+  | Some p -> p
+  | None -> invalid_arg ("Protocols.resolve: " ^ api_name proto)

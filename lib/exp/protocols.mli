@@ -1,0 +1,50 @@
+open Domino_sim
+open Domino_smr
+
+(** The experiment-facing protocol selector.
+
+    Experiments and the CLI pick protocols with this plain variant
+    (Domino's config knobs inline); {!resolve} maps a selection to its
+    {!Protocol_intf.S} registry entry and {!params} flattens the knobs
+    into the [env.params] list the unified API expects. *)
+
+type t =
+  | Domino of {
+      additional_delay : Time_ns.span;
+      percentile : float;
+      every_replica_learns : bool;
+      adaptive : bool;  (** §5.4 feedback controller *)
+    }
+  | Mencius
+  | Epaxos
+  | Multi_paxos
+  | Fast_paxos
+
+val domino_default : t
+(** Domino with no additional delay, p95 estimates. *)
+
+val domino_exec : t
+(** Domino with the paper's +8 ms execution-latency setting (§7.2.3). *)
+
+val domino_adaptive : t
+(** Domino with the §5.4 feedback controller instead of a static
+    additional delay. *)
+
+val name : t -> string
+(** Display name ("Multi-Paxos"). *)
+
+val api_name : t -> string
+(** Registry key ("multipaxos"). *)
+
+val params : t -> (string * float) list
+
+val of_api_name : string -> t option
+(** Inverse of {!api_name}, with Domino at its default settings. *)
+
+val register_all : unit -> unit
+(** Register every protocol in {!Protocol_intf}'s registry
+    (idempotent). *)
+
+val resolve : t -> Protocol_intf.protocol
+(** [register_all] + lookup.
+    @raise Invalid_argument on an unregistered name. *)

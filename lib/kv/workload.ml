@@ -50,7 +50,7 @@ end
 type t = { mutable submitted : int }
 
 let create ?alpha ?(keys = 1_000_000) ?(rate = 200.) ~clients ~duration
-    ~submit ~note_submit engine =
+    ~submit engine =
   let t = { submitted = 0 } in
   let root = Engine.rng engine in
   List.iter
@@ -68,7 +68,6 @@ let create ?alpha ?(keys = 1_000_000) ?(rate = 200.) ~clients ~duration
           in
           incr seq;
           t.submitted <- t.submitted + 1;
-          note_submit op ~now:(Engine.now engine);
           submit op;
           schedule_next ()
         end

@@ -29,11 +29,11 @@ val create :
   clients:Nodeid.t list ->
   duration:Time_ns.span ->
   submit:(Op.t -> unit) ->
-  note_submit:(Op.t -> now:Time_ns.t -> unit) ->
   Engine.t ->
   t
 (** Schedules the full open-loop workload on the engine: each client
-    submits [rate] (default 200) ops/s for [duration]. [note_submit]
-    is invoked just before [submit] (recorder bookkeeping). *)
+    submits [rate] (default 200) ops/s for [duration]. Submission
+    bookkeeping is the protocol's job: every protocol [submit] fires
+    the observer's [on_submit]. *)
 
 val total_submitted : t -> int

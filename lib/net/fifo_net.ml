@@ -13,6 +13,17 @@ type 'msg node_state = {
   mutable service : 'msg service option;
 }
 
+type 'msg trace_event =
+  | Sent of { seq : int; src : Nodeid.t; dst : Nodeid.t; msg : 'msg; at : Time_ns.t }
+  | Delivered of {
+      seq : int;
+      src : Nodeid.t;
+      dst : Nodeid.t;
+      msg : 'msg;
+      sent_at : Time_ns.t;
+      at : Time_ns.t;
+    }
+
 type 'msg t = {
   engine : Engine.t;
   nodes : 'msg node_state array;
@@ -22,6 +33,7 @@ type 'msg t = {
   last_delivery : Time_ns.t array array;
   mutable sent : int;
   mutable delivered : int;
+  mutable tracer : ('msg trace_event -> unit) option;
 }
 
 let create engine ~n =
@@ -35,7 +47,12 @@ let create engine ~n =
     last_delivery = Array.make_matrix n n Time_ns.zero;
     sent = 0;
     delivered = 0;
+    tracer = None;
   }
+
+let set_tracer t f = t.tracer <- Some f
+
+let clear_tracer t = t.tracer <- None
 
 let engine t = t.engine
 
@@ -67,11 +84,15 @@ let delay_for t ~src ~dst =
 
 let send t ~src ~dst msg =
   if t.nodes.(src).up then begin
+    let seq = t.sent in
     t.sent <- t.sent + 1;
     let now = Engine.now t.engine in
     let raw = Time_ns.add now (delay_for t ~src ~dst) in
     let at = Time_ns.max raw (Time_ns.add t.last_delivery.(src).(dst) 1) in
     t.last_delivery.(src).(dst) <- at;
+    (match t.tracer with
+    | None -> ()
+    | Some f -> f (Sent { seq; src; dst; msg; at = now }));
     let handle () =
       let node = t.nodes.(dst) in
       if node.up then begin
@@ -79,6 +100,19 @@ let send t ~src ~dst msg =
         | None -> ()
         | Some handler ->
           t.delivered <- t.delivered + 1;
+          (match t.tracer with
+          | None -> ()
+          | Some f ->
+            f
+              (Delivered
+                 {
+                   seq;
+                   src;
+                   dst;
+                   msg;
+                   sent_at = now;
+                   at = Engine.now t.engine;
+                 }));
           handler ~src msg
       end
     in

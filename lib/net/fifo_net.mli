@@ -15,6 +15,22 @@ open Domino_sim
 
 type 'msg t
 
+type 'msg trace_event =
+  | Sent of { seq : int; src : Nodeid.t; dst : Nodeid.t; msg : 'msg; at : Time_ns.t }
+      (** emitted at the send instant; [seq] is a network-wide message
+          sequence number pairing this with its delivery *)
+  | Delivered of {
+      seq : int;
+      src : Nodeid.t;
+      dst : Nodeid.t;
+      msg : 'msg;
+      sent_at : Time_ns.t;
+      at : Time_ns.t;
+    }
+      (** emitted just before the destination handler runs (so [at]
+          includes any service-queue wait); dropped messages — crashed
+          node, no handler — never produce one *)
+
 val create : Engine.t -> n:int -> 'msg t
 (** [create engine ~n] makes a network of [n] nodes with perfect clocks
     and no links. Links must be installed with {!set_link} (or
@@ -73,3 +89,11 @@ val messages_sent : 'msg t -> int
 (** Total messages accepted by {!send} since creation. *)
 
 val messages_delivered : 'msg t -> int
+
+val set_tracer : 'msg t -> ('msg trace_event -> unit) -> unit
+(** Install the observability hook (replaces any previous): called for
+    every send and every delivery. The observability layer uses this
+    for per-message-class metrics and per-op span traces. Costs nothing
+    when unset — the hot path is a single [option] match. *)
+
+val clear_tracer : 'msg t -> unit

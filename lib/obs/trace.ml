@@ -1,0 +1,175 @@
+open Domino_sim
+
+type opid = int * int
+
+type event =
+  | Submit of { op : opid; node : int; at : Time_ns.t }
+  | Sent of {
+      op : opid;
+      seq : int;
+      src : int;
+      dst : int;
+      cls : string;
+      at : Time_ns.t;
+    }
+  | Delivered of {
+      op : opid;
+      seq : int;
+      src : int;
+      dst : int;
+      cls : string;
+      sent_at : Time_ns.t;
+      at : Time_ns.t;
+    }
+  | Committed of { op : opid; node : int; at : Time_ns.t }
+  | Executed of { op : opid; replica : int; at : Time_ns.t }
+
+let event_op = function
+  | Submit { op; _ }
+  | Sent { op; _ }
+  | Delivered { op; _ }
+  | Committed { op; _ }
+  | Executed { op; _ } -> op
+
+type t = { mutable focus : opid option; mutable events : event list }
+
+type sink = Null | Rec of t
+
+let null = Null
+
+let create () = { focus = None; events = [] }
+
+let sink t = Rec t
+
+let set_focus t op = t.focus <- Some op
+
+let focus t = t.focus
+
+let enabled = function Null -> false | Rec t -> t.focus <> None
+
+let emit sink event =
+  match sink with
+  | Null -> ()
+  | Rec t -> begin
+    match t.focus with
+    | Some f when f = event_op event -> t.events <- event :: t.events
+    | _ -> ()
+  end
+
+let events t = List.rev t.events
+
+(* --- span tree rendering --- *)
+
+let ms at = Printf.sprintf "%.3fms" (Time_ns.to_ms_f at)
+
+let span_ms a b = Printf.sprintf "+%.3fms" (Time_ns.to_ms_f (Time_ns.diff b a))
+
+let label base = function
+  | Submit { node; at; _ } ->
+    Printf.sprintf "submit at n%d @ %s" node (ms at)
+  | Sent { src; dst; cls; at; _ } ->
+    Printf.sprintf "%s n%d->n%d @ %s (%s)" cls src dst (ms at) (span_ms base at)
+  | Delivered { src; dst; cls; sent_at; at; _ } ->
+    Printf.sprintf "deliver %s n%d->n%d @ %s (wire %s)" cls src dst (ms at)
+      (span_ms sent_at at)
+  | Committed { node; at; _ } ->
+    Printf.sprintf "commit learned at n%d @ %s (%s)" node (ms at)
+      (span_ms base at)
+  | Executed { replica; at; _ } ->
+    Printf.sprintf "execute at replica n%d @ %s (%s)" replica (ms at)
+      (span_ms base at)
+
+let span_tree t =
+  match events t with
+  | [] -> ""
+  | evs ->
+    let evs = Array.of_list evs in
+    let n = Array.length evs in
+    (* Causal parent of event i, as an index < i; -1 = root. In a
+       single-threaded simulation, anything a node does at instant T
+       happens inside the latest handler that ran at that node, so the
+       parent of a send (or commit/execute) at node X is the most
+       recent delivery at X; a delivery's parent is its send. *)
+    let latest_delivery_at ~before node =
+      let found = ref (-1) in
+      for j = 0 to before - 1 do
+        match evs.(j) with
+        | Delivered { dst; _ } when dst = node -> found := j
+        | _ -> ()
+      done;
+      !found
+    in
+    let latest_submit_at ~before node =
+      let found = ref (-1) in
+      for j = 0 to before - 1 do
+        match evs.(j) with
+        | Submit { node = m; _ } when m = node -> found := j
+        | _ -> ()
+      done;
+      !found
+    in
+    let sent_index seq =
+      let found = ref (-1) in
+      Array.iteri
+        (fun j e ->
+          match e with Sent { seq = s; _ } when s = seq -> found := j | _ -> ())
+        evs;
+      !found
+    in
+    let parent i =
+      match evs.(i) with
+      | Submit _ -> -1
+      | Delivered { seq; _ } -> sent_index seq
+      | Sent { src; _ } ->
+        let d = latest_delivery_at ~before:i src in
+        if d >= 0 then d else latest_submit_at ~before:i src
+      | Committed { node; _ } ->
+        let d = latest_delivery_at ~before:i node in
+        if d >= 0 then d else latest_submit_at ~before:i node
+      | Executed { replica; _ } ->
+        let d = latest_delivery_at ~before:i replica in
+        if d >= 0 then d else latest_submit_at ~before:i replica
+    in
+    let children = Array.make n [] in
+    let roots = ref [] in
+    for i = n - 1 downto 0 do
+      let p = parent i in
+      if p >= 0 then children.(p) <- i :: children.(p)
+      else roots := i :: !roots
+    done;
+    let time_of = function
+      | Submit { at; _ }
+      | Sent { at; _ }
+      | Delivered { at; _ }
+      | Committed { at; _ }
+      | Executed { at; _ } -> at
+    in
+    let base = time_of evs.(0) in
+    let buf = Buffer.create 512 in
+    let cli, seq_ = event_op evs.(0) in
+    Buffer.add_string buf (Printf.sprintf "op n%d#%d\n" cli seq_);
+    let rec render prefix is_last i =
+      Buffer.add_string buf prefix;
+      Buffer.add_string buf (if is_last then "`- " else "|- ");
+      Buffer.add_string buf (label base evs.(i));
+      Buffer.add_char buf '\n';
+      let child_prefix = prefix ^ (if is_last then "   " else "|  ") in
+      let kids = children.(i) in
+      let rec go = function
+        | [] -> ()
+        | [ k ] -> render child_prefix true k
+        | k :: rest ->
+          render child_prefix false k;
+          go rest
+      in
+      go kids
+    in
+    let rec go = function
+      | [] -> ()
+      | [ r ] -> render "" true r
+      | r :: rest ->
+        render "" false r;
+        go rest
+    in
+    go !roots;
+    Buffer.contents buf

@@ -1,0 +1,83 @@
+(** Per-operation message tracing.
+
+    A trace follows one command through the whole replication stack:
+    the client submit, every protocol message that carries the
+    operation (tagged with its {!Msg_class}-style label by the
+    protocol's classifier), the commit at the submitting client, and
+    the executions at the replicas. Events are recorded by the
+    {!Fifo_net} trace hook and by the experiment harness's observer,
+    then rendered as a causally-ordered span tree.
+
+    Causality needs no extra plumbing: the simulator is
+    single-threaded, so a message sent by node [n] was sent from inside
+    the handler of the most recent delivery at [n] — the recorder
+    recovers parent/child edges from event order alone.
+
+    The [sink] is the zero-cost-when-disabled half: {!null} makes every
+    hook a no-op (callers guard event construction with {!enabled}),
+    and a recording sink only keeps events for its focused operation,
+    so tracing one op out of millions stays O(events of that op). *)
+
+open Domino_sim
+
+type opid = int * int
+(** (client node, per-client sequence) — structurally [Op.id], spelled
+    out here so lib/obs stays below lib/smr in the dependency order. *)
+
+type event =
+  | Submit of { op : opid; node : int; at : Time_ns.t }
+  | Sent of {
+      op : opid;
+      seq : int;  (** network-wide message sequence, pairs with Delivered *)
+      src : int;
+      dst : int;
+      cls : string;
+      at : Time_ns.t;
+    }
+  | Delivered of {
+      op : opid;
+      seq : int;
+      src : int;
+      dst : int;
+      cls : string;
+      sent_at : Time_ns.t;
+      at : Time_ns.t;
+    }
+  | Committed of { op : opid; node : int; at : Time_ns.t }
+  | Executed of { op : opid; replica : int; at : Time_ns.t }
+
+type t
+(** A recording trace. *)
+
+type sink
+
+val null : sink
+(** Discards everything; {!enabled} is [false]. *)
+
+val create : unit -> t
+(** A recorder with no focus yet: records nothing until {!set_focus}. *)
+
+val sink : t -> sink
+
+val set_focus : t -> opid -> unit
+(** Start keeping events tagged with this operation (one focus per
+    recorder; re-focusing clears nothing, earlier events remain). *)
+
+val focus : t -> opid option
+
+val enabled : sink -> bool
+(** [true] iff the sink records (a focused recorder): hook sites check
+    this before building an event. *)
+
+val emit : sink -> event -> unit
+(** Record the event if the sink is enabled and the event's [op]
+    matches the focus. *)
+
+val events : t -> event list
+(** In record (= simulated-time) order. *)
+
+val span_tree : t -> string
+(** The focused op's life as an indented tree: submit at the root, each
+    message as [cls src->dst @ send (+delay)] nested under the delivery
+    that caused it, commit and executions as leaves. Deterministic:
+    same seed, same tree. Empty string when nothing was recorded. *)

@@ -398,6 +398,7 @@ let create ~net ~replicas ~coordinator_of ~observer () =
   t
 
 let submit t (op : Op.t) =
+  t.observer.Observer.on_submit op ~now:(now t);
   let dst = t.coordinator_of op.Op.client in
   Fifo_net.send t.net ~src:op.Op.client ~dst (Request op)
 
@@ -411,3 +412,29 @@ let classify : msg -> Msg_class.t = function
   | PreAcceptOk _ | MAcceptOk _ -> Msg_class.Ack
   | Commit _ -> Msg_class.Commit_notice
   | Reply _ -> Msg_class.Control
+
+let op_of = function
+  | Request op
+  | PreAccept { op; _ }
+  | MAccept { op; _ }
+  | Commit { op; _ }
+  | Reply { op } -> Some op
+  | PreAcceptOk _ | MAcceptOk _ -> None
+
+module Api = struct
+  type nonrec t = t
+
+  let name = "epaxos"
+
+  let create (env : Protocol_intf.env) =
+    let net = env.Protocol_intf.make_net () in
+    Protocol_intf.instrument env ~name ~classify ~op_of net;
+    create ~net ~replicas:env.Protocol_intf.replicas
+      ~coordinator_of:env.Protocol_intf.coordinator_of
+      ~observer:env.Protocol_intf.observer ()
+
+  let submit = submit
+  let committed_count t = t.fast + t.slow
+  let fast_slow_counts t = Some (t.fast, t.slow)
+  let extra_stats _ = []
+end

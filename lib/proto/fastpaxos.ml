@@ -384,6 +384,7 @@ let create ~net ~replicas ~coordinator ~observer () =
   t
 
 let submit t (op : Op.t) =
+  t.observer.Observer.on_submit op ~now:(now t);
   broadcast t ~src:op.Op.client (Propose op)
 
 let fast_commits t = t.fast
@@ -391,8 +392,31 @@ let fast_commits t = t.fast
 let slow_commits t = t.slow
 
 let classify : msg -> Msg_class.t = function
-  | Propose _ -> Msg_class.Replication
+  | Propose _ -> Msg_class.Proposal
   | Vote _ | P2b _ -> Msg_class.Ack
   | P2a _ -> Msg_class.Replication
   | Commit _ -> Msg_class.Commit_notice
   | Reply _ -> Msg_class.Control
+
+let op_of = function
+  | Propose op | Vote { op; _ } | Reply { op } -> Some op
+  | P2a { value; _ } | Commit { value; _ } -> value
+  | P2b _ -> None
+
+module Api = struct
+  type nonrec t = t
+
+  let name = "fastpaxos"
+
+  let create (env : Protocol_intf.env) =
+    let net = env.Protocol_intf.make_net () in
+    Protocol_intf.instrument env ~name ~classify ~op_of net;
+    create ~net ~replicas:env.Protocol_intf.replicas
+      ~coordinator:env.Protocol_intf.leader
+      ~observer:env.Protocol_intf.observer ()
+
+  let submit = submit
+  let committed_count t = t.fast + t.slow
+  let fast_slow_counts t = Some (t.fast, t.slow)
+  let extra_stats _ = []
+end

@@ -203,6 +203,7 @@ let create ~net ~replicas ~coordinator_of ~observer () =
   t
 
 let submit t (op : Op.t) =
+  t.observer.Observer.on_submit op ~now:(now t);
   let dst = t.coordinator_of op.Op.client in
   Fifo_net.send t.net ~src:op.Op.client ~dst (Request op)
 
@@ -213,3 +214,25 @@ let classify : msg -> Msg_class.t = function
   | Accept _ -> Msg_class.Replication
   | Accepted _ | Skip _ -> Msg_class.Ack
   | Reply _ -> Msg_class.Control
+
+let op_of = function
+  | Request op | Accept { op; _ } | Reply { op } -> Some op
+  | Accepted _ | Skip _ -> None
+
+module Api = struct
+  type nonrec t = t
+
+  let name = "mencius"
+
+  let create (env : Protocol_intf.env) =
+    let net = env.Protocol_intf.make_net () in
+    Protocol_intf.instrument env ~name ~classify ~op_of net;
+    create ~net ~replicas:env.Protocol_intf.replicas
+      ~coordinator_of:env.Protocol_intf.coordinator_of
+      ~observer:env.Protocol_intf.observer ()
+
+  let submit = submit
+  let committed_count = committed_count
+  let fast_slow_counts _ = None
+  let extra_stats _ = []
+end

@@ -125,6 +125,7 @@ let create ~net ~replicas ~leader ~observer () =
   t
 
 let submit t (op : Op.t) =
+  t.observer.Observer.on_submit op ~now:(now t);
   Fifo_net.send t.net ~src:op.Op.client ~dst:t.leader (Request op)
 
 let committed_count t = t.committed_count
@@ -135,3 +136,24 @@ let classify : msg -> Msg_class.t = function
   | Accepted _ -> Msg_class.Ack
   | Commit _ -> Msg_class.Commit_notice
   | Reply _ -> Msg_class.Control
+
+let op_of = function
+  | Request op | Accept { op; _ } | Commit { op; _ } | Reply { op } -> Some op
+  | Accepted _ -> None
+
+module Api = struct
+  type nonrec t = t
+
+  let name = "multipaxos"
+
+  let create (env : Protocol_intf.env) =
+    let net = env.Protocol_intf.make_net () in
+    Protocol_intf.instrument env ~name ~classify ~op_of net;
+    create ~net ~replicas:env.Protocol_intf.replicas
+      ~leader:env.Protocol_intf.leader ~observer:env.Protocol_intf.observer ()
+
+  let submit = submit
+  let committed_count = committed_count
+  let fast_slow_counts _ = None
+  let extra_stats _ = []
+end

@@ -32,3 +32,9 @@ val committed_count : t -> int
 
 val classify : msg -> Msg_class.t
 (** Cost class of a message, for the Figure 13 throughput model. *)
+
+val op_of : msg -> Op.t option
+(** The operation a message carries, if any — per-op trace attribution. *)
+
+module Api : Protocol_intf.S with type t = t
+(** The registry entry ("multipaxos"). *)

@@ -15,6 +15,8 @@ type t = {
   root_rng : Rng.t;
   canceller : (int, unit -> unit) Hashtbl.t;
   mutable next_id : int;
+  mutable events_run : int;
+  mutable event_hook : (Time_ns.t -> unit) option;
 }
 
 type event_id = int
@@ -26,9 +28,17 @@ let create ?(seed = 1L) () =
     root_rng = Rng.create seed;
     canceller = Hashtbl.create 64;
     next_id = 0;
+    events_run = 0;
+    event_hook = None;
   }
 
 let now t = t.clock
+
+let events_executed t = t.events_run
+
+let set_event_hook t f = t.event_hook <- Some f
+
+let clear_event_hook t = t.event_hook <- None
 
 let rng t = t.root_rng
 
@@ -91,6 +101,8 @@ let step t =
   | None -> false
   | Some (time, kind) ->
     t.clock <- Time_ns.max t.clock time;
+    t.events_run <- t.events_run + 1;
+    (match t.event_hook with None -> () | Some f -> f t.clock);
     run_event t kind;
     true
 

@@ -53,3 +53,14 @@ val step : t -> bool
 
 val pending : t -> int
 (** Number of scheduled (uncancelled) events. *)
+
+val events_executed : t -> int
+(** Events processed since creation — the observability layer's
+    event-loop throughput figure (events / wall-second). *)
+
+val set_event_hook : t -> (Time_ns.t -> unit) -> unit
+(** Observability trace hook, called with the virtual instant before
+    each event executes (replaces any previous hook). Costs one
+    [option] match per event when unset. *)
+
+val clear_event_hook : t -> unit

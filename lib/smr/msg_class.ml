@@ -1,8 +1,12 @@
 type t = Proposal | Replication | Ack | Commit_notice | Control
 
-let pp fmt = function
-  | Proposal -> Format.pp_print_string fmt "proposal"
-  | Replication -> Format.pp_print_string fmt "replication"
-  | Ack -> Format.pp_print_string fmt "ack"
-  | Commit_notice -> Format.pp_print_string fmt "commit"
-  | Control -> Format.pp_print_string fmt "control"
+let all = [ Proposal; Replication; Ack; Commit_notice; Control ]
+
+let to_string = function
+  | Proposal -> "proposal"
+  | Replication -> "replication"
+  | Ack -> "ack"
+  | Commit_notice -> "commit"
+  | Control -> "control"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

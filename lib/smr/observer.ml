@@ -2,15 +2,24 @@ open Domino_sim
 open Domino_net
 
 type t = {
+  on_submit : Op.t -> now:Time_ns.t -> unit;
   on_commit : Op.t -> now:Time_ns.t -> unit;
   on_execute : replica:Nodeid.t -> Op.t -> now:Time_ns.t -> unit;
 }
 
 let null =
-  { on_commit = (fun _ ~now:_ -> ()); on_execute = (fun ~replica:_ _ ~now:_ -> ()) }
+  {
+    on_submit = (fun _ ~now:_ -> ());
+    on_commit = (fun _ ~now:_ -> ());
+    on_execute = (fun ~replica:_ _ ~now:_ -> ());
+  }
 
 let both a b =
   {
+    on_submit =
+      (fun op ~now ->
+        a.on_submit op ~now;
+        b.on_submit op ~now);
     on_commit =
       (fun op ~now ->
         a.on_commit op ~now;
@@ -109,7 +118,7 @@ module Recorder = struct
               (Time_ns.to_ms_f (Time_ns.diff now sent))
       end
     in
-    { on_commit; on_execute }
+    { on_submit = (fun op ~now -> note_submit t op ~now); on_commit; on_execute }
 
   let commit_latency_ms t = t.commit_ms
 

@@ -3,7 +3,10 @@ open Domino_net
 
 (** Observation points shared by every protocol implementation.
 
-    A protocol reports two events per operation:
+    A protocol reports three events per operation:
+    - [submit]: the moment the client library accepts the operation
+      (emitted by each protocol's [submit], so harnesses no longer
+      book-keep submissions by hand);
     - [commit]: the moment the {e submitting client} learns the
       operation is committed (the paper's commit latency, §5);
     - [execute]: the moment a given {e replica} applies the operation
@@ -14,6 +17,7 @@ open Domino_net
     submissions and turns the events into latency samples. *)
 
 type t = {
+  on_submit : Op.t -> now:Time_ns.t -> unit;
   on_commit : Op.t -> now:Time_ns.t -> unit;
   on_execute : replica:Nodeid.t -> Op.t -> now:Time_ns.t -> unit;
 }
@@ -37,7 +41,9 @@ module Recorder : sig
       replica to execute it). *)
 
   val note_submit : t -> Op.t -> now:Time_ns.t -> unit
-  (** Must be called when the client sends the operation. *)
+  (** Timestamp a submission. Normally unnecessary: the observer's
+      [on_submit] (fired by every protocol's [submit]) calls this. Kept
+      public for unit tests that drive a recorder without a protocol. *)
 
   val start_measuring : t -> Time_ns.t -> unit
   (** Samples from operations submitted before this instant are

@@ -1,0 +1,94 @@
+open Domino_net
+open Domino_obs
+
+type env = {
+  make_net : 'msg. unit -> 'msg Fifo_net.t;
+  replicas : Nodeid.t array;
+  leader : Nodeid.t;
+  coordinator_of : Nodeid.t -> Nodeid.t;
+  observer : Observer.t;
+  metrics : Metrics.t;
+  trace : Trace.sink;
+  params : (string * float) list;
+}
+
+let param env name ~default =
+  match List.assoc_opt name env.params with Some v -> v | None -> default
+
+let flag env name ~default =
+  param env name ~default:(if default then 1. else 0.) <> 0.
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : env -> t
+  val submit : t -> Op.t -> unit
+  val committed_count : t -> int
+  val fast_slow_counts : t -> (int * int) option
+  val extra_stats : t -> (string * int) list
+end
+
+type protocol = (module S)
+
+let registry : (string, protocol) Hashtbl.t = Hashtbl.create 8
+
+let register ((module P : S) as p) = Hashtbl.replace registry P.name p
+
+let find name = Hashtbl.find_opt registry name
+
+let names () =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) registry [])
+
+let instrument (type msg) env ~name ~(classify : msg -> Msg_class.t)
+    ~(op_of : msg -> Op.t option) (net : msg Fifo_net.t) =
+  let counter suffix cls =
+    Metrics.counter env.metrics
+      (Printf.sprintf "%s.msg.%s.%s" name (Msg_class.to_string cls) suffix)
+  in
+  (* Pre-register one counter per (class, direction) so the hot path is
+     a constant-time variant dispatch, and so every class shows up in
+     the emitted JSON even at count 0. *)
+  let pick suffix =
+    let get = counter suffix in
+    let p = get Msg_class.Proposal
+    and r = get Msg_class.Replication
+    and a = get Msg_class.Ack
+    and c = get Msg_class.Commit_notice
+    and k = get Msg_class.Control in
+    fun (cls : Msg_class.t) ->
+      match cls with
+      | Proposal -> p
+      | Replication -> r
+      | Ack -> a
+      | Commit_notice -> c
+      | Control -> k
+  in
+  let sent = pick "sent" and delivered = pick "delivered" in
+  let trace = env.trace in
+  Fifo_net.set_tracer net (fun ev ->
+      match ev with
+      | Fifo_net.Sent { seq; src; dst; msg; at } ->
+        let cls = classify msg in
+        Metrics.inc (sent cls);
+        if Trace.enabled trace then begin
+          match op_of msg with
+          | Some op ->
+            Trace.emit trace
+              (Trace.Sent
+                 { op = Op.id op; seq; src; dst;
+                   cls = Msg_class.to_string cls; at })
+          | None -> ()
+        end
+      | Fifo_net.Delivered { seq; src; dst; msg; sent_at; at } ->
+        let cls = classify msg in
+        Metrics.inc (delivered cls);
+        if Trace.enabled trace then begin
+          match op_of msg with
+          | Some op ->
+            Trace.emit trace
+              (Trace.Delivered
+                 { op = Op.id op; seq; src; dst;
+                   cls = Msg_class.to_string cls; sent_at; at })
+          | None -> ()
+        end)

@@ -1,0 +1,90 @@
+open Domino_net
+open Domino_obs
+
+(** The unified protocol API.
+
+    Every replication protocol in the repo — the four comparison
+    systems and Domino itself — implements {!S} and registers a
+    first-class module under a stable name. Harnesses (the experiment
+    runner, the CLI, the conformance tests) construct an {!env} and
+    dispatch through the registry instead of pattern-matching on a
+    protocol variant, so adding a protocol means adding one module and
+    one [register] call, not editing every caller.
+
+    The [env] record is the whole wiring contract: the protocol builds
+    its own network via [make_net] (each protocol has its own message
+    type, hence the universally-quantified field), places itself on
+    [replicas], and reads deployment roles ([leader],
+    [coordinator_of]) and free-form numeric [params] — Domino's config
+    knobs travel there so the signature stays protocol-agnostic. *)
+
+type env = {
+  make_net : 'msg. unit -> 'msg Fifo_net.t;
+      (** fresh network for the protocol's own message type *)
+  replicas : Nodeid.t array;
+  leader : Nodeid.t;
+      (** Multi-Paxos leader; Fast Paxos / DFP coordinator *)
+  coordinator_of : Nodeid.t -> Nodeid.t;
+      (** per-client entry replica (Mencius, EPaxos) *)
+  observer : Observer.t;
+  metrics : Metrics.t;
+  trace : Trace.sink;
+  params : (string * float) list;
+      (** protocol-specific knobs, e.g. Domino's
+          [additional_delay_ms]; unknown keys are ignored *)
+}
+
+val param : env -> string -> default:float -> float
+
+val flag : env -> string -> default:bool -> bool
+(** A [params] entry read as a boolean (non-zero = true). *)
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Stable registry key (lowercase, no spaces). *)
+
+  val create : env -> t
+  (** Build the protocol instance: make the net, install handlers and
+      the observability instrumentation ({!instrument}). *)
+
+  val submit : t -> Op.t -> unit
+  (** Submit from [op.client]'s node. Must fire the observer's
+      [on_submit]. *)
+
+  val committed_count : t -> int
+  (** Operations the protocol has reported committed. *)
+
+  val fast_slow_counts : t -> (int * int) option
+  (** [(fast, slow)] path commits, for protocols with a fast path
+      (Fast Paxos, EPaxos, Domino); [None] otherwise. *)
+
+  val extra_stats : t -> (string * int) list
+  (** Protocol-specific counters (stable keys), e.g. Domino's
+      [dfp_conflicts]. *)
+end
+
+type protocol = (module S)
+
+val register : protocol -> unit
+(** Idempotent: re-registering a name replaces the entry. *)
+
+val find : string -> protocol option
+
+val names : unit -> string list
+(** Sorted. *)
+
+val instrument :
+  env ->
+  name:string ->
+  classify:('msg -> Msg_class.t) ->
+  op_of:('msg -> Op.t option) ->
+  'msg Fifo_net.t ->
+  unit
+(** Install the observability hook on the protocol's network: counts
+    every send and delivery into [<name>.msg.<class>.{sent,delivered}]
+    counters, and — when tracing is enabled — emits span events for
+    messages whose operation [op_of] can identify. Messages that do not
+    carry the operation (bare acks, probes) are counted but not
+    attributed to a span. *)

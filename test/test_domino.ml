@@ -280,8 +280,8 @@ let test_e2e_liveness_convergence_safety () =
   (match r.store_fingerprints with
   | x :: rest -> check_bool "converged" true (List.for_all (fun y -> y = x) rest)
   | [] -> Alcotest.fail "no stores");
-  match r.domino_stats with
-  | Some s -> check_int "no late decisions" 0 s.Domino.late_decisions
+  match List.assoc_opt "late_decisions" r.extra with
+  | Some late -> check_int "no late decisions" 0 late
   | None -> Alcotest.fail "no stats"
 
 let test_e2e_fast_path_dominates () =
@@ -295,15 +295,14 @@ let test_e2e_clients_split_dfp_dm () =
   (* Globe: VA/SG/HK are far from every replica and should use DFP;
      WA/PR/NSW are co-located with replicas and should use DM (§7.2.2). *)
   let r = quick_run () in
-  match r.domino_stats with
-  | Some s ->
-    check_bool "both subsystems used" true
-      (s.Domino.dfp_submissions > 0 && s.Domino.dm_submissions > 0);
-    let total = s.Domino.dfp_submissions + s.Domino.dm_submissions in
-    let dfp_share = float_of_int s.Domino.dfp_submissions /. float_of_int total in
-    check_bool "roughly half DFP (3 of 6 clients)" true
-      (dfp_share > 0.3 && dfp_share < 0.7)
-  | None -> Alcotest.fail "no stats"
+  let stat k =
+    match List.assoc_opt k r.Exp_common.extra with Some v -> v | None -> 0
+  in
+  let dfp = stat "dfp_submissions" and dm = stat "dm_submissions" in
+  check_bool "both subsystems used" true (dfp > 0 && dm > 0);
+  let dfp_share = float_of_int dfp /. float_of_int (dfp + dm) in
+  check_bool "roughly half DFP (3 of 6 clients)" true
+    (dfp_share > 0.3 && dfp_share < 0.7)
 
 let test_e2e_additional_delay_reduces_slow_paths () =
   let r0 = quick_run ~proto:Exp_common.domino_default () in
@@ -341,10 +340,9 @@ let test_e2e_replica_crash_steers_to_dm () =
   let crash_at = Time_ns.sec 4 in
   ignore
     (Engine.schedule_at engine ~at:crash_at (fun () -> Fifo_net.crash net 2));
-  let note_submit op ~now = Observer.Recorder.note_submit recorder op ~now in
   let _w =
     Domino_kv.Workload.create ~rate:100. ~clients:[ 3; 4 ]
-      ~duration:(Time_ns.sec 10) ~submit:(Domino.submit d) ~note_submit engine
+      ~duration:(Time_ns.sec 10) ~submit:(Domino.submit d) engine
   in
   Engine.run ~until:(Time_ns.sec 12) engine;
   (* Requests submitted well after the crash still commit. *)
@@ -374,10 +372,9 @@ let test_e2e_clock_skew_tolerated () =
   let observer = Observer.Recorder.observer recorder () in
   let cfg = Config.make ~replicas:[| 0; 1; 2 |] ~coordinator:0 () in
   let d = Domino.create ~net ~cfg ~observer () in
-  let note_submit op ~now = Observer.Recorder.note_submit recorder op ~now in
   let _w =
     Domino_kv.Workload.create ~rate:100. ~clients:[ 3; 4 ]
-      ~duration:(Time_ns.sec 8) ~submit:(Domino.submit d) ~note_submit engine
+      ~duration:(Time_ns.sec 8) ~submit:(Domino.submit d) engine
   in
   Engine.run ~until:(Time_ns.sec 11) engine;
   check_int "all committed"
@@ -439,10 +436,9 @@ let test_e2e_adaptive_run () =
   let observer = Observer.Recorder.observer recorder () in
   let cfg = Config.make ~adaptive:true ~replicas:[| 0; 1; 2 |] () in
   let d = Domino.create ~net ~cfg ~observer () in
-  let note_submit op ~now = Observer.Recorder.note_submit recorder op ~now in
   let _w =
     Domino_kv.Workload.create ~rate:200. ~clients:[ 3; 4; 5 ]
-      ~duration:(Time_ns.sec 10) ~submit:(Domino.submit d) ~note_submit engine
+      ~duration:(Time_ns.sec 10) ~submit:(Domino.submit d) engine
   in
   Engine.run ~until:(Time_ns.sec 13) engine;
   check_int "all committed"
@@ -471,7 +467,6 @@ let test_e2e_storage_compression () =
   let _w =
     Domino_kv.Workload.create ~rate:200. ~clients:[ 3 ]
       ~duration:(Time_ns.sec 6) ~submit:(Domino.submit d)
-      ~note_submit:(fun _ ~now:_ -> ())
       engine
   in
   Engine.run ~until:(Time_ns.sec 8) engine;

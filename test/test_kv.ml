@@ -88,7 +88,6 @@ let test_workload_rate_and_ids () =
   let w =
     Workload.create ~rate:100. ~clients:[ 5; 6 ] ~duration:(Time_ns.sec 10)
       ~submit:(fun op -> submitted := op :: !submitted)
-      ~note_submit:(fun _ ~now:_ -> ())
       engine
   in
   Engine.run engine;
@@ -117,7 +116,6 @@ let test_workload_stops_at_duration () =
   let _w =
     Workload.create ~rate:50. ~clients:[ 1 ] ~duration:(Time_ns.sec 2)
       ~submit:(fun _ -> last := Engine.now engine)
-      ~note_submit:(fun _ ~now:_ -> ())
       engine
   in
   Engine.run ~until:(Time_ns.sec 10) engine;

@@ -139,14 +139,16 @@ let test_observer_both () =
   let hits = ref 0 in
   let mk () =
     {
-      Observer.on_commit = (fun _ ~now:_ -> incr hits);
+      Observer.on_submit = (fun _ ~now:_ -> incr hits);
+      on_commit = (fun _ ~now:_ -> incr hits);
       on_execute = (fun ~replica:_ _ ~now:_ -> incr hits);
     }
   in
   let o = Observer.both (mk ()) (mk ()) in
+  o.Observer.on_submit (op ~client:0 ~seq:0) ~now:0;
   o.Observer.on_commit (op ~client:0 ~seq:0) ~now:0;
   o.Observer.on_execute ~replica:0 (op ~client:0 ~seq:0) ~now:0;
-  check_int "fanout" 4 !hits
+  check_int "fanout" 6 !hits
 
 let test_latency_series () =
   let r = Observer.Recorder.create () in
