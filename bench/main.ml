@@ -3,13 +3,19 @@
    measurements next to the paper's reported numbers.
 
    Usage:
-     dune exec bench/main.exe             # everything, quick scale
-     dune exec bench/main.exe -- fig8a    # one experiment
-     dune exec bench/main.exe -- --paper  # paper-scale runs (slow)
-     dune exec bench/main.exe -- --micro  # Bechamel microbenchmarks
+     dune exec bench/main.exe                # everything, quick scale
+     dune exec bench/main.exe -- fig8a       # one experiment
+     dune exec bench/main.exe -- --paper     # paper-scale runs (slow)
+     dune exec bench/main.exe -- --jobs 4    # parallel simulation runs
+     dune exec bench/main.exe -- --no-timing # suppress wall-clock lines
+                                             # (CI diffs output byte-wise)
+     dune exec bench/main.exe -- --micro      # microbenchmarks -> BENCH_micro.json
+     dune exec bench/main.exe -- --sim-report # perf baseline -> BENCH_sim.json
 
    Quick scale uses shorter runs and fewer repetitions than the paper's
-   10 x 90 s; the shapes are stable well below that. *)
+   10 x 90 s; the shapes are stable well below that. Sweeps fan their
+   independent runs across --jobs domains (default: all cores); output
+   is byte-identical for any --jobs value. *)
 
 open Domino_stats
 
@@ -18,232 +24,172 @@ let seed = 20201204L (* CoNEXT'20 *)
 type experiment = {
   id : string;
   describe : string;
+  aliases : string list;
   run : quick:bool -> unit;
 }
 
 let print_tables ts = List.iter Tablefmt.print ts
 
-let experiments =
-  [
-    {
-      id = "table1";
-      describe = "Globe RTT matrix (input constants)";
-      run = (fun ~quick:_ -> Tablefmt.print (Domino_exp.Exp_traces.table1 ()));
-    };
-    {
-      id = "table4";
-      describe = "NA RTT matrix (input constants)";
-      run = (fun ~quick:_ -> Tablefmt.print (Domino_exp.Exp_traces.table4 ()));
-    };
-    {
-      id = "fig1";
-      describe = "delay stability from VA (synthetic Azure traces)";
-      run =
-        (fun ~quick ->
-          let duration =
-            if quick then Domino_sim.Time_ns.sec 300
-            else Domino_sim.Time_ns.sec 3600
-          in
-          Tablefmt.print (Domino_exp.Exp_traces.fig1 ~duration ~seed ()));
-    };
-    {
-      id = "fig2";
-      describe = "one minute of VA-WA delays in 1s boxes";
-      run = (fun ~quick:_ -> Tablefmt.print (Domino_exp.Exp_traces.fig2 ~seed ()));
-    };
-    {
-      id = "fig3";
-      describe = "correct prediction rate vs percentile x window";
-      run =
-        (fun ~quick ->
-          let duration =
-            if quick then Domino_sim.Time_ns.sec 300
-            else Domino_sim.Time_ns.sec 1800
-          in
-          Tablefmt.print (Domino_exp.Exp_traces.fig3 ~duration ~seed ()));
-    };
-    {
-      id = "table2";
-      describe = "p99 misprediction, half-RTT estimator";
-      run =
-        (fun ~quick ->
-          let duration =
-            if quick then Domino_sim.Time_ns.sec 7200
-            else Domino_sim.Time_ns.sec 86_400
-          in
-          Tablefmt.print (Domino_exp.Exp_traces.table2 ~duration ~seed ()));
-    };
-    {
-      id = "table3";
-      describe = "p99 misprediction, Domino's OWD estimator";
-      run =
-        (fun ~quick ->
-          let duration =
-            if quick then Domino_sim.Time_ns.sec 7200
-            else Domino_sim.Time_ns.sec 86_400
-          in
-          Tablefmt.print (Domino_exp.Exp_traces.table3 ~duration ~seed ()));
-    };
-    {
-      id = "geometry";
-      describe = "section 4 placement analysis + figure 4";
-      run = (fun ~quick:_ -> print_tables (Domino_exp.Exp_geometry.tables ()));
-    };
-    {
-      id = "fig4";
-      describe = "worked example: Multi-Paxos 30ms vs Fast Paxos 35ms";
-      run = (fun ~quick:_ -> print_tables (Domino_exp.Exp_geometry.tables ()));
-    };
-    {
-      id = "fig7";
-      describe = "Fast Paxos vs Multi-Paxos, 1 and 2 clients";
-      run =
-        (fun ~quick -> Tablefmt.print (Domino_exp.Exp_fig7.run ~quick ~seed ()));
-    };
-    {
-      id = "fig8a";
-      describe = "commit latency, NA, 3 replicas";
-      run =
-        (fun ~quick ->
-          Tablefmt.print (Domino_exp.Exp_fig8.run ~quick ~seed Domino_exp.Exp_fig8.Na3 ()));
-    };
-    {
-      id = "fig8b";
-      describe = "commit latency, NA, 5 replicas";
-      run =
-        (fun ~quick ->
-          Tablefmt.print (Domino_exp.Exp_fig8.run ~quick ~seed Domino_exp.Exp_fig8.Na5 ()));
-    };
-    {
-      id = "fig8c";
-      describe = "commit latency, Globe, 3 replicas";
-      run =
-        (fun ~quick ->
-          Tablefmt.print
-            (Domino_exp.Exp_fig8.run ~quick ~seed Domino_exp.Exp_fig8.Globe ()));
-    };
-    {
-      id = "fig9";
-      describe = "p99 commit latency vs percentile x additional delay";
-      run =
-        (fun ~quick -> Tablefmt.print (Domino_exp.Exp_fig9.run ~quick ~seed ()));
-    };
-    {
-      id = "fig10a";
-      describe = "execution latency, Zipf alpha 0.75";
-      run =
-        (fun ~quick ->
-          Tablefmt.print (Domino_exp.Exp_fig10.run ~quick ~seed ~alpha:0.75 ()));
-    };
-    {
-      id = "fig10b";
-      describe = "execution latency, Zipf alpha 0.95";
-      run =
-        (fun ~quick ->
-          Tablefmt.print (Domino_exp.Exp_fig10.run ~quick ~seed ~alpha:0.95 ()));
-    };
-    {
-      id = "fig11";
-      describe = "execution latency vs additional delay";
-      run =
-        (fun ~quick -> Tablefmt.print (Domino_exp.Exp_fig11.run ~quick ~seed ()));
-    };
-    {
-      id = "fig12a";
-      describe = "adapting to client-replica delay changes";
-      run = (fun ~quick:_ -> print_tables (Domino_exp.Exp_fig12.table ~seed ()));
-    };
-    {
-      id = "fig12b";
-      describe = "adapting to replica-replica delay changes";
-      run = (fun ~quick:_ -> ());
-      (* covered by fig12a's table call; kept as an alias below *)
-    };
-    {
-      id = "ablation";
-      describe = "Domino design-knob ablation (additional delay, feedback, learners, percentile)";
-      run =
-        (fun ~quick ->
-          Tablefmt.print (Domino_exp.Exp_ablation.run ~quick ~seed ()));
-    };
-    {
-      id = "storage";
-      describe = "section 6 storage compression of the no-op log";
-      run =
-        (fun ~quick:_ ->
-          let open Domino_sim in
-          let open Domino_net in
-          let open Domino_core in
-          let engine = Engine.create ~seed:31L () in
-          let placement = [| "WA"; "PR"; "NSW"; "VA" |] in
-          let net = Topology.make_net engine Topology.globe ~placement () in
-          let cfg = Config.make ~replicas:[| 0; 1; 2 |] () in
-          let d = Domino.create ~net ~cfg ~observer:Domino_smr.Observer.null () in
-          let _w =
-            Domino_kv.Workload.create ~rate:200. ~clients:[ 3 ]
-              ~duration:(Time_ns.sec 10) ~submit:(Domino.submit d) engine
-          in
-          Engine.run ~until:(Time_ns.sec 12) engine;
-          let t =
-            Tablefmt.create
-              ~title:
-                "Section 6: storage for the decided DFP lane after 10s at \
-                 200 req/s (1e9 positions/s)"
-              ~header:[ "replica"; "ops held"; "noop positions"; "stored noop nodes" ]
-          in
-          for i = 0 to 2 do
-            let s = Replica.storage_stats (Domino.replica d i) in
-            Tablefmt.add_row t
-              [
-                Printf.sprintf "r%d" i;
-                string_of_int s.Replica.log_ops;
-                Printf.sprintf "%.2e" (float_of_int s.Replica.noop_positions);
-                string_of_int s.Replica.noop_ranges;
-              ]
-          done;
-          Tablefmt.print t);
-    };
-    {
-      id = "fig13";
-      describe = "peak throughput, 3 replicas, LAN cluster";
-      run =
-        (fun ~quick ->
-          Tablefmt.print (Domino_exp.Exp_fig13.table ~quick ~seed ()));
-    };
-    {
-      id = "obs";
-      describe = "observability layer: event-loop throughput + registry dump";
-      run =
-        (fun ~quick ->
-          let open Domino_sim in
-          let open Domino_obs in
-          let duration = Time_ns.sec (if quick then 10 else 30) in
-          let metrics = Metrics.create () in
-          let t0 = Unix.gettimeofday () in
-          let r =
-            Domino_exp.Exp_common.run ~seed ~duration ~metrics
-              Domino_exp.Exp_common.globe3
-              Domino_exp.Exp_common.domino_default
-          in
-          let wall = Unix.gettimeofday () -. t0 in
-          let events =
-            match Metrics.find_gauge metrics "sim.events" with
-            | Some g -> Metrics.gauge_value g
-            | None -> 0.
-          in
-          Printf.printf
-            "event loop: %.0f simulated events in %.2fs wall = %.0f events/s\n"
-            events wall (events /. wall);
-          Printf.printf "(%d messages delivered, %d ops committed)\n\n"
-            r.Domino_exp.Exp_common.wall_events
-            (Domino_smr.Observer.Recorder.committed
-               r.Domino_exp.Exp_common.recorder);
-          print_tables (Metrics.to_tables metrics));
-    };
-  ]
+let of_registry (e : Domino_exp.Exp_registry.entry) =
+  {
+    id = e.id;
+    describe = e.describe;
+    aliases = e.aliases;
+    run = (fun ~quick -> print_tables (e.run ~quick ~seed));
+  }
 
-(* fig12b aliases fig12a's combined output; drop the duplicate. *)
-let experiments = List.filter (fun e -> e.id <> "fig12b") experiments
+(* Bench-only experiments: these need wall-clock time (Unix) or poke
+   protocol internals, so they live here rather than in the registry. *)
+
+let storage_experiment =
+  {
+    id = "storage";
+    describe = "section 6 storage compression of the no-op log";
+    aliases = [];
+    run =
+      (fun ~quick:_ ->
+        let open Domino_sim in
+        let open Domino_net in
+        let open Domino_core in
+        let engine = Engine.create ~seed:31L () in
+        let placement = [| "WA"; "PR"; "NSW"; "VA" |] in
+        let net = Topology.make_net engine Topology.globe ~placement () in
+        let cfg = Config.make ~replicas:[| 0; 1; 2 |] () in
+        let d = Domino.create ~net ~cfg ~observer:Domino_smr.Observer.null () in
+        let _w =
+          Domino_kv.Workload.create ~rate:200. ~clients:[ 3 ]
+            ~duration:(Time_ns.sec 10) ~submit:(Domino.submit d) engine
+        in
+        Engine.run ~until:(Time_ns.sec 12) engine;
+        let t =
+          Tablefmt.create
+            ~title:
+              "Section 6: storage for the decided DFP lane after 10s at \
+               200 req/s (1e9 positions/s)"
+            ~header:[ "replica"; "ops held"; "noop positions"; "stored noop nodes" ]
+        in
+        for i = 0 to 2 do
+          let s = Replica.storage_stats (Domino.replica d i) in
+          Tablefmt.add_row t
+            [
+              Printf.sprintf "r%d" i;
+              string_of_int s.Replica.log_ops;
+              Printf.sprintf "%.2e" (float_of_int s.Replica.noop_positions);
+              string_of_int s.Replica.noop_ranges;
+            ]
+        done;
+        Tablefmt.print t);
+  }
+
+let single_core_throughput ~duration =
+  let open Domino_obs in
+  let metrics = Metrics.create () in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Domino_exp.Exp_common.run ~seed ~duration ~metrics
+      Domino_exp.Exp_common.globe3 Domino_exp.Exp_common.domino_default
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let events =
+    match Metrics.find_gauge metrics "sim.events" with
+    | Some g -> Metrics.gauge_value g
+    | None -> 0.
+  in
+  (r, metrics, events, wall)
+
+let obs_experiment =
+  {
+    id = "obs";
+    describe = "observability layer: event-loop throughput + registry dump";
+    aliases = [];
+    run =
+      (fun ~quick ->
+        let open Domino_sim in
+        let duration = Time_ns.sec (if quick then 10 else 30) in
+        let r, metrics, events, wall = single_core_throughput ~duration in
+        Printf.printf
+          "event loop: %.0f simulated events in %.2fs wall = %.0f events/s\n"
+          events wall (events /. wall);
+        Printf.printf "(%d messages delivered, %d ops committed)\n\n"
+          r.Domino_exp.Exp_common.wall_events
+          (Domino_smr.Observer.Recorder.committed
+             r.Domino_exp.Exp_common.recorder);
+        print_tables (Domino_obs.Metrics.to_tables metrics));
+  }
+
+let experiments =
+  let registry = List.map of_registry Domino_exp.Exp_registry.all in
+  let rec insert_storage = function
+    | [] -> [ storage_experiment ]
+    | e :: _ as rest when e.id = "fig13" -> storage_experiment :: rest
+    | e :: rest -> e :: insert_storage rest
+  in
+  insert_storage registry @ [ obs_experiment ]
+
+(* --- machine-readable perf reports --- *)
+
+let write_json file json =
+  let oc = open_out file in
+  output_string oc (Json.to_string_pretty json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
+
+(* BENCH_sim.json: the perf trajectory every later PR is measured
+   against — single-core event-loop throughput plus the wall-clock of
+   one multi-run sweep at jobs=1 vs jobs=N. *)
+let sim_report ~jobs =
+  let open Domino_sim in
+  Printf.printf "sim perf report (jobs=%d)\n%!" jobs;
+  let _, _, events, wall = single_core_throughput ~duration:(Time_ns.sec 10) in
+  let events_per_sec = events /. wall in
+  Printf.printf "  single-core: %.0f events in %.2fs = %.0f events/s\n%!"
+    events wall events_per_sec;
+  let cells =
+    List.map
+      (fun proto -> (Domino_exp.Exp_common.na3, proto))
+      Domino_exp.Exp_fig8.protocols
+  in
+  let runs = 4 in
+  let sweep_wall jobs =
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Domino_exp.Exp_common.run_sweep ~runs ~seed ~duration:(Time_ns.sec 8)
+         ~jobs cells);
+    Unix.gettimeofday () -. t0
+  in
+  let wall1 = sweep_wall 1 in
+  let walln = sweep_wall jobs in
+  let speedup = if walln > 0. then wall1 /. walln else 0. in
+  Printf.printf
+    "  fig8a-style sweep (%d runs): %.2fs at jobs=1, %.2fs at jobs=%d \
+     (speedup %.2fx)\n%!"
+    (List.length cells * runs) wall1 walln jobs speedup;
+  write_json "BENCH_sim.json"
+    (Json.Obj
+       [
+         ("schema", Json.String "domino-bench-sim/1");
+         ("generated_by", Json.String "bench/main.exe --sim-report");
+         ("jobs", Json.Int jobs);
+         ( "single_core",
+           Json.Obj
+             [
+               ("sim_events", Json.Float events);
+               ("wall_s", Json.Float wall);
+               ("events_per_sec", Json.Float events_per_sec);
+             ] );
+         ( "sweep",
+           Json.Obj
+             [
+               ("id", Json.String "fig8a");
+               ("cells", Json.Int (List.length cells));
+               ("runs_per_cell", Json.Int runs);
+               ("sim_seconds_per_run", Json.Int 8);
+               ("wall_s_jobs1", Json.Float wall1);
+               ("wall_s_jobsN", Json.Float walln);
+               ("speedup", Json.Float speedup);
+             ] );
+       ])
 
 (* --- Bechamel microbenchmarks for the core data structures --- *)
 
@@ -282,6 +228,30 @@ let micro () =
            let rec drain () = match Pheap.pop h with None -> () | Some _ -> drain () in
            drain ()))
   in
+  let heap_cancel_bench =
+    Test.make ~name:"pheap-1k-push-cancel-half"
+      (Staged.stage (fun () ->
+           let open Domino_sim in
+           let h = Pheap.create () in
+           let handles =
+             Array.init 1000 (fun i -> Pheap.push h ~time:((i * 7919) mod 1000) i)
+           in
+           Array.iteri
+             (fun i handle -> if i land 1 = 0 then Pheap.cancel h handle)
+             handles;
+           let rec drain () = match Pheap.pop h with None -> () | Some _ -> drain () in
+           drain ()))
+  in
+  let engine_bench =
+    Test.make ~name:"engine-1k-schedule-run"
+      (Staged.stage (fun () ->
+           let open Domino_sim in
+           let e = Engine.create () in
+           for i = 0 to 999 do
+             Engine.schedule e ~delay:((i * 7919) mod 1000) (fun () -> ())
+           done;
+           Engine.run e))
+  in
   let exec_bench =
     Test.make ~name:"exec-engine-1k-decisions"
       (Staged.stage (fun () ->
@@ -306,7 +276,10 @@ let micro () =
   in
   let tests =
     Test.make_grouped ~name:"domino-core"
-      [ window_bench; interval_bench; heap_bench; exec_bench; zipf_bench ]
+      [
+        window_bench; interval_bench; heap_bench; heap_cancel_bench;
+        engine_bench; exec_bench; zipf_bench;
+      ]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) () in
@@ -315,33 +288,68 @@ let micro () =
     List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) i raw) instances
   in
   let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) instances results in
-  print_endline "Microbenchmarks (ns/run, OLS estimate):";
+  let estimates = ref [] in
   Hashtbl.iter
     (fun _measure tbl ->
       Hashtbl.iter
         (fun name result ->
           match Bechamel.Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "  %-32s %12.1f ns\n" name est
-          | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+          | Some [ est ] -> estimates := (name, est) :: !estimates
+          | _ -> ())
         tbl)
-    results
+    results;
+  let estimates = List.sort compare !estimates in
+  print_endline "Microbenchmarks (ns/run, OLS estimate):";
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-32s %12.1f ns\n" name est)
+    estimates;
+  write_json "BENCH_micro.json"
+    (Json.Obj
+       [
+         ("schema", Json.String "domino-bench-micro/1");
+         ("generated_by", Json.String "bench/main.exe --micro");
+         ("unit", Json.String "ns/run");
+         ("estimator", Json.String "ols");
+         ( "results",
+           Json.Obj (List.map (fun (name, est) -> (name, Json.Float est)) estimates)
+         );
+       ])
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* --jobs N is the only flag taking a value; strip it first. *)
+  let jobs = ref None in
+  let rec strip_jobs = function
+    | "--jobs" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 1 -> jobs := Some n
+      | _ ->
+        Printf.eprintf "bench: --jobs expects a positive integer, got %S\n" v;
+        exit 2);
+      strip_jobs rest
+    | arg :: rest -> arg :: strip_jobs rest
+    | [] -> []
+  in
+  let args = strip_jobs args in
+  (match !jobs with Some n -> Domino_par.Par.set_jobs n | None -> ());
   let paper = List.mem "--paper" args in
   let quick = not paper in
+  let timing = not (List.mem "--no-timing" args) in
   let micro_only = List.mem "--micro" args in
+  let sim_report_only = List.mem "--sim-report" args in
   let wanted =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
   in
   if micro_only then micro ()
+  else if sim_report_only then sim_report ~jobs:(Domino_par.Par.jobs ())
   else begin
     let selected =
       match wanted with
       | [] -> experiments
       | ids ->
         List.filter
-          (fun e -> List.exists (fun w -> w = e.id || (w = "fig12b" && e.id = "fig12a")) ids)
+          (fun e ->
+            List.exists (fun w -> w = e.id || List.mem w e.aliases) ids)
           experiments
     in
     if selected = [] then begin
@@ -349,6 +357,8 @@ let () =
       List.iter (fun e -> Printf.printf "  %-8s %s\n" e.id e.describe) experiments;
       exit 1
     end;
+    (* Deliberately no jobs count here: output must be byte-identical
+       across --jobs values (CI diffs jobs=1 vs jobs=2). *)
     Printf.printf
       "Domino reproduction benchmarks (%s scale; seed %Ld)\n\
        Each block prints our measurement next to the paper's number.\n\n"
@@ -359,6 +369,8 @@ let () =
         Printf.printf "=== %s: %s ===\n%!" e.id e.describe;
         let t0 = Unix.gettimeofday () in
         e.run ~quick;
-        Printf.printf "(%.1fs)\n\n%!" (Unix.gettimeofday () -. t0))
+        if timing then
+          Printf.printf "(%.1fs)\n\n%!" (Unix.gettimeofday () -. t0)
+        else Printf.printf "\n%!")
       selected
   end

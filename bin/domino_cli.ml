@@ -213,6 +213,86 @@ let geometry_cmd =
     (Cmd.info "geometry" ~doc:"Run the paper's §4 placement analysis")
     Term.(const action $ const ())
 
+(* --- experiment --- *)
+
+let experiment_cmd =
+  let ids =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ID"
+          ~doc:"Experiment ids (default: all). Use $(b,--list) to enumerate.")
+  in
+  let paper =
+    Arg.(
+      value & flag
+      & info [ "paper" ] ~doc:"Paper-scale runs (slow; default is quick scale).")
+  in
+  let list_only =
+    Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Independent simulation runs to execute in parallel (default: \
+             all cores). Output is byte-identical for every value.")
+  in
+  let action seed paper list_only jobs ids =
+    (match jobs with
+    | Some n -> (
+      try Domino_par.Par.set_jobs n
+      with Invalid_argument msg ->
+        Format.eprintf "domino-sim: %s@." msg;
+        exit 2)
+    | None -> ());
+    if list_only then
+      List.iter
+        (fun e ->
+          Format.printf "%-10s %s@." e.Exp_registry.id e.Exp_registry.describe)
+        Exp_registry.all
+    else begin
+      let entries =
+        match ids with
+        | [] -> Exp_registry.all
+        | ids ->
+          List.map
+            (fun id ->
+              match Exp_registry.find id with
+              | Some e -> e
+              | None ->
+                Format.eprintf
+                  "domino-sim: unknown experiment %S (try --list)@." id;
+                exit 2)
+            ids
+      in
+      (* Aliases (fig4, fig12b) resolve to their canonical entry; run
+         each entry once even if named twice. *)
+      let entries =
+        List.fold_left
+          (fun acc e ->
+            if List.exists (fun s -> s.Exp_registry.id = e.Exp_registry.id) acc
+            then acc
+            else e :: acc)
+          [] entries
+        |> List.rev
+      in
+      List.iter
+        (fun e ->
+          Format.printf "=== %s: %s ===@." e.Exp_registry.id
+            e.Exp_registry.describe;
+          List.iter Domino_stats.Tablefmt.print
+            (e.Exp_registry.run ~quick:(not paper) ~seed);
+          Format.printf "@.")
+        entries
+    end
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate one (or all) of the paper's tables and figures")
+    Term.(const action $ seed_arg $ paper $ list_only $ jobs $ ids)
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -221,4 +301,7 @@ let () =
     Cmd.info "domino-sim" ~version:"1.0.0"
       ~doc:"Domino (CoNEXT'20) reproduction: simulate, probe, analyse"
   in
-  exit (Cmd.eval (Cmd.group ~default info [ run_cmd; probe_cmd; geometry_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ run_cmd; probe_cmd; geometry_cmd; experiment_cmd ]))

@@ -34,9 +34,13 @@ let run ?(quick = true) ?(seed = 42L) () =
           "slow paths";
         ]
   in
-  List.iter
-    (fun (name, proto) ->
-      let r = Exp_common.run ~seed ~duration Exp_common.globe3 proto in
+  let results =
+    Domino_par.Par.map_list
+      (fun (_, proto) -> Exp_common.run ~seed ~duration Exp_common.globe3 proto)
+      variants
+  in
+  List.iter2
+    (fun (name, _) (r : Exp_common.result) ->
       let commit = Observer.Recorder.commit_latency_ms r.recorder in
       let exec = Observer.Recorder.exec_latency_ms r.recorder in
       let total = r.fast_commits + r.slow_commits in
@@ -52,5 +56,5 @@ let run ?(quick = true) ?(seed = 42L) () =
              Printf.sprintf "%d/%d (%.1f%%)" r.slow_commits total
                (100. *. float_of_int r.slow_commits /. float_of_int total));
         ])
-    variants;
+    variants results;
   t

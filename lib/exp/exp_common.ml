@@ -245,17 +245,50 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
     wall_events;
   }
 
-let run_many ?(runs = 3) ?(seed = 42L) ?rate ?alpha ?duration setting proto =
-  let commit = ref (Domino_stats.Summary.create ()) in
-  let exec = ref (Domino_stats.Summary.create ()) in
-  for i = 0 to runs - 1 do
-    let seed = Int64.add seed (Int64.of_int (i * 1_000_003)) in
-    let result = run ~seed ?rate ?alpha ?duration setting proto in
-    commit :=
-      Domino_stats.Summary.merge !commit
-        (Observer.Recorder.commit_latency_ms result.recorder);
-    exec :=
-      Domino_stats.Summary.merge !exec
-        (Observer.Recorder.exec_latency_ms result.recorder)
-  done;
-  (!commit, !exec)
+(* --- parallel sweep machinery ---
+
+   Each run is fully isolated (its own engine, RNG, net, metrics), so
+   independent (seed, setting, protocol) runs fan out across domains
+   via Par.map; results come back in task-index order and merging
+   happens sequentially in that fixed order, making output at any
+   [jobs] byte-identical to [jobs = 1]. *)
+
+let seed_for base i = Int64.add base (Int64.of_int (i * 1_000_003))
+
+let run_latencies ~seed ?rate ?alpha ?duration setting proto =
+  let r = run ~seed ?rate ?alpha ?duration setting proto in
+  ( Observer.Recorder.commit_latency_ms r.recorder,
+    Observer.Recorder.exec_latency_ms r.recorder )
+
+let merge_pairs pairs =
+  Array.fold_left
+    (fun (c, e) (rc, re) ->
+      (Domino_stats.Summary.merge c rc, Domino_stats.Summary.merge e re))
+    (Domino_stats.Summary.create (), Domino_stats.Summary.create ())
+    pairs
+
+let run_many ?(runs = 3) ?(seed = 42L) ?rate ?alpha ?duration ?jobs setting
+    proto =
+  merge_pairs
+    (Domino_par.Par.mapi ?jobs
+       (fun i () ->
+         run_latencies ~seed:(seed_for seed i) ?rate ?alpha ?duration setting
+           proto)
+       (Array.make runs ()))
+
+let run_sweep ?(runs = 1) ?(seed = 42L) ?rate ?alpha ?duration ?jobs cells =
+  let cells = Array.of_list cells in
+  let n_cells = Array.length cells in
+  (* Flatten to (cell, run) tasks so cores stay busy even when one
+     cell's protocol simulates slower than the others. *)
+  let tasks = Array.init (n_cells * runs) (fun t -> (t / runs, t mod runs)) in
+  let results =
+    Domino_par.Par.map ?jobs
+      (fun (ci, ri) ->
+        let setting, proto = cells.(ci) in
+        run_latencies ~seed:(seed_for seed ri) ?rate ?alpha ?duration setting
+          proto)
+      tasks
+  in
+  List.init n_cells (fun ci ->
+      merge_pairs (Array.sub results (ci * runs) runs))

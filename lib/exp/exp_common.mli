@@ -112,11 +112,32 @@ val run_many :
   ?rate:float ->
   ?alpha:float ->
   ?duration:Time_ns.span ->
+  ?jobs:int ->
   setting ->
   protocol ->
   Domino_stats.Summary.t * Domino_stats.Summary.t
 (** [(commit_latency_ms, exec_latency_ms)] merged over [runs] (default
-    3) independent seeds. *)
+    3) independent seeds. Runs execute on up to [jobs] (default:
+    {!Domino_par.Par.jobs}, i.e. the CLI's [--jobs]) domains; each run
+    is fully isolated and results merge in seed order, so the output
+    is byte-identical for every [jobs] value. *)
+
+val run_sweep :
+  ?runs:int ->
+  ?seed:int64 ->
+  ?rate:float ->
+  ?alpha:float ->
+  ?duration:Time_ns.span ->
+  ?jobs:int ->
+  (setting * protocol) list ->
+  (Domino_stats.Summary.t * Domino_stats.Summary.t) list
+(** One {!run_many} per [(setting, protocol)] cell, with all
+    [cells x runs] (default [runs] 1) simulations flattened into a
+    single work queue across [jobs] domains — the unit every
+    [exp_fig*] sweep is built on. Results are returned in cell order,
+    each merged in seed order; byte-identical for every [jobs]. Cell
+    [i]'s run [r] uses the same seed as [run_many] run [r], so a sweep
+    row equals the corresponding standalone [run_many]. *)
 
 val closest_replica : setting -> client_dc:string -> int
 (** Index of the replica with the lowest RTT to the client's

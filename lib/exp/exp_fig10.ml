@@ -23,12 +23,13 @@ let run ?(quick = true) ?(seed = 42L) ~alpha () =
            alpha)
       ~header:[ "protocol"; "p25"; "p50"; "p95"; "p99" ]
   in
-  List.iter
-    (fun (name, proto) ->
-      let _, exec =
-        Exp_common.run_many ~runs:(runs quick) ~seed ~alpha
-          ~duration:(duration quick) Exp_common.globe3 proto
-      in
+  let results =
+    Exp_common.run_sweep ~runs:(runs quick) ~seed ~alpha
+      ~duration:(duration quick)
+      (List.map (fun (_, proto) -> (Exp_common.globe3, proto)) protocols)
+  in
+  List.iter2
+    (fun (name, _) (_, exec) ->
       Tablefmt.add_row t
         [
           name;
@@ -37,5 +38,5 @@ let run ?(quick = true) ?(seed = 42L) ~alpha () =
           Tablefmt.cell_ms (Summary.percentile exec 95.);
           Tablefmt.cell_ms (Summary.percentile exec 99.);
         ])
-    protocols;
+    protocols results;
   t

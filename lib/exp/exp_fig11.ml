@@ -14,21 +14,24 @@ let run ?(quick = true) ?(seed = 42L) () =
          Globe (paper: high at 0, minimal near 8ms, then grows ~1ms/ms)"
       ~header:[ "additional delay"; "p5"; "p50"; "p95" ]
   in
-  List.iter
-    (fun delay_ms ->
-      let proto =
-        Exp_common.Domino
-          {
-            additional_delay = Time_ns.ms delay_ms;
-            percentile = 95.;
-            every_replica_learns = false;
-            adaptive = false;
-          }
-      in
-      let _, exec =
-        Exp_common.run_many ~runs:1 ~seed ~duration:(duration quick)
-          Exp_common.globe3 proto
-      in
+  let cells =
+    List.map
+      (fun delay_ms ->
+        ( Exp_common.globe3,
+          Exp_common.Domino
+            {
+              additional_delay = Time_ns.ms delay_ms;
+              percentile = 95.;
+              every_replica_learns = false;
+              adaptive = false;
+            } ))
+      (delays_ms quick)
+  in
+  let results =
+    Exp_common.run_sweep ~runs:1 ~seed ~duration:(duration quick) cells
+  in
+  List.iter2
+    (fun delay_ms (_, exec) ->
       Tablefmt.add_row t
         [
           Printf.sprintf "+%dms" delay_ms;
@@ -36,5 +39,5 @@ let run ?(quick = true) ?(seed = 42L) () =
           Tablefmt.cell_ms (Summary.percentile exec 50.);
           Tablefmt.cell_ms (Summary.percentile exec 95.);
         ])
-    (delays_ms quick);
+    (delays_ms quick) results;
   t

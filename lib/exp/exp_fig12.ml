@@ -49,7 +49,7 @@ let run_proto ~seed ~duration ~rate ~initial_rtt ~changes proto =
       let net = build_net engine ~rtt_ms:initial_rtt in
       List.iter
         (fun (at, change) ->
-          ignore (Engine.schedule_at engine ~at (fun () -> change.apply net)))
+          Engine.schedule_at engine ~at (fun () -> change.apply net))
         changes;
       let cfg = Domino_core.Config.make ~replicas ~coordinator:0 () in
       let d = Domino_core.Domino.create ~net ~cfg ~observer () in
@@ -58,7 +58,7 @@ let run_proto ~seed ~duration ~rate ~initial_rtt ~changes proto =
       let net = build_net engine ~rtt_ms:initial_rtt in
       List.iter
         (fun (at, change) ->
-          ignore (Engine.schedule_at engine ~at (fun () -> change.apply net)))
+          Engine.schedule_at engine ~at (fun () -> change.apply net))
         changes;
       let p =
         Domino_proto.Mencius.create ~net ~replicas
@@ -92,11 +92,14 @@ let scenario ~seed ~duration ~initial_rtt ~changes =
   let thirds =
     [ Time_ns.zero; duration / 3; 2 * duration / 3 ]
   in
-  let dom =
-    run_proto ~seed ~duration ~rate ~initial_rtt ~changes P_domino
-  in
-  let men =
-    run_proto ~seed ~duration ~rate ~initial_rtt ~changes P_mencius
+  let dom, men =
+    match
+      Domino_par.Par.map_list
+        (fun proto -> run_proto ~seed ~duration ~rate ~initial_rtt ~changes proto)
+        [ P_domino; P_mencius ]
+    with
+    | [ dom; men ] -> (dom, men)
+    | _ -> assert false
   in
   let dm = phase_medians ~duration dom thirds in
   let mm = phase_medians ~duration men thirds in

@@ -27,35 +27,36 @@ let run ?(quick = true) ?(seed = 42L) () =
          WA/VA/QC, clients IA[, WA])"
       ~header:[ "configuration"; "paper p50"; "p50"; "p95"; "fast/slow" ]
   in
-  let case name paper setting proto =
-    let r = run_case ~quick ~seed setting proto in
-    let c = Observer.Recorder.commit_latency_ms r.recorder in
-    Tablefmt.add_row t
-      [
-        name;
-        paper;
-        Tablefmt.cell_ms (Summary.percentile c 50.);
-        Tablefmt.cell_ms (Summary.percentile c 95.);
-        Printf.sprintf "%d/%d" r.fast_commits r.slow_commits;
-      ];
-    r
+  let cases =
+    [
+      ("Fast Paxos, 1 client", "~38ms", Exp_common.fig7_single,
+       Exp_common.Fast_paxos);
+      ("Multi-Paxos, 1 client", "~103ms", Exp_common.fig7_single,
+       Exp_common.Multi_paxos);
+      ("Fast Paxos, 2 clients", "> Multi-Paxos", Exp_common.fig7_double,
+       Exp_common.Fast_paxos);
+      ("Multi-Paxos, 2 clients", "~65/~100ms", Exp_common.fig7_double,
+       Exp_common.Multi_paxos);
+    ]
   in
-  let _ =
-    case "Fast Paxos, 1 client" "~38ms" Exp_common.fig7_single
-      Exp_common.Fast_paxos
+  let results =
+    Domino_par.Par.map_list
+      (fun (_, _, setting, proto) -> run_case ~quick ~seed setting proto)
+      cases
   in
-  let _ =
-    case "Multi-Paxos, 1 client" "~103ms" Exp_common.fig7_single
-      Exp_common.Multi_paxos
-  in
-  let _ =
-    case "Fast Paxos, 2 clients" "> Multi-Paxos" Exp_common.fig7_double
-      Exp_common.Fast_paxos
-  in
-  let r =
-    case "Multi-Paxos, 2 clients" "~65/~100ms" Exp_common.fig7_double
-      Exp_common.Multi_paxos
-  in
+  List.iter2
+    (fun (name, paper, _, _) (r : Exp_common.result) ->
+      let c = Observer.Recorder.commit_latency_ms r.recorder in
+      Tablefmt.add_row t
+        [
+          name;
+          paper;
+          Tablefmt.cell_ms (Summary.percentile c 50.);
+          Tablefmt.cell_ms (Summary.percentile c 95.);
+          Printf.sprintf "%d/%d" r.fast_commits r.slow_commits;
+        ])
+    cases results;
+  let r = List.nth results 3 in
   (* Per-client Multi-Paxos breakdown (clients are nodes 3=IA, 4=WA). *)
   List.iter
     (fun (node, name, paper) ->

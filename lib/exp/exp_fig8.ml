@@ -47,12 +47,12 @@ let run ?(quick = true) ?(seed = 42L) variant () =
            (name variant))
       ~header:[ "protocol"; "p50"; "p95"; "p99"; "paper (p50 / p95)" ]
   in
-  List.iter
-    (fun proto ->
-      let commit, _ =
-        Exp_common.run_many ~runs:(runs quick) ~seed
-          ~duration:(duration quick) s proto
-      in
+  let results =
+    Exp_common.run_sweep ~runs:(runs quick) ~seed ~duration:(duration quick)
+      (List.map (fun proto -> (s, proto)) protocols)
+  in
+  List.iter2
+    (fun proto (commit, _) ->
       let pname = Exp_common.protocol_name proto in
       Tablefmt.add_row t
         [
@@ -62,7 +62,7 @@ let run ?(quick = true) ?(seed = 42L) variant () =
           Tablefmt.cell_ms (Summary.percentile commit 99.);
           paper_reference variant pname;
         ])
-    protocols;
+    protocols results;
   t
 
 let domino_client_mix ?(quick = true) ?(seed = 42L) variant () =

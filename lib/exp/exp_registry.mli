@@ -1,0 +1,23 @@
+(** Name -> runner registry of the paper's tables and figures.
+
+    One entry per reproducible experiment in `lib/exp`, shared by the
+    benchmark harness (`bench/main.exe`) and the CLI's [experiment]
+    subcommand, so both front ends dispatch over the same list instead
+    of wiring each figure twice. Entries run at quick or paper scale
+    and return their rendered tables; printing, timing, and parallel
+    [--jobs] policy (via {!Domino_par.Par.set_jobs}) belong to the
+    caller. Bench-only extras that need [Unix] (wall-clock throughput)
+    live in `bench/main.ml`, not here. *)
+
+type entry = {
+  id : string;
+  describe : string;
+  aliases : string list;  (** alternate ids, e.g. [fig4] -> [geometry] *)
+  run : quick:bool -> seed:int64 -> Domino_stats.Tablefmt.t list;
+}
+
+val all : entry list
+(** In the paper's presentation order. *)
+
+val find : string -> entry option
+(** Lookup by [id] or alias. *)

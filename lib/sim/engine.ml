@@ -13,21 +13,22 @@ type t = {
   mutable clock : Time_ns.t;
   queue : kind Pheap.t;
   root_rng : Rng.t;
-  canceller : (int, unit -> unit) Hashtbl.t;
-  mutable next_id : int;
   mutable events_run : int;
   mutable event_hook : (Time_ns.t -> unit) option;
 }
 
-type event_id = int
+(* Cancellation tokens point straight at the queue entry (or the
+   periodic record), so the common fire-once path allocates nothing
+   beyond the heap entry itself: no canceller table, no id indirection. *)
+type event_id =
+  | Ev_once of kind Pheap.handle
+  | Ev_periodic of periodic
 
 let create ?(seed = 1L) () =
   {
     clock = Time_ns.zero;
     queue = Pheap.create ();
     root_rng = Rng.create seed;
-    canceller = Hashtbl.create 64;
-    next_id = 0;
     events_run = 0;
     event_hook = None;
   }
@@ -42,29 +43,21 @@ let clear_event_hook t = t.event_hook <- None
 
 let rng t = t.root_rng
 
-let register t thunk =
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  Hashtbl.replace t.canceller id thunk;
-  id
-
 let schedule_at t ~at f =
   let at = Time_ns.max at t.clock in
-  let id_ref = ref (-1) in
-  (* Drop the canceller when the event fires so the table stays small
-     over long simulations. *)
-  let body () =
-    Hashtbl.remove t.canceller !id_ref;
-    f ()
-  in
-  let handle = Pheap.push t.queue ~time:at (Once body) in
-  let id = register t (fun () -> Pheap.cancel t.queue handle) in
-  id_ref := id;
-  id
+  ignore (Pheap.push t.queue ~time:at (Once f))
 
 let schedule t ~delay f =
   let delay = Stdlib.max 0 delay in
   schedule_at t ~at:(Time_ns.add t.clock delay) f
+
+let schedule_at_cancellable t ~at f =
+  let at = Time_ns.max at t.clock in
+  Ev_once (Pheap.push t.queue ~time:at (Once f))
+
+let schedule_cancellable t ~delay f =
+  let delay = Stdlib.max 0 delay in
+  schedule_at_cancellable t ~at:(Time_ns.add t.clock delay) f
 
 let every t ?(jitter = 0) ~interval body =
   if interval <= 0 then invalid_arg "Engine.every: interval must be positive";
@@ -74,14 +67,12 @@ let every t ?(jitter = 0) ~interval body =
     Time_ns.add t.clock (interval + j)
   in
   ignore (Pheap.push t.queue ~time:first (Periodic p));
-  register t (fun () -> p.cancelled <- true)
+  Ev_periodic p
 
 let cancel t id =
-  match Hashtbl.find_opt t.canceller id with
-  | None -> ()
-  | Some thunk ->
-    Hashtbl.remove t.canceller id;
-    thunk ()
+  match id with
+  | Ev_once handle -> Pheap.cancel t.queue handle
+  | Ev_periodic p -> p.cancelled <- true
 
 let run_event t kind =
   match kind with
@@ -96,31 +87,35 @@ let run_event t kind =
       end
     end
 
+let exec t time kind =
+  t.clock <- Time_ns.max t.clock time;
+  t.events_run <- t.events_run + 1;
+  (match t.event_hook with None -> () | Some f -> f t.clock);
+  run_event t kind
+
 let step t =
   match Pheap.pop t.queue with
   | None -> false
   | Some (time, kind) ->
-    t.clock <- Time_ns.max t.clock time;
-    t.events_run <- t.events_run + 1;
-    (match t.event_hook with None -> () | Some f -> f t.clock);
-    run_event t kind;
+    exec t time kind;
     true
 
 let run ?until t =
-  let continue () =
-    match until with
-    | None -> true
-    | Some deadline -> begin
-      match Pheap.peek_time t.queue with
-      | None -> false
-      | Some next -> next <= deadline
-    end
-  in
-  while (not (Pheap.is_empty t.queue)) && continue () do
-    ignore (step t)
-  done;
   match until with
-  | Some deadline when t.clock < deadline -> t.clock <- deadline
-  | _ -> ()
+  | None ->
+    let continue = ref true in
+    while !continue do
+      match Pheap.pop t.queue with
+      | None -> continue := false
+      | Some (time, kind) -> exec t time kind
+    done
+  | Some deadline ->
+    let continue = ref true in
+    while !continue do
+      match Pheap.pop_due t.queue ~limit:deadline with
+      | None -> continue := false
+      | Some (time, kind) -> exec t time kind
+    done;
+    if t.clock < deadline then t.clock <- deadline
 
 let pending t = Pheap.length t.queue

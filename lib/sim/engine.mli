@@ -4,7 +4,11 @@
     timers, probing intervals, workload inter-arrival times — runs as
     callbacks scheduled on one of these engines, so an entire
     multi-datacenter experiment is a deterministic single-threaded
-    computation reproducible from its RNG seed. *)
+    computation reproducible from its RNG seed.
+
+    Cancellation is opt-in: {!schedule} and {!schedule_at} are the hot
+    path and allocate only the heap entry; the [_cancellable] variants
+    return an {!event_id} for {!cancel}. *)
 
 type t
 
@@ -23,14 +27,23 @@ val rng : t -> Rng.t
 (** The engine's root RNG. Subsystems should [Rng.split] it once at
     construction rather than sharing it. *)
 
-val schedule : t -> delay:Time_ns.span -> (unit -> unit) -> event_id
+val schedule : t -> delay:Time_ns.span -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at [now t + delay]. A negative
     [delay] is clamped to zero. Events scheduled for the same instant
-    run in scheduling order. *)
+    run in scheduling order. Fire-once and not cancellable — use
+    {!schedule_cancellable} when a cancellation token is needed. *)
 
-val schedule_at : t -> at:Time_ns.t -> (unit -> unit) -> event_id
+val schedule_at : t -> at:Time_ns.t -> (unit -> unit) -> unit
 (** As {!schedule} with an absolute deadline; a deadline in the past is
     clamped to now. *)
+
+val schedule_cancellable :
+  t -> delay:Time_ns.span -> (unit -> unit) -> event_id
+(** As {!schedule}, returning an id accepted by {!cancel}. *)
+
+val schedule_at_cancellable :
+  t -> at:Time_ns.t -> (unit -> unit) -> event_id
+(** As {!schedule_at}, returning an id accepted by {!cancel}. *)
 
 val every :
   t -> ?jitter:Time_ns.span -> interval:Time_ns.span -> (unit -> unit) ->

@@ -12,15 +12,17 @@ type 'a t = {
   mutable live : int;
 }
 
-type handle = Obj.t
-(* A handle is the entry itself, type-erased so that [handle] does not
-   carry the element type parameter. Only [cancel] looks inside. *)
+type 'a handle = 'a entry
+(* A handle is the entry itself; [cancel] flips its [dead] bit. Popped
+   entries are also marked dead so a late [cancel] is a no-op. *)
 
 let create () = { data = [||]; size = 0; next_seq = 0; live = 0 }
 
 let length t = t.live
 
 let is_empty t = t.live = 0
+
+let heap_size t = t.size
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -65,13 +67,44 @@ let push t ~time value =
   t.size <- t.size + 1;
   t.live <- t.live + 1;
   sift_up t (t.size - 1);
-  Obj.repr entry
+  entry
+
+(* Drop every dead entry and rebuild the heap in place (Floyd
+   heapify). The (time, seq) key is a total order, so pop order is
+   independent of heap shape and compaction preserves determinism. *)
+let compact t =
+  let j = ref 0 in
+  for i = 0 to t.size - 1 do
+    let e = t.data.(i) in
+    if not e.dead then begin
+      t.data.(!j) <- e;
+      incr j
+    end
+  done;
+  t.size <- !j;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  if t.size = 0 then t.data <- [||]
+  else begin
+    (* Copy into a right-sized array: releases the dead entries (and
+       their closures) still referenced by the old backing store. *)
+    let cap = Array.length t.data in
+    let ncap =
+      if cap > 16 && t.size <= cap / 4 then Stdlib.max 16 (2 * t.size) else cap
+    in
+    let ndata = Array.make ncap t.data.(0) in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end
 
 let cancel t handle =
-  let entry : 'a entry = Obj.obj handle in
-  if not entry.dead then begin
-    entry.dead <- true;
-    t.live <- t.live - 1
+  if not handle.dead then begin
+    handle.dead <- true;
+    t.live <- t.live - 1;
+    (* Lazy deletion must not let cancellation-heavy workloads grow the
+       heap unboundedly: once the dead outnumber the live, sweep. *)
+    if t.size >= 16 && t.size - t.live > t.size / 2 then compact t
   end
 
 let pop_min t =
@@ -89,6 +122,27 @@ let rec pop t =
     let entry = pop_min t in
     if entry.dead then pop t
     else begin
+      entry.dead <- true;
+      t.live <- t.live - 1;
+      Some (entry.time, entry.value)
+    end
+  end
+
+(* Pop the minimum live entry only if it is due at or before [limit]:
+   one root scan serves both the deadline check and the pop, where
+   [peek_time] followed by [pop] walked the dead prefix twice. *)
+let rec pop_due t ~limit =
+  if t.size = 0 then None
+  else begin
+    let entry = t.data.(0) in
+    if entry.dead then begin
+      ignore (pop_min t);
+      pop_due t ~limit
+    end
+    else if entry.time > limit then None
+    else begin
+      let entry = pop_min t in
+      entry.dead <- true;
       t.live <- t.live - 1;
       Some (entry.time, entry.value)
     end

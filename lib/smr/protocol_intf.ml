@@ -33,12 +33,24 @@ type protocol = (module S)
 
 let registry : (string, protocol) Hashtbl.t = Hashtbl.create 8
 
-let register ((module P : S) as p) = Hashtbl.replace registry P.name p
+(* The registry is process-global while simulation runs may execute on
+   several domains at once (lib/par), and resolution re-registers
+   idempotently — so every access takes the lock. Resolution happens
+   once per run; the cost is noise. *)
+let registry_lock = Mutex.create ()
 
-let find name = Hashtbl.find_opt registry name
+let locked f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let register ((module P : S) as p) =
+  locked (fun () -> Hashtbl.replace registry P.name p)
+
+let find name = locked (fun () -> Hashtbl.find_opt registry name)
 
 let names () =
-  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) registry [])
+  locked (fun () ->
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) registry []))
 
 let instrument (type msg) env ~name ~(classify : msg -> Msg_class.t)
     ~(op_of : msg -> Op.t option) (net : msg Fifo_net.t) =

@@ -168,6 +168,61 @@ let test_heap_peek () =
   Pheap.cancel h a;
   Alcotest.(check (option int)) "skips dead" (Some 9) (Pheap.peek_time h)
 
+let test_heap_compaction () =
+  let h = Pheap.create () in
+  let handles = Array.init 100 (fun i -> Pheap.push h ~time:i i) in
+  check_int "physical size" 100 (Pheap.heap_size h);
+  (* Deletion is lazy: cancelling half leaves the entries in place... *)
+  for i = 0 to 49 do
+    Pheap.cancel h handles.(i)
+  done;
+  check_int "live" 50 (Pheap.length h);
+  check_int "dead entries linger" 100 (Pheap.heap_size h);
+  (* ...but one more cancel tips dead > size/2 and compacts the heap
+     down to its live entries. *)
+  Pheap.cancel h handles.(50);
+  check_int "live after tip" 49 (Pheap.length h);
+  check_int "compacted to live entries" 49 (Pheap.heap_size h);
+  (* Order survives compaction. *)
+  let out = ref [] in
+  let rec drain () =
+    match Pheap.pop h with
+    | None -> ()
+    | Some (_, v) ->
+      out := v :: !out;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "survivors in order"
+    (List.init 49 (fun i -> 51 + i))
+    (List.rev !out)
+
+let test_heap_cancel_after_pop () =
+  let h = Pheap.create () in
+  let a = Pheap.push h ~time:1 "a" in
+  let _b = Pheap.push h ~time:2 "b" in
+  Alcotest.(check (option (pair int string))) "pops a" (Some (1, "a")) (Pheap.pop h);
+  Pheap.cancel h a (* must not touch the live count: a already left *);
+  check_int "b still live" 1 (Pheap.length h);
+  Alcotest.(check (option (pair int string))) "pops b" (Some (2, "b")) (Pheap.pop h)
+
+let test_heap_pop_due () =
+  let h = Pheap.create () in
+  let a = Pheap.push h ~time:1 "a" in
+  ignore (Pheap.push h ~time:5 "b");
+  ignore (Pheap.push h ~time:9 "c");
+  Pheap.cancel h a;
+  Alcotest.(check (option (pair int string)))
+    "skips dead, pops due" (Some (5, "b"))
+    (Pheap.pop_due h ~limit:6);
+  Alcotest.(check (option (pair int string)))
+    "beyond limit stays" None
+    (Pheap.pop_due h ~limit:6);
+  check_int "c still queued" 1 (Pheap.length h);
+  Alcotest.(check (option (pair int string)))
+    "pops once due" (Some (9, "c"))
+    (Pheap.pop_due h ~limit:9)
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"pheap drains any input sorted" ~count:200
     QCheck.(list (int_bound 10_000))
@@ -217,10 +272,31 @@ let test_engine_until () =
 let test_engine_cancel () =
   let e = Engine.create () in
   let hits = ref 0 in
-  let id = Engine.schedule e ~delay:1 (fun () -> incr hits) in
+  let id = Engine.schedule_cancellable e ~delay:1 (fun () -> incr hits) in
   Engine.cancel e id;
   Engine.run e;
   check_int "cancelled" 0 !hits
+
+let test_engine_cancel_at () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  let id =
+    Engine.schedule_at_cancellable e ~at:(Time_ns.ms 2) (fun () -> incr hits)
+  in
+  ignore (Engine.schedule e ~delay:(Time_ns.ms 1) (fun () -> Engine.cancel e id));
+  Engine.run e;
+  check_int "cancelled before firing" 0 !hits
+
+let test_engine_cancel_after_fire () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  let id = Engine.schedule_cancellable e ~delay:1 (fun () -> incr hits) in
+  Engine.run e;
+  check_int "fired" 1 !hits;
+  Engine.cancel e id (* late cancel of a fired once-event is a no-op *);
+  ignore (Engine.schedule e ~delay:1 (fun () -> incr hits));
+  Engine.run e;
+  check_int "later events unaffected" 2 !hits
 
 let test_engine_every () =
   let e = Engine.create () in
@@ -295,6 +371,9 @@ let () =
           Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_on_ties;
           Alcotest.test_case "cancel" `Quick test_heap_cancel;
           Alcotest.test_case "peek" `Quick test_heap_peek;
+          Alcotest.test_case "compaction" `Quick test_heap_compaction;
+          Alcotest.test_case "cancel after pop" `Quick test_heap_cancel_after_pop;
+          Alcotest.test_case "pop_due" `Quick test_heap_pop_due;
           q prop_heap_sorts;
         ] );
       ( "engine",
@@ -303,6 +382,8 @@ let () =
           Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
           Alcotest.test_case "run until" `Quick test_engine_until;
           Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "cancel absolute" `Quick test_engine_cancel_at;
+          Alcotest.test_case "cancel after fire" `Quick test_engine_cancel_after_fire;
           Alcotest.test_case "periodic" `Quick test_engine_every;
           Alcotest.test_case "periodic self-cancel" `Quick test_engine_every_cancel_inside;
           Alcotest.test_case "clock monotone" `Quick test_engine_clock_monotone;
