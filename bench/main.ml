@@ -141,6 +141,13 @@ let write_json file json =
 let sim_report ~jobs =
   let open Domino_sim in
   Printf.printf "sim perf report (jobs=%d)\n%!" jobs;
+  let physical_cores = Domino_par.Par.physical_cores () in
+  let recommended_jobs = Domino_par.Par.recommended_jobs () in
+  if jobs > physical_cores then
+    Printf.eprintf
+      "bench: warning: --jobs %d exceeds the %d physical cores; SMT \
+       siblings add no simulation throughput\n%!"
+      jobs physical_cores;
   let _, _, events, wall = single_core_throughput ~duration:(Time_ns.sec 10) in
   let events_per_sec = events /. wall in
   Printf.printf "  single-core: %.0f events in %.2fs = %.0f events/s\n%!"
@@ -168,9 +175,11 @@ let sim_report ~jobs =
   write_json "BENCH_sim.json"
     (Json.Obj
        [
-         ("schema", Json.String "domino-bench-sim/1");
+         ("schema", Json.String "domino-bench-sim/2");
          ("generated_by", Json.String "bench/main.exe --sim-report");
          ("jobs", Json.Int jobs);
+         ("physical_cores", Json.Int physical_cores);
+         ("recommended_jobs", Json.Int recommended_jobs);
          ( "single_core",
            Json.Obj
              [

@@ -13,6 +13,31 @@ open Domino_exp
 
 (* --- shared argument parsers --- *)
 
+let write_file file contents =
+  match open_out file with
+  | oc ->
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        output_string oc contents)
+  | exception Sys_error msg ->
+    Format.eprintf "domino-sim: %s@." msg;
+    exit 1
+
+let journal_out_arg =
+  Cmdliner.Arg.(
+    value & opt (some string) None
+    & info [ "journal-out" ] ~docv:"FILE"
+        ~doc:
+          "Record the run in the flight recorder and write the journal \
+           (one event per line, deterministic bytes) to $(docv).")
+
+let perfetto_out_arg =
+  Cmdliner.Arg.(
+    value & opt (some string) None
+    & info [ "perfetto-out" ] ~docv:"FILE"
+        ~doc:
+          "Record the run and write a Chrome/Perfetto trace-event JSON \
+           file to $(docv) (open at ui.perfetto.dev).")
+
 let seed_arg =
   let doc = "Random seed (runs are deterministic per seed)." in
   Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"N" ~doc)
@@ -104,11 +129,16 @@ let run_cmd =
                      (0-based, global submit order) as a span tree.")
   in
   let action seed setting proto_name duration rate alpha additional percentile
-      metrics_out trace_op =
+      metrics_out trace_op journal_out perfetto_out =
     let proto = protocol_arg additional percentile proto_name in
+    let journal =
+      match (journal_out, perfetto_out) with
+      | None, None -> None
+      | _ -> Some (Domino_obs.Journal.create ())
+    in
     let r =
       Exp_common.run ~seed ~rate ~alpha ~duration:(Time_ns.sec duration)
-        ?trace_op setting proto
+        ?trace_op ?journal setting proto
     in
     let commit = Observer.Recorder.commit_latency_ms r.recorder in
     let exec = Observer.Recorder.exec_latency_ms r.recorder in
@@ -135,16 +165,31 @@ let run_cmd =
       Format.printf "  replicas converged ✓@."
     | _ -> Format.printf "  WARNING: replica state diverged@.");
     (match metrics_out with
-    | Some file -> (
-      match open_out file with
-      | oc ->
-        output_string oc (Domino_obs.Metrics.to_json_string r.metrics);
-        close_out oc;
-        Format.printf "  metrics written to %s@." file
-      | exception Sys_error msg ->
-        Format.eprintf "domino-sim: cannot write metrics: %s@." msg;
-        exit 1)
+    | Some file ->
+      write_file file (Domino_obs.Metrics.to_json_string r.metrics);
+      Format.printf "  metrics written to %s@." file
     | None -> ());
+    (match journal with
+    | None -> ()
+    | Some j ->
+      Format.printf "@.";
+      Domino_stats.Tablefmt.print
+        (Domino_obs.Provenance.to_table r.provenance);
+      (match Domino_obs.Journal.dropped j with
+      | 0 -> ()
+      | d ->
+        Format.eprintf
+          "domino-sim: journal ring overflowed, oldest %d events lost@." d);
+      (match journal_out with
+      | Some file ->
+        write_file file (Domino_obs.Journal.to_lines j);
+        Format.printf "  journal written to %s@." file
+      | None -> ());
+      match perfetto_out with
+      | Some file ->
+        write_file file (Domino_obs.Perfetto.to_string j);
+        Format.printf "  perfetto trace written to %s@." file
+      | None -> ());
     match trace_op with
     | Some n ->
       let tree = Domino_obs.Trace.span_tree r.trace in
@@ -156,7 +201,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ seed_arg $ setting_arg $ protocol_name_arg $ duration
-      $ rate $ alpha $ additional_delay $ percentile $ metrics_out $ trace_op)
+      $ rate $ alpha $ additional_delay $ percentile $ metrics_out $ trace_op
+      $ journal_out_arg $ perfetto_out_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one protocol over a WAN deployment")
@@ -239,19 +285,64 @@ let experiment_cmd =
             "Independent simulation runs to execute in parallel (default: \
              all cores). Output is byte-identical for every value.")
   in
-  let action seed paper list_only jobs ids =
+  let action seed paper list_only jobs ids journal_out perfetto_out =
     (match jobs with
     | Some n -> (
-      try Domino_par.Par.set_jobs n
-      with Invalid_argument msg ->
-        Format.eprintf "domino-sim: %s@." msg;
-        exit 2)
+      (try Domino_par.Par.set_jobs n
+       with Invalid_argument msg ->
+         Format.eprintf "domino-sim: %s@." msg;
+         exit 2);
+      let phys = Domino_par.Par.physical_cores () in
+      if n > phys then
+        Format.eprintf
+          "domino-sim: warning: --jobs %d exceeds the %d physical cores; \
+           extra jobs only add scheduling noise@."
+          n phys)
     | None -> ());
     if list_only then
       List.iter
         (fun e ->
           Format.printf "%-10s %s@." e.Exp_registry.id e.Exp_registry.describe)
-        Exp_registry.all
+        (List.sort
+           (fun a b -> compare a.Exp_registry.id b.Exp_registry.id)
+           Exp_registry.all)
+    else if journal_out <> None || perfetto_out <> None then begin
+      (* Flight-record one experiment's smoke run instead of printing
+         its tables. *)
+      let entry =
+        match ids with
+        | [ id ] -> (
+          match Exp_registry.find id with
+          | Some e -> e
+          | None ->
+            Format.eprintf "domino-sim: unknown experiment %S (try --list)@."
+              id;
+            exit 2)
+        | _ ->
+          Format.eprintf
+            "domino-sim: --journal-out/--perfetto-out take exactly one \
+             experiment id@.";
+          exit 2
+      in
+      match entry.Exp_registry.smoke with
+      | None ->
+        Format.eprintf "domino-sim: experiment %S has no flight-recorded run@."
+          entry.Exp_registry.id;
+        exit 2
+      | Some smoke ->
+        let j = smoke ~seed in
+        (match journal_out with
+        | Some file ->
+          write_file file (Domino_obs.Journal.to_lines j);
+          Format.printf "journal written to %s (%d events)@." file
+            (Domino_obs.Journal.length j)
+        | None -> ());
+        (match perfetto_out with
+        | Some file ->
+          write_file file (Domino_obs.Perfetto.to_string j);
+          Format.printf "perfetto trace written to %s@." file
+        | None -> ())
+    end
     else begin
       let entries =
         match ids with
@@ -291,7 +382,9 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate one (or all) of the paper's tables and figures")
-    Term.(const action $ seed_arg $ paper $ list_only $ jobs $ ids)
+    Term.(
+      const action $ seed_arg $ paper $ list_only $ jobs $ ids
+      $ journal_out_arg $ perfetto_out_arg)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))

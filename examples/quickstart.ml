@@ -39,6 +39,7 @@ let () =
           if replica = 0 then
             Format.printf "  executed  %a at replica WA, %a@." Op.pp op
               Time_ns.pp_ms now);
+      on_phase = (fun ~node:_ ~op:_ ~name:_ ~dur:_ ~now:_ -> ());
     }
   in
   let cfg = Config.make ~replicas:[| 0; 1; 2 |] () in

@@ -132,16 +132,28 @@ let submit t (op : Op.t) =
     else Estimator.choose t.estimator ~q ~now_local:local
   in
   t.last_choice <- Some choice;
+  let phase name dur =
+    t.observer.Observer.on_phase ~node:t.self ~op:(Some op) ~name ~dur
+      ~now:(Engine.now (Fifo_net.engine t.net))
+  in
   match choice with
   | Estimator.Dfp -> begin
     match
       Estimator.request_timestamp t.estimator ~now_local:local ~q
         ~extra:(extra_delay t)
     with
-    | Some ts -> submit_dfp t op ~ts
-    | None -> submit_dm t op ~leader:(closest_leader t ~now_local:local)
+    | Some ts ->
+      (* The chosen scheduled-arrival headroom, in the client's clock
+         frame — how far in the future the request timestamp lies. *)
+      phase "route_dfp" (Stdlib.max 0 (Time_ns.diff ts local));
+      submit_dfp t op ~ts
+    | None ->
+      phase "route_dm" 0;
+      submit_dm t op ~leader:(closest_leader t ~now_local:local)
   end
-  | Estimator.Dm leader -> submit_dm t op ~leader
+  | Estimator.Dm leader ->
+    phase "route_dm" 0;
+    submit_dm t op ~leader
 
 let on_vote t ~subject ~report =
   let id = Op.id subject in
@@ -170,6 +182,8 @@ let handle t ~src msg =
   | Message.Dfp_slow_reply { op } | Message.Dm_reply { op } ->
     commit t op ~fast:false
   | _ -> ()
+
+let estimator t = t.estimator
 
 let dfp_submissions t = t.dfp_count
 

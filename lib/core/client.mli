@@ -36,6 +36,10 @@ val handle : t -> src:Nodeid.t -> Message.msg -> unit
 
 val submit : t -> Op.t -> unit
 
+val estimator : t -> Domino_measure.Estimator.t
+(** The client's live delay estimator — read-only access for the
+    observability layer (estimator error vs. ground-truth OWD). *)
+
 val dfp_submissions : t -> int
 val dm_submissions : t -> int
 

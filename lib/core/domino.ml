@@ -35,7 +35,13 @@ let create ~net ~cfg ~observer () =
       Dfp_coordinator.send_commit =
         (fun ts value -> broadcast_from_coord (Message.Dfp_commit { ts; value }));
       send_p2a =
-        (fun ts value -> broadcast_from_coord (Message.Dfp_p2a { ts; value }));
+        (fun ts value ->
+          (* Slow-path recovery: the coordinator gave up on the fast
+             round for this position. *)
+          observer.Observer.on_phase ~node:coord_node ~op:value
+            ~name:"dfp_recovery" ~dur:0
+            ~now:(Engine.now (Fifo_net.engine net));
+          broadcast_from_coord (Message.Dfp_p2a { ts; value }));
       send_slow_reply =
         (fun op ->
           send_from_coord ~dst:op.Op.client (Message.Dfp_slow_reply { op }));
@@ -92,6 +98,38 @@ let submit t (op : Op.t) = Client.submit (client t op.Op.client) op
 
 let committed_count t =
   Hashtbl.fold (fun _ c acc -> acc + Client.commits c) t.clients 0
+
+(* Mean signed error of the clients' scheduled-arrival estimates
+   against the ground-truth propagation delay: predicted arrival
+   offset (percentile estimate, includes jitter headroom and clock
+   skew) minus the link's base OWD, averaged over every fresh
+   client->replica estimate. Positive = headroom; large values mean
+   the estimator is over-delaying requests. *)
+let estimator_error_ms t =
+  let total = ref 0. and n = ref 0 in
+  for node = 0 to Fifo_net.size t.net - 1 do
+    match Hashtbl.find_opt t.clients node with
+    | None -> ()
+    | Some c ->
+      let est = Client.estimator c in
+      let now_local = Fifo_net.local_time t.net node in
+      Array.iteri
+        (fun i r ->
+          if not (Nodeid.equal node r) then
+            match
+              Domino_measure.Estimator.arrival_offset est ~replica:i
+                ~now_local
+            with
+            | Some off ->
+              let truth =
+                Link.base_owd (Fifo_net.link t.net ~src:node ~dst:r)
+              in
+              total := !total +. Time_ns.to_ms_f (Time_ns.diff off truth);
+              incr n
+            | None -> ())
+        t.cfg.Config.replicas
+  done;
+  if !n = 0 then 0. else !total /. float_of_int !n
 
 let stats t =
   let dfp_submissions =
@@ -153,4 +191,6 @@ module Api = struct
       ("dm_submissions", s.dm_submissions);
       ("late_decisions", s.late_decisions);
     ]
+
+  let gauges t = [ ("estimator_err_ms", fun () -> estimator_error_ms t) ]
 end

@@ -85,6 +85,13 @@ let dfp_on_propose t (op : Op.t) ~ts =
     | Some existing -> Message.Voted_op existing
     | None ->
       if ts > local then begin
+        (* The position is in the future: this replica will hold the
+           op until its local clock passes [ts] (the paper's
+           scheduled-arrival wait). The vote itself goes out now, so
+           the wait burdens execution, not the fast-path commit. *)
+        t.observer.Observer.on_phase ~node:t.self ~op:(Some op) ~name:"sched_wait"
+          ~dur:(Time_ns.diff ts local)
+          ~now:(Engine.now (Fifo_net.engine t.net));
         t.dfp_accepted <- Tsmap.add ts op t.dfp_accepted;
         Message.Voted_op op
       end

@@ -79,6 +79,7 @@ type result = {
   extra : (string * int) list;
   store_fingerprints : int list;
   wall_events : int;
+  provenance : Provenance.breakdown list;
 }
 
 let closest_replica setting ~client_dc =
@@ -104,7 +105,7 @@ let layout setting =
 (* The harness-side observability observer: run-level counters, the
    commit/execution latency histograms, and the submit/commit/execute
    span events for the focused operation. *)
-let obs_observer metrics trace tracer ~trace_op ~exec_replica_for =
+let obs_observer metrics trace tracer jsink ~trace_op ~exec_replica_for =
   let submitted_c = Metrics.counter metrics "run.submitted" in
   let committed_c = Metrics.counter metrics "run.committed" in
   let executed_c = Metrics.counter metrics "run.executed" in
@@ -126,6 +127,9 @@ let obs_observer metrics trace tracer ~trace_op ~exec_replica_for =
         | Some n when !submit_count = n -> Trace.set_focus tracer (Op.id op)
         | _ -> ());
         incr submit_count;
+        if Journal.enabled jsink then
+          Journal.emit jsink
+            (Journal.Submit { op = Op.id op; node = op.Op.client; at = now });
         if Trace.enabled trace then
           Trace.emit trace
             (Trace.Submit { op = Op.id op; node = op.Op.client; at = now }));
@@ -135,6 +139,9 @@ let obs_observer metrics trace tracer ~trace_op ~exec_replica_for =
         (match latency_ms op ~now with
         | Some l -> Metrics.observe commit_h l
         | None -> ());
+        if Journal.enabled jsink then
+          Journal.emit jsink
+            (Journal.Commit { op = Op.id op; node = op.Op.client; at = now });
         if Trace.enabled trace then
           Trace.emit trace
             (Trace.Committed { op = Op.id op; node = op.Op.client; at = now }));
@@ -145,14 +152,23 @@ let obs_observer metrics trace tracer ~trace_op ~exec_replica_for =
            match latency_ms op ~now with
            | Some l -> Metrics.observe exec_h l
            | None -> ());
+        if Journal.enabled jsink then
+          Journal.emit jsink
+            (Journal.Execute { op = Op.id op; replica; at = now });
         if Trace.enabled trace then
           Trace.emit trace
             (Trace.Executed { op = Op.id op; replica; at = now }));
+    on_phase =
+      (fun ~node ~op ~name ~dur ~now ->
+        if Journal.enabled jsink then
+          Journal.emit jsink
+            (Journal.Phase
+               { node; op = Option.map Op.id op; name; dur; at = now }));
   }
 
 let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
     ?(duration = Time_ns.sec 30) ?measure_from ?measure_until ?metrics
-    ?trace_op setting proto =
+    ?trace_op ?journal ?(sample_every = Time_ns.ms 100) setting proto =
   let measure_from =
     match measure_from with
     | Some v -> v
@@ -169,6 +185,14 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
     match trace_op with Some _ -> Trace.sink tracer | None -> Trace.null
   in
   let engine = Engine.create ~seed () in
+  let jsink =
+    match journal with Some j -> Journal.sink j | None -> Journal.null
+  in
+  let flight =
+    match journal with
+    | Some j -> Some (Recorder.attach ~sample_every j engine)
+    | None -> None
+  in
   let placement, replicas, clients = layout setting in
   let recorder = Observer.Recorder.create () in
   Observer.Recorder.start_measuring recorder measure_from;
@@ -182,6 +206,7 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
       on_execute =
         (fun ~replica op ~now:_ ->
           if replica < n_rep then Store.apply stores.(replica) op);
+      on_phase = (fun ~node:_ ~op:_ ~name:_ ~dur:_ ~now:_ -> ());
     }
   in
   let exec_replica_for (op : Op.t) =
@@ -193,18 +218,20 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
       (Observer.both
          (Observer.Recorder.observer recorder ~exec_replica_for ())
          store_observer)
-      (obs_observer metrics trace tracer ~trace_op ~exec_replica_for)
+      (obs_observer metrics trace tracer jsink ~trace_op ~exec_replica_for)
   in
   let coordinator_of client =
     closest_replica setting ~client_dc:placement.(client)
   in
   let delivered = ref (fun () -> 0) in
+  let sent = ref (fun () -> 0) in
   let env =
     {
       Protocol_intf.make_net =
         (fun () ->
           let net = Topology.make_net engine setting.topo ~placement () in
           delivered := (fun () -> Fifo_net.messages_delivered net);
+          sent := (fun () -> Fifo_net.messages_sent net);
           net);
       replicas;
       leader = replicas.(setting.leader);
@@ -212,11 +239,29 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
       observer;
       metrics;
       trace;
+      journal = jsink;
       params = Protocols.params proto;
     }
   in
   let (module P : Protocol_intf.S) = Protocols.resolve proto in
   let p = P.create env in
+  (match flight with
+  | None -> ()
+  | Some r ->
+    (* Probe registration order fixes the [Sample] stream order. *)
+    let submitted_c = Metrics.counter metrics "run.submitted"
+    and committed_c = Metrics.counter metrics "run.committed" in
+    Recorder.add_probe r "engine.pending" (fun () ->
+        float_of_int (Engine.pending engine));
+    Recorder.add_probe r "run.inflight_ops" (fun () ->
+        float_of_int
+          (Metrics.counter_value submitted_c
+          - Metrics.counter_value committed_c));
+    Recorder.add_probe r "net.inflight_msgs" (fun () ->
+        float_of_int (!sent () - !delivered ()));
+    List.iter
+      (fun (n, probe) -> Recorder.add_probe r ("proto." ^ n) probe)
+      (P.gauges p));
   let drain = Time_ns.sec 3 in
   let _workload =
     Workload.create ~alpha ~rate ~clients ~duration ~submit:(P.submit p) engine
@@ -234,6 +279,14 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
   Metrics.set
     (Metrics.gauge metrics "net.messages_delivered")
     (float_of_int wall_events);
+  let provenance =
+    match journal with
+    | None -> []
+    | Some j ->
+      let bs = Provenance.analyze j in
+      Provenance.record metrics bs;
+      bs
+  in
   {
     recorder;
     metrics;
@@ -243,6 +296,7 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
     extra = P.extra_stats p;
     store_fingerprints = Array.to_list (Array.map Store.fingerprint stores);
     wall_events;
+    provenance;
   }
 
 (* --- parallel sweep machinery ---
@@ -255,8 +309,8 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
 
 let seed_for base i = Int64.add base (Int64.of_int (i * 1_000_003))
 
-let run_latencies ~seed ?rate ?alpha ?duration setting proto =
-  let r = run ~seed ?rate ?alpha ?duration setting proto in
+let run_latencies ~seed ?rate ?alpha ?duration ?journal setting proto =
+  let r = run ~seed ?rate ?alpha ?duration ?journal setting proto in
   ( Observer.Recorder.commit_latency_ms r.recorder,
     Observer.Recorder.exec_latency_ms r.recorder )
 
@@ -276,7 +330,8 @@ let run_many ?(runs = 3) ?(seed = 42L) ?rate ?alpha ?duration ?jobs setting
            proto)
        (Array.make runs ()))
 
-let run_sweep ?(runs = 1) ?(seed = 42L) ?rate ?alpha ?duration ?jobs cells =
+let run_sweep ?(runs = 1) ?(seed = 42L) ?rate ?alpha ?duration ?jobs ?journal
+    cells =
   let cells = Array.of_list cells in
   let n_cells = Array.length cells in
   (* Flatten to (cell, run) tasks so cores stay busy even when one
@@ -286,9 +341,36 @@ let run_sweep ?(runs = 1) ?(seed = 42L) ?rate ?alpha ?duration ?jobs cells =
     Domino_par.Par.map ?jobs
       (fun (ci, ri) ->
         let setting, proto = cells.(ci) in
-        run_latencies ~seed:(seed_for seed ri) ?rate ?alpha ?duration setting
-          proto)
+        (* Each task journals into its own ring; merging happens below,
+           sequentially and in task-index order, so the combined stream
+           is byte-identical for every [jobs]. *)
+        let j =
+          Option.map
+            (fun parent -> Journal.create ~capacity:(Journal.capacity parent) ())
+            journal
+        in
+        let pair =
+          run_latencies ~seed:(seed_for seed ri) ?rate ?alpha ?duration
+            ?journal:j setting proto
+        in
+        (pair, j))
       tasks
   in
+  (match journal with
+  | None -> ()
+  | Some parent ->
+    Array.iteri
+      (fun t (_, j) ->
+        let ci = t / runs and ri = t mod runs in
+        Journal.record parent
+          (Journal.Mark
+             {
+               label =
+                 Printf.sprintf "cell=%d run=%d seed=%Ld" ci ri
+                   (seed_for seed ri);
+               at = Time_ns.zero;
+             });
+        Option.iter (Journal.append parent) j)
+      results);
   List.init n_cells (fun ci ->
-      merge_pairs (Array.sub results (ci * runs) runs))
+      merge_pairs (Array.map fst (Array.sub results (ci * runs) runs)))

@@ -83,6 +83,9 @@ type result = {
       (** per-replica state-machine digests after the run; all equal
           iff replicas executed identically *)
   wall_events : int;  (** messages delivered, for cost reporting *)
+  provenance : Provenance.breakdown list;
+      (** per-committed-op critical-path latency decomposition; empty
+          unless the run was journaled *)
 }
 
 val run :
@@ -94,6 +97,8 @@ val run :
   ?measure_until:Time_ns.span ->
   ?metrics:Metrics.t ->
   ?trace_op:int ->
+  ?journal:Journal.t ->
+  ?sample_every:Time_ns.span ->
   setting ->
   protocol ->
   result
@@ -104,7 +109,15 @@ val run :
     [metrics] shares a caller's registry (default: a fresh one, in
     [result.metrics]). [trace_op] selects the Nth submitted operation
     (0-based, global submit order) for span tracing; without it tracing
-    is disabled and costs nothing. *)
+    is disabled and costs nothing.
+
+    [journal] turns on the flight recorder: every network, timer, op
+    lifecycle and phase event of the run lands in the given journal,
+    gauges are sampled into it every [sample_every] (default 100 ms of
+    sim time), and [result.provenance] carries the critical-path
+    latency decomposition (also recorded as [prov.*] histograms in the
+    metrics registry). Without [journal], none of this costs anything
+    beyond one variant match per hook. *)
 
 val run_many :
   ?runs:int ->
@@ -129,6 +142,7 @@ val run_sweep :
   ?alpha:float ->
   ?duration:Time_ns.span ->
   ?jobs:int ->
+  ?journal:Journal.t ->
   (setting * protocol) list ->
   (Domino_stats.Summary.t * Domino_stats.Summary.t) list
 (** One {!run_many} per [(setting, protocol)] cell, with all
@@ -137,7 +151,12 @@ val run_sweep :
     [exp_fig*] sweep is built on. Results are returned in cell order,
     each merged in seed order; byte-identical for every [jobs]. Cell
     [i]'s run [r] uses the same seed as [run_many] run [r], so a sweep
-    row equals the corresponding standalone [run_many]. *)
+    row equals the corresponding standalone [run_many].
+
+    [journal] records every task's run into a per-task ring (same
+    capacity as the parent) and merges them into [journal] in task
+    order, each preceded by a [Mark] naming the (cell, run, seed) —
+    the merged stream is byte-identical for every [jobs]. *)
 
 val closest_replica : setting -> client_dc:string -> int
 (** Index of the replica with the lowest RTT to the client's

@@ -65,6 +65,17 @@ let run ?(quick = true) ?(seed = 42L) variant () =
     protocols results;
   t
 
+(* A short journaled sweep of the figure's four protocols: the CLI's
+   [experiment --journal-out/--perfetto-out] smoke target and the CI
+   determinism check. Two simulated seconds keep every event of all
+   four runs inside one default-capacity ring. *)
+let smoke_journal ~seed variant =
+  let j = Domino_obs.Journal.create () in
+  ignore
+    (Exp_common.run_sweep ~runs:1 ~seed ~duration:(Time_ns.sec 2) ~journal:j
+       (List.map (fun proto -> (setting variant, proto)) protocols));
+  j
+
 let domino_client_mix ?(quick = true) ?(seed = 42L) variant () =
   let r =
     Exp_common.run ~seed ~duration:(duration quick) (setting variant)

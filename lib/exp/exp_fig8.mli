@@ -18,6 +18,11 @@ val protocols : Exp_common.protocol list
 val run :
   ?quick:bool -> ?seed:int64 -> variant -> unit -> Domino_stats.Tablefmt.t
 
+val smoke_journal : seed:int64 -> variant -> Domino_obs.Journal.t
+(** A 2-second journaled run of the figure's sweep: the flight-recorder
+    smoke target behind [experiment <fig8x> --journal-out]. The journal
+    is byte-identical for every [--jobs]. *)
+
 val domino_client_mix :
   ?quick:bool -> ?seed:int64 -> variant -> unit -> int * int
 (** (requests sent via DFP, via DM) — the paper reports 5 of 9 NA

@@ -6,6 +6,7 @@ type entry = {
   describe : string;
   aliases : string list;
   run : quick:bool -> seed:int64 -> Tablefmt.t list;
+  smoke : (seed:int64 -> Domino_obs.Journal.t) option;
 }
 
 let sec_if quick a b = Time_ns.sec (if quick then a else b)
@@ -17,12 +18,14 @@ let all =
       describe = "Globe RTT matrix (input constants)";
       aliases = [];
       run = (fun ~quick:_ ~seed:_ -> [ Exp_traces.table1 () ]);
+      smoke = None;
     };
     {
       id = "table4";
       describe = "NA RTT matrix (input constants)";
       aliases = [];
       run = (fun ~quick:_ ~seed:_ -> [ Exp_traces.table4 () ]);
+      smoke = None;
     };
     {
       id = "fig1";
@@ -31,12 +34,14 @@ let all =
       run =
         (fun ~quick ~seed ->
           [ Exp_traces.fig1 ~duration:(sec_if quick 300 3600) ~seed () ]);
+      smoke = None;
     };
     {
       id = "fig2";
       describe = "one minute of VA-WA delays in 1s boxes";
       aliases = [];
       run = (fun ~quick:_ ~seed -> [ Exp_traces.fig2 ~seed () ]);
+      smoke = None;
     };
     {
       id = "fig3";
@@ -45,6 +50,7 @@ let all =
       run =
         (fun ~quick ~seed ->
           [ Exp_traces.fig3 ~duration:(sec_if quick 300 1800) ~seed () ]);
+      smoke = None;
     };
     {
       id = "table2";
@@ -53,6 +59,7 @@ let all =
       run =
         (fun ~quick ~seed ->
           [ Exp_traces.table2 ~duration:(sec_if quick 7200 86_400) ~seed () ]);
+      smoke = None;
     };
     {
       id = "table3";
@@ -61,30 +68,35 @@ let all =
       run =
         (fun ~quick ~seed ->
           [ Exp_traces.table3 ~duration:(sec_if quick 7200 86_400) ~seed () ]);
+      smoke = None;
     };
     {
       id = "geometry";
       describe = "section 4 placement analysis + figure 4";
       aliases = [ "fig4" ];
       run = (fun ~quick:_ ~seed:_ -> Exp_geometry.tables ());
+      smoke = None;
     };
     {
       id = "fig7";
       describe = "Fast Paxos vs Multi-Paxos, 1 and 2 clients";
       aliases = [];
       run = (fun ~quick ~seed -> [ Exp_fig7.run ~quick ~seed () ]);
+      smoke = None;
     };
     {
       id = "fig8a";
       describe = "commit latency, NA, 3 replicas";
       aliases = [];
       run = (fun ~quick ~seed -> [ Exp_fig8.run ~quick ~seed Exp_fig8.Na3 () ]);
+      smoke = Some (fun ~seed -> Exp_fig8.smoke_journal ~seed Exp_fig8.Na3);
     };
     {
       id = "fig8b";
       describe = "commit latency, NA, 5 replicas";
       aliases = [];
       run = (fun ~quick ~seed -> [ Exp_fig8.run ~quick ~seed Exp_fig8.Na5 () ]);
+      smoke = Some (fun ~seed -> Exp_fig8.smoke_journal ~seed Exp_fig8.Na5);
     };
     {
       id = "fig8c";
@@ -92,36 +104,42 @@ let all =
       aliases = [];
       run =
         (fun ~quick ~seed -> [ Exp_fig8.run ~quick ~seed Exp_fig8.Globe () ]);
+      smoke = Some (fun ~seed -> Exp_fig8.smoke_journal ~seed Exp_fig8.Globe);
     };
     {
       id = "fig9";
       describe = "p99 commit latency vs percentile x additional delay";
       aliases = [];
       run = (fun ~quick ~seed -> [ Exp_fig9.run ~quick ~seed () ]);
+      smoke = None;
     };
     {
       id = "fig10a";
       describe = "execution latency, Zipf alpha 0.75";
       aliases = [];
       run = (fun ~quick ~seed -> [ Exp_fig10.run ~quick ~seed ~alpha:0.75 () ]);
+      smoke = None;
     };
     {
       id = "fig10b";
       describe = "execution latency, Zipf alpha 0.95";
       aliases = [];
       run = (fun ~quick ~seed -> [ Exp_fig10.run ~quick ~seed ~alpha:0.95 () ]);
+      smoke = None;
     };
     {
       id = "fig11";
       describe = "execution latency vs additional delay";
       aliases = [];
       run = (fun ~quick ~seed -> [ Exp_fig11.run ~quick ~seed () ]);
+      smoke = None;
     };
     {
       id = "fig12a";
       describe = "adapting to client-replica and replica-replica delay changes";
       aliases = [ "fig12b"; "fig12" ];
       run = (fun ~quick:_ ~seed -> Exp_fig12.table ~seed ());
+      smoke = None;
     };
     {
       id = "ablation";
@@ -130,12 +148,14 @@ let all =
          percentile)";
       aliases = [];
       run = (fun ~quick ~seed -> [ Exp_ablation.run ~quick ~seed () ]);
+      smoke = None;
     };
     {
       id = "fig13";
       describe = "peak throughput, 3 replicas, LAN cluster";
       aliases = [];
       run = (fun ~quick ~seed -> [ Exp_fig13.table ~quick ~seed () ]);
+      smoke = None;
     };
   ]
 

@@ -14,6 +14,10 @@ type entry = {
   describe : string;
   aliases : string list;  (** alternate ids, e.g. [fig4] -> [geometry] *)
   run : quick:bool -> seed:int64 -> Domino_stats.Tablefmt.t list;
+  smoke : (seed:int64 -> Domino_obs.Journal.t) option;
+      (** a short flight-recorded run of the experiment, for
+          [--journal-out]/[--perfetto-out]; [None] where one would add
+          nothing (input tables, trace analyses) *)
 }
 
 val all : entry list

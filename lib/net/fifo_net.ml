@@ -13,6 +13,13 @@ type 'msg node_state = {
   mutable service : 'msg service option;
 }
 
+type drop_reason = Src_down | Dst_down | No_handler
+
+let drop_reason_string = function
+  | Src_down -> "src_down"
+  | Dst_down -> "dst_down"
+  | No_handler -> "no_handler"
+
 type 'msg trace_event =
   | Sent of { seq : int; src : Nodeid.t; dst : Nodeid.t; msg : 'msg; at : Time_ns.t }
   | Delivered of {
@@ -21,6 +28,14 @@ type 'msg trace_event =
       dst : Nodeid.t;
       msg : 'msg;
       sent_at : Time_ns.t;
+      at : Time_ns.t;
+    }
+  | Dropped of {
+      seq : int;
+      src : Nodeid.t;
+      dst : Nodeid.t;
+      msg : 'msg;
+      reason : drop_reason;
       at : Time_ns.t;
     }
 
@@ -82,8 +97,15 @@ let delay_for t ~src ~dst =
   if src = dst then self_delay t
   else Link.sample (link t ~src ~dst) ~now:(Engine.now t.engine)
 
+let drop t ~seq ~src ~dst msg reason =
+  match t.tracer with
+  | None -> ()
+  | Some f ->
+    f (Dropped { seq; src; dst; msg; reason; at = Engine.now t.engine })
+
 let send t ~src ~dst msg =
-  if t.nodes.(src).up then begin
+  if not t.nodes.(src).up then drop t ~seq:(-1) ~src ~dst msg Src_down
+  else begin
     let seq = t.sent in
     t.sent <- t.sent + 1;
     let now = Engine.now t.engine in
@@ -95,9 +117,10 @@ let send t ~src ~dst msg =
     | Some f -> f (Sent { seq; src; dst; msg; at = now }));
     let handle () =
       let node = t.nodes.(dst) in
-      if node.up then begin
+      if not node.up then drop t ~seq ~src ~dst msg Dst_down
+      else begin
         match node.handler with
-        | None -> ()
+        | None -> drop t ~seq ~src ~dst msg No_handler
         | Some handler ->
           t.delivered <- t.delivered + 1;
           (match t.tracer with

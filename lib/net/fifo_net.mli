@@ -15,6 +15,10 @@ open Domino_sim
 
 type 'msg t
 
+type drop_reason = Src_down | Dst_down | No_handler
+
+val drop_reason_string : drop_reason -> string
+
 type 'msg trace_event =
   | Sent of { seq : int; src : Nodeid.t; dst : Nodeid.t; msg : 'msg; at : Time_ns.t }
       (** emitted at the send instant; [seq] is a network-wide message
@@ -28,8 +32,21 @@ type 'msg trace_event =
       at : Time_ns.t;
     }
       (** emitted just before the destination handler runs (so [at]
-          includes any service-queue wait); dropped messages — crashed
-          node, no handler — never produce one *)
+          includes any service-queue wait) *)
+  | Dropped of {
+      seq : int;
+          (** [-1] when the source was down: the message was refused
+              before a sequence number was assigned, so
+              {!messages_sent} is unaffected *)
+      src : Nodeid.t;
+      dst : Nodeid.t;
+      msg : 'msg;
+      reason : drop_reason;
+      at : Time_ns.t;
+    }
+      (** emitted where a message dies silently: source crashed at the
+          send instant, or destination crashed / had no handler at the
+          delivery instant *)
 
 val create : Engine.t -> n:int -> 'msg t
 (** [create engine ~n] makes a network of [n] nodes with perfect clocks

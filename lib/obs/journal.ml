@@ -1,0 +1,127 @@
+open Domino_sim
+
+type opid = int * int
+
+type event =
+  | Submit of { op : opid; node : int; at : Time_ns.t }
+  | Commit of { op : opid; node : int; at : Time_ns.t }
+  | Execute of { op : opid; replica : int; at : Time_ns.t }
+  | Msg_sent of {
+      seq : int;
+      src : int;
+      dst : int;
+      cls : string;
+      op : opid option;
+      at : Time_ns.t;
+    }
+  | Msg_delivered of {
+      seq : int;
+      src : int;
+      dst : int;
+      cls : string;
+      op : opid option;
+      sent_at : Time_ns.t;
+      at : Time_ns.t;
+    }
+  | Msg_dropped of {
+      seq : int;
+      src : int;
+      dst : int;
+      cls : string;
+      reason : string;
+      at : Time_ns.t;
+    }
+  | Timer_fired of { at : Time_ns.t }
+  | Phase of {
+      node : int;
+      op : opid option;
+      name : string;
+      dur : Time_ns.span;
+      at : Time_ns.t;
+    }
+  | Sample of { name : string; value : float; at : Time_ns.t }
+  | Mark of { label : string; at : Time_ns.t }
+
+type t = {
+  ring : event array;
+  cap : int;
+  mutable next : int;  (** total events ever recorded *)
+}
+
+let create ?(capacity = 1 lsl 20) () =
+  if capacity < 1 then invalid_arg "Journal.create: capacity must be >= 1";
+  {
+    ring = Array.make capacity (Mark { label = ""; at = Time_ns.zero });
+    cap = capacity;
+    next = 0;
+  }
+
+let capacity t = t.cap
+
+let record t ev =
+  t.ring.(t.next mod t.cap) <- ev;
+  t.next <- t.next + 1
+
+let recorded t = t.next
+
+let length t = Stdlib.min t.next t.cap
+
+let dropped t = Stdlib.max 0 (t.next - t.cap)
+
+let iter t f =
+  let start = Stdlib.max 0 (t.next - t.cap) in
+  for i = start to t.next - 1 do
+    f t.ring.(i mod t.cap)
+  done
+
+let to_array t =
+  let n = length t in
+  let start = Stdlib.max 0 (t.next - t.cap) in
+  Array.init n (fun i -> t.ring.((start + i) mod t.cap))
+
+let append dst src = iter src (record dst)
+
+type sink = Null | Rec of t
+
+let null = Null
+
+let sink t = Rec t
+
+let enabled = function Null -> false | Rec _ -> true
+
+let emit sink ev = match sink with Null -> () | Rec t -> record t ev
+
+(* --- serialization --- *)
+
+let opid_str (c, s) = Printf.sprintf "%d#%d" c s
+
+let opt_opid_str = function None -> "-" | Some id -> opid_str id
+
+let pp_event buf ev =
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  match ev with
+  | Submit { op; node; at } -> p "@%d submit op=%s node=%d" at (opid_str op) node
+  | Commit { op; node; at } -> p "@%d commit op=%s node=%d" at (opid_str op) node
+  | Execute { op; replica; at } ->
+    p "@%d execute op=%s replica=%d" at (opid_str op) replica
+  | Msg_sent { seq; src; dst; cls; op; at } ->
+    p "@%d send seq=%d n%d>n%d cls=%s op=%s" at seq src dst cls
+      (opt_opid_str op)
+  | Msg_delivered { seq; src; dst; cls; op; sent_at; at } ->
+    p "@%d deliver seq=%d n%d>n%d cls=%s op=%s sent=@%d" at seq src dst cls
+      (opt_opid_str op) sent_at
+  | Msg_dropped { seq; src; dst; cls; reason; at } ->
+    p "@%d drop seq=%d n%d>n%d cls=%s reason=%s" at seq src dst cls reason
+  | Timer_fired { at } -> p "@%d timer" at
+  | Phase { node; op; name; dur; at } ->
+    p "@%d phase node=%d op=%s name=%s dur=%d" at node (opt_opid_str op) name
+      dur
+  | Sample { name; value; at } -> p "@%d sample %s=%.6g" at name value
+  | Mark { label; at } -> p "@%d mark %s" at label
+
+let to_lines t =
+  let buf = Buffer.create 4096 in
+  iter t (fun ev ->
+      pp_event buf ev;
+      Buffer.add_char buf '\n');
+  Buffer.contents buf

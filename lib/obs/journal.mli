@@ -1,0 +1,114 @@
+(** The flight recorder's event stream: a sim-time-stamped, bounded
+    journal of everything observable about a run — message sends,
+    deliveries and drops, periodic timer fires, protocol phase
+    transitions, op lifecycle events, and sampled gauges.
+
+    Like {!Trace}, the journal lives below [lib/smr] in the dependency
+    order, so nodes are plain [int]s and operations are [(client,
+    seq)] pairs; the layers above translate.
+
+    Recording is opt-in via the {!sink} indirection: every emission
+    site guards with {!enabled} (or calls {!emit}, which is a no-op on
+    {!null}), so a run without a journal pays one [option]/variant
+    match per hook, nothing more.
+
+    Determinism: a journal records events in simulation order, which
+    is a pure function of the seed. Parallel sweeps give each run its
+    own journal and {!append} them in task-index order, so the merged
+    stream — and {!to_lines} — is byte-identical for any [--jobs]. *)
+
+open Domino_sim
+
+type opid = int * int
+(** (client node, per-client sequence) — [Op.id] flattened. *)
+
+type event =
+  | Submit of { op : opid; node : int; at : Time_ns.t }
+  | Commit of { op : opid; node : int; at : Time_ns.t }
+  | Execute of { op : opid; replica : int; at : Time_ns.t }
+  | Msg_sent of {
+      seq : int;
+      src : int;
+      dst : int;
+      cls : string;
+      op : opid option;
+      at : Time_ns.t;
+    }
+  | Msg_delivered of {
+      seq : int;
+      src : int;
+      dst : int;
+      cls : string;
+      op : opid option;
+      sent_at : Time_ns.t;
+      at : Time_ns.t;
+    }
+  | Msg_dropped of {
+      seq : int;  (** [-1] when dropped before a sequence number was assigned *)
+      src : int;
+      dst : int;
+      cls : string;
+      reason : string;
+      at : Time_ns.t;
+    }
+  | Timer_fired of { at : Time_ns.t }
+  | Phase of {
+      node : int;
+      op : opid option;
+      name : string;
+      dur : Time_ns.span;  (** [0] for instantaneous transitions *)
+      at : Time_ns.t;
+    }
+  | Sample of { name : string; value : float; at : Time_ns.t }
+  | Mark of { label : string; at : Time_ns.t }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh journal holding at most [capacity] events (default 2^20).
+    When full, the oldest events are overwritten (ring buffer) and
+    {!dropped} counts them. *)
+
+val capacity : t -> int
+
+val record : t -> event -> unit
+
+val length : t -> int
+(** Events currently held (≤ capacity). *)
+
+val recorded : t -> int
+(** Total events ever recorded, including overwritten ones. *)
+
+val dropped : t -> int
+(** Events lost to ring overwrite: [recorded - length]. *)
+
+val iter : t -> (event -> unit) -> unit
+(** Oldest to newest. *)
+
+val to_array : t -> event array
+
+val append : t -> t -> unit
+(** [append dst src] records every event of [src] into [dst], in
+    order. Used by the sweep runner to merge per-run journals
+    deterministically. *)
+
+(** {2 Emission sink} *)
+
+type sink = Null | Rec of t
+
+val null : sink
+
+val sink : t -> sink
+
+val enabled : sink -> bool
+
+val emit : sink -> event -> unit
+
+(** {2 Serialization} *)
+
+val pp_event : Buffer.t -> event -> unit
+(** One line, no trailing newline. Deterministic: same events, same
+    bytes. *)
+
+val to_lines : t -> string
+(** The whole journal, one event per line (each newline-terminated). *)

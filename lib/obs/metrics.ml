@@ -47,6 +47,7 @@ type histogram = {
   mutable sum : float;
   mutable mn : float;
   mutable mx : float;
+  mutable clamped : int;
 }
 
 type instr = C of counter | G of gauge | H of histogram
@@ -92,6 +93,7 @@ let histogram t name =
             sum = 0.;
             mn = nan;
             mx = nan;
+            clamped = 0;
           })
   with
   | H h -> h
@@ -106,7 +108,9 @@ let add c by = c.c <- c.c + by
 let set g v = g.g <- v
 
 let observe h v =
-  let v = if Float.is_nan v || v < 0. then 0. else v in
+  let clamp = Float.is_nan v || v < 0. in
+  if clamp then h.clamped <- h.clamped + 1;
+  let v = if clamp then 0. else v in
   let idx = bucket_index v in
   h.buckets.(idx) <- h.buckets.(idx) + 1;
   h.count <- h.count + 1;
@@ -121,6 +125,8 @@ let gauge_value g = g.g
 let histogram_count h = h.count
 
 let histogram_sum h = h.sum
+
+let histogram_clamped h = h.clamped
 
 let histogram_min h = h.mn
 
@@ -174,6 +180,7 @@ let histogram_json h =
     Obj
       [
         ("count", Int h.count);
+        ("clamped", Int h.clamped);
         ("sum", Float h.sum);
         ("min", Float h.mn);
         ("max", Float h.mx);

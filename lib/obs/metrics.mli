@@ -38,13 +38,21 @@ val inc : counter -> unit
 val add : counter -> int -> unit
 val set : gauge -> float -> unit
 val observe : histogram -> float -> unit
-(** Record one sample. Negative samples are clamped to 0. *)
+(** Record one sample. Negative and NaN samples are clamped to 0 and
+    counted in {!histogram_clamped} — a non-zero clamp count flags an
+    upstream bug (latencies can't be negative) without poisoning the
+    distribution. *)
 
 (** {1 Reads} *)
 
 val counter_value : counter -> int
 val gauge_value : gauge -> float
 val histogram_count : histogram -> int
+
+val histogram_clamped : histogram -> int
+(** Samples clamped to 0 by {!observe} (negative or NaN inputs); also
+    emitted as the ["clamped"] field of the histogram's JSON. *)
+
 val histogram_sum : histogram -> float
 val histogram_min : histogram -> float
 (** [nan] when empty. *)

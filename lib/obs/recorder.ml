@@ -1,0 +1,30 @@
+open Domino_sim
+
+type t = {
+  journal : Journal.t;
+  sink : Journal.sink;
+  mutable probes : (string * (unit -> float)) list;  (** registration order *)
+}
+
+let attach ?sample_every journal engine =
+  let sink = Journal.sink journal in
+  let t = { journal; sink; probes = [] } in
+  Engine.set_timer_hook engine (fun at ->
+      Journal.emit sink (Journal.Timer_fired { at }));
+  (match sample_every with
+  | None -> ()
+  | Some interval ->
+    ignore
+      (Engine.every engine ~interval (fun () ->
+           let at = Engine.now engine in
+           List.iter
+             (fun (name, probe) ->
+               Journal.emit sink (Journal.Sample { name; value = probe (); at }))
+             t.probes)));
+  t
+
+let add_probe t name probe = t.probes <- t.probes @ [ (name, probe) ]
+
+let journal t = t.journal
+
+let sink t = t.sink

@@ -9,6 +9,46 @@ let set_jobs n =
 let jobs () =
   match !jobs_override with Some n -> n | None -> recommended ()
 
+(* Physical cores: distinct (physical id, core id) pairs in
+   /proc/cpuinfo. SMT siblings share a pair, so the count excludes
+   hyperthreads; the simulator is compute-bound and gains nothing from
+   oversubscribing them. Falls back to the "processor" line count
+   (cpuinfo without topology fields), then to [recommended]. *)
+let physical_cores () =
+  match open_in "/proc/cpuinfo" with
+  | exception Sys_error _ -> recommended ()
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let pairs = Hashtbl.create 64 in
+        let logical = ref 0 in
+        let phys = ref (-1) in
+        let int_of v = match int_of_string_opt v with Some n -> n | None -> -1 in
+        (try
+           while true do
+             let line = input_line ic in
+             match String.index_opt line ':' with
+             | None -> ()
+             | Some i ->
+               let key = String.trim (String.sub line 0 i) in
+               let v =
+                 String.trim
+                   (String.sub line (i + 1) (String.length line - i - 1))
+               in
+               if key = "processor" then incr logical
+               else if key = "physical id" then phys := int_of v
+               else if key = "core id" then
+                 Hashtbl.replace pairs (!phys, int_of v) ()
+           done
+         with End_of_file -> ());
+        if Hashtbl.length pairs > 0 then Hashtbl.length pairs
+        else if !logical > 0 then !logical
+        else recommended ())
+
+let recommended_jobs () =
+  Stdlib.max 1 (Stdlib.min (physical_cores ()) (recommended ()))
+
 (* One task outcome per input slot. Workers write disjoint slots, so
    the only shared mutable state is the [next] task counter; the
    [Domain.join] barrier publishes every slot to the caller. *)

@@ -16,6 +16,17 @@
 val recommended : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
+val physical_cores : unit -> int
+(** Physical (non-SMT) cores, from [/proc/cpuinfo]'s distinct
+    (physical id, core id) pairs; falls back to the logical count and
+    then to {!recommended} when the topology is unreadable. Simulation
+    runs are compute-bound, so running more jobs than this only adds
+    scheduling noise. *)
+
+val recommended_jobs : unit -> int
+(** [max 1 (min (physical_cores ()) (recommended ()))]: the largest
+    [--jobs] that adds throughput. *)
+
 val set_jobs : int -> unit
 (** Set the process-wide default parallelism used when [?jobs] is not
     passed (the CLI's [--jobs] flag lands here). Raises

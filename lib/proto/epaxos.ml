@@ -278,6 +278,8 @@ let leader_on_preaccept_ok t st ~inst ~(attrs : attrs) =
           in
           if all_match then begin
             t.fast <- t.fast + 1;
+            t.observer.Observer.on_phase ~node:st.self ~op:(Some cmd.op)
+              ~name:"fast_commit" ~dur:0 ~now:(now t);
             st.pending <- Instmap.remove inst st.pending;
             broadcast_commit t st ~inst ~op:cmd.op ~attrs:p.initial
           end
@@ -317,6 +319,8 @@ let leader_on_accept_ok t st ~inst =
         let cmd = Instmap.find inst st.cmds in
         if cmd.status = Accepted then begin
           t.slow <- t.slow + 1;
+          t.observer.Observer.on_phase ~node:st.self ~op:(Some cmd.op)
+            ~name:"slow_commit" ~dur:0 ~now:(now t);
           st.pending <- Instmap.remove inst st.pending;
           broadcast_commit t st ~inst ~op:cmd.op ~attrs:cmd.attrs
         end
@@ -437,4 +441,5 @@ module Api = struct
   let committed_count t = t.fast + t.slow
   let fast_slow_counts t = Some (t.fast, t.slow)
   let extra_stats _ = []
+  let gauges _ = []
 end

@@ -125,6 +125,9 @@ let commit_slot t slot value ~fast_path =
     tl.decided <- true;
     t.undecided_slots <- Islot.remove slot t.undecided_slots;
     if fast_path then t.fast <- t.fast + 1 else t.slow <- t.slow + 1;
+    t.observer.Observer.on_phase ~node:t.coordinator ~op:value
+      ~name:(if fast_path then "fast_commit" else "slow_commit")
+      ~dur:0 ~now:(now t);
     broadcast t ~src:t.coordinator (Commit { slot; value });
     (match value with
     | Some op when not (Op.Idset.mem (Op.id op) t.committed_ops) ->
@@ -419,4 +422,5 @@ module Api = struct
   let committed_count t = t.fast + t.slow
   let fast_slow_counts t = Some (t.fast, t.slow)
   let extra_stats _ = []
+  let gauges _ = []
 end

@@ -136,6 +136,8 @@ let handle t lane_idx ~src:_ msg =
       if (not p.committed) && Nodeid.Set.cardinal p.acks >= t.majority then begin
         p.committed <- true;
         t.committed_count <- t.committed_count + 1;
+        t.observer.Observer.on_phase ~node:st.self ~op:(Some p.op)
+          ~name:"quorum_reached" ~dur:0 ~now:(now t);
         st.proposals <- Imap.remove slot st.proposals;
         (* Committing may unblock the skip bound held down by this
            proposal. *)
@@ -235,4 +237,5 @@ module Api = struct
   let committed_count = committed_count
   let fast_slow_counts _ = None
   let extra_stats _ = []
+  let gauges _ = []
 end

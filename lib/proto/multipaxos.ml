@@ -47,6 +47,8 @@ let handle_leader t ~src:_ msg =
   | Request op ->
     let slot = t.next_slot in
     t.next_slot <- slot + 1;
+    t.observer.Observer.on_phase ~node:t.leader ~op:(Some op) ~name:"slot_assigned"
+      ~dur:0 ~now:(now t);
     let state =
       { op; acks = Nodeid.Set.singleton t.leader; committed = false }
     in
@@ -65,6 +67,8 @@ let handle_leader t ~src:_ msg =
       then begin
         state.committed <- true;
         t.committed_count <- t.committed_count + 1;
+        t.observer.Observer.on_phase ~node:t.leader ~op:(Some state.op)
+          ~name:"quorum_reached" ~dur:0 ~now:(now t);
         Hashtbl.remove t.slots slot;
         Fifo_net.send t.net ~src:t.leader ~dst:state.op.Op.client
           (Reply { op = state.op });
@@ -156,4 +160,5 @@ module Api = struct
   let committed_count = committed_count
   let fast_slow_counts _ = None
   let extra_stats _ = []
+  let gauges _ = []
 end

@@ -15,6 +15,7 @@ type t = {
   root_rng : Rng.t;
   mutable events_run : int;
   mutable event_hook : (Time_ns.t -> unit) option;
+  mutable timer_hook : (Time_ns.t -> unit) option;
 }
 
 (* Cancellation tokens point straight at the queue entry (or the
@@ -31,6 +32,7 @@ let create ?(seed = 1L) () =
     root_rng = Rng.create seed;
     events_run = 0;
     event_hook = None;
+    timer_hook = None;
   }
 
 let now t = t.clock
@@ -40,6 +42,10 @@ let events_executed t = t.events_run
 let set_event_hook t f = t.event_hook <- Some f
 
 let clear_event_hook t = t.event_hook <- None
+
+let set_timer_hook t f = t.timer_hook <- Some f
+
+let clear_timer_hook t = t.timer_hook <- None
 
 let rng t = t.root_rng
 
@@ -79,6 +85,7 @@ let run_event t kind =
   | Once f -> f ()
   | Periodic p ->
     if not p.cancelled then begin
+      (match t.timer_hook with None -> () | Some f -> f t.clock);
       p.body ();
       if not p.cancelled then begin
         let j = if p.jitter > 0 then Rng.int t.root_rng p.jitter else 0 in

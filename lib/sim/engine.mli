@@ -77,3 +77,12 @@ val set_event_hook : t -> (Time_ns.t -> unit) -> unit
     [option] match per event when unset. *)
 
 val clear_event_hook : t -> unit
+
+val set_timer_hook : t -> (Time_ns.t -> unit) -> unit
+(** Flight-recorder hook, called with the virtual instant each time a
+    {!every} period fires (replaces any previous hook). Deliberately
+    not on the fire-once path: {!schedule}/{!schedule_at} events are
+    the hot path and stay hook-free. Costs one [option] match per
+    periodic fire when unset. *)
+
+val clear_timer_hook : t -> unit

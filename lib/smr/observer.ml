@@ -5,6 +5,13 @@ type t = {
   on_submit : Op.t -> now:Time_ns.t -> unit;
   on_commit : Op.t -> now:Time_ns.t -> unit;
   on_execute : replica:Nodeid.t -> Op.t -> now:Time_ns.t -> unit;
+  on_phase :
+    node:Nodeid.t ->
+    op:Op.t option ->
+    name:string ->
+    dur:Time_ns.span ->
+    now:Time_ns.t ->
+    unit;
 }
 
 let null =
@@ -12,6 +19,7 @@ let null =
     on_submit = (fun _ ~now:_ -> ());
     on_commit = (fun _ ~now:_ -> ());
     on_execute = (fun ~replica:_ _ ~now:_ -> ());
+    on_phase = (fun ~node:_ ~op:_ ~name:_ ~dur:_ ~now:_ -> ());
   }
 
 let both a b =
@@ -28,6 +36,10 @@ let both a b =
       (fun ~replica op ~now ->
         a.on_execute ~replica op ~now;
         b.on_execute ~replica op ~now);
+    on_phase =
+      (fun ~node ~op ~name ~dur ~now ->
+        a.on_phase ~node ~op ~name ~dur ~now;
+        b.on_phase ~node ~op ~name ~dur ~now);
   }
 
 module Recorder = struct
@@ -118,7 +130,12 @@ module Recorder = struct
               (Time_ns.to_ms_f (Time_ns.diff now sent))
       end
     in
-    { on_submit = (fun op ~now -> note_submit t op ~now); on_commit; on_execute }
+    {
+      on_submit = (fun op ~now -> note_submit t op ~now);
+      on_commit;
+      on_execute;
+      on_phase = (fun ~node:_ ~op:_ ~name:_ ~dur:_ ~now:_ -> ());
+    }
 
   let commit_latency_ms t = t.commit_ms
 

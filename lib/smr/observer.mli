@@ -13,6 +13,14 @@ open Domino_net
       to its state machine (used for the paper's execution latency,
       measured at the replica closest to the client, §7.2.3).
 
+    Protocols additionally annotate named phase transitions via
+    [on_phase] — the flight recorder turns these into journal events
+    and timeline slices. [dur] is [0] for an instantaneous transition,
+    positive for a span starting at [now] (e.g. Domino's
+    ["sched_wait"]: a replica holding a request until its scheduled
+    arrival timestamp). [op] is the operation concerned, when there is
+    a specific one.
+
     {!Recorder} is the standard implementation: it timestamps
     submissions and turns the events into latency samples. *)
 
@@ -20,6 +28,13 @@ type t = {
   on_submit : Op.t -> now:Time_ns.t -> unit;
   on_commit : Op.t -> now:Time_ns.t -> unit;
   on_execute : replica:Nodeid.t -> Op.t -> now:Time_ns.t -> unit;
+  on_phase :
+    node:Nodeid.t ->
+    op:Op.t option ->
+    name:string ->
+    dur:Time_ns.span ->
+    now:Time_ns.t ->
+    unit;
 }
 
 val null : t

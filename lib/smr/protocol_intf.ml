@@ -9,6 +9,7 @@ type env = {
   observer : Observer.t;
   metrics : Metrics.t;
   trace : Trace.sink;
+  journal : Journal.sink;
   params : (string * float) list;
 }
 
@@ -27,6 +28,7 @@ module type S = sig
   val committed_count : t -> int
   val fast_slow_counts : t -> (int * int) option
   val extra_stats : t -> (string * int) list
+  val gauges : t -> (string * (unit -> float)) list
 end
 
 type protocol = (module S)
@@ -76,13 +78,21 @@ let instrument (type msg) env ~name ~(classify : msg -> Msg_class.t)
       | Commit_notice -> c
       | Control -> k
   in
-  let sent = pick "sent" and delivered = pick "delivered" in
+  let sent = pick "sent"
+  and delivered = pick "delivered"
+  and dropped = pick "dropped" in
   let trace = env.trace in
+  let journal = env.journal in
   Fifo_net.set_tracer net (fun ev ->
       match ev with
       | Fifo_net.Sent { seq; src; dst; msg; at } ->
         let cls = classify msg in
         Metrics.inc (sent cls);
+        (if Journal.enabled journal then
+           Journal.emit journal
+             (Journal.Msg_sent
+                { seq; src; dst; cls = Msg_class.to_string cls;
+                  op = Option.map Op.id (op_of msg); at }));
         if Trace.enabled trace then begin
           match op_of msg with
           | Some op ->
@@ -95,6 +105,11 @@ let instrument (type msg) env ~name ~(classify : msg -> Msg_class.t)
       | Fifo_net.Delivered { seq; src; dst; msg; sent_at; at } ->
         let cls = classify msg in
         Metrics.inc (delivered cls);
+        (if Journal.enabled journal then
+           Journal.emit journal
+             (Journal.Msg_delivered
+                { seq; src; dst; cls = Msg_class.to_string cls;
+                  op = Option.map Op.id (op_of msg); sent_at; at }));
         if Trace.enabled trace then begin
           match op_of msg with
           | Some op ->
@@ -103,4 +118,12 @@ let instrument (type msg) env ~name ~(classify : msg -> Msg_class.t)
                  { op = Op.id op; seq; src; dst;
                    cls = Msg_class.to_string cls; sent_at; at })
           | None -> ()
-        end)
+        end
+      | Fifo_net.Dropped { seq; src; dst; msg; reason; at } ->
+        let cls = classify msg in
+        Metrics.inc (dropped cls);
+        if Journal.enabled journal then
+          Journal.emit journal
+            (Journal.Msg_dropped
+               { seq; src; dst; cls = Msg_class.to_string cls;
+                 reason = Fifo_net.drop_reason_string reason; at }))

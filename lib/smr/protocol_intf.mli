@@ -29,6 +29,9 @@ type env = {
   observer : Observer.t;
   metrics : Metrics.t;
   trace : Trace.sink;
+  journal : Journal.sink;
+      (** the flight recorder's event stream; {!Journal.null} when
+          recording is off *)
   params : (string * float) list;
       (** protocol-specific knobs, e.g. Domino's
           [additional_delay_ms]; unknown keys are ignored *)
@@ -63,6 +66,12 @@ module type S = sig
   val extra_stats : t -> (string * int) list
   (** Protocol-specific counters (stable keys), e.g. Domino's
       [dfp_conflicts]. *)
+
+  val gauges : t -> (string * (unit -> float)) list
+  (** Named live gauges for the flight recorder's time-series sampler
+      (stable keys, registration order preserved), e.g. Domino's
+      estimator headroom over ground-truth OWD. [[]] for protocols
+      with nothing to sample. *)
 end
 
 type protocol = (module S)
@@ -83,8 +92,10 @@ val instrument :
   'msg Fifo_net.t ->
   unit
 (** Install the observability hook on the protocol's network: counts
-    every send and delivery into [<name>.msg.<class>.{sent,delivered}]
-    counters, and — when tracing is enabled — emits span events for
-    messages whose operation [op_of] can identify. Messages that do not
-    carry the operation (bare acks, probes) are counted but not
-    attributed to a span. *)
+    every send, delivery and drop into
+    [<name>.msg.<class>.{sent,delivered,dropped}] counters; when the
+    flight recorder is on, journals every message event; and — when
+    tracing is enabled — emits span events for messages whose
+    operation [op_of] can identify. Messages that do not carry the
+    operation (bare acks, probes) are counted but not attributed to a
+    span. *)

@@ -1,0 +1,228 @@
+(* Flight-recorder tests: journal ring semantics, byte-identical
+   output across --jobs, provenance components tiling the commit
+   latency for every protocol, and the Perfetto exporter. *)
+
+open Domino_sim
+open Domino_obs
+open Domino_exp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* --- ring buffer --------------------------------------------------- *)
+
+let mark i = Journal.Mark { label = string_of_int i; at = i }
+
+let test_ring_overwrite () =
+  let j = Journal.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Journal.record j (mark i)
+  done;
+  check_int "length" 4 (Journal.length j);
+  check_int "recorded" 10 (Journal.recorded j);
+  check_int "dropped" 6 (Journal.dropped j);
+  let labels =
+    Array.map
+      (function Journal.Mark { label; _ } -> label | _ -> "?")
+      (Journal.to_array j)
+  in
+  Alcotest.(check (array string))
+    "keeps the newest, oldest first" [| "6"; "7"; "8"; "9" |] labels
+
+let test_sink_disabled () =
+  check_bool "null sink disabled" true (not (Journal.enabled Journal.null));
+  Journal.emit Journal.null (mark 0) (* no-op, must not raise *);
+  let j = Journal.create ~capacity:8 () in
+  check_bool "real sink enabled" true (Journal.enabled (Journal.sink j));
+  Journal.emit (Journal.sink j) (mark 1);
+  check_int "recorded via sink" 1 (Journal.length j)
+
+let test_append_order () =
+  let a = Journal.create ~capacity:8 () in
+  let b = Journal.create ~capacity:8 () in
+  Journal.record b (mark 1);
+  Journal.record b (mark 2);
+  Journal.record a (mark 0);
+  Journal.append a b;
+  Alcotest.(check string)
+    "concatenated oldest-first" "@0 mark 0\n@1 mark 1\n@2 mark 2\n"
+    (Journal.to_lines a)
+
+(* --- determinism across --jobs ------------------------------------- *)
+
+let sweep_lines ~jobs =
+  let j = Journal.create () in
+  ignore
+    (Exp_common.run_sweep ~runs:2 ~seed:7L ~duration:(Time_ns.sec 2) ~jobs
+       ~journal:j
+       [
+         (Exp_common.fig7_double, Exp_common.domino_default);
+         (Exp_common.fig7_double, Exp_common.Multi_paxos);
+       ]);
+  check_int "no ring overflow" 0 (Journal.dropped j);
+  Journal.to_lines j
+
+let test_jobs_byte_identical () =
+  let a = sweep_lines ~jobs:1 in
+  let b = sweep_lines ~jobs:4 in
+  check_bool "journal non-trivial" true (String.length a > 10_000);
+  check_bool "has the sweep marks" true (contains a "mark cell=1 run=1");
+  check_int "same size" (String.length a) (String.length b);
+  Alcotest.(check string)
+    "byte-identical digests"
+    (Digest.to_hex (Digest.string a))
+    (Digest.to_hex (Digest.string b))
+
+(* --- recorder hooks end to end ------------------------------------- *)
+
+let journaled_run proto =
+  let j = Journal.create () in
+  let r =
+    Exp_common.run ~seed:11L ~duration:(Time_ns.sec 3) ~journal:j
+      Exp_common.fig7_double proto
+  in
+  (j, r)
+
+let count j pred =
+  let n = ref 0 in
+  Journal.iter j (fun ev -> if pred ev then incr n);
+  !n
+
+let test_event_stream_complete () =
+  let j, _ = journaled_run Exp_common.domino_default in
+  let is = function
+    | Journal.Submit _ -> "submit"
+    | Journal.Commit _ -> "commit"
+    | Journal.Msg_sent _ -> "sent"
+    | Journal.Msg_delivered _ -> "delivered"
+    | Journal.Timer_fired _ -> "timer"
+    | Journal.Sample _ -> "sample"
+    | Journal.Phase _ -> "phase"
+    | _ -> "other"
+  in
+  List.iter
+    (fun kind ->
+      check_bool ("journal has " ^ kind ^ " events") true
+        (count j (fun ev -> is ev = kind) > 0))
+    [ "submit"; "commit"; "sent"; "delivered"; "timer"; "sample"; "phase" ]
+
+let test_sampler_cadence () =
+  (* 3 s at the default 100 ms cadence: each probe sampled ~30 times,
+     and every registered probe appears. *)
+  let j, _ = journaled_run Exp_common.domino_default in
+  let names = Hashtbl.create 8 in
+  Journal.iter j (function
+    | Journal.Sample { name; _ } ->
+      Hashtbl.replace names name (1 + Option.value ~default:0 (Hashtbl.find_opt names name))
+    | _ -> ());
+  List.iter
+    (fun name ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt names name) in
+      check_bool (name ^ " sampled repeatedly") true (n >= 10))
+    [
+      "engine.pending";
+      "run.inflight_ops";
+      "net.inflight_msgs";
+      "proto.estimator_err_ms";
+    ]
+
+(* --- provenance ---------------------------------------------------- *)
+
+let protocols =
+  [
+    ("domino", Exp_common.domino_default);
+    ("mencius", Exp_common.Mencius);
+    ("epaxos", Exp_common.Epaxos);
+    ("multipaxos", Exp_common.Multi_paxos);
+    ("fastpaxos", Exp_common.Fast_paxos);
+  ]
+
+let test_provenance_tiles_latency () =
+  List.iter
+    (fun (name, proto) ->
+      let _, r = journaled_run proto in
+      let bs = r.Exp_common.provenance in
+      check_bool (name ^ ": some ops analyzed") true (List.length bs > 10);
+      List.iter
+        (fun b ->
+          let gap = abs (Provenance.total b - Provenance.latency b) in
+          if gap > 1 then
+            Alcotest.failf "%s: op %d#%d components sum to %d, latency %d" name
+              (fst b.Provenance.op) (snd b.Provenance.op) (Provenance.total b)
+              (Provenance.latency b))
+        bs;
+      (* Something other than pure queueing must appear on the wire. *)
+      let transit =
+        List.fold_left
+          (fun acc b ->
+            List.fold_left
+              (fun acc (c, d) ->
+                match c with
+                | Provenance.Request_transit | Provenance.Quorum_transit
+                | Provenance.Reply_transit ->
+                  acc + d
+                | _ -> acc)
+              acc b.Provenance.parts)
+          0 bs
+      in
+      check_bool (name ^ ": wire time observed") true (transit > 0))
+    protocols
+
+let test_provenance_in_metrics () =
+  let _, r = journaled_run Exp_common.Multi_paxos in
+  let m = r.Exp_common.metrics in
+  (match Metrics.find_counter m "prov.ops" with
+  | None -> Alcotest.fail "prov.ops counter missing"
+  | Some c ->
+    check_int "one breakdown per op" (List.length r.Exp_common.provenance)
+      (Metrics.counter_value c));
+  List.iter
+    (fun comp ->
+      let key = "prov." ^ Provenance.component_name comp ^ "_ms" in
+      check_bool (key ^ " registered") true (Metrics.find_histogram m key <> None))
+    Provenance.components
+
+(* --- perfetto export ----------------------------------------------- *)
+
+let test_perfetto_export () =
+  let j, _ = journaled_run Exp_common.domino_default in
+  let s = Perfetto.to_string j in
+  check_bool "has traceEvents" true (contains s "\"traceEvents\":");
+  check_bool "names the process" true (contains s "domino-sim");
+  check_bool "has node tracks" true (contains s "\"node 0\"");
+  check_bool "has slices" true (contains s "\"ph\":\"X\"");
+  check_bool "has flow starts" true (contains s "\"ph\":\"s\"");
+  check_bool "has flow ends" true (contains s "\"ph\":\"f\"");
+  check_bool "has counters" true (contains s "\"ph\":\"C\"")
+
+let () =
+  Alcotest.run "journal"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "overwrite" `Quick test_ring_overwrite;
+          Alcotest.test_case "sink" `Quick test_sink_disabled;
+          Alcotest.test_case "append" `Quick test_append_order;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs 1 = jobs 4" `Slow test_jobs_byte_identical;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "event stream" `Slow test_event_stream_complete;
+          Alcotest.test_case "sampler" `Slow test_sampler_cadence;
+        ] );
+      ( "provenance",
+        [
+          Alcotest.test_case "tiles latency" `Slow test_provenance_tiles_latency;
+          Alcotest.test_case "metrics" `Slow test_provenance_in_metrics;
+        ] );
+      ( "perfetto",
+        [ Alcotest.test_case "export" `Slow test_perfetto_export ] );
+    ]

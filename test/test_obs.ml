@@ -110,7 +110,53 @@ let test_histogram_stats () =
   check_int "count" 4 (Metrics.histogram_count h);
   check_f "sum" 14. (Metrics.histogram_sum h);
   check_f "min (clamped sample)" 0. (Metrics.histogram_min h);
-  check_f "max" 10. (Metrics.histogram_max h)
+  check_f "max" 10. (Metrics.histogram_max h);
+  check_int "clamp counted" 1 (Metrics.histogram_clamped h)
+
+let test_clamp_counter () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat.ms" in
+  check_int "fresh histogram" 0 (Metrics.histogram_clamped h);
+  Metrics.observe h 5.;
+  Metrics.observe h (-1.);
+  Metrics.observe h nan;
+  Metrics.observe h 0. (* zero is a legal sample, not a clamp *);
+  check_int "negative and nan clamped" 2 (Metrics.histogram_clamped h);
+  check_int "clamped samples still counted" 4 (Metrics.histogram_count h);
+  check_bool "clamped exposed in JSON" true
+    (contains (Metrics.to_json_string m) "\"clamped\": 2")
+
+(* The documented quantile contract, checked against the exact order
+   statistic on random inputs: [histogram_quantile] is an upper bound,
+   within the bucket layout's resolution — ~3.2% relative above the
+   unit range, +1 absolute inside it. *)
+let test_quantile_vs_exact =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 1 200)
+           (map (fun e -> Float.pow 10. e) (float_range (-3.) 6.)))
+        (float_range 0. 100.))
+  in
+  QCheck.Test.make
+    ~name:"histogram_quantile bounds the exact order statistic" ~count:500
+    (QCheck.make
+       ~print:(fun (xs, q) ->
+         Printf.sprintf "q=%g over %s" q
+           (String.concat ";" (List.map string_of_float xs)))
+       gen)
+    (fun (samples, q) ->
+      let m = Metrics.create () in
+      let h = Metrics.histogram m "prop" in
+      List.iter (Metrics.observe h) samples;
+      let n = List.length samples in
+      let rank =
+        Stdlib.max 1 (int_of_float (ceil (q /. 100. *. float_of_int n)))
+      in
+      let exact = List.nth (List.sort compare samples) (rank - 1) in
+      let q_hat = Metrics.histogram_quantile h q in
+      q_hat >= exact -. 1e-9
+      && q_hat <= Float.max (exact *. (1. +. 1. /. 32.)) (exact +. 1.) +. 1e-9)
 
 let test_histogram_quantiles () =
   let m = Metrics.create () in
@@ -187,7 +233,9 @@ let () =
           Alcotest.test_case "counter/gauge" `Quick test_counter_gauge_basics;
           Alcotest.test_case "kind collision" `Quick test_kind_collision_raises;
           Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
+          Alcotest.test_case "clamp counter" `Quick test_clamp_counter;
           Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+          QCheck_alcotest.to_alcotest test_quantile_vs_exact;
         ] );
       ( "emission",
         [ Alcotest.test_case "json deterministic" `Quick test_json_deterministic ] );

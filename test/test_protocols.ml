@@ -97,6 +97,7 @@ let direct_run name =
         Observer.on_submit = (fun _ ~now:_ -> ());
         on_commit = (fun _ ~now:_ -> ());
         on_execute = (fun ~replica:_ _ ~now:_ -> ());
+        on_phase = (fun ~node:_ ~op:_ ~name:_ ~dur:_ ~now:_ -> ());
       }
     in
     let env =
@@ -109,6 +110,7 @@ let direct_run name =
         observer;
         metrics = Metrics.create ();
         trace = Trace.null;
+        journal = Journal.null;
         params = [];
       }
     in

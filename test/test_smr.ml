@@ -142,13 +142,15 @@ let test_observer_both () =
       Observer.on_submit = (fun _ ~now:_ -> incr hits);
       on_commit = (fun _ ~now:_ -> incr hits);
       on_execute = (fun ~replica:_ _ ~now:_ -> incr hits);
+      on_phase = (fun ~node:_ ~op:_ ~name:_ ~dur:_ ~now:_ -> incr hits);
     }
   in
   let o = Observer.both (mk ()) (mk ()) in
   o.Observer.on_submit (op ~client:0 ~seq:0) ~now:0;
   o.Observer.on_commit (op ~client:0 ~seq:0) ~now:0;
   o.Observer.on_execute ~replica:0 (op ~client:0 ~seq:0) ~now:0;
-  check_int "fanout" 6 !hits
+  o.Observer.on_phase ~node:0 ~op:None ~name:"x" ~dur:0 ~now:0;
+  check_int "fanout" 8 !hits
 
 let test_latency_series () =
   let r = Observer.Recorder.create () in
