@@ -22,6 +22,52 @@ let write_file file contents =
     Format.eprintf "domino-sim: %s@." msg;
     exit 1
 
+let faults_arg =
+  Cmdliner.Arg.(
+    value & opt (some string) None
+    & info [ "faults" ] ~docv:"FILE"
+        ~doc:
+          "Inject the fault plan in $(docv) into the run: timed \
+           crash/recover, partitions, link degradation and clock skew \
+           (one event per line, e.g. 'at 2s crash node=0'; see \
+           test/plans/ for examples).")
+
+let check_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Replay the run's journal through the safety checker \
+           (exactly-once execution, per-key log-prefix agreement, write \
+           linearizability) and exit non-zero on violations. Implies \
+           flight recording.")
+
+(* Read and parse a --faults plan file; any error is fatal before the
+   simulation starts. *)
+let load_plan = function
+  | None -> None
+  | Some file ->
+    let contents =
+      match open_in_bin file with
+      | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      | exception Sys_error msg ->
+        Format.eprintf "domino-sim: %s@." msg;
+        exit 2
+    in
+    (match Domino_fault.Plan.parse contents with
+    | Ok plan -> Some plan
+    | Error msg ->
+      Format.eprintf "domino-sim: %s: %s@." file msg;
+      exit 2)
+
+let run_checker j =
+  let report = Domino_fault.Checker.check j in
+  Format.printf "@.%a@." Domino_fault.Checker.pp_report report;
+  if not report.Domino_fault.Checker.ok then exit 1
+
 let journal_out_arg =
   Cmdliner.Arg.(
     value & opt (some string) None
@@ -129,16 +175,17 @@ let run_cmd =
                      (0-based, global submit order) as a span tree.")
   in
   let action seed setting proto_name duration rate alpha additional percentile
-      metrics_out trace_op journal_out perfetto_out =
+      metrics_out trace_op journal_out perfetto_out faults_file check =
     let proto = protocol_arg additional percentile proto_name in
+    let faults = load_plan faults_file in
     let journal =
-      match (journal_out, perfetto_out) with
-      | None, None -> None
+      match (journal_out, perfetto_out, check) with
+      | None, None, false -> None
       | _ -> Some (Domino_obs.Journal.create ())
     in
     let r =
       Exp_common.run ~seed ~rate ~alpha ~duration:(Time_ns.sec duration)
-        ?trace_op ?journal setting proto
+        ?trace_op ?journal ?faults setting proto
     in
     let commit = Observer.Recorder.commit_latency_ms r.recorder in
     let exec = Observer.Recorder.exec_latency_ms r.recorder in
@@ -185,11 +232,12 @@ let run_cmd =
         write_file file (Domino_obs.Journal.to_lines j);
         Format.printf "  journal written to %s@." file
       | None -> ());
-      match perfetto_out with
+      (match perfetto_out with
       | Some file ->
         write_file file (Domino_obs.Perfetto.to_string j);
         Format.printf "  perfetto trace written to %s@." file
       | None -> ());
+      if check then run_checker j);
     match trace_op with
     | Some n ->
       let tree = Domino_obs.Trace.span_tree r.trace in
@@ -202,7 +250,7 @@ let run_cmd =
     Term.(
       const action $ seed_arg $ setting_arg $ protocol_name_arg $ duration
       $ rate $ alpha $ additional_delay $ percentile $ metrics_out $ trace_op
-      $ journal_out_arg $ perfetto_out_arg)
+      $ journal_out_arg $ perfetto_out_arg $ faults_arg $ check_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one protocol over a WAN deployment")
@@ -285,7 +333,9 @@ let experiment_cmd =
             "Independent simulation runs to execute in parallel (default: \
              all cores). Output is byte-identical for every value.")
   in
-  let action seed paper list_only jobs ids journal_out perfetto_out =
+  let action seed paper list_only jobs ids journal_out perfetto_out faults_file
+      check =
+    let faults = load_plan faults_file in
     (match jobs with
     | Some n -> (
       (try Domino_par.Par.set_jobs n
@@ -306,7 +356,9 @@ let experiment_cmd =
         (List.sort
            (fun a b -> compare a.Exp_registry.id b.Exp_registry.id)
            Exp_registry.all)
-    else if journal_out <> None || perfetto_out <> None then begin
+    else if journal_out <> None || perfetto_out <> None || check
+            || faults <> None
+    then begin
       (* Flight-record one experiment's smoke run instead of printing
          its tables. *)
       let entry =
@@ -320,8 +372,8 @@ let experiment_cmd =
             exit 2)
         | _ ->
           Format.eprintf
-            "domino-sim: --journal-out/--perfetto-out take exactly one \
-             experiment id@.";
+            "domino-sim: --journal-out/--perfetto-out/--faults/--check take \
+             exactly one experiment id@.";
           exit 2
       in
       match entry.Exp_registry.smoke with
@@ -330,7 +382,7 @@ let experiment_cmd =
           entry.Exp_registry.id;
         exit 2
       | Some smoke ->
-        let j = smoke ~seed in
+        let j = smoke ~seed ?faults () in
         (match journal_out with
         | Some file ->
           write_file file (Domino_obs.Journal.to_lines j);
@@ -341,7 +393,8 @@ let experiment_cmd =
         | Some file ->
           write_file file (Domino_obs.Perfetto.to_string j);
           Format.printf "perfetto trace written to %s@." file
-        | None -> ())
+        | None -> ());
+        if check then run_checker j
     end
     else begin
       let entries =
@@ -384,7 +437,7 @@ let experiment_cmd =
        ~doc:"Regenerate one (or all) of the paper's tables and figures")
     Term.(
       const action $ seed_arg $ paper $ list_only $ jobs $ ids
-      $ journal_out_arg $ perfetto_out_arg)
+      $ journal_out_arg $ perfetto_out_arg $ faults_arg $ check_arg)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))

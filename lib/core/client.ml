@@ -5,6 +5,15 @@ open Domino_measure
 
 type pending = { op : Op.t; mutable accepts : int; mutable done_ : bool }
 
+(* Retry bookkeeping, one entry per op still awaiting its commit when
+   [cfg.retry_timeout > 0]. *)
+type inflight = {
+  iop : Op.t;
+  mutable attempts : int;
+  mutable patience : Time_ns.span;
+  mutable timer : Engine.event_id option;
+}
+
 type t = {
   net : Message.msg Fifo_net.t;
   cfg : Config.t;
@@ -12,12 +21,16 @@ type t = {
   estimator : Estimator.t;
   observer : Observer.t;
   pending : (Op.id, pending) Hashtbl.t;
+  inflight : (Op.id, inflight) Hashtbl.t;
+  done_ids : (Op.id, unit) Hashtbl.t;
   feedback : Feedback.t option;  (** §5.4 adaptive controller *)
   mutable ts_cursor : Time_ns.t;
   mutable probe_seq : int;
   mutable dfp_count : int;
   mutable dm_count : int;
   mutable commit_count : int;
+  mutable retry_count : int;
+  mutable abandoned_count : int;
   mutable last_choice : Estimator.choice option;
 }
 
@@ -46,6 +59,8 @@ let create ~net ~cfg ~self ~observer () =
           ~percentile:cfg.Config.percentile ~n_replicas:(Config.n cfg) ();
       observer;
       pending = Hashtbl.create 64;
+      inflight = Hashtbl.create 64;
+      done_ids = Hashtbl.create 256;
       feedback =
         (if cfg.Config.adaptive then
            Some (Feedback.create ~baseline:cfg.Config.additional_delay ())
@@ -55,6 +70,8 @@ let create ~net ~cfg ~self ~observer () =
       dfp_count = 0;
       dm_count = 0;
       commit_count = 0;
+      retry_count = 0;
+      abandoned_count = 0;
       last_choice = None;
     }
   in
@@ -68,20 +85,34 @@ let note_outcome t outcome =
   | Some f -> Feedback.record f outcome
   | None -> ()
 
+let disarm_retry t id =
+  match Hashtbl.find_opt t.inflight id with
+  | None -> ()
+  | Some e ->
+    (match e.timer with
+    | Some tid -> Engine.cancel (Fifo_net.engine t.net) tid
+    | None -> ());
+    e.timer <- None;
+    Hashtbl.remove t.inflight id
+
 let commit t (op : Op.t) ~fast =
   let id = Op.id op in
-  match Hashtbl.find_opt t.pending id with
-  | Some p when not p.done_ ->
-    p.done_ <- true;
-    note_outcome t (if fast then Feedback.Fast else Feedback.Slow);
-    t.commit_count <- t.commit_count + 1;
-    t.observer.Observer.on_commit op ~now:(Engine.now (Fifo_net.engine t.net));
-    Hashtbl.remove t.pending id
-  | Some _ -> ()
-  | None ->
-    (* DM replies have no pending entry on the DFP table. *)
+  (* Retries (and replica-side resends) can deliver the commit signal
+     more than once; the client reports each op committed exactly once. *)
+  if not (Hashtbl.mem t.done_ids id) then begin
+    Hashtbl.replace t.done_ids id ();
+    disarm_retry t id;
+    (match Hashtbl.find_opt t.pending id with
+    | Some p ->
+      p.done_ <- true;
+      note_outcome t (if fast then Feedback.Fast else Feedback.Slow);
+      Hashtbl.remove t.pending id
+    | None ->
+      (* DM replies have no pending entry on the DFP table. *)
+      ());
     t.commit_count <- t.commit_count + 1;
     t.observer.Observer.on_commit op ~now:(Engine.now (Fifo_net.engine t.net))
+  end
 
 let submit_dm t (op : Op.t) ~leader =
   t.dm_count <- t.dm_count + 1;
@@ -114,8 +145,69 @@ let extra_delay t =
   | Some f -> Feedback.extra_delay f
   | None -> t.cfg.Config.additional_delay
 
+(* --- request timeout, bounded exponential backoff, leader failover ---
+
+   Enabled when [cfg.retry_timeout > 0]. A timed-out request is
+   re-submitted through DM — the robust path — to the closest leader
+   for the first [retry_failover_after] retries, then rotating through
+   the other replicas. The timeout doubles per retry; after
+   [retry_max_attempts] total attempts the op is abandoned. Server-side
+   dedup (the service layer) keeps duplicate deliveries harmless. *)
+
+let rec arm_retry t e =
+  e.timer <-
+    Some
+      (Engine.schedule_cancellable (Fifo_net.engine t.net) ~delay:e.patience
+         (fun () -> on_retry_timeout t e))
+
+and on_retry_timeout t e =
+  e.timer <- None;
+  let id = Op.id e.iop in
+  if Hashtbl.mem t.inflight id then begin
+    if e.attempts >= t.cfg.Config.retry_max_attempts then begin
+      t.abandoned_count <- t.abandoned_count + 1;
+      Hashtbl.remove t.inflight id
+    end
+    else begin
+      e.attempts <- e.attempts + 1;
+      t.retry_count <- t.retry_count + 1;
+      e.patience <- 2 * e.patience;
+      let retries = e.attempts - 1 in
+      let closest = closest_leader t ~now_local:(now_local t) in
+      let leader =
+        if retries <= t.cfg.Config.retry_failover_after then closest
+        else
+          (closest + (retries - t.cfg.Config.retry_failover_after))
+          mod Config.n t.cfg
+      in
+      t.observer.Observer.on_phase ~node:t.self ~op:(Some e.iop)
+        ~name:"client_retry" ~dur:0
+        ~now:(Engine.now (Fifo_net.engine t.net));
+      submit_dm t e.iop ~leader;
+      arm_retry t e
+    end
+  end
+
+let track_retry t (op : Op.t) =
+  if t.cfg.Config.retry_timeout > 0 then begin
+    let id = Op.id op in
+    if not (Hashtbl.mem t.inflight id || Hashtbl.mem t.done_ids id) then begin
+      let e =
+        {
+          iop = op;
+          attempts = 1;
+          patience = t.cfg.Config.retry_timeout;
+          timer = None;
+        }
+      in
+      Hashtbl.replace t.inflight id e;
+      arm_retry t e
+    end
+  end
+
 let submit t (op : Op.t) =
   t.observer.Observer.on_submit op ~now:(Engine.now (Fifo_net.engine t.net));
+  track_retry t op;
   let local = now_local t in
   let q = Config.supermajority t.cfg in
   let avoid_dfp =
@@ -190,6 +282,10 @@ let dfp_submissions t = t.dfp_count
 let commits t = t.commit_count
 
 let dm_submissions t = t.dm_count
+
+let retries t = t.retry_count
+
+let abandoned t = t.abandoned_count
 
 let last_choice t = t.last_choice
 

@@ -43,6 +43,15 @@ val estimator : t -> Domino_measure.Estimator.t
 val dfp_submissions : t -> int
 val dm_submissions : t -> int
 
+val retries : t -> int
+(** Timed-out requests re-submitted (0 unless [cfg.retry_timeout > 0]).
+    Each retry goes through DM with the timeout doubled; after
+    [retry_failover_after] retries the client rotates away from its
+    closest leader. *)
+
+val abandoned : t -> int
+(** Requests given up on after [cfg.retry_max_attempts] attempts. *)
+
 val commits : t -> int
 (** Operations this client has learned committed. *)
 

@@ -8,6 +8,8 @@ type callbacks = {
   send_p2a : Time_ns.t -> Op.t option -> unit;
   send_slow_reply : Op.t -> unit;
   send_watermark : Time_ns.t -> unit;
+  send_commit_to : int -> Time_ns.t -> Op.t option -> unit;
+  send_watermark_to : int -> Time_ns.t -> complete:bool -> unit;
   rescue : Op.t -> unit;
 }
 
@@ -254,9 +256,16 @@ let fold_in_implied t post =
     t.watermarks
 
 let on_vote t ~ts ~subject ~report ~acceptor ~watermark =
-  (if ts <= t.w_dec then
+  (if ts <= t.w_dec then begin
      (* Position already bulk-decided as no-op; a late op is lost. *)
-     rescue_op t subject
+     rescue_op t subject;
+     (* A vote below the decided watermark is a retransmission from an
+        acceptor that never saw the outcome (it was crashed or
+        partitioned when it went out). Until it learns one, it keeps
+        the accept pending and its honest watermark — and therefore
+        [w_fast] — frozen, so answer it directly. *)
+     t.cb.send_commit_to acceptor ts None
+   end
    else begin
      let fresh = not (Hashtbl.mem t.tracked ts) in
      let post = get_post t ts in
@@ -264,15 +273,90 @@ let on_vote t ~ts ~subject ~report ~acceptor ~watermark =
      if not (Op.Idmap.mem (Op.id subject) post.subjects) then
        post.subjects <- Op.Idmap.add (Op.id subject) subject post.subjects;
      (match post.decided with
-     | Some chosen when value_id chosen <> Some (Op.id subject) ->
-       (* Position decided without this op. *)
-       rescue_op t subject
-     | _ -> ());
+     | Some chosen ->
+       if value_id chosen <> Some (Op.id subject) then
+         (* Position decided without this op. *)
+         rescue_op t subject;
+       (* Late vote for a settled position: re-send the decision so the
+          stuck acceptor can drop its pending accept (see above). *)
+       t.cb.send_commit_to acceptor ts chosen
+     | None -> ());
      add_report t post acceptor report
    end);
   advance_watermark t ~acceptor ~watermark
 
-let on_heartbeat t ~acceptor ~watermark = advance_watermark t ~acceptor ~watermark
+let on_heartbeat t ~acceptor ~watermark =
+  advance_watermark t ~acceptor ~watermark
+
+(* Most decisions a pull re-sends in one batch. A longer outage is
+   repaired over several pull rounds: each partial reply advances the
+   replica's coverage frontier, so successive pulls ask from higher
+   ground. *)
+let pull_batch = 512
+
+let on_pull t ~acceptor ~from =
+  (* The replica's decision stream gapped (it was crashed, or a lossy
+     link ate broadcasts): re-send, in timestamp order, every decided
+     operation above its sound coverage frontier, then a resync
+     watermark bounding exactly what this batch covered. Positions
+     without a tracked decided-op post are no-ops by construction —
+     [w_dec] never passes an undecided position — so the watermark is a
+     faithful blanket for them. *)
+  let missed =
+    Hashtbl.fold
+      (fun ts post acc ->
+        if ts > from then
+          match post.decided with
+          | Some (Some _ as value) -> (ts, value) :: acc
+          | _ -> acc
+        else acc)
+      t.tracked []
+  in
+  let missed = List.sort (fun (a, _) (b, _) -> Int.compare a b) missed in
+  let rec go n = function
+    | [] -> t.cb.send_watermark_to acceptor t.w_dec ~complete:true
+    | (ts, value) :: rest when n < pull_batch ->
+      t.cb.send_commit_to acceptor ts value;
+      go (n + 1) rest
+    | (ts, _) :: _ ->
+      (* Batch capped before full coverage: the watermark may only
+         blanket up to the last re-sent decision. *)
+      t.cb.send_watermark_to acceptor
+        (Stdlib.min t.w_dec (ts - 1))
+        ~complete:false
+  in
+  go 0 missed
+
+(* How long a tracked position may sit undecided before the coordinator
+   stops waiting for the missing fast-round votes and falls back to
+   coordinated recovery. Without this, a crashed acceptor deadlocks the
+   pipeline: its vote never arrives, and every replica's honest
+   watermark freezes at its own oldest undecided accept, so the
+   implicit-no-op report that would complete the tally never forms. *)
+let recovery_after = Time_ns.ms 500
+
+let check_stuck t ~now =
+  Iset.iter
+    (fun ts ->
+      if ts + recovery_after < now then
+        match Hashtbl.find_opt t.tracked ts with
+        | None -> ()
+        | Some post ->
+          if post.decided = None then begin
+            match post.recovering with
+            | Some value ->
+              (* Round 1 already started but its P2a (or enough P2bs)
+                 was lost to a fault; re-drive it. Receivers are
+                 idempotent and [on_p2b] is set-based. *)
+              t.cb.send_p2a ts value
+            | None ->
+              (* The Fast Paxos value-picking rule is only sound over a
+                 full classic quorum of round-0 reports; below that,
+                 keep waiting — a live majority retransmits its votes,
+                 so the quorum eventually forms under minority faults. *)
+              if List.length post.reports >= t.m then start_recovery t post
+          end)
+    t.undecided
 
 let on_p2b t ~ts ~acceptor =
   match Hashtbl.find_opt t.tracked ts with

@@ -34,6 +34,14 @@ type callbacks = {
   send_slow_reply : Op.t -> unit;
       (** notify the submitting client of a slow-path commit *)
   send_watermark : Time_ns.t -> unit;  (** broadcast decided watermark *)
+  send_commit_to : int -> Time_ns.t -> Op.t option -> unit;
+      (** re-send one decision to a single lagging replica (crash
+          catch-up) *)
+  send_watermark_to : int -> Time_ns.t -> complete:bool -> unit;
+      (** resync watermark answering a [Dfp_pull]: every decided
+          operation at or below it that the replica lacked was just
+          re-sent; [complete] when the batch reached the decided
+          watermark (the replica may trust broadcasts again) *)
   rescue : Op.t -> unit;  (** re-propose a lost operation via DM *)
 }
 
@@ -51,8 +59,24 @@ val on_vote :
   unit
 
 val on_heartbeat : t -> acceptor:int -> watermark:Time_ns.t -> unit
+(** Fold in the heartbeat's piggybacked no-op-fill watermark. *)
+
+val on_pull : t -> acceptor:int -> from:Time_ns.t -> unit
+(** Crash/loss catch-up: the replica detected a gap in its numbered
+    decision stream, so the broadcasts it missed may include decided
+    operations that an ordinary watermark would silently no-op-fill.
+    Re-send every decided operation above [from] (its sound coverage
+    frontier) in timestamp order, then a resync watermark bounding what
+    the batch covered, marked [complete] when it reached [w_dec]. *)
 
 val on_p2b : t -> ts:Time_ns.t -> acceptor:int -> unit
+
+val check_stuck : t -> now:Time_ns.t -> unit
+(** Start (or re-drive) coordinated recovery for every tracked position
+    that has sat undecided longer than a patience threshold and has a
+    classic quorum of round-0 reports — the liveness escape hatch for
+    fast-round votes lost to crashes, where no implicit no-op report
+    will ever complete the tally. Called from the heartbeat timer. *)
 
 val tick : t -> unit
 (** Called every heartbeat interval: announces the decided watermark if

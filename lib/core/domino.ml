@@ -30,10 +30,24 @@ let create ~net ~cfg ~observer () =
   let broadcast_from_coord msg =
     Array.iter (fun r -> send_from_coord ~dst:r msg) cfg.Config.replicas
   in
+  (* Per-destination sequence numbers on the decision stream (commits
+     and decided watermarks): receivers detect drops — crash, lossy link
+     — as gaps and pull the missed decisions rather than letting a later
+     watermark silently no-op-fill them. *)
+  let decision_seq = Array.make n 0 in
+  let stamp acceptor =
+    decision_seq.(acceptor) <- decision_seq.(acceptor) + 1;
+    decision_seq.(acceptor)
+  in
   let callbacks =
     {
       Dfp_coordinator.send_commit =
-        (fun ts value -> broadcast_from_coord (Message.Dfp_commit { ts; value }));
+        (fun ts value ->
+          Array.iteri
+            (fun i r ->
+              send_from_coord ~dst:r
+                (Message.Dfp_commit { ts; value; seq = stamp i }))
+            cfg.Config.replicas);
       send_p2a =
         (fun ts value ->
           (* Slow-path recovery: the coordinator gave up on the fast
@@ -47,7 +61,21 @@ let create ~net ~cfg ~observer () =
           send_from_coord ~dst:op.Op.client (Message.Dfp_slow_reply { op }));
       send_watermark =
         (fun upto ->
-          broadcast_from_coord (Message.Dfp_decided_watermark { upto }));
+          Array.iteri
+            (fun i r ->
+              send_from_coord ~dst:r
+                (Message.Dfp_decided_watermark
+                   { upto; seq = stamp i; resync = false; complete = false }))
+            cfg.Config.replicas);
+      send_commit_to =
+        (fun acceptor ts value ->
+          send_from_coord ~dst:cfg.Config.replicas.(acceptor)
+            (Message.Dfp_commit { ts; value; seq = stamp acceptor }));
+      send_watermark_to =
+        (fun acceptor upto ~complete ->
+          send_from_coord ~dst:cfg.Config.replicas.(acceptor)
+            (Message.Dfp_decided_watermark
+               { upto; seq = stamp acceptor; resync = true; complete }));
       rescue = (fun op -> Replica.dm_propose replicas.(coord_index) op);
     }
   in
@@ -67,6 +95,8 @@ let create ~net ~cfg ~observer () =
                ~acceptor ~watermark
            | Message.Replica_heartbeat { acceptor; watermark } ->
              Dfp_coordinator.on_heartbeat coordinator ~acceptor ~watermark
+           | Message.Dfp_pull { acceptor; from } ->
+             Dfp_coordinator.on_pull coordinator ~acceptor ~from
            | Message.Dfp_p2b { ts; acceptor } ->
              Dfp_coordinator.on_p2b coordinator ~ts ~acceptor
            | _ -> ());
@@ -84,7 +114,9 @@ let create ~net ~cfg ~observer () =
   ignore
     (Engine.every (Fifo_net.engine net)
        ~interval:cfg.Config.heartbeat_interval (fun () ->
-         Dfp_coordinator.tick coordinator));
+         Dfp_coordinator.tick coordinator;
+         Dfp_coordinator.check_stuck coordinator
+           ~now:(Engine.now (Fifo_net.engine net))));
   t
 
 let client t node =
@@ -169,6 +201,15 @@ module Api = struct
           (Protocol_intf.flag env "every_replica_learns" ~default:false)
         ~adaptive:(Protocol_intf.flag env "adaptive" ~default:false)
         ~force_dfp:(Protocol_intf.flag env "force_dfp" ~default:false)
+        ~retry_timeout:
+          (Time_ns.of_ms_f
+             (Protocol_intf.param env "retry_timeout_ms" ~default:0.))
+        ~retry_max_attempts:
+          (int_of_float
+             (Protocol_intf.param env "retry_max_attempts" ~default:6.))
+        ~retry_failover_after:
+          (int_of_float
+             (Protocol_intf.param env "retry_failover_after" ~default:1.))
         ~coordinator:env.Protocol_intf.leader
         ~replicas:env.Protocol_intf.replicas ()
     in
@@ -190,7 +231,25 @@ module Api = struct
       ("dfp_submissions", s.dfp_submissions);
       ("dm_submissions", s.dm_submissions);
       ("late_decisions", s.late_decisions);
+      ( "client_retries",
+        Hashtbl.fold (fun _ c acc -> acc + Client.retries c) t.clients 0 );
+      ( "client_abandoned",
+        Hashtbl.fold (fun _ c acc -> acc + Client.abandoned c) t.clients 0 );
     ]
 
-  let gauges t = [ ("estimator_err_ms", fun () -> estimator_error_ms t) ]
+  let gauges t =
+    (* Replica 0's per-lane execution frontiers (ms of sim time): when
+       execution stalls under faults, the lagging lane names the culprit
+       — a DM lane points at its leader, the last lane at the DFP
+       decided watermark. *)
+    let lanes =
+      List.init
+        (Config.n t.cfg + 1)
+        (fun lane ->
+          ( Printf.sprintf "r0_lane%d_wm_ms" lane,
+            fun () ->
+              Time_ns.to_ms_f
+                (Replica.exec_frontier_lane_watermark t.replicas.(0) ~lane) ))
+    in
+    ("estimator_err_ms", fun () -> estimator_error_ms t) :: lanes
 end

@@ -5,8 +5,17 @@ open Domino_log
 open Domino_measure
 
 module Tsmap = Map.Make (Int)
+module Iset = Set.Make (Int)
 
-type dm_inst = { op : Op.t; mutable acks : int; mutable committed : bool }
+type dm_inst = {
+  op : Op.t;
+  mutable acks : int;
+  mutable committed : bool;
+  mutable commit_acks : Iset.t;
+      (** replicas that applied the commit; the instance is retained
+          (holding the lane watermark down) until all have *)
+  opened : Time_ns.t;  (** engine time, for retransmission pacing *)
+}
 
 type t = {
   net : Message.msg Fifo_net.t;
@@ -18,6 +27,17 @@ type t = {
   observer : Observer.t;
   (* DFP acceptor: round-0 accepted proposals. *)
   mutable dfp_accepted : Op.t Tsmap.t;
+  mutable dfp_covered : Time_ns.t;
+      (** sound coverage frontier: every DFP decision at or below it has
+          been applied here. Advanced only by trusted watermarks — an
+          op-commit's timestamp says nothing about earlier positions. *)
+  mutable dfp_dseq : int;
+      (** last sequence number seen on the coordinator's decision
+          stream *)
+  mutable dfp_synced : bool;
+      (** no gap since the last complete resync: ordinary broadcast
+          watermarks may be applied (their implicit no-op blanket is
+          only sound when no decision broadcast was dropped) *)
   (* Storage for the decided DFP lane (§6): explicit ops plus
      compressed no-op ranges, trimmed behind the decided watermark. *)
   dfp_log : Op.t Decided_log.t;
@@ -34,6 +54,8 @@ type t = {
 }
 
 let now_local t = Fifo_net.local_time t.net t.self
+
+let now_engine t = Engine.now (Fifo_net.engine t.net)
 
 let replicas t = t.cfg.Config.replicas
 
@@ -78,6 +100,17 @@ let on_probe_reply t ~src (reply : Probe.reply) =
 
 (* --- DFP acceptor --- *)
 
+(* The no-op fill time this acceptor may honestly announce: its clock,
+   bounded by its oldest still-pending accepted proposal. Announcing
+   past a pending accept would imply "no-op there" while this acceptor
+   voted an op there — unsound the moment that vote is lost to a
+   coordinator crash. *)
+let dfp_watermark t =
+  let local = now_local t in
+  match Tsmap.min_binding_opt t.dfp_accepted with
+  | None -> local
+  | Some (ts, _) -> Stdlib.min local (ts - 1)
+
 let dfp_on_propose t (op : Op.t) ~ts =
   let local = now_local t in
   let report =
@@ -101,7 +134,13 @@ let dfp_on_propose t (op : Op.t) ~ts =
   in
   let vote =
     Message.Dfp_vote
-      { ts; subject = op; report; acceptor = t.index; watermark = local }
+      {
+        ts;
+        subject = op;
+        report;
+        acceptor = t.index;
+        watermark = dfp_watermark t;
+      }
   in
   send t ~dst:(coordinator t) vote;
   if not (Nodeid.equal op.Op.client (coordinator t)) then
@@ -121,7 +160,21 @@ let dfp_on_p2a t ~ts ~value =
 
 let dfp_lane t = Config.dfp_lane t.cfg
 
-let dfp_on_commit t ~ts ~value =
+(* Fold a decision-stream message's sequence number in; returns whether
+   THIS message revealed a gap. A gap means the coordinator sent
+   decisions we never received (crash, lossy link), so the implicit
+   no-op blanket of ordinary watermarks is no longer sound: [dfp_synced]
+   drops until a complete resync. *)
+let dfp_stream_in t ~seq =
+  let gap = seq > t.dfp_dseq + 1 in
+  if gap then t.dfp_synced <- false;
+  if seq > t.dfp_dseq then t.dfp_dseq <- seq;
+  gap
+
+let dfp_on_commit t ~ts ~value ~seq =
+  ignore (dfp_stream_in t ~seq : bool);
+  (* Individual decisions are position-local and idempotent: safe to
+     apply whether in-order, re-sent, or following a gap. *)
   (match value with
   | Some op ->
     Exec_engine.decide_op t.exec { Position.ts; lane = dfp_lane t } op;
@@ -138,13 +191,29 @@ let dfp_on_commit t ~ts ~value =
    and trim everything the state machine has long executed. *)
 let dfp_log_retention = Time_ns.sec 2
 
-let dfp_on_decided_watermark t ~upto =
+let dfp_apply_watermark t ~upto =
   Exec_engine.set_watermark t.exec ~lane:(dfp_lane t) upto;
+  t.dfp_covered <- Stdlib.max t.dfp_covered upto;
   if upto > t.dfp_log_wm then begin
     Decided_log.record_noop_range t.dfp_log ~lo:(t.dfp_log_wm + 1) ~hi:upto;
     t.dfp_log_wm <- upto;
     Decided_log.trim t.dfp_log ~upto:(upto - dfp_log_retention)
   end
+
+let dfp_on_decided_watermark t ~upto ~seq ~resync ~complete =
+  let gap = dfp_stream_in t ~seq in
+  if resync then begin
+    (* Pull reply: the coordinator just re-sent (FIFO, ahead of this
+       message) every decided operation <= [upto] we lacked, so the
+       no-op blanket is sound regardless of [dfp_synced]. Trust in
+       ordinary broadcasts resumes only if the resync both reached the
+       decided watermark and arrived gap-free — a gap at this very
+       message means broadcasts above [upto] were dropped after the
+       batch was cut, which the next pull round must cover. *)
+    dfp_apply_watermark t ~upto;
+    if complete && not gap then t.dfp_synced <- true
+  end
+  else if t.dfp_synced then dfp_apply_watermark t ~upto
 
 (* Learner role (§5.7 optimisation): watch broadcast votes and commit
    fast-path decisions locally, ahead of the coordinator's notice. *)
@@ -185,7 +254,15 @@ let dm_propose t (op : Op.t) =
   let ts = Stdlib.max (Time_ns.add local lat) (t.dm_cursor + 1) in
   t.dm_cursor <- ts;
   t.dm_pending <-
-    Tsmap.add ts { op; acks = 1; committed = false } t.dm_pending;
+    Tsmap.add ts
+      {
+        op;
+        acks = 1;
+        committed = false;
+        commit_acks = Iset.empty;
+        opened = now_engine t;
+      }
+      t.dm_pending;
   Array.iteri
     (fun i r ->
       if i <> t.index then
@@ -204,13 +281,25 @@ let dm_on_accepted t ~ts =
     inst.acks <- inst.acks + 1;
     if (not inst.committed) && inst.acks >= Config.majority t.cfg then begin
       inst.committed <- true;
-      t.dm_pending <- Tsmap.remove ts t.dm_pending;
+      (* Retained (holding the lane watermark down) until every replica
+         acks the commit — a crashed replica must not have the position
+         no-op-filled under an op the others executed. *)
       broadcast t (Message.Dm_commit { leader = t.index; ts; op = inst.op });
       send t ~dst:inst.op.Op.client (Message.Dm_reply { op = inst.op })
     end
 
 let dm_on_commit t ~leader ~ts ~op =
-  Exec_engine.decide_op t.exec { Position.ts; lane = leader } op
+  Exec_engine.decide_op t.exec { Position.ts; lane = leader } op;
+  send t ~dst:(replicas t).(leader)
+    (Message.Dm_commit_ack { leader; ts; acceptor = t.index })
+
+let dm_on_commit_ack t ~ts ~acceptor =
+  match Tsmap.find_opt ts t.dm_pending with
+  | None -> ()
+  | Some inst ->
+    inst.commit_acks <- Iset.add acceptor inst.commit_acks;
+    if inst.committed && Iset.cardinal inst.commit_acks >= Config.n t.cfg then
+      t.dm_pending <- Tsmap.remove ts t.dm_pending
 
 let dm_on_watermark t ~leader ~upto =
   Exec_engine.set_watermark t.exec ~lane:leader upto
@@ -234,8 +323,63 @@ let dm_send_watermark t =
 let send_heartbeat t =
   send t ~dst:(coordinator t)
     (Message.Replica_heartbeat
-       { acceptor = t.index; watermark = now_local t });
+       { acceptor = t.index; watermark = dfp_watermark t });
   dm_send_watermark t
+
+(* --- Retransmission (crash recovery) ---
+
+   Everything here is idempotent at the receiver, so re-sending after a
+   suspiciously long silence is safe: votes are deduplicated per
+   acceptor, commits per position. *)
+
+let retransmit_after = Time_ns.ms 400
+
+let retransmit t =
+  let local = now_local t in
+  (* Decision-stream gap outstanding: keep pulling until the coordinator
+     certifies full coverage (each partial reply raises [dfp_covered],
+     so successive pulls ask from higher ground). *)
+  if not t.dfp_synced then
+    send t ~dst:(coordinator t)
+      (Message.Dfp_pull { acceptor = t.index; from = t.dfp_covered });
+  (* DFP accepts whose position long expired with no commit: the vote
+     (or the whole coordinator) was lost; re-offer it. *)
+  let sent = ref 0 in
+  Tsmap.iter
+    (fun ts op ->
+      if !sent < 64 && ts < Time_ns.diff local retransmit_after then begin
+        incr sent;
+        send t ~dst:(coordinator t)
+          (Message.Dfp_vote
+             {
+               ts;
+               subject = op;
+               report = Message.Voted_op op;
+               acceptor = t.index;
+               watermark = dfp_watermark t;
+             })
+      end)
+    t.dfp_accepted;
+  (* DM instances stuck mid-protocol. *)
+  let now_g = now_engine t in
+  Tsmap.iter
+    (fun ts inst ->
+      if Time_ns.diff now_g inst.opened > retransmit_after then
+        if inst.committed then
+          Array.iteri
+            (fun i r ->
+              if not (Iset.mem i inst.commit_acks) then
+                send t ~dst:r
+                  (Message.Dm_commit { leader = t.index; ts; op = inst.op }))
+            (replicas t)
+        else
+          Array.iteri
+            (fun i r ->
+              if i <> t.index then
+                send t ~dst:r
+                  (Message.Dm_accept { leader = t.index; ts; op = inst.op }))
+            (replicas t))
+    t.dm_pending
 
 (* --- Dispatch --- *)
 
@@ -245,9 +389,9 @@ let handle t ~src msg =
   | Message.Probe_rep reply -> on_probe_reply t ~src reply
   | Message.Dfp_propose { ts; op } -> dfp_on_propose t op ~ts
   | Message.Dfp_p2a { ts; value } -> dfp_on_p2a t ~ts ~value
-  | Message.Dfp_commit { ts; value } -> dfp_on_commit t ~ts ~value
-  | Message.Dfp_decided_watermark { upto } ->
-    dfp_on_decided_watermark t ~upto
+  | Message.Dfp_commit { ts; value; seq } -> dfp_on_commit t ~ts ~value ~seq
+  | Message.Dfp_decided_watermark { upto; seq; resync; complete } ->
+    dfp_on_decided_watermark t ~upto ~seq ~resync ~complete
   | Message.Dfp_vote { ts; report; _ } when t.cfg.Config.every_replica_learns
     ->
     learner_on_vote t ~ts ~report
@@ -255,9 +399,12 @@ let handle t ~src msg =
   | Message.Dm_accept { leader; ts; op } -> dm_on_accept t ~leader ~ts ~op
   | Message.Dm_accepted { ts; _ } -> dm_on_accepted t ~ts
   | Message.Dm_commit { leader; ts; op } -> dm_on_commit t ~leader ~ts ~op
+  | Message.Dm_commit_ack { ts; acceptor; _ } ->
+    dm_on_commit_ack t ~ts ~acceptor
   | Message.Dm_watermark { leader; upto } -> dm_on_watermark t ~leader ~upto
-  | Message.Dfp_vote _ | Message.Dfp_p2b _ | Message.Replica_heartbeat _
-  | Message.Dfp_slow_reply _ | Message.Dm_reply _ ->
+  | Message.Dfp_vote _ | Message.Dfp_p2b _ | Message.Dfp_pull _
+  | Message.Replica_heartbeat _ | Message.Dfp_slow_reply _
+  | Message.Dm_reply _ ->
     (* Coordinator traffic (routed by Domino.create) or client replies
        that never target replicas. *)
     ()
@@ -283,6 +430,9 @@ let create ~net ~cfg ~index ~observer () =
                 ~now:(Engine.now (Fifo_net.engine net)));
         observer;
         dfp_accepted = Tsmap.empty;
+        dfp_covered = -1;
+        dfp_dseq = 0;
+        dfp_synced = true;
         dfp_log = Decided_log.create ();
         dfp_log_wm = -1;
         dm_cursor = -1;
@@ -301,6 +451,8 @@ let create ~net ~cfg ~index ~observer () =
   ignore
     (Engine.every engine ~jitter:(Time_ns.us 500)
        ~interval:cfg.Config.heartbeat_interval (fun () -> send_heartbeat t));
+  ignore
+    (Engine.every engine ~interval:(Time_ns.ms 300) (fun () -> retransmit t));
   t
 
 type storage_stats = {

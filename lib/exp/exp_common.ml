@@ -107,6 +107,7 @@ let layout setting =
    span events for the focused operation. *)
 let obs_observer metrics trace tracer jsink ~trace_op ~exec_replica_for =
   let submitted_c = Metrics.counter metrics "run.submitted" in
+  let retries_c = Metrics.counter metrics "run.retries" in
   let committed_c = Metrics.counter metrics "run.committed" in
   let executed_c = Metrics.counter metrics "run.executed" in
   let commit_h = Metrics.histogram metrics "run.commit_latency_ms" in
@@ -121,18 +122,31 @@ let obs_observer metrics trace tracer jsink ~trace_op ~exec_replica_for =
   {
     Observer.on_submit =
       (fun op ~now ->
-        Metrics.inc submitted_c;
-        Hashtbl.replace submit_times (Op.id op) now;
-        (match trace_op with
-        | Some n when !submit_count = n -> Trace.set_focus tracer (Op.id op)
-        | _ -> ());
-        incr submit_count;
-        if Journal.enabled jsink then
-          Journal.emit jsink
-            (Journal.Submit { op = Op.id op; node = op.Op.client; at = now });
-        if Trace.enabled trace then
-          Trace.emit trace
-            (Trace.Submit { op = Op.id op; node = op.Op.client; at = now }));
+        if Hashtbl.mem submit_times (Op.id op) then
+          (* A protocol-level re-submission of a timed-out request:
+             latency stays anchored at the first submit, and the
+             journal keeps a single Submit per op. *)
+          Metrics.inc retries_c
+        else begin
+          Metrics.inc submitted_c;
+          Hashtbl.replace submit_times (Op.id op) now;
+          (match trace_op with
+          | Some n when !submit_count = n -> Trace.set_focus tracer (Op.id op)
+          | _ -> ());
+          incr submit_count;
+          if Journal.enabled jsink then
+            Journal.emit jsink
+              (Journal.Submit
+                 {
+                   op = Op.id op;
+                   node = op.Op.client;
+                   key = op.Op.key;
+                   at = now;
+                 });
+          if Trace.enabled trace then
+            Trace.emit trace
+              (Trace.Submit { op = Op.id op; node = op.Op.client; at = now })
+        end);
     on_commit =
       (fun op ~now ->
         Metrics.inc committed_c;
@@ -168,7 +182,8 @@ let obs_observer metrics trace tracer jsink ~trace_op ~exec_replica_for =
 
 let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
     ?(duration = Time_ns.sec 30) ?measure_from ?measure_until ?metrics
-    ?trace_op ?journal ?(sample_every = Time_ns.ms 100) setting proto =
+    ?trace_op ?journal ?(sample_every = Time_ns.ms 100) ?faults
+    ?(dedup = true) setting proto =
   let measure_from =
     match measure_from with
     | Some v -> v
@@ -213,12 +228,46 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
     let client_dc = placement.(op.Op.client) in
     Some (closest_replica setting ~client_dc)
   in
+  (* Harness-side retry sits between the workload and the protocol for
+     the four protocols without an in-protocol client retry; Domino's
+     own client handles timeouts and coordinator failover, enabled via
+     params below. Only armed under fault injection: fault-free runs
+     measure the protocols' native latency undisturbed. *)
+  let retry =
+    match (faults, proto) with
+    | Some _, (Mencius | Epaxos | Multi_paxos | Fast_paxos) ->
+      Some (Retry.create engine)
+    | _ -> None
+  in
   let observer =
     Observer.both
       (Observer.both
          (Observer.Recorder.observer recorder ~exec_replica_for ())
          store_observer)
       (obs_observer metrics trace tracer jsink ~trace_op ~exec_replica_for)
+  in
+  let observer =
+    match retry with
+    | Some r -> Observer.both (Retry.observer r) observer
+    | None -> observer
+  in
+  (* At-most-once execution at the service layer: retries can drive the
+     same op through consensus twice, so duplicates are filtered here —
+     before the stores, recorder, and journal see them. [~dedup:false]
+     is the deliberately-unsafe mutant the chaos tests use to prove the
+     checker catches double execution. *)
+  let dedups =
+    Array.init n_rep (fun _ -> Service.Dedup.create ~enabled:dedup ())
+  in
+  let observer =
+    let inner = observer in
+    {
+      inner with
+      Observer.on_execute =
+        (fun ~replica op ~now ->
+          if replica >= n_rep || Service.Dedup.fresh dedups.(replica) op then
+            inner.Observer.on_execute ~replica op ~now);
+    }
   in
   let coordinator_of client =
     closest_replica setting ~client_dc:placement.(client)
@@ -230,6 +279,9 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
       Protocol_intf.make_net =
         (fun () ->
           let net = Topology.make_net engine setting.topo ~placement () in
+          (match faults with
+          | Some plan -> Domino_fault.Inject.install plan ~net ~journal:jsink
+          | None -> ());
           delivered := (fun () -> Fifo_net.messages_delivered net);
           sent := (fun () -> Fifo_net.messages_sent net);
           net);
@@ -240,11 +292,24 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
       metrics;
       trace;
       journal = jsink;
-      params = Protocols.params proto;
+      params =
+        (Protocols.params proto
+        @
+        (* Under faults, arm Domino's in-protocol client retry (same
+           patience as the harness-side [Retry.default_policy]). *)
+        match (faults, proto) with
+        | Some _, Domino _ ->
+          [
+            ("retry_timeout_ms", 800.);
+            ("retry_max_attempts", 6.);
+            ("retry_failover_after", 1.);
+          ]
+        | _ -> []);
     }
   in
   let (module P : Protocol_intf.S) = Protocols.resolve proto in
   let p = P.create env in
+  (match retry with Some r -> Retry.set_submit r (P.submit p) | None -> ());
   (match flight with
   | None -> ()
   | Some r ->
@@ -263,8 +328,11 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
       (fun (n, probe) -> Recorder.add_probe r ("proto." ^ n) probe)
       (P.gauges p));
   let drain = Time_ns.sec 3 in
+  let submit =
+    match retry with Some r -> Retry.submit r | None -> P.submit p
+  in
   let _workload =
-    Workload.create ~alpha ~rate ~clients ~duration ~submit:(P.submit p) engine
+    Workload.create ~alpha ~rate ~clients ~duration ~submit engine
   in
   Engine.run ~until:(duration + drain) engine;
   let fast_commits, slow_commits =
@@ -293,7 +361,20 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
     trace = tracer;
     fast_commits;
     slow_commits;
-    extra = P.extra_stats p;
+    extra =
+      (P.extra_stats p
+      @ (match retry with
+        | Some r ->
+          [
+            ("harness_retries", Retry.retries r);
+            ("harness_abandoned", Retry.abandoned r);
+          ]
+        | None -> [])
+      @
+      let dups =
+        Array.fold_left (fun acc d -> acc + Service.Dedup.duplicates d) 0 dedups
+      in
+      if dups > 0 then [ ("dedup_suppressed", dups) ] else []);
     store_fingerprints = Array.to_list (Array.map Store.fingerprint stores);
     wall_events;
     provenance;
@@ -309,8 +390,9 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
 
 let seed_for base i = Int64.add base (Int64.of_int (i * 1_000_003))
 
-let run_latencies ~seed ?rate ?alpha ?duration ?journal setting proto =
-  let r = run ~seed ?rate ?alpha ?duration ?journal setting proto in
+let run_latencies ~seed ?rate ?alpha ?duration ?journal ?faults setting proto
+    =
+  let r = run ~seed ?rate ?alpha ?duration ?journal ?faults setting proto in
   ( Observer.Recorder.commit_latency_ms r.recorder,
     Observer.Recorder.exec_latency_ms r.recorder )
 
@@ -331,7 +413,7 @@ let run_many ?(runs = 3) ?(seed = 42L) ?rate ?alpha ?duration ?jobs setting
        (Array.make runs ()))
 
 let run_sweep ?(runs = 1) ?(seed = 42L) ?rate ?alpha ?duration ?jobs ?journal
-    cells =
+    ?faults cells =
   let cells = Array.of_list cells in
   let n_cells = Array.length cells in
   (* Flatten to (cell, run) tasks so cores stay busy even when one
@@ -351,7 +433,7 @@ let run_sweep ?(runs = 1) ?(seed = 42L) ?rate ?alpha ?duration ?jobs ?journal
         in
         let pair =
           run_latencies ~seed:(seed_for seed ri) ?rate ?alpha ?duration
-            ?journal:j setting proto
+            ?journal:j ?faults setting proto
         in
         (pair, j))
       tasks

@@ -99,6 +99,8 @@ val run :
   ?trace_op:int ->
   ?journal:Journal.t ->
   ?sample_every:Time_ns.span ->
+  ?faults:Domino_fault.Plan.t ->
+  ?dedup:bool ->
   setting ->
   protocol ->
   result
@@ -117,7 +119,18 @@ val run :
     sim time), and [result.provenance] carries the critical-path
     latency decomposition (also recorded as [prov.*] histograms in the
     metrics registry). Without [journal], none of this costs anything
-    beyond one variant match per hook. *)
+    beyond one variant match per hook.
+
+    [faults] arms a {!Domino_fault.Plan} on the run's network
+    ({!Domino_fault.Inject.install}) and switches on client retry: the
+    harness-side {!Retry} wrapper for Mencius/EPaxos/Multi-Paxos/Fast
+    Paxos, Domino's in-protocol retry+failover via params. The result's
+    [extra] then also carries [harness_retries] / [harness_abandoned].
+
+    [dedup] (default [true]) guards each replica's execution stream
+    with {!Service.Dedup}, so retried ops apply at most once to the
+    stores/journal; [~dedup:false] is the deliberately-unsafe mutant
+    used to prove the chaos checker catches double execution. *)
 
 val run_many :
   ?runs:int ->
@@ -143,6 +156,7 @@ val run_sweep :
   ?duration:Time_ns.span ->
   ?jobs:int ->
   ?journal:Journal.t ->
+  ?faults:Domino_fault.Plan.t ->
   (setting * protocol) list ->
   (Domino_stats.Summary.t * Domino_stats.Summary.t) list
 (** One {!run_many} per [(setting, protocol)] cell, with all

@@ -6,7 +6,9 @@ type entry = {
   describe : string;
   aliases : string list;
   run : quick:bool -> seed:int64 -> Tablefmt.t list;
-  smoke : (seed:int64 -> Domino_obs.Journal.t) option;
+  smoke :
+    (seed:int64 -> ?faults:Domino_fault.Plan.t -> unit -> Domino_obs.Journal.t)
+    option;
 }
 
 let sec_if quick a b = Time_ns.sec (if quick then a else b)
@@ -89,14 +91,20 @@ let all =
       describe = "commit latency, NA, 3 replicas";
       aliases = [];
       run = (fun ~quick ~seed -> [ Exp_fig8.run ~quick ~seed Exp_fig8.Na3 () ]);
-      smoke = Some (fun ~seed -> Exp_fig8.smoke_journal ~seed Exp_fig8.Na3);
+      smoke =
+        Some
+          (fun ~seed ?faults () ->
+            Exp_fig8.smoke_journal ~seed ?faults Exp_fig8.Na3);
     };
     {
       id = "fig8b";
       describe = "commit latency, NA, 5 replicas";
       aliases = [];
       run = (fun ~quick ~seed -> [ Exp_fig8.run ~quick ~seed Exp_fig8.Na5 () ]);
-      smoke = Some (fun ~seed -> Exp_fig8.smoke_journal ~seed Exp_fig8.Na5);
+      smoke =
+        Some
+          (fun ~seed ?faults () ->
+            Exp_fig8.smoke_journal ~seed ?faults Exp_fig8.Na5);
     };
     {
       id = "fig8c";
@@ -104,7 +112,10 @@ let all =
       aliases = [];
       run =
         (fun ~quick ~seed -> [ Exp_fig8.run ~quick ~seed Exp_fig8.Globe () ]);
-      smoke = Some (fun ~seed -> Exp_fig8.smoke_journal ~seed Exp_fig8.Globe);
+      smoke =
+        Some
+          (fun ~seed ?faults () ->
+            Exp_fig8.smoke_journal ~seed ?faults Exp_fig8.Globe);
     };
     {
       id = "fig9";

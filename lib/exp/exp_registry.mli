@@ -14,10 +14,12 @@ type entry = {
   describe : string;
   aliases : string list;  (** alternate ids, e.g. [fig4] -> [geometry] *)
   run : quick:bool -> seed:int64 -> Domino_stats.Tablefmt.t list;
-  smoke : (seed:int64 -> Domino_obs.Journal.t) option;
+  smoke :
+    (seed:int64 -> ?faults:Domino_fault.Plan.t -> unit -> Domino_obs.Journal.t)
+    option;
       (** a short flight-recorded run of the experiment, for
-          [--journal-out]/[--perfetto-out]; [None] where one would add
-          nothing (input tables, trace analyses) *)
+          [--journal-out]/[--perfetto-out]/[--faults]/[--check]; [None]
+          where one would add nothing (input tables, trace analyses) *)
 }
 
 val all : entry list

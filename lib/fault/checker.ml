@@ -1,0 +1,250 @@
+open Domino_sim
+open Domino_obs
+
+type report = {
+  ok : bool;
+  violations : string list;
+  segments : int;
+  submitted : int;
+  committed : int;
+  executed : int;
+  duplicate_execs : int;
+}
+
+let opid_str (c, s) = Printf.sprintf "%d#%d" c s
+
+(* One run's worth of history. Merged sweep journals separate runs with
+   [Mark] headers and reuse op ids across runs, so the checker splits at
+   every [Mark] and checks each segment independently. *)
+type seg = {
+  label : string;
+  submit : (Journal.opid, Time_ns.t) Hashtbl.t;
+  key_of : (Journal.opid, int) Hashtbl.t;
+  commit : (Journal.opid, Time_ns.t) Hashtbl.t;
+  exec_order : (int, Journal.opid list ref) Hashtbl.t;  (* replica, newest first *)
+  exec_count : (int * Journal.opid, int) Hashtbl.t;
+  mutable max_at : Time_ns.t;
+  mutable interesting : bool;
+}
+
+let new_seg label =
+  {
+    label;
+    submit = Hashtbl.create 256;
+    key_of = Hashtbl.create 256;
+    commit = Hashtbl.create 256;
+    exec_order = Hashtbl.create 8;
+    exec_count = Hashtbl.create 256;
+    max_at = Time_ns.zero;
+    interesting = false;
+  }
+
+let feed seg ev =
+  (match ev with
+  | Journal.Submit { at; _ }
+  | Journal.Commit { at; _ }
+  | Journal.Execute { at; _ } ->
+    seg.max_at <- Time_ns.max seg.max_at at
+  | _ -> ());
+  match ev with
+  | Journal.Submit { op; key; at; _ } ->
+    seg.interesting <- true;
+    (* Keep the first submit: retries re-submit the same op id. *)
+    if not (Hashtbl.mem seg.submit op) then begin
+      Hashtbl.replace seg.submit op at;
+      Hashtbl.replace seg.key_of op key
+    end
+  | Journal.Commit { op; at; _ } ->
+    if not (Hashtbl.mem seg.commit op) then Hashtbl.replace seg.commit op at
+  | Journal.Execute { op; replica; _ } ->
+    seg.interesting <- true;
+    let order =
+      match Hashtbl.find_opt seg.exec_order replica with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.replace seg.exec_order replica l;
+        l
+    in
+    order := op :: !order;
+    Hashtbl.replace seg.exec_count (replica, op)
+      (1 + Option.value ~default:0 (Hashtbl.find_opt seg.exec_count (replica, op)))
+  | _ -> ()
+
+let rec is_prefix short long =
+  match (short, long) with
+  | [], _ -> true
+  | _, [] -> false
+  | a :: s, b :: l -> a = b && is_prefix s l
+
+(* Ops committed in the journal's last instants may legitimately not
+   have reached every (or any) replica yet; give them slack before
+   calling a missing execution a violation. *)
+let tail_slack = Time_ns.ms 500
+
+let check_seg ~require_complete seg =
+  let violations = ref [] in
+  let violate fmt =
+    Printf.ksprintf
+      (fun s ->
+        violations :=
+          (if seg.label = "" then s else seg.label ^ ": " ^ s) :: !violations)
+      fmt
+  in
+  (* 1. exactly-once execution per replica *)
+  let dups = ref 0 in
+  Hashtbl.iter
+    (fun (replica, op) n ->
+      if n > 1 then begin
+        dups := !dups + (n - 1);
+        violate "op %s executed %d times at replica %d" (opid_str op) n replica
+      end)
+    seg.exec_count;
+  (* Per-replica, per-key execution sequences (oldest first). *)
+  let by_key : (int, (int * Journal.opid list) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Hashtbl.iter
+    (fun replica order ->
+      let per_key = Hashtbl.create 64 in
+      List.iter
+        (fun op ->
+          let key =
+            match Hashtbl.find_opt seg.key_of op with Some k -> k | None -> -1
+          in
+          let l =
+            match Hashtbl.find_opt per_key key with
+            | Some l -> l
+            | None ->
+              let l = ref [] in
+              Hashtbl.replace per_key key l;
+              l
+          in
+          l := op :: !l)
+        (List.rev !order);
+      Hashtbl.iter
+        (fun key l ->
+          let entry =
+            match Hashtbl.find_opt by_key key with
+            | Some e -> e
+            | None ->
+              let e = ref [] in
+              Hashtbl.replace by_key key e;
+              e
+          in
+          entry := (replica, List.rev !l) :: !entry)
+        per_key)
+    seg.exec_order;
+  let keys =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) by_key [])
+  in
+  List.iter
+    (fun key ->
+      let seqs = List.sort compare !(Hashtbl.find by_key key) in
+      (* 2. log-prefix agreement: every replica's sequence for this key
+         must be a prefix of the longest one. *)
+      let longest =
+        List.fold_left
+          (fun best (_, s) ->
+            if List.length s > List.length best then s else best)
+          [] seqs
+      in
+      List.iter
+        (fun (replica, s) ->
+          if not (is_prefix s longest) then
+            violate "key %d: replica %d execution order diverges (%s...)" key
+              replica
+              (String.concat " " (List.map opid_str (List.filteri (fun i _ -> i < 6) s))))
+        seqs;
+      (* 3. write-only linearizability (WGL-style real-time check): an
+         op that committed before another was submitted must be ordered
+         before it in the witness order. *)
+      let max_submit = ref Time_ns.zero in
+      List.iter
+        (fun op ->
+          (match Hashtbl.find_opt seg.commit op with
+          | Some c when c < !max_submit ->
+            violate
+              "key %d: op %s committed @%d but ordered after an op submitted @%d"
+              key (opid_str op) c !max_submit
+          | _ -> ());
+          match Hashtbl.find_opt seg.submit op with
+          | Some s -> max_submit := Time_ns.max !max_submit s
+          | None -> ())
+        longest)
+    keys;
+  (* 4. committed ops must execute somewhere (modulo the drain tail) *)
+  let executed_somewhere op =
+    Hashtbl.fold
+      (fun (_, o) n acc -> acc || (o = op && n > 0))
+      seg.exec_count false
+  in
+  Hashtbl.iter
+    (fun op at ->
+      if
+        Time_ns.diff seg.max_at at > tail_slack && not (executed_somewhere op)
+      then violate "op %s committed @%d but never executed" (opid_str op) at)
+    seg.commit;
+  (* 5. completeness, for plans that must not lose ops *)
+  if require_complete then
+    Hashtbl.iter
+      (fun op at ->
+        if not (Hashtbl.mem seg.commit op) then
+          violate "op %s submitted @%d but never committed" (opid_str op) at)
+      seg.submit;
+  let executed = Hashtbl.fold (fun _ n acc -> acc + n) seg.exec_count 0 in
+  ( List.rev !violations,
+    Hashtbl.length seg.submit,
+    Hashtbl.length seg.commit,
+    executed,
+    !dups )
+
+let check ?(require_complete = false) j =
+  let segs = ref [] in
+  let cur = ref (new_seg "") in
+  let flush () =
+    if !cur.interesting then segs := !cur :: !segs
+  in
+  Journal.iter j (function
+    | Journal.Mark { label; _ } ->
+      flush ();
+      cur := new_seg label
+    | ev -> feed !cur ev);
+  flush ();
+  let segs = List.rev !segs in
+  let overflow =
+    if Journal.dropped j > 0 then
+      [
+        Printf.sprintf
+          "journal ring overflowed (%d events lost): checks are unsound"
+          (Journal.dropped j);
+      ]
+    else []
+  in
+  let violations, submitted, committed, executed, dups =
+    List.fold_left
+      (fun (vs, s, c, e, d) seg ->
+        let v, s', c', e', d' = check_seg ~require_complete seg in
+        (vs @ v, s + s', c + c', e + e', d + d'))
+      (overflow, 0, 0, 0, 0) segs
+  in
+  {
+    ok = violations = [];
+    violations;
+    segments = List.length segs;
+    submitted;
+    committed;
+    executed;
+    duplicate_execs = dups;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "checker: %s — %d segment%s, %d submitted, %d committed, %d executed"
+    (if r.ok then "OK" else "VIOLATIONS")
+    r.segments
+    (if r.segments = 1 then "" else "s")
+    r.submitted r.committed r.executed;
+  if r.duplicate_execs > 0 then
+    Format.fprintf fmt ", %d duplicate executions" r.duplicate_execs;
+  List.iter (fun v -> Format.fprintf fmt "@.  violation: %s" v) r.violations

@@ -1,0 +1,42 @@
+(** Post-run safety checker: replays a journal's op lifecycle events
+    and asserts the histories a correct SMR system must produce.
+
+    Checks, per journal segment (merged sweep journals are split at
+    their [Mark] headers, since op ids restart across runs):
+
+    - {b exactly-once}: no (replica, op) executes more than once —
+      client retries must be deduplicated server-side;
+    - {b log-prefix agreement}: for each key, every replica's execution
+      sequence is a prefix of the longest replica's sequence (per key,
+      not across keys: EPaxos legitimately reorders commuting ops);
+    - {b write-only linearizability} (single-register WGL-style, per
+      key): taking the longest replica's execution sequence as the
+      witness order, no op may be ordered after an op that was
+      submitted only after it had already committed. Ops with no
+      observed commit impose no real-time constraint;
+    - {b committed ⇒ executed}: a committed op must execute at some
+      replica, modulo a 500 ms slack at the journal's tail (drain);
+    - with [require_complete]: every submitted op must commit — the
+      bar for minority-fault plans, where liveness must hold.
+
+    Limits: the checker sees submit/commit times at journal
+    granularity and checks writes only (the workload is blind writes),
+    so it is a safety net for ordering and duplication bugs, not a
+    full Jepsen-style read/write linearizability search. A journal
+    that overflowed its ring is reported as unsound. *)
+
+open Domino_obs
+
+type report = {
+  ok : bool;
+  violations : string list;
+  segments : int;
+  submitted : int;  (** distinct ops submitted *)
+  committed : int;  (** distinct ops committed *)
+  executed : int;  (** executions, summed over replicas *)
+  duplicate_execs : int;  (** executions beyond the first per (replica, op) *)
+}
+
+val check : ?require_complete:bool -> Journal.t -> report
+
+val pp_report : Format.formatter -> report -> unit

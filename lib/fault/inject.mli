@@ -1,0 +1,23 @@
+(** Compile a {!Plan} onto a network: each plan event becomes an
+    engine timer that flips the corresponding {!Domino_net.Fifo_net}
+    fault hook (crash/recover, partition masks, link degradation,
+    clock skew) at its scheduled instant.
+
+    Every applied fault — and every message drop it causes — is
+    recorded in the journal as a [Fault] event ([fault.crash],
+    [fault.recover], [fault.partition], [fault.heal], [fault.degrade],
+    [fault.restore], [fault.skew], [fault.drop]), so Perfetto traces
+    show the fault windows alongside protocol traffic.
+
+    Injection is protocol-agnostic: it needs only the network, so all
+    five protocols are exercised with zero per-protocol wiring. *)
+
+open Domino_net
+open Domino_obs
+
+val install : Plan.t -> net:'msg Fifo_net.t -> journal:Journal.sink -> unit
+(** Validate the plan against the network size and arm its timers on
+    the network's engine. Must be called before [Engine.run] reaches
+    the first event's instant (in practice: right after net creation).
+
+    @raise Invalid_argument if {!Plan.validate} rejects the plan. *)

@@ -1,0 +1,60 @@
+(** Fault plan DSL: a timed script of faults to inject into one run.
+
+    A plan is a list of absolute-time events. The textual form is one
+    event per line —
+
+    {v
+    # comments and blank lines are ignored
+    at 2s crash node=0
+    at 2800ms recover node=0
+    at 3s partition a=0 b=1,2 sym until=5s
+    at 3s degrade src=0 dst=1 delay=40ms loss=0.3 until=4s
+    at 6s skew node=3 delta=30ms
+    v}
+
+    — and {!to_string} emits exactly the syntax {!parse} accepts, so
+    plans round-trip and QCheck counterexamples print as ready-to-run
+    plan files. Durations take [ns]/[us]/[ms]/[s] suffixes.
+
+    Semantics (implemented by {!Inject}):
+    - [crash]/[recover]: network-severance crash — in-flight messages
+      to the node die, timers keep running, volatile state survives.
+    - [partition]: stall every directed pair from group [a] to group
+      [b] (and the reverse with [sym]) until [until]; stalled messages
+      deliver in FIFO order at the heal, like a TCP stall.
+    - [degrade]: add [delay] to the link's base one-way delay and set
+      its loss rate (losses surface as RTO-sized delay spikes, Domino
+      runs over TCP) until [until], then restore.
+    - [skew]: step the node's local clock by [delta] (may be negative). *)
+
+open Domino_sim
+
+type action =
+  | Crash of { node : int }
+  | Recover of { node : int }
+  | Partition of { a : int list; b : int list; sym : bool; until : Time_ns.t }
+  | Degrade of {
+      src : int;
+      dst : int;
+      delay : Time_ns.span;
+      loss : float;
+      until : Time_ns.t;
+    }
+  | Skew of { node : int; delta : Time_ns.span }
+
+type event = { at : Time_ns.t; action : action }
+
+type t = event list
+
+val parse : string -> (t, string) result
+(** Parse the textual form; errors name the offending line. *)
+
+val to_string : t -> string
+(** One event per line, newline-terminated; round-trips through
+    {!parse}. *)
+
+val event_str : event -> string
+
+val validate : n:int -> t -> (unit, string) result
+(** Static sanity: node indices in [\[0, n)], heal times after their
+    start, loss in [\[0, 1\]]. *)

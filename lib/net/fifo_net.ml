@@ -13,11 +13,12 @@ type 'msg node_state = {
   mutable service : 'msg service option;
 }
 
-type drop_reason = Src_down | Dst_down | No_handler
+type drop_reason = Src_down | Dst_down | Dst_crashed | No_handler
 
 let drop_reason_string = function
   | Src_down -> "src_down"
   | Dst_down -> "dst_down"
+  | Dst_crashed -> "dst_crashed"
   | No_handler -> "no_handler"
 
 type 'msg trace_event =
@@ -46,9 +47,26 @@ type 'msg t = {
   self_rng : Rng.t;
   (* FIFO state: earliest allowed delivery time per directed pair. *)
   last_delivery : Time_ns.t array array;
+  (* Incarnation counter per node: a message addressed to epoch [e] of a
+     node is dead once the node has crashed (epoch bumped), even if the
+     node later recovers — TCP connections do not survive a reboot. *)
+  epoch : int array;
+  (* Partition masks and the per-directed-pair stall queues. A blocked
+     pair behaves like a TCP stall, not a drop: deliveries queue up and
+     flush in FIFO order when the partition heals. *)
+  blocked : bool array array;
+  stash : (unit -> unit) Queue.t array array;
   mutable sent : int;
   mutable delivered : int;
   mutable tracer : ('msg trace_event -> unit) option;
+  mutable on_drop :
+    (reason:drop_reason ->
+    seq:int ->
+    src:Nodeid.t ->
+    dst:Nodeid.t ->
+    at:Time_ns.t ->
+    unit)
+    option;
 }
 
 let create engine ~n =
@@ -60,9 +78,13 @@ let create engine ~n =
     links = Array.make_matrix n n None;
     self_rng = Rng.split (Engine.rng engine);
     last_delivery = Array.make_matrix n n Time_ns.zero;
+    epoch = Array.make n 0;
+    blocked = Array.make_matrix n n false;
+    stash = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
     sent = 0;
     delivered = 0;
     tracer = None;
+    on_drop = None;
   }
 
 let set_tracer t f = t.tracer <- Some f
@@ -84,6 +106,8 @@ let link t ~src ~dst =
 
 let set_clock t node clock = t.nodes.(node).clock <- clock
 
+let clock t node = t.nodes.(node).clock
+
 let local_time t node = Clock.now t.nodes.(node).clock (Engine.now t.engine)
 
 let set_handler t node handler = t.nodes.(node).handler <- Some handler
@@ -98,6 +122,9 @@ let delay_for t ~src ~dst =
   else Link.sample (link t ~src ~dst) ~now:(Engine.now t.engine)
 
 let drop t ~seq ~src ~dst msg reason =
+  (match t.on_drop with
+  | None -> ()
+  | Some f -> f ~reason ~seq ~src ~dst ~at:(Engine.now t.engine));
   match t.tracer with
   | None -> ()
   | Some f ->
@@ -115,9 +142,14 @@ let send t ~src ~dst msg =
     (match t.tracer with
     | None -> ()
     | Some f -> f (Sent { seq; src; dst; msg; at = now }));
+    (* The destination incarnation this message is addressed to: if the
+       node crashes (even if it recovers) before delivery, the message
+       is dropped at delivery time rather than delivered stale. *)
+    let dst_epoch = t.epoch.(dst) in
     let handle () =
       let node = t.nodes.(dst) in
-      if not node.up then drop t ~seq ~src ~dst msg Dst_down
+      if t.epoch.(dst) <> dst_epoch then drop t ~seq ~src ~dst msg Dst_crashed
+      else if not node.up then drop t ~seq ~src ~dst msg Dst_down
       else begin
         match node.handler with
         | None -> drop t ~seq ~src ~dst msg No_handler
@@ -139,24 +171,26 @@ let send t ~src ~dst msg =
           handler ~src msg
       end
     in
-    let deliver () =
-      let node = t.nodes.(dst) in
-      match node.service with
-      | None -> handle ()
-      | Some service ->
-        (* Pick the earliest-free worker. *)
-        let best = ref 0 in
-        Array.iteri
-          (fun i busy_until ->
-            if busy_until < service.slots.(!best) then best := i)
-          service.slots;
-        let now = Engine.now t.engine in
-        let start = Time_ns.max now service.slots.(!best) in
-        let cost = service.cost msg in
-        let finish = Time_ns.add start cost in
-        service.slots.(!best) <- finish;
-        service.busy <- service.busy + cost;
-        ignore (Engine.schedule_at t.engine ~at:finish handle)
+    let rec deliver () =
+      if t.blocked.(src).(dst) then Queue.push deliver t.stash.(src).(dst)
+      else
+        let node = t.nodes.(dst) in
+        match node.service with
+        | None -> handle ()
+        | Some service ->
+          (* Pick the earliest-free worker. *)
+          let best = ref 0 in
+          Array.iteri
+            (fun i busy_until ->
+              if busy_until < service.slots.(!best) then best := i)
+            service.slots;
+          let now = Engine.now t.engine in
+          let start = Time_ns.max now service.slots.(!best) in
+          let cost = service.cost msg in
+          let finish = Time_ns.add start cost in
+          service.slots.(!best) <- finish;
+          service.busy <- service.busy + cost;
+          ignore (Engine.schedule_at t.engine ~at:finish handle)
     in
     ignore (Engine.schedule_at t.engine ~at deliver)
   end
@@ -171,11 +205,37 @@ let set_service t node ~workers ~cost =
 let service_busy_ns t node =
   match t.nodes.(node).service with None -> 0 | Some s -> s.busy
 
-let crash t node = t.nodes.(node).up <- false
+let crash t node =
+  if t.nodes.(node).up then begin
+    t.nodes.(node).up <- false;
+    t.epoch.(node) <- t.epoch.(node) + 1
+  end
 
 let restart t node = t.nodes.(node).up <- true
 
+let recover = restart
+
 let is_up t node = t.nodes.(node).up
+
+let set_partition t ~src ~dst blocked =
+  let was = t.blocked.(src).(dst) in
+  t.blocked.(src).(dst) <- blocked;
+  if was && not blocked then begin
+    (* Flush the stalled deliveries at the heal instant, in FIFO order
+       (same-instant events run in scheduling order). Each thunk
+       re-checks the mask, so re-partitioning before the flush fires
+       just re-stashes. *)
+    let q = t.stash.(src).(dst) in
+    for _ = 1 to Queue.length q do
+      Engine.schedule t.engine ~delay:0 (Queue.pop q)
+    done
+  end
+
+let partitioned t ~src ~dst = t.blocked.(src).(dst)
+
+let set_drop_hook t f = t.on_drop <- Some f
+
+let clear_drop_hook t = t.on_drop <- None
 
 let messages_sent t = t.sent
 

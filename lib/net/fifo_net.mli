@@ -15,7 +15,14 @@ open Domino_sim
 
 type 'msg t
 
-type drop_reason = Src_down | Dst_down | No_handler
+type drop_reason =
+  | Src_down  (** source was crashed at the send instant *)
+  | Dst_down  (** destination was crashed at the delivery instant *)
+  | Dst_crashed
+      (** destination crashed after the send — the message dies at
+          delivery time even if the node has since recovered (TCP
+          connections do not survive a reboot) *)
+  | No_handler
 
 val drop_reason_string : drop_reason -> string
 
@@ -65,6 +72,8 @@ val link : 'msg t -> src:Nodeid.t -> dst:Nodeid.t -> Link.t
 
 val set_clock : 'msg t -> Nodeid.t -> Clock.t -> unit
 
+val clock : 'msg t -> Nodeid.t -> Clock.t
+
 val local_time : 'msg t -> Nodeid.t -> Time_ns.t
 (** The node's local clock reading at the current simulated instant.
     Protocol code must use this, never {!Engine.now}, for anything that
@@ -84,12 +93,28 @@ val broadcast :
 (** [broadcast t ~src ~dsts f] sends [f dst] to each destination. *)
 
 val crash : 'msg t -> Nodeid.t -> unit
-(** Take a node down: all in-flight and future messages involving it
-    are dropped until {!restart}. *)
+(** Take a node down: future sends from it are refused, and every
+    message addressed to it — including ones already in flight — is
+    dropped at its delivery instant ([Dst_crashed]), even if the node
+    has {!recover}ed by then. Idempotent while down. *)
 
 val restart : 'msg t -> Nodeid.t -> unit
 
+val recover : 'msg t -> Nodeid.t -> unit
+(** Bring a crashed node back up (alias of {!restart}): it resumes with
+    its volatile protocol state intact — the simulator models a network
+    severance / process pause, not a disk wipe. *)
+
 val is_up : 'msg t -> Nodeid.t -> bool
+
+val set_partition : 'msg t -> src:Nodeid.t -> dst:Nodeid.t -> bool -> unit
+(** [set_partition t ~src ~dst true] stalls the directed pair: messages
+    reaching their delivery instant are stashed instead of delivered
+    (TCP keeps retransmitting — nothing is lost). [false] heals it:
+    stalled deliveries flush immediately, in FIFO order. Asymmetric by
+    construction; callers wanting a symmetric cut set both directions. *)
+
+val partitioned : 'msg t -> src:Nodeid.t -> dst:Nodeid.t -> bool
 
 val set_service :
   'msg t -> Nodeid.t -> workers:int -> cost:('msg -> Time_ns.span) -> unit
@@ -114,3 +139,19 @@ val set_tracer : 'msg t -> ('msg trace_event -> unit) -> unit
     when unset — the hot path is a single [option] match. *)
 
 val clear_tracer : 'msg t -> unit
+
+val set_drop_hook :
+  'msg t ->
+  (reason:drop_reason ->
+  seq:int ->
+  src:Nodeid.t ->
+  dst:Nodeid.t ->
+  at:Time_ns.t ->
+  unit) ->
+  unit
+(** Install a message-type-agnostic drop observer (replaces any
+    previous): called for every drop, before the tracer. The fault
+    layer uses this to journal [fault.drop] events without knowing the
+    network's message type. *)
+
+val clear_drop_hook : 'msg t -> unit

@@ -28,6 +28,8 @@ let base_owd t = t.base_owd
 
 let set_base_owd t owd = t.base_owd <- owd
 
+let loss t = t.loss
+
 let set_loss t loss = t.loss <- loss
 
 let sample t ~now =

@@ -29,6 +29,8 @@ val base_owd : t -> Time_ns.span
 val set_base_owd : t -> Time_ns.span -> unit
 (** Emulate a route change: subsequent samples use the new base. *)
 
+val loss : t -> float
+
 val set_loss : t -> float -> unit
 
 val sample : t -> now:Time_ns.t -> Time_ns.span

@@ -3,7 +3,7 @@ open Domino_sim
 type opid = int * int
 
 type event =
-  | Submit of { op : opid; node : int; at : Time_ns.t }
+  | Submit of { op : opid; node : int; key : int; at : Time_ns.t }
   | Commit of { op : opid; node : int; at : Time_ns.t }
   | Execute of { op : opid; replica : int; at : Time_ns.t }
   | Msg_sent of {
@@ -41,6 +41,7 @@ type event =
     }
   | Sample of { name : string; value : float; at : Time_ns.t }
   | Mark of { label : string; at : Time_ns.t }
+  | Fault of { name : string; detail : string; at : Time_ns.t }
 
 type t = {
   ring : event array;
@@ -100,7 +101,8 @@ let opt_opid_str = function None -> "-" | Some id -> opid_str id
 let pp_event buf ev =
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   match ev with
-  | Submit { op; node; at } -> p "@%d submit op=%s node=%d" at (opid_str op) node
+  | Submit { op; node; key; at } ->
+    p "@%d submit op=%s node=%d key=%d" at (opid_str op) node key
   | Commit { op; node; at } -> p "@%d commit op=%s node=%d" at (opid_str op) node
   | Execute { op; replica; at } ->
     p "@%d execute op=%s replica=%d" at (opid_str op) replica
@@ -118,6 +120,7 @@ let pp_event buf ev =
       dur
   | Sample { name; value; at } -> p "@%d sample %s=%.6g" at name value
   | Mark { label; at } -> p "@%d mark %s" at label
+  | Fault { name; detail; at } -> p "@%d fault.%s %s" at name detail
 
 let to_lines t =
   let buf = Buffer.create 4096 in

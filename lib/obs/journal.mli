@@ -23,7 +23,7 @@ type opid = int * int
 (** (client node, per-client sequence) — [Op.id] flattened. *)
 
 type event =
-  | Submit of { op : opid; node : int; at : Time_ns.t }
+  | Submit of { op : opid; node : int; key : int; at : Time_ns.t }
   | Commit of { op : opid; node : int; at : Time_ns.t }
   | Execute of { op : opid; replica : int; at : Time_ns.t }
   | Msg_sent of {
@@ -61,6 +61,10 @@ type event =
     }
   | Sample of { name : string; value : float; at : Time_ns.t }
   | Mark of { label : string; at : Time_ns.t }
+  | Fault of { name : string; detail : string; at : Time_ns.t }
+      (** An injected fault (or its heal), recorded by [Fault.Inject] so
+          journals — and Perfetto traces — show exactly when the network
+          or a node misbehaved. Rendered as [fault.<name> <detail>]. *)
 
 type t
 

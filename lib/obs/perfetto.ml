@@ -80,7 +80,8 @@ let of_journal j =
       | Journal.Msg_dropped { src; dst; _ } ->
         note src;
         note dst
-      | Journal.Timer_fired _ | Journal.Sample _ | Journal.Mark _ -> ());
+      | Journal.Timer_fired _ | Journal.Sample _ | Journal.Mark _
+      | Journal.Fault _ -> ());
   let node_ids =
     List.sort compare (Hashtbl.fold (fun n () acc -> n :: acc) nodes [])
   in
@@ -120,7 +121,7 @@ let of_journal j =
   let push e = out := e :: !out in
   Journal.iter j (fun ev ->
       match ev with
-      | Journal.Submit { op; node; at } ->
+      | Journal.Submit { op; node; at; _ } ->
         push
           (instant ~name:("submit " ^ opid_str op) ~scope:"t" ~tid:node ~ts:at
              [])
@@ -154,6 +155,11 @@ let of_journal j =
         push (counter ~name ~ts:at ~value)
       | Journal.Mark { label; at } ->
         push (instant ~name:label ~scope:"g" ~tid:0 ~ts:at [])
+      | Journal.Fault { name; detail; at } ->
+        push
+          (instant
+             ~name:(Printf.sprintf "fault.%s %s" name detail)
+             ~scope:"g" ~tid:0 ~ts:at [])
       | Journal.Timer_fired _ -> ());
   Json.Obj
     [

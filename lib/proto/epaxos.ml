@@ -29,6 +29,9 @@ type msg =
   | MAccept of { inst : inst_id; op : Op.t; attrs : attrs }
   | MAcceptOk of { inst : inst_id; acceptor : Nodeid.t }
   | Commit of { inst : inst_id; op : Op.t; attrs : attrs }
+  | CommitReq of { inst : inst_id }
+      (** execution stalled on this instance: ask its owner to resend
+          the Commit *)
   | Reply of { op : Op.t }
 
 type status = Preaccepted | Accepted | Committed | Executed
@@ -41,9 +44,13 @@ type cmd = {
 
 type pending = {
   initial : attrs;
-  mutable replies : attrs list;
-  mutable acks : int;  (** MAcceptOk count (leader included) *)
+  mutable replies : (Nodeid.t * attrs) list;
+      (** first PreAcceptOk per acceptor; retransmitted PreAccepts may
+          re-merge against an advanced key table, so later replies from
+          the same acceptor are ignored *)
+  mutable acks : Nodeid.Set.t;  (** MAcceptOk senders (leader included) *)
   mutable in_accept : bool;
+  opened : Time_ns.t;
 }
 
 type replica_state = {
@@ -250,7 +257,13 @@ let leader_on_request t st (op : Op.t) =
   note_instance st ~key:op.Op.key ~inst ~seq:attrs.seq;
   st.pending <-
     Instmap.add inst
-      { initial = attrs; replies = []; acks = 0; in_accept = false }
+      {
+        initial = attrs;
+        replies = [];
+        acks = Nodeid.Set.singleton st.self;
+        in_accept = false;
+        opened = now t;
+      }
       st.pending;
   if t.n = 1 then broadcast_commit t st ~inst ~op ~attrs
   else
@@ -263,18 +276,18 @@ let leader_on_request t st (op : Op.t) =
 let fast_quorum_peers t = (2 * t.f) - 1
 (* peer replies needed so that, with the leader, 2f replicas agree *)
 
-let leader_on_preaccept_ok t st ~inst ~(attrs : attrs) =
+let leader_on_preaccept_ok t st ~inst ~acceptor ~(attrs : attrs) =
   match Instmap.find_opt inst st.pending with
   | None -> ()
   | Some p ->
-    if not p.in_accept then begin
-      p.replies <- attrs :: p.replies;
+    if (not p.in_accept) && not (List.mem_assoc acceptor p.replies) then begin
+      p.replies <- (acceptor, attrs) :: p.replies;
       let needed = fast_quorum_peers t in
       if List.length p.replies >= needed then begin
         let cmd = Instmap.find inst st.cmds in
         if cmd.status = Preaccepted then begin
           let all_match =
-            List.for_all (fun a -> attrs_equal a p.initial) p.replies
+            List.for_all (fun (_, a) -> attrs_equal a p.initial) p.replies
           in
           if all_match then begin
             t.fast <- t.fast + 1;
@@ -287,7 +300,7 @@ let leader_on_preaccept_ok t st ~inst ~(attrs : attrs) =
             (* Union attributes and run the accept round. *)
             let attrs =
               List.fold_left
-                (fun acc a ->
+                (fun acc (_, a) ->
                   {
                     seq = Stdlib.max acc.seq a.seq;
                     deps = union_deps acc.deps a.deps;
@@ -295,7 +308,7 @@ let leader_on_preaccept_ok t st ~inst ~(attrs : attrs) =
                 p.initial p.replies
             in
             p.in_accept <- true;
-            p.acks <- 1 (* leader *);
+            p.acks <- Nodeid.Set.singleton st.self;
             cmd.attrs <- attrs;
             cmd.status <- Accepted;
             Array.iter
@@ -309,13 +322,13 @@ let leader_on_preaccept_ok t st ~inst ~(attrs : attrs) =
       end
     end
 
-let leader_on_accept_ok t st ~inst =
+let leader_on_accept_ok t st ~inst ~acceptor =
   match Instmap.find_opt inst st.pending with
   | None -> ()
   | Some p ->
     if p.in_accept then begin
-      p.acks <- p.acks + 1;
-      if p.acks >= t.f + 1 then begin
+      p.acks <- Nodeid.Set.add acceptor p.acks;
+      if Nodeid.Set.cardinal p.acks >= t.f + 1 then begin
         let cmd = Instmap.find inst st.cmds in
         if cmd.status = Accepted then begin
           t.slow <- t.slow + 1;
@@ -330,18 +343,33 @@ let leader_on_accept_ok t st ~inst =
 (* --- Acceptor logic --- *)
 
 let acceptor_on_preaccept t st ~inst ~(op : Op.t) ~attrs =
-  let merged = merge_attrs st ~key:op.Op.key ~exclude:inst attrs in
-  st.cmds <- Instmap.add inst { op; attrs = merged; status = Preaccepted } st.cmds;
-  note_instance st ~key:op.Op.key ~inst ~seq:merged.seq;
-  Fifo_net.send t.net ~src:st.self
-    ~dst:t.replicas.(inst.lane)
-    (PreAcceptOk { inst; attrs = merged; acceptor = st.self })
+  match Instmap.find_opt inst st.cmds with
+  | Some cmd ->
+    (* Retransmitted PreAccept: answer with the attrs recorded the
+       first time. Re-merging against a key table that has advanced
+       since would give a different answer, and an instance that has
+       moved past Preaccepted must never be downgraded. *)
+    Fifo_net.send t.net ~src:st.self
+      ~dst:t.replicas.(inst.lane)
+      (PreAcceptOk { inst; attrs = cmd.attrs; acceptor = st.self })
+  | None ->
+    let merged = merge_attrs st ~key:op.Op.key ~exclude:inst attrs in
+    st.cmds <-
+      Instmap.add inst { op; attrs = merged; status = Preaccepted } st.cmds;
+    note_instance st ~key:op.Op.key ~inst ~seq:merged.seq;
+    Fifo_net.send t.net ~src:st.self
+      ~dst:t.replicas.(inst.lane)
+      (PreAcceptOk { inst; attrs = merged; acceptor = st.self })
 
 let acceptor_on_accept t st ~inst ~(op : Op.t) ~attrs =
   (match Instmap.find_opt inst st.cmds with
   | Some cmd ->
-    cmd.attrs <- attrs;
-    if cmd.status = Preaccepted then cmd.status <- Accepted
+    (* A committed instance keeps its committed attrs; only earlier
+       phases adopt the accept-round union. *)
+    if cmd.status = Preaccepted || cmd.status = Accepted then begin
+      cmd.attrs <- attrs;
+      cmd.status <- Accepted
+    end
   | None ->
     st.cmds <- Instmap.add inst { op; attrs; status = Accepted } st.cmds);
   note_instance st ~key:op.Op.key ~inst ~seq:attrs.seq;
@@ -349,16 +377,23 @@ let acceptor_on_accept t st ~inst ~(op : Op.t) ~attrs =
     ~dst:t.replicas.(inst.lane)
     (MAcceptOk { inst; acceptor = st.self })
 
-let handle t lane ~src:_ msg =
+let handle t lane ~src msg =
   let st = t.states.(lane) in
   match msg with
   | Request op -> leader_on_request t st op
   | PreAccept { inst; op; attrs } -> acceptor_on_preaccept t st ~inst ~op ~attrs
-  | PreAcceptOk { inst; attrs; acceptor = _ } ->
-    leader_on_preaccept_ok t st ~inst ~attrs
+  | PreAcceptOk { inst; attrs; acceptor } ->
+    leader_on_preaccept_ok t st ~inst ~acceptor ~attrs
   | MAccept { inst; op; attrs } -> acceptor_on_accept t st ~inst ~op ~attrs
-  | MAcceptOk { inst; acceptor = _ } -> leader_on_accept_ok t st ~inst
+  | MAcceptOk { inst; acceptor } -> leader_on_accept_ok t st ~inst ~acceptor
   | Commit { inst; op; attrs } -> record_commit t st ~inst ~op ~attrs
+  | CommitReq { inst } -> begin
+    match Instmap.find_opt inst st.cmds with
+    | Some ({ status = Committed | Executed; _ } as cmd) ->
+      Fifo_net.send t.net ~src:st.self ~dst:src
+        (Commit { inst; op = cmd.op; attrs = cmd.attrs })
+    | _ -> ()
+  end
   | Reply _ -> ()
 
 let handle_client t ~src:_ msg =
@@ -399,6 +434,53 @@ let create ~net ~replicas ~coordinator_of ~observer () =
     if not (Array.exists (Nodeid.equal node) replicas) then
       Fifo_net.set_handler net node (handle_client t)
   done;
+  (* Robustness timers, per replica. Leader role: re-drive the quorum
+     round for instances stuck without replies (PreAccept or its Ok
+     lost to a crash). Executor role: instances blocked on a dependency
+     this replica never saw committed pull the Commit from the
+     dependency's owner. *)
+  let engine = Fifo_net.engine net in
+  Array.iteri
+    (fun lane _ ->
+      ignore
+        (Engine.every engine ~interval:(Time_ns.ms 250) (fun () ->
+             let st = t.states.(lane) in
+             Instmap.iter
+               (fun inst p ->
+                 if Time_ns.diff (now t) p.opened > Time_ns.ms 400 then
+                   match Instmap.find_opt inst st.cmds with
+                   | None -> ()
+                   | Some cmd ->
+                     if p.in_accept then
+                       Array.iter
+                         (fun r ->
+                           if not (Nodeid.Set.mem r p.acks) then
+                             Fifo_net.send net ~src:st.self ~dst:r
+                               (MAccept { inst; op = cmd.op; attrs = cmd.attrs }))
+                         t.replicas
+                     else
+                       Array.iter
+                         (fun r ->
+                           if
+                             (not (Nodeid.equal r st.self))
+                             && not (List.mem_assoc r p.replies)
+                           then
+                             Fifo_net.send net ~src:st.self ~dst:r
+                               (PreAccept { inst; op = cmd.op; attrs = p.initial }))
+                         t.replicas)
+               st.pending;
+             Instmap.iter
+               (fun dep _ ->
+                 let missing =
+                   match Instmap.find_opt dep st.cmds with
+                   | None | Some { status = Preaccepted | Accepted; _ } -> true
+                   | Some _ -> false
+                 in
+                 if missing then
+                   Fifo_net.send net ~src:st.self ~dst:t.replicas.(dep.lane)
+                     (CommitReq { inst = dep }))
+               st.waiters)))
+    replicas;
   t
 
 let submit t (op : Op.t) =
@@ -415,7 +497,7 @@ let classify : msg -> Msg_class.t = function
   | PreAccept _ | MAccept _ -> Msg_class.Replication
   | PreAcceptOk _ | MAcceptOk _ -> Msg_class.Ack
   | Commit _ -> Msg_class.Commit_notice
-  | Reply _ -> Msg_class.Control
+  | Reply _ | CommitReq _ -> Msg_class.Control
 
 let op_of = function
   | Request op
@@ -423,7 +505,7 @@ let op_of = function
   | MAccept { op; _ }
   | Commit { op; _ }
   | Reply { op } -> Some op
-  | PreAcceptOk _ | MAcceptOk _ -> None
+  | PreAcceptOk _ | MAcceptOk _ | CommitReq _ -> None
 
 module Api = struct
   type nonrec t = t

@@ -13,12 +13,17 @@ type msg =
   | P2a of { slot : int; value : Op.t option }  (** recovery round 1 *)
   | P2b of { slot : int; acceptor : Nodeid.t }
   | Commit of { slot : int; value : Op.t option }
+  | Pull of { from : int }
+      (** replica -> coordinator: resend decided commits from this slot *)
   | Reply of { op : Op.t }  (** coordinator -> client, slow path result *)
 
 type acceptor_state = {
   self : Nodeid.t;
   mutable next_free : int;
-  mutable voted : (int * Op.t) Imap.t;  (** slot -> (round, op) *)
+  mutable voted : (int * Op.t * Time_ns.t) Imap.t;
+      (** slot -> (round, op, voted at); entries are dropped once the
+          slot's Commit arrives, so what remains is what may need
+          re-sending after a coordinator crash ate the original vote *)
 }
 
 type slot_tally = {
@@ -26,6 +31,7 @@ type slot_tally = {
   mutable p2b : Nodeid.Set.t;
   mutable recovering : Op.t option option;  (** round-1 value if started *)
   mutable decided : bool;
+  mutable value : Op.t option;  (** the decided value, kept for catch-up *)
   mutable opened : Time_ns.t;  (** when the coordinator first saw this slot *)
 }
 
@@ -49,6 +55,9 @@ type t = {
   acceptors : acceptor_state array;
   (* Execution: decided slots per replica. *)
   mutable decided_sets : Interval_set.t array;
+  max_decided : int array;
+      (** highest slot each replica saw decided; evidence of a gap when
+          it runs ahead of the contiguous frontier *)
   execs : Op.t Exec_engine.t array;
   (* Client-side fast learning: (client view) slot -> votes for its op. *)
   mutable client_votes : Nodeid.Set.t Imap.t Op.Idmap.t;
@@ -71,6 +80,7 @@ let tally t slot =
         p2b = Nodeid.Set.empty;
         recovering = None;
         decided = false;
+        value = None;
         opened = now t;
       }
     in
@@ -81,8 +91,11 @@ let tally t slot =
 (* --- Execution (slot order at every replica) --- *)
 
 let deliver_commit t idx slot value =
+  let st = t.acceptors.(idx) in
+  st.voted <- Imap.remove slot st.voted;
   let decided = Interval_set.add slot t.decided_sets.(idx) in
   t.decided_sets.(idx) <- decided;
+  t.max_decided.(idx) <- Stdlib.max t.max_decided.(idx) slot;
   let exec = t.execs.(idx) in
   (match value with
   | Some op -> Exec_engine.decide_op exec { Position.ts = slot; lane = 0 } op
@@ -123,6 +136,7 @@ let commit_slot t slot value ~fast_path =
   let tl = tally t slot in
   if not tl.decided then begin
     tl.decided <- true;
+    tl.value <- value;
     t.undecided_slots <- Islot.remove slot t.undecided_slots;
     if fast_path then t.fast <- t.fast + 1 else t.slow <- t.slow + 1;
     t.observer.Observer.on_phase ~node:t.coordinator ~op:value
@@ -276,7 +290,7 @@ let coordinator_on_p2b t ~slot ~acceptor =
 let acceptor_on_propose t (st : acceptor_state) (op : Op.t) =
   let slot = st.next_free in
   st.next_free <- slot + 1;
-  st.voted <- Imap.add slot (0, op) st.voted;
+  st.voted <- Imap.add slot (0, op, now t) st.voted;
   let vote = Vote { slot; op; acceptor = st.self } in
   Fifo_net.send t.net ~src:st.self ~dst:t.coordinator vote;
   Fifo_net.send t.net ~src:st.self ~dst:op.Op.client vote
@@ -285,7 +299,7 @@ let acceptor_on_p2a t (st : acceptor_state) ~slot ~value =
   (* Round 1 overrides any round-0 vote; there is a single coordinator,
      so no promise bookkeeping is needed. *)
   (match value with
-  | Some op -> st.voted <- Imap.add slot (1, op) st.voted
+  | Some op -> st.voted <- Imap.add slot (1, op, now t) st.voted
   | None -> ());
   Fifo_net.send t.net ~src:st.self ~dst:t.coordinator
     (P2b { slot; acceptor = st.self })
@@ -330,6 +344,7 @@ let create ~net ~replicas ~coordinator ~observer () =
       acceptors =
         Array.map (fun r -> { self = r; next_free = 0; voted = Imap.empty }) replicas;
       decided_sets = Array.make n Interval_set.empty;
+      max_decided = Array.make n (-1);
       execs = [||];
       client_votes = Op.Idmap.empty;
       fast = 0;
@@ -354,16 +369,19 @@ let create ~net ~replicas ~coordinator ~observer () =
          Islot.iter
            (fun slot ->
              match Imap.find_opt slot t.tallies with
-             | Some tl
-               when (not tl.decided) && tl.recovering = None
-                    && tl.opened < cutoff ->
-               start_recovery t slot
+             | Some tl when (not tl.decided) && tl.opened < cutoff -> (
+               match tl.recovering with
+               | None -> start_recovery t slot
+               | Some value ->
+                 (* The P2a round — or its P2bs — may have died with a
+                    crashed node; re-drive it until the slot decides. *)
+                 broadcast t ~src:t.coordinator (P2a { slot; value }))
              | _ -> ())
            t.undecided_slots));
   Array.iteri
     (fun idx r ->
       let st = t.acceptors.(idx) in
-      let handler ~src:_ msg =
+      let handler ~src msg =
         match msg with
         | Propose op -> acceptor_on_propose t st op
         | P2a { slot; value } -> acceptor_on_p2a t st ~slot ~value
@@ -372,9 +390,55 @@ let create ~net ~replicas ~coordinator ~observer () =
           coordinator_on_vote t ~slot ~op ~acceptor
         | P2b { slot; acceptor } when Nodeid.equal r t.coordinator ->
           coordinator_on_p2b t ~slot ~acceptor
-        | Vote _ | P2b _ | Reply _ -> ()
+        | Pull { from } when Nodeid.equal r t.coordinator ->
+          (* Resend decided commits from the puller's frontier, skipping
+             still-open slots (they will be broadcast when they decide).
+             Capped so one pull never floods the link. *)
+          let sent = ref 0 and slot = ref from in
+          while !sent < 512 && !slot <= t.max_slot do
+            (match Imap.find_opt !slot t.tallies with
+            | Some tl when tl.decided ->
+              Fifo_net.send t.net ~src:t.coordinator ~dst:src
+                (Commit { slot = !slot; value = tl.value });
+              incr sent
+            | _ -> ());
+            incr slot
+          done
+        | Vote _ | P2b _ | Pull _ | Reply _ -> ()
       in
       Fifo_net.set_handler net r handler)
+    replicas;
+  (* Robustness timers. Acceptor role: re-send round-0 votes whose slot
+     never decided (a crashed coordinator ate the original). Learner
+     role: pull missing commits whenever decided slots run ahead of the
+     contiguous execution frontier. *)
+  let engine = Fifo_net.engine net in
+  Array.iteri
+    (fun idx r ->
+      ignore
+        (Engine.every engine ~interval:(Time_ns.ms 250) (fun () ->
+             let st = t.acceptors.(idx) in
+             let sent = ref 0 in
+             Imap.iter
+               (fun slot (round, op, at) ->
+                 if
+                   round = 0 && !sent < 256
+                   && Time_ns.diff (now t) at > Time_ns.ms 400
+                 then begin
+                   incr sent;
+                   let vote = Vote { slot; op; acceptor = st.self } in
+                   Fifo_net.send net ~src:st.self ~dst:t.coordinator vote;
+                   Fifo_net.send net ~src:st.self ~dst:op.Op.client vote
+                 end)
+               st.voted;
+             let frontier =
+               match Interval_set.covered_from t.decided_sets.(idx) 0 with
+               | Some hi -> hi
+               | None -> -1
+             in
+             if frontier < t.max_decided.(idx) then
+               Fifo_net.send net ~src:r ~dst:t.coordinator
+                 (Pull { from = frontier + 1 }))))
     replicas;
   for node = 0 to Fifo_net.size net - 1 do
     if not (Array.exists (Nodeid.equal node) replicas) then
@@ -399,12 +463,12 @@ let classify : msg -> Msg_class.t = function
   | Vote _ | P2b _ -> Msg_class.Ack
   | P2a _ -> Msg_class.Replication
   | Commit _ -> Msg_class.Commit_notice
-  | Reply _ -> Msg_class.Control
+  | Reply _ | Pull _ -> Msg_class.Control
 
 let op_of = function
   | Propose op | Vote { op; _ } | Reply { op } -> Some op
   | P2a { value; _ } | Commit { value; _ } -> value
-  | P2b _ -> None
+  | P2b _ | Pull _ -> None
 
 module Api = struct
   type nonrec t = t

@@ -18,6 +18,7 @@ type proposal = {
   mutable committed : bool;  (** majority acknowledged *)
   mutable ordered : bool;  (** all earlier slots decided at the owner *)
   mutable replied : bool;
+  opened : Time_ns.t;
 }
 
 module Imap = Map.Make (Int)
@@ -53,8 +54,10 @@ let broadcast t ~src msg =
   Array.iter (fun r -> Fifo_net.send t.net ~src ~dst:r msg) t.replicas
 
 (* The skip bound an owner may announce: its cursor, held down by its
-   oldest unacknowledged proposal (which must stay recoverable if the
-   owner fails). *)
+   oldest not-fully-acknowledged proposal. Holding the bound until
+   every replica (not just a majority) has acknowledged keeps a skip
+   from noop-blanketing a slot that a crashed replica has not yet
+   learned — it would otherwise diverge from the others on recovery. *)
 let maybe_broadcast_skip t st =
   let limit =
     match Imap.min_binding_opt st.proposals with
@@ -111,6 +114,7 @@ let handle t lane_idx ~src:_ msg =
         committed = false;
         ordered = false;
         replied = false;
+        opened = now t;
       }
     in
     st.proposals <- Imap.add slot p st.proposals;
@@ -138,11 +142,13 @@ let handle t lane_idx ~src:_ msg =
         t.committed_count <- t.committed_count + 1;
         t.observer.Observer.on_phase ~node:st.self ~op:(Some p.op)
           ~name:"quorum_reached" ~dur:0 ~now:(now t);
-        st.proposals <- Imap.remove slot st.proposals;
-        (* Committing may unblock the skip bound held down by this
-           proposal. *)
-        maybe_broadcast_skip t st;
         maybe_reply t st p
+      end;
+      (* Release the slot — and the skip bound it holds down — only
+         once every replica has acknowledged it. *)
+      if Nodeid.Set.cardinal p.acks = t.n then begin
+        st.proposals <- Imap.remove slot st.proposals;
+        maybe_broadcast_skip t st
       end
   end
   | Skip { owner_lane; upto_k } -> apply_skip t lane_idx ~owner_lane ~upto_k
@@ -202,6 +208,30 @@ let create ~net ~replicas ~coordinator_of ~observer () =
     if not (Array.exists (Nodeid.equal node) replicas) then
       Fifo_net.set_handler net node (handle_client t)
   done;
+  (* Robustness timer per owner: re-send Accept for proposals some
+     replica has not acknowledged (its ack — or the Accept itself —
+     died with a crash), and refresh the skip coverage so a recovered
+     replica relearns noop bounds it missed. *)
+  let engine = Fifo_net.engine net in
+  Array.iteri
+    (fun lane _ ->
+      ignore
+        (Engine.every engine ~interval:(Time_ns.ms 200) (fun () ->
+             let st = t.states.(lane) in
+             Imap.iter
+               (fun slot p ->
+                 if Time_ns.diff (now t) p.opened > Time_ns.ms 400 then
+                   Array.iter
+                     (fun r ->
+                       if not (Nodeid.Set.mem r p.acks) then
+                         Fifo_net.send net ~src:st.self ~dst:r
+                           (Accept { slot; op = p.op }))
+                     t.replicas)
+               st.proposals;
+             if st.skip_sent > 0 then
+               broadcast t ~src:st.self
+                 (Skip { owner_lane = st.lane; upto_k = st.skip_sent }))))
+    replicas;
   t
 
 let submit t (op : Op.t) =

@@ -9,11 +9,13 @@ type msg =
   | Accepted of { slot : int; acceptor : Nodeid.t }
   | Commit of { slot : int; op : Op.t }
   | Reply of { op : Op.t }
+  | Pull of { from : int }  (** catch-up: resend commits from this slot *)
 
 type slot_state = {
   op : Op.t;
   mutable acks : Nodeid.Set.t;
   mutable committed : bool;
+  opened : Time_ns.t;
 }
 
 type t = {
@@ -25,7 +27,13 @@ type t = {
   (* Leader proposal state. *)
   mutable next_slot : int;
   slots : (int, slot_state) Hashtbl.t;
-  (* Per-replica execution in slot order. *)
+  (* Leader's record of every committed slot, kept for catch-up pulls
+     from replicas that missed the original commit notice. *)
+  committed_log : (int, Op.t) Hashtbl.t;
+  (* Per-replica execution in slot order: the next slot each replica
+     will apply, plus out-of-order commits parked until the gap fills. *)
+  applied : (Nodeid.t, int ref) Hashtbl.t;
+  parked : (Nodeid.t, (int, Op.t) Hashtbl.t) Hashtbl.t;
   execs : (Nodeid.t, Op.t Exec_engine.t) Hashtbl.t;
   mutable committed_count : int;
 }
@@ -34,15 +42,30 @@ let now t = Engine.now (Fifo_net.engine t.net)
 
 let exec_engine t node = Hashtbl.find t.execs node
 
-(* Commits arrive on the FIFO channel from the leader in slot order, so
-   advancing the single-lane watermark to [slot - 1] keeps execution
-   strictly in order without tracking gaps. *)
+(* Commits normally arrive on the FIFO channel from the leader in slot
+   order, but a replica that was crashed (or a slot that committed late
+   after a retransmitted Accept) sees gaps and stragglers; executing
+   strictly contiguously — parking out-of-order commits until the gap
+   fills via {!Pull} — keeps every replica's history a prefix of the
+   leader's. *)
 let apply_commit t node slot op =
+  let applied = Hashtbl.find t.applied node in
+  let parked = Hashtbl.find t.parked node in
+  if slot >= !applied then Hashtbl.replace parked slot op;
   let exec = exec_engine t node in
-  Exec_engine.set_watermark exec ~lane:0 (slot - 1);
-  Exec_engine.decide_op exec { Position.ts = slot; lane = 0 } op
+  let rec drain () =
+    match Hashtbl.find_opt parked !applied with
+    | None -> ()
+    | Some op ->
+      Hashtbl.remove parked !applied;
+      Exec_engine.set_watermark exec ~lane:0 (!applied - 1);
+      Exec_engine.decide_op exec { Position.ts = !applied; lane = 0 } op;
+      incr applied;
+      drain ()
+  in
+  drain ()
 
-let handle_leader t ~src:_ msg =
+let handle_leader t ~src msg =
   match msg with
   | Request op ->
     let slot = t.next_slot in
@@ -50,7 +73,12 @@ let handle_leader t ~src:_ msg =
     t.observer.Observer.on_phase ~node:t.leader ~op:(Some op) ~name:"slot_assigned"
       ~dur:0 ~now:(now t);
     let state =
-      { op; acks = Nodeid.Set.singleton t.leader; committed = false }
+      {
+        op;
+        acks = Nodeid.Set.singleton t.leader;
+        committed = false;
+        opened = now t;
+      }
     in
     Hashtbl.replace t.slots slot state;
     Array.iter
@@ -70,6 +98,7 @@ let handle_leader t ~src:_ msg =
         t.observer.Observer.on_phase ~node:t.leader ~op:(Some state.op)
           ~name:"quorum_reached" ~dur:0 ~now:(now t);
         Hashtbl.remove t.slots slot;
+        Hashtbl.replace t.committed_log slot state.op;
         Fifo_net.send t.net ~src:t.leader ~dst:state.op.Op.client
           (Reply { op = state.op });
         Array.iter
@@ -80,6 +109,19 @@ let handle_leader t ~src:_ msg =
       end
   end
   | Commit { slot; op } -> apply_commit t t.leader slot op
+  | Pull { from } ->
+    (* Resend committed slots from the replica's execution frontier,
+       stopping at the first still-open slot (it cannot execute past it
+       anyway). Capped so one pull never floods the link. *)
+    let rec go slot sent =
+      if sent < 512 && slot < t.next_slot then
+        match Hashtbl.find_opt t.committed_log slot with
+        | Some op ->
+          Fifo_net.send t.net ~src:t.leader ~dst:src (Commit { slot; op });
+          go (slot + 1) (sent + 1)
+        | None -> ()
+    in
+    go from 0
   | Accept _ | Reply _ -> ()
 
 let handle_follower t self ~src:_ msg =
@@ -88,7 +130,7 @@ let handle_follower t self ~src:_ msg =
     Fifo_net.send t.net ~src:self ~dst:t.leader
       (Accepted { slot; acceptor = self })
   | Commit { slot; op } -> apply_commit t self slot op
-  | Request _ | Accepted _ | Reply _ -> ()
+  | Request _ | Accepted _ | Reply _ | Pull _ -> ()
 
 let handle_client t ~src:_ msg =
   match msg with
@@ -106,6 +148,9 @@ let create ~net ~replicas ~leader ~observer () =
       majority = Quorum.majority n;
       next_slot = 0;
       slots = Hashtbl.create 1024;
+      committed_log = Hashtbl.create 1024;
+      applied = Hashtbl.create 8;
+      parked = Hashtbl.create 8;
       execs = Hashtbl.create 8;
       committed_count = 0;
     }
@@ -117,6 +162,8 @@ let create ~net ~replicas ~leader ~observer () =
             observer.Observer.on_execute ~replica:r op ~now:(now t))
       in
       Hashtbl.replace t.execs r exec;
+      Hashtbl.replace t.applied r (ref 0);
+      Hashtbl.replace t.parked r (Hashtbl.create 64);
       if Nodeid.equal r leader then
         Fifo_net.set_handler net r (handle_leader t)
       else Fifo_net.set_handler net r (handle_follower t r))
@@ -126,6 +173,35 @@ let create ~net ~replicas ~leader ~observer () =
     if not (Array.exists (Nodeid.equal node) replicas) then
       Fifo_net.set_handler net node (handle_client t)
   done;
+  (* Robustness timers. Leader side: re-broadcast Accept for slots that
+     have sat without a quorum (acks lost to a crashed acceptor).
+     Follower side: pull missing commits whenever out-of-order commits
+     are parked behind a gap. *)
+  let engine = Fifo_net.engine net in
+  ignore
+    (Engine.every engine ~interval:(Time_ns.ms 200) (fun () ->
+         Hashtbl.iter
+           (fun slot state ->
+             if
+               (not state.committed)
+               && Time_ns.diff (now t) state.opened > Time_ns.ms 400
+             then
+               Array.iter
+                 (fun r ->
+                   if not (Nodeid.equal r leader) then
+                     Fifo_net.send net ~src:leader ~dst:r
+                       (Accept { slot; op = state.op }))
+                 replicas)
+           t.slots));
+  Array.iter
+    (fun r ->
+      if not (Nodeid.equal r leader) then
+        ignore
+          (Engine.every engine ~interval:(Time_ns.ms 250) (fun () ->
+               if Hashtbl.length (Hashtbl.find t.parked r) > 0 then
+                 Fifo_net.send net ~src:r ~dst:leader
+                   (Pull { from = !(Hashtbl.find t.applied r) }))))
+    replicas;
   t
 
 let submit t (op : Op.t) =
@@ -139,11 +215,11 @@ let classify : msg -> Msg_class.t = function
   | Accept _ -> Msg_class.Replication
   | Accepted _ -> Msg_class.Ack
   | Commit _ -> Msg_class.Commit_notice
-  | Reply _ -> Msg_class.Control
+  | Reply _ | Pull _ -> Msg_class.Control
 
 let op_of = function
   | Request op | Accept { op; _ } | Commit { op; _ } | Reply { op } -> Some op
-  | Accepted _ -> None
+  | Accepted _ | Pull _ -> None
 
 module Api = struct
   type nonrec t = t

@@ -75,8 +75,13 @@ module Recorder = struct
     }
 
   let note_submit t op ~now =
-    t.submitted <- t.submitted + 1;
-    t.submit_times <- Op.Idmap.add (Op.id op) now t.submit_times
+    (* Keep the first submission: a client retry re-announces the same
+       op id, and latency must be measured from the original send. *)
+    let id = Op.id op in
+    if not (Op.Idmap.mem id t.submit_times) then begin
+      t.submitted <- t.submitted + 1;
+      t.submit_times <- Op.Idmap.add id now t.submit_times
+    end
 
   let start_measuring t at = t.measure_from <- at
 

@@ -1,0 +1,93 @@
+open Domino_sim
+
+type policy = {
+  timeout : Time_ns.span;
+  factor : float;
+  max_attempts : int;
+}
+
+let default_policy = { timeout = Time_ns.ms 800; factor = 2.; max_attempts = 6 }
+
+type entry = {
+  op : Op.t;
+  mutable attempts : int;
+  mutable timeout : Time_ns.span;
+  mutable timer : Engine.event_id option;
+}
+
+type t = {
+  engine : Engine.t;
+  policy : policy;
+  mutable submit_fn : (Op.t -> unit) option;
+  pending : (Op.id, entry) Hashtbl.t;
+  mutable retries : int;
+  mutable abandoned : int;
+}
+
+let create ?(policy = default_policy) engine =
+  {
+    engine;
+    policy;
+    submit_fn = None;
+    pending = Hashtbl.create 256;
+    retries = 0;
+    abandoned = 0;
+  }
+
+let set_submit t f = t.submit_fn <- Some f
+
+let forward t op =
+  match t.submit_fn with
+  | Some f -> f op
+  | None -> invalid_arg "Retry: submit function not set"
+
+let rec arm t e =
+  e.timer <-
+    Some
+      (Engine.schedule_cancellable t.engine ~delay:e.timeout (fun () ->
+           on_timeout t e))
+
+and on_timeout t e =
+  e.timer <- None;
+  let id = Op.id e.op in
+  if Hashtbl.mem t.pending id then begin
+    if e.attempts >= t.policy.max_attempts then begin
+      t.abandoned <- t.abandoned + 1;
+      Hashtbl.remove t.pending id
+    end
+    else begin
+      e.attempts <- e.attempts + 1;
+      t.retries <- t.retries + 1;
+      e.timeout <-
+        Time_ns.of_ms_f (Time_ns.to_ms_f e.timeout *. t.policy.factor);
+      forward t e.op;
+      arm t e
+    end
+  end
+
+let submit t op =
+  let id = Op.id op in
+  forward t op;
+  if not (Hashtbl.mem t.pending id) then begin
+    let e = { op; attempts = 1; timeout = t.policy.timeout; timer = None } in
+    Hashtbl.replace t.pending id e;
+    arm t e
+  end
+
+let on_commit t op =
+  match Hashtbl.find_opt t.pending (Op.id op) with
+  | None -> ()
+  | Some e ->
+    (match e.timer with
+    | Some id -> Engine.cancel t.engine id
+    | None -> ());
+    e.timer <- None;
+    Hashtbl.remove t.pending (Op.id op)
+
+let observer t = { Observer.null with on_commit = (fun op ~now:_ -> on_commit t op) }
+
+let retries t = t.retries
+
+let abandoned t = t.abandoned
+
+let inflight t = Hashtbl.length t.pending

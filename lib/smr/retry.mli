@@ -1,0 +1,58 @@
+(** Harness-side client retry: request timeout with bounded exponential
+    backoff, protocol-agnostic.
+
+    A [t] sits between the workload and a protocol's submit function:
+    {!submit} forwards the op and arms a timer; if no commit is
+    observed within the timeout, the op is re-submitted and the timeout
+    doubles (more generally, multiplies by [policy.factor]), up to
+    [policy.max_attempts] total attempts, after which the op is
+    abandoned. Compose {!observer} into the run's observer chain so
+    commits disarm the timer.
+
+    Re-submission goes through the same protocol submit entry point —
+    which for every protocol here re-routes via the client's current
+    coordinator choice — so a retried op can land on a different
+    replica than the original. Exactly-once execution under these
+    deliberate duplicates is the service layer's job
+    ({!Service.Dedup}), which is precisely what the chaos checker
+    verifies. Domino has its own in-protocol retry with explicit
+    leader failover (see [lib/core/client.ml]); this module covers the
+    other four protocols with zero per-protocol wiring. *)
+
+open Domino_sim
+
+type policy = {
+  timeout : Time_ns.span;  (** first attempt's patience *)
+  factor : float;  (** backoff multiplier per retry *)
+  max_attempts : int;  (** total attempts including the first *)
+}
+
+val default_policy : policy
+(** 800 ms, ×2, 6 attempts — patient enough to span a multi-second
+    partition, bounded enough to stop hammering a dead cluster. *)
+
+type t
+
+val create : ?policy:policy -> Engine.t -> t
+
+val set_submit : t -> (Op.t -> unit) -> unit
+(** Install the downstream submit function (the protocol's [P.submit]).
+    Separate from {!create} because the protocol is constructed after
+    the workload plumbing. *)
+
+val submit : t -> Op.t -> unit
+(** Forward the op and start its retry clock. Idempotent per op id:
+    re-submitting an op already pending does not stack timers. *)
+
+val on_commit : t -> Op.t -> unit
+
+val observer : t -> Observer.t
+(** Disarms an op's retry timer when its commit is observed. *)
+
+val retries : t -> int
+(** Re-submissions performed. *)
+
+val abandoned : t -> int
+(** Ops given up on after [max_attempts]. *)
+
+val inflight : t -> int

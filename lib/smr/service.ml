@@ -40,3 +40,32 @@ let processed t = t.processed
 let busy_time t = t.busy_time
 
 let queue_depth t = t.depth
+
+(* At-most-once execution filter: client retries can drive the same op
+   through consensus twice (two commit decisions for two instances
+   carrying the same op id); the service layer must execute it once. *)
+module Dedup = struct
+  type t = {
+    enabled : bool;
+    mutable seen : Op.Idset.t;
+    mutable dups : int;
+  }
+
+  let create ?(enabled = true) () = { enabled; seen = Op.Idset.empty; dups = 0 }
+
+  let fresh t op =
+    if not t.enabled then true
+    else begin
+      let id = Op.id op in
+      if Op.Idset.mem id t.seen then begin
+        t.dups <- t.dups + 1;
+        false
+      end
+      else begin
+        t.seen <- Op.Idset.add id t.seen;
+        true
+      end
+    end
+
+  let duplicates t = t.dups
+end

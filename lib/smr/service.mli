@@ -30,3 +30,24 @@ val busy_time : 'msg t -> Time_ns.span
 
 val queue_depth : 'msg t -> int
 (** Messages currently waiting or in service. *)
+
+(** At-most-once execution by op id.
+
+    Client retries can legitimately drive the same operation through
+    consensus more than once (each attempt wins its own instance); the
+    service layer in front of the state machine must apply it exactly
+    once. One [Dedup.t] guards one replica's execution stream. *)
+module Dedup : sig
+  type t
+
+  val create : ?enabled:bool -> unit -> t
+  (** [enabled] defaults to [true]; [~enabled:false] makes {!fresh}
+      always answer [true] — the deliberately-unsafe mutant the chaos
+      tests use to prove the checker catches double execution. *)
+
+  val fresh : t -> Op.t -> bool
+  (** First sighting of this op id? Callers execute iff [true]. *)
+
+  val duplicates : t -> int
+  (** Executions suppressed so far. *)
+end

@@ -1,0 +1,111 @@
+(* Chaos regression suite (dune alias @chaos): every plan under
+   test/plans/ crossed with all five protocols on the fig7-double
+   layout, each run checked for exactly-once execution, per-key prefix
+   agreement, write linearizability, and completeness — plus the
+   determinism contract: a faulted parallel sweep's merged journal must
+   be byte-identical for any --jobs value.
+
+   On a failure the offending journal is written to
+   chaos-<plan>-<protocol>.journal so CI can upload it as an artifact. *)
+
+open Domino_sim
+open Domino_obs
+open Domino_fault
+open Domino_exp
+
+let duration = Time_ns.sec 6
+
+let load_plan file =
+  let ic = open_in_bin file in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Plan.parse text with
+  | Ok plan -> plan
+  | Error e -> Alcotest.failf "%s: %s" file e
+
+let plan_files =
+  Sys.readdir "plans" |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".plan")
+  |> List.sort String.compare
+
+let protocols =
+  [
+    Exp_common.domino_default;
+    Exp_common.Mencius;
+    Exp_common.Epaxos;
+    Exp_common.Multi_paxos;
+    Exp_common.Fast_paxos;
+  ]
+
+let dump_journal ~plan_file ~proto journal =
+  let out =
+    Printf.sprintf "chaos-%s-%s.journal"
+      (Filename.remove_extension plan_file)
+      (Exp_common.protocol_name proto)
+  in
+  let oc = open_out_bin out in
+  output_string oc (Journal.to_lines journal);
+  close_out oc;
+  out
+
+let check_cell plan_file proto () =
+  let faults = load_plan (Filename.concat "plans" plan_file) in
+  let journal = Journal.create () in
+  let _ =
+    Exp_common.run ~seed:7L ~rate:100. ~duration
+      ~measure_from:(Time_ns.ms 500) ~measure_until:duration ~journal ~faults
+      Exp_common.fig7_double proto
+  in
+  let report = Checker.check ~require_complete:true journal in
+  if not report.Checker.ok then begin
+    let saved = dump_journal ~plan_file ~proto journal in
+    Alcotest.failf "%s x %s: %a@.journal saved to %s" plan_file
+      (Exp_common.protocol_name proto)
+      Checker.pp_report report saved
+  end;
+  (* A fault plan must not stop the workload cold: a healthy faulted
+     run of this length lands hundreds of ops. *)
+  if report.Checker.committed < 100 then
+    Alcotest.failf "%s x %s: only %d ops committed" plan_file
+      (Exp_common.protocol_name proto)
+      report.Checker.committed
+
+let test_journal_determinism () =
+  (* A faulted sweep across every protocol, run twice with different
+     parallelism: the merged journals must match byte for byte. *)
+  let faults = load_plan "plans/leader_crash.plan" in
+  let sweep jobs =
+    let journal = Journal.create () in
+    let cells = List.map (fun p -> (Exp_common.fig7_double, p)) protocols in
+    let _ =
+      Exp_common.run_sweep ~seed:7L ~rate:100. ~duration ~jobs ~journal
+        ~faults cells
+    in
+    Journal.to_lines journal
+  in
+  let j1 = sweep 1 and j4 = sweep 4 in
+  Alcotest.(check bool)
+    "faulted sweep journal byte-identical at jobs=1 and jobs=4" true
+    (String.equal j1 j4)
+
+let () =
+  let groups =
+    List.map
+      (fun plan_file ->
+        ( plan_file,
+          List.map
+            (fun proto ->
+              Alcotest.test_case
+                (Exp_common.protocol_name proto)
+                `Slow
+                (check_cell plan_file proto))
+            protocols ))
+      plan_files
+  in
+  Alcotest.run "chaos"
+    (groups
+    @ [
+        ( "determinism",
+          [ Alcotest.test_case "jobs 1 = jobs 4" `Slow test_journal_determinism ]
+        );
+      ])

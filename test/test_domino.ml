@@ -34,6 +34,8 @@ let mk_coord () =
       send_p2a = (fun ts v -> log.p2as <- (ts, v) :: log.p2as);
       send_slow_reply = (fun op -> log.slow_replies <- op :: log.slow_replies);
       send_watermark = (fun w -> log.watermarks <- w :: log.watermarks);
+      send_commit_to = (fun _ _ _ -> ());
+      send_watermark_to = (fun _ _ ~complete:_ -> ());
       rescue = (fun op -> log.rescued <- op :: log.rescued);
     }
   in

@@ -1,0 +1,533 @@
+(* Tests for the fault-injection subsystem (lib/fault): the plan DSL,
+   plan compilation onto a network, the harness-side retry wrapper and
+   server-side dedup, and the post-run safety checker — including the
+   negative test proving the checker catches double execution when
+   dedup is deliberately disabled. *)
+
+open Domino_sim
+open Domino_net
+open Domino_smr
+open Domino_obs
+open Domino_fault
+open Domino_exp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains s frag =
+  let ls = String.length s and lf = String.length frag in
+  let rec go i = i + lf <= ls && (String.sub s i lf = frag || go (i + 1)) in
+  go 0
+
+let parse_exn text =
+  match Plan.parse text with
+  | Ok plan -> plan
+  | Error e -> Alcotest.failf "plan parse failed: %s" e
+
+(* --- Plan DSL --- *)
+
+let test_plan_parse () =
+  let plan =
+    parse_exn
+      {|# comment, then a blank line
+
+at 2s crash node=0
+at 2800ms recover node=0
+at 3s partition a=0 b=1,2 sym until=5s
+at 3s degrade src=0 dst=1 delay=40ms loss=0.3 until=4s
+at 6s skew node=3 delta=-30ms
+|}
+  in
+  check_int "events" 5 (List.length plan);
+  (match plan with
+  | { Plan.at; action = Plan.Crash { node } } :: _ ->
+    check_int "crash at" (Time_ns.sec 2) at;
+    check_int "crash node" 0 node
+  | _ -> Alcotest.fail "first event should be the crash");
+  match List.rev plan with
+  | { Plan.action = Plan.Skew { node; delta }; _ } :: _ ->
+    check_int "skew node" 3 node;
+    check_int "skew delta" (-Time_ns.ms 30) delta
+  | _ -> Alcotest.fail "last event should be the skew"
+
+let test_plan_roundtrip () =
+  let text =
+    "at 1500ms crash node=2\n\
+     at 2500ms recover node=2\n\
+     at 2s partition a=1 b=0,2 sym until=4s\n\
+     at 3s degrade src=4 dst=1 delay=30ms loss=0.25 until=4500ms\n\
+     at 3500ms skew node=3 delta=25ms\n"
+  in
+  let plan = parse_exn text in
+  let printed = Plan.to_string plan in
+  let reparsed = parse_exn printed in
+  check_bool "to_string round-trips through parse" true (plan = reparsed);
+  check_bool "second print is a fixpoint" true
+    (String.equal printed (Plan.to_string reparsed))
+
+let test_plan_parse_errors () =
+  let expect_error text frag =
+    match Plan.parse text with
+    | Ok _ -> Alcotest.failf "expected a parse error for %S" text
+    | Error e ->
+      check_bool
+        (Printf.sprintf "error %S mentions %S" e frag)
+        true (contains e frag)
+  in
+  expect_error "at 2s explode node=0" "line 1";
+  expect_error "at 1s crash node=0\nat 2s crash" "line 2";
+  expect_error "at 2s crash node=zero" "bad integer"
+
+let test_plan_validate () =
+  let ok plan = Plan.validate ~n:5 (parse_exn plan) in
+  (match ok "at 1s crash node=4\nat 2s recover node=4\n" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid plan rejected: %s" e);
+  let rejected plan =
+    match ok plan with
+    | Ok () -> Alcotest.failf "invalid plan accepted: %s" plan
+    | Error _ -> ()
+  in
+  rejected "at 1s crash node=5\n";
+  rejected "at 3s partition a=0 b=1 until=2s\n";
+  rejected "at 1s degrade src=0 dst=1 delay=1ms loss=1.5 until=2s\n"
+
+let test_shipped_plans_parse () =
+  (* Every plan under test/plans/ must parse, validate against the
+     fig7-double layout (5 nodes), and round-trip. *)
+  let dir = "plans" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".plan")
+    |> List.sort String.compare
+  in
+  check_bool "found shipped plans" true (List.length files >= 6);
+  List.iter
+    (fun f ->
+      let ic = open_in_bin (Filename.concat dir f) in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let plan = parse_exn text in
+      (match Plan.validate ~n:5 plan with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s invalid: %s" f e);
+      check_bool
+        (Printf.sprintf "%s round-trips" f)
+        true
+        (parse_exn (Plan.to_string plan) = plan))
+    files
+
+(* --- Inject: plans drive the network's fault hooks --- *)
+
+let mk_net ~n () =
+  let engine = Engine.create ~seed:11L () in
+  let net = Fifo_net.create engine ~n in
+  let rng = Rng.create 11L in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then
+        Fifo_net.set_link net ~src ~dst
+          (Link.create ~base_owd:(Time_ns.ms 5) rng)
+    done
+  done;
+  (engine, net)
+
+let fault_names journal =
+  let names = ref [] in
+  Journal.iter journal (fun ev ->
+      match ev with
+      | Journal.Fault { name; _ } ->
+        if not (List.mem name !names) then names := name :: !names
+      | _ -> ());
+  List.rev !names
+
+let test_inject_crash_window () =
+  let engine, net = mk_net ~n:2 () in
+  let journal = Journal.create () in
+  let plan = parse_exn "at 100ms crash node=1\nat 200ms recover node=1\n" in
+  Inject.install plan ~net ~journal:(Journal.sink journal);
+  let got = ref 0 in
+  Fifo_net.set_handler net 1 (fun ~src:_ _ -> incr got);
+  (* One message lands inside the crash window, one after recovery. *)
+  Engine.schedule_at engine ~at:(Time_ns.ms 120) (fun () ->
+      Fifo_net.send net ~src:0 ~dst:1 "during");
+  Engine.schedule_at engine ~at:(Time_ns.ms 250) (fun () ->
+      Fifo_net.send net ~src:0 ~dst:1 "after");
+  Engine.run engine;
+  check_int "only the post-recovery message delivered" 1 !got;
+  let names = fault_names journal in
+  List.iter
+    (fun n -> check_bool ("journaled " ^ n) true (List.mem n names))
+    [ "crash"; "recover"; "drop" ]
+
+let test_inject_partition_heals_fifo () =
+  let engine, net = mk_net ~n:2 () in
+  let journal = Journal.create () in
+  let plan = parse_exn "at 50ms partition a=0 b=1 sym until=300ms\n" in
+  Inject.install plan ~net ~journal:(Journal.sink journal);
+  let got = ref [] in
+  Fifo_net.set_handler net 1 (fun ~src:_ msg ->
+      got := (msg, Engine.now engine) :: !got);
+  Engine.schedule_at engine ~at:(Time_ns.ms 100) (fun () ->
+      Fifo_net.send net ~src:0 ~dst:1 "first";
+      Fifo_net.send net ~src:0 ~dst:1 "second");
+  Engine.run engine;
+  (match List.rev !got with
+  | [ ("first", t1); ("second", t2) ] ->
+    (* Stalled, not lost: both deliver at the heal, in send order. *)
+    check_bool "held until heal" true (t1 >= Time_ns.ms 300);
+    check_bool "FIFO across the heal" true (t2 >= t1)
+  | _ -> Alcotest.fail "expected both messages after the heal");
+  let names = fault_names journal in
+  List.iter
+    (fun n -> check_bool ("journaled " ^ n) true (List.mem n names))
+    [ "partition"; "heal" ]
+
+let test_inject_rejects_invalid () =
+  let _, net = mk_net ~n:2 () in
+  let plan = parse_exn "at 1s crash node=7\n" in
+  check_bool "invalid plan raises" true
+    (try
+       Inject.install plan ~net ~journal:Journal.null;
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Retry: timer-driven backoff, disarm, abandon --- *)
+
+let op ~client ~seq = Op.make ~client ~seq ~key:1 ~value:42L
+
+let test_retry_backoff_schedule () =
+  let engine = Engine.create ~seed:3L () in
+  let policy =
+    { Retry.timeout = Time_ns.ms 100; factor = 2.; max_attempts = 4 }
+  in
+  let r = Retry.create ~policy engine in
+  let sent = ref [] in
+  Retry.set_submit r (fun _op -> sent := Engine.now engine :: !sent);
+  Retry.submit r (op ~client:9 ~seq:0);
+  Engine.run ~until:(Time_ns.sec 2) engine;
+  (* Initial send at 0, then retries at +100, +300, +700 ms. *)
+  let times = List.rev !sent in
+  Alcotest.(check (list int))
+    "submit instants follow the exponential schedule"
+    [ 0; Time_ns.ms 100; Time_ns.ms 300; Time_ns.ms 700 ]
+    times;
+  check_int "retries counted" 3 (Retry.retries r);
+  check_int "abandoned after max attempts" 1 (Retry.abandoned r);
+  check_int "nothing left inflight" 0 (Retry.inflight r)
+
+let test_retry_commit_disarms () =
+  let engine = Engine.create ~seed:3L () in
+  let policy =
+    { Retry.timeout = Time_ns.ms 100; factor = 2.; max_attempts = 4 }
+  in
+  let r = Retry.create ~policy engine in
+  let sent = ref 0 in
+  Retry.set_submit r (fun _ -> incr sent);
+  let o = op ~client:9 ~seq:1 in
+  Retry.submit r o;
+  Engine.schedule_at engine ~at:(Time_ns.ms 50) (fun () -> Retry.on_commit r o);
+  Engine.run ~until:(Time_ns.sec 1) engine;
+  check_int "no retry after commit" 1 !sent;
+  check_int "no retries counted" 0 (Retry.retries r);
+  check_int "not abandoned" 0 (Retry.abandoned r)
+
+let test_retry_submit_idempotent () =
+  let engine = Engine.create ~seed:3L () in
+  let r = Retry.create engine in
+  let sent = ref 0 in
+  Retry.set_submit r (fun _ -> incr sent);
+  let o = op ~client:9 ~seq:2 in
+  Retry.submit r o;
+  Retry.submit r o;
+  (* Each submit forwards (a deliberate re-offer), but the retry timer
+     does not stack: one pending entry, one backoff schedule. *)
+  check_int "both submits forwarded" 2 !sent;
+  check_int "one inflight" 1 (Retry.inflight r)
+
+(* --- Service.Dedup --- *)
+
+let test_dedup () =
+  let d = Service.Dedup.create () in
+  let o = op ~client:9 ~seq:3 in
+  check_bool "first is fresh" true (Service.Dedup.fresh d o);
+  check_bool "second is not" false (Service.Dedup.fresh d o);
+  check_int "duplicate counted" 1 (Service.Dedup.duplicates d);
+  let off = Service.Dedup.create ~enabled:false () in
+  check_bool "disabled: everything fresh" true
+    (Service.Dedup.fresh off o && Service.Dedup.fresh off o)
+
+(* --- Checker on synthetic journals --- *)
+
+let record_all journal events = List.iter (Journal.record journal) events
+
+let submit ~op ~at = Journal.Submit { op; node = 9; key = 1; at }
+let commit ~op ~at = Journal.Commit { op; node = 9; at }
+let execute ~op ~replica ~at = Journal.Execute { op; replica; at }
+
+let test_checker_clean () =
+  let j = Journal.create () in
+  let a = (9, 0) and b = (9, 1) in
+  record_all j
+    [
+      submit ~op:a ~at:0;
+      commit ~op:a ~at:Time_ns.(ms 10);
+      execute ~op:a ~replica:0 ~at:(Time_ns.ms 20);
+      execute ~op:a ~replica:1 ~at:(Time_ns.ms 25);
+      submit ~op:b ~at:(Time_ns.ms 30);
+      commit ~op:b ~at:(Time_ns.ms 40);
+      execute ~op:b ~replica:0 ~at:(Time_ns.ms 50);
+      execute ~op:b ~replica:1 ~at:(Time_ns.ms 55);
+    ];
+  let r = Checker.check ~require_complete:true j in
+  check_bool "clean history passes" true r.Checker.ok;
+  check_int "submitted" 2 r.Checker.submitted;
+  check_int "committed" 2 r.Checker.committed;
+  check_int "executed" 4 r.Checker.executed;
+  check_int "no duplicates" 0 r.Checker.duplicate_execs
+
+let test_checker_duplicate_exec () =
+  let j = Journal.create () in
+  let a = (9, 0) in
+  record_all j
+    [
+      submit ~op:a ~at:0;
+      commit ~op:a ~at:(Time_ns.ms 10);
+      execute ~op:a ~replica:0 ~at:(Time_ns.ms 20);
+      execute ~op:a ~replica:0 ~at:(Time_ns.ms 30);
+    ];
+  let r = Checker.check j in
+  check_bool "double execution fails" false r.Checker.ok;
+  check_int "duplicate counted" 1 r.Checker.duplicate_execs
+
+let test_checker_order_divergence () =
+  let j = Journal.create () in
+  let a = (9, 0) and b = (9, 1) in
+  record_all j
+    [
+      submit ~op:a ~at:0;
+      submit ~op:b ~at:0;
+      commit ~op:a ~at:(Time_ns.ms 10);
+      commit ~op:b ~at:(Time_ns.ms 10);
+      (* Replica 0 runs a then b; replica 1 runs b then a. *)
+      execute ~op:a ~replica:0 ~at:(Time_ns.ms 20);
+      execute ~op:b ~replica:0 ~at:(Time_ns.ms 21);
+      execute ~op:b ~replica:1 ~at:(Time_ns.ms 20);
+      execute ~op:a ~replica:1 ~at:(Time_ns.ms 21);
+    ];
+  let r = Checker.check j in
+  check_bool "diverging execution order fails" false r.Checker.ok;
+  check_bool "violation names the divergence" true
+    (List.exists (fun v -> contains v "diverges") r.Checker.violations)
+
+let test_checker_committed_never_executed () =
+  let j = Journal.create () in
+  let a = (9, 0) and b = (9, 1) in
+  record_all j
+    [
+      submit ~op:a ~at:0;
+      commit ~op:a ~at:(Time_ns.ms 10);
+      (* Journal runs on well past the tail slack with no execution. *)
+      submit ~op:b ~at:(Time_ns.sec 2);
+      commit ~op:b ~at:(Time_ns.sec 2);
+      execute ~op:b ~replica:0 ~at:(Time_ns.sec 2);
+    ];
+  let r = Checker.check j in
+  check_bool "lost committed op fails" false r.Checker.ok
+
+let test_checker_real_time_order () =
+  let j = Journal.create () in
+  let a = (9, 0) and b = (9, 1) in
+  record_all j
+    [
+      submit ~op:a ~at:0;
+      commit ~op:a ~at:(Time_ns.ms 10);
+      (* b enters the system only after a committed, yet executes
+         before it: a real-time (linearizability) violation. *)
+      submit ~op:b ~at:(Time_ns.ms 100);
+      commit ~op:b ~at:(Time_ns.ms 110);
+      execute ~op:b ~replica:0 ~at:(Time_ns.ms 120);
+      execute ~op:a ~replica:0 ~at:(Time_ns.ms 121);
+    ];
+  let r = Checker.check j in
+  check_bool "real-time inversion fails" false r.Checker.ok
+
+let test_checker_require_complete () =
+  let j = Journal.create () in
+  let a = (9, 0) in
+  record_all j [ submit ~op:a ~at:0 ];
+  let lax = Checker.check j in
+  check_bool "uncommitted op tolerated by default" true lax.Checker.ok;
+  let strict = Checker.check ~require_complete:true j in
+  check_bool "require_complete demands every commit" false strict.Checker.ok
+
+let test_checker_ring_overflow_unsound () =
+  let j = Journal.create ~capacity:4 () in
+  let a = (9, 0) in
+  record_all j
+    [
+      submit ~op:a ~at:0;
+      commit ~op:a ~at:(Time_ns.ms 10);
+      execute ~op:a ~replica:0 ~at:(Time_ns.ms 20);
+      execute ~op:a ~replica:1 ~at:(Time_ns.ms 21);
+      execute ~op:a ~replica:2 ~at:(Time_ns.ms 22);
+    ];
+  let r = Checker.check j in
+  check_bool "overflowed journal is reported unsound" false r.Checker.ok
+
+(* --- Integration: short faulted runs through the harness --- *)
+
+let run_checked ?(dedup = true) ?(duration = Time_ns.sec 4) ~plan proto =
+  let faults = parse_exn plan in
+  let journal = Journal.create () in
+  let result =
+    Exp_common.run ~seed:5L ~rate:50. ~duration
+      ~measure_from:(Time_ns.ms 500) ~measure_until:duration ~journal ~faults
+      ~dedup Exp_common.fig7_double proto
+  in
+  (result, Checker.check ~require_complete:true journal)
+
+let test_domino_retry_failover () =
+  (* Coordinator (replica 0) dies mid-run and comes back: Domino's
+     in-protocol client retry must failover to DM and land every op. *)
+  let result, report =
+    run_checked ~plan:"at 1s crash node=0\nat 2s recover node=0\n"
+      Exp_common.domino_default
+  in
+  check_bool "checker passes under coordinator crash" true report.Checker.ok;
+  check_bool "clients actually retried" true
+    (List.assoc "client_retries" result.Exp_common.extra > 0)
+
+let test_harness_retry_under_partition () =
+  (* The IA client is cut off from the Multi-Paxos leader for longer
+     than the retry timeout: the harness wrapper must re-submit, and
+     dedup must keep execution exactly-once. *)
+  let plan = "at 1s partition a=3 b=0 sym until=2200ms\n" in
+  let result, report = run_checked ~plan Exp_common.Multi_paxos in
+  check_bool "checker passes with dedup on" true report.Checker.ok;
+  check_bool "harness retried" true
+    (List.assoc "harness_retries" result.Exp_common.extra > 0);
+  check_int "no duplicate executions" 0 report.Checker.duplicate_execs
+
+let test_dedup_mutant_caught () =
+  (* Same faulted run with server dedup disabled: the deliberate
+     duplicates from client retries now reach the state machines, and
+     the checker must catch them. *)
+  let plan = "at 1s partition a=3 b=0 sym until=2200ms\n" in
+  let _, report = run_checked ~dedup:false ~plan Exp_common.Multi_paxos in
+  check_bool "mutant fails the checker" false report.Checker.ok;
+  check_bool "double execution detected" true
+    (report.Checker.duplicate_execs > 0)
+
+(* --- QCheck: random minority-fault plans never break any protocol --- *)
+
+let plan_of_case (node, (crash_ms, down_ms), extra) =
+  let b =
+    match node with 0 -> "1,2" | 1 -> "0,2" | _ -> "0,1"
+  in
+  let lines =
+    [
+      Printf.sprintf "at %dms crash node=%d" crash_ms node;
+      Printf.sprintf "at %dms recover node=%d" (crash_ms + down_ms) node;
+    ]
+    @
+    match extra with
+    | 0 -> []
+    | 1 ->
+      (* Overlapping symmetric partition of the same (minority) node. *)
+      [
+        Printf.sprintf "at %dms partition a=%d b=%s sym until=3200ms" crash_ms
+          node b;
+      ]
+    | _ ->
+      [
+        Printf.sprintf
+          "at %dms degrade src=3 dst=%d delay=20ms loss=0.2 until=3s" crash_ms
+          node;
+      ]
+  in
+  String.concat "\n" lines ^ "\n"
+
+let chaos_property =
+  let case =
+    QCheck.(
+      triple (int_bound 2)
+        (pair (int_range 800 1800) (int_range 200 800))
+        (int_bound 2))
+  in
+  let arb =
+    QCheck.set_print (fun c -> "plan:\n" ^ plan_of_case c) case
+  in
+  QCheck.Test.make ~name:"minority faults: all protocols stay safe and live"
+    ~count:3 arb (fun c ->
+      let plan = plan_of_case c in
+      List.for_all
+        (fun proto ->
+          let _, report = run_checked ~plan proto in
+          if not report.Checker.ok then
+            QCheck.Test.fail_reportf
+              "%s failed the checker under@.%s@.%a"
+              (Exp_common.protocol_name proto)
+              plan Checker.pp_report report
+          else true)
+        [
+          Exp_common.domino_default;
+          Exp_common.Mencius;
+          Exp_common.Epaxos;
+          Exp_common.Multi_paxos;
+          Exp_common.Fast_paxos;
+        ])
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "parse" `Quick test_plan_parse;
+          Alcotest.test_case "roundtrip" `Quick test_plan_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_plan_parse_errors;
+          Alcotest.test_case "validate" `Quick test_plan_validate;
+          Alcotest.test_case "shipped plans" `Quick test_shipped_plans_parse;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "crash window" `Quick test_inject_crash_window;
+          Alcotest.test_case "partition heals FIFO" `Quick
+            test_inject_partition_heals_fifo;
+          Alcotest.test_case "rejects invalid" `Quick test_inject_rejects_invalid;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "backoff schedule" `Quick
+            test_retry_backoff_schedule;
+          Alcotest.test_case "commit disarms" `Quick test_retry_commit_disarms;
+          Alcotest.test_case "submit idempotent" `Quick
+            test_retry_submit_idempotent;
+          Alcotest.test_case "dedup" `Quick test_dedup;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "clean" `Quick test_checker_clean;
+          Alcotest.test_case "duplicate exec" `Quick test_checker_duplicate_exec;
+          Alcotest.test_case "order divergence" `Quick
+            test_checker_order_divergence;
+          Alcotest.test_case "committed never executed" `Quick
+            test_checker_committed_never_executed;
+          Alcotest.test_case "real-time order" `Quick test_checker_real_time_order;
+          Alcotest.test_case "require_complete" `Quick
+            test_checker_require_complete;
+          Alcotest.test_case "ring overflow" `Quick
+            test_checker_ring_overflow_unsound;
+        ] );
+      ( "faulted runs",
+        [
+          Alcotest.test_case "domino retry + failover" `Quick
+            test_domino_retry_failover;
+          Alcotest.test_case "harness retry under partition" `Quick
+            test_harness_retry_under_partition;
+          Alcotest.test_case "dedup mutant caught" `Quick
+            test_dedup_mutant_caught;
+          q chaos_property;
+        ] );
+    ]
