@@ -172,10 +172,44 @@ let sim_report ~jobs =
     "  fig8a-style sweep (%d runs): %.2fs at jobs=1, %.2fs at jobs=%d \
      (speedup %.2fx)\n%!"
     (List.length cells * runs) wall1 walln jobs speedup;
+  (* Durability profile: one wipe-restart run per protocol on the
+     fig7-double layout — how many WAL records each protocol fsyncs and
+     how long crash-with-amnesia recovery replays take. *)
+  let wipe_plan =
+    match
+      Domino_fault.Plan.parse
+        "at 1s crash node=2\nat 1800ms wipe node=2\nat 3500ms wipe node=2\n"
+    with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let durability_runs =
+    List.map
+      (fun proto ->
+        let r =
+          Domino_exp.Exp_common.run ~seed ~rate:100. ~duration:(Time_ns.sec 5)
+            ~faults:wipe_plan Domino_exp.Exp_common.fig7_double proto
+        in
+        (Domino_exp.Exp_common.protocol_name proto, r))
+      Domino_exp.Exp_fig8.protocols
+  in
+  let recovery_ms =
+    List.concat_map
+      (fun (_, r) -> r.Domino_exp.Exp_common.recovery_ms)
+      durability_runs
+  in
+  let bucket lo hi =
+    List.length (List.filter (fun v -> v >= lo && v < hi) recovery_ms)
+  in
+  Printf.printf
+    "  durability: %d recoveries across %d protocols, max replay %.2f ms\n%!"
+    (List.length recovery_ms)
+    (List.length durability_runs)
+    (List.fold_left Float.max 0. recovery_ms);
   write_json "BENCH_sim.json"
     (Json.Obj
        [
-         ("schema", Json.String "domino-bench-sim/2");
+         ("schema", Json.String "domino-bench-sim/3");
          ("generated_by", Json.String "bench/main.exe --sim-report");
          ("jobs", Json.Int jobs);
          ("physical_cores", Json.Int physical_cores);
@@ -197,6 +231,41 @@ let sim_report ~jobs =
                ("wall_s_jobs1", Json.Float wall1);
                ("wall_s_jobsN", Json.Float walln);
                ("speedup", Json.Float speedup);
+             ] );
+         ( "durability",
+           Json.Obj
+             [
+               ( "fsync_us",
+                 Json.Float
+                   (Domino_sim.Time_ns.to_us_f
+                      Domino_store.Store.default_params
+                        .Domino_store.Store.sync_latency) );
+               ( "wipe_plan",
+                 Json.String (Domino_fault.Plan.to_string wipe_plan) );
+               ( "per_run",
+                 Json.List
+                   (List.map
+                      (fun (name, r) ->
+                        Json.Obj
+                          [
+                            ("protocol", Json.String name);
+                            ( "sync_writes",
+                              Json.Int r.Domino_exp.Exp_common.sync_writes );
+                            ( "recoveries",
+                              Json.Int
+                                (List.length
+                                   r.Domino_exp.Exp_common.recovery_ms) );
+                          ])
+                      durability_runs) );
+               ( "recovery_ms_histogram",
+                 Json.Obj
+                   [
+                     ("lt_1", Json.Int (bucket 0. 1.));
+                     ("1_to_2", Json.Int (bucket 1. 2.));
+                     ("2_to_5", Json.Int (bucket 2. 5.));
+                     ("5_to_10", Json.Int (bucket 5. 10.));
+                     ("ge_10", Json.Int (bucket 10. infinity));
+                   ] );
              ] );
        ])
 

@@ -174,10 +174,52 @@ let run_cmd =
                ~doc:"Print the life of the N-th submitted operation \
                      (0-based, global submit order) as a span tree.")
   in
+  let fsync_us =
+    Arg.(value & opt (some float) None
+           & info [ "fsync-us" ] ~docv:"US"
+               ~doc:"Modeled fsync barrier latency in microseconds \
+                     (default 40, a power-loss-protected NVMe; try 500 \
+                     or 2000 for cloud block storage).")
+  in
+  let batch_sync_us =
+    Arg.(value & opt (some float) None
+           & info [ "batch-sync-us" ] ~docv:"US"
+               ~doc:"Hold each fsync barrier open for $(docv) \
+                     microseconds so concurrent writes share one flush, \
+                     trading commit latency for fewer syncs (default: \
+                     immediate).")
+  in
+  let no_durability =
+    Arg.(value & flag
+           & info [ "no-durability" ]
+               ~doc:"Skip-fsync mutant: writes cost the same but a \
+                     crash-with-amnesia loses the whole log. Combine \
+                     with --faults (wipe events) and --check to watch \
+                     the safety checker catch the violation.")
+  in
   let action seed setting proto_name duration rate alpha additional percentile
-      metrics_out trace_op journal_out perfetto_out faults_file check =
+      metrics_out trace_op fsync_us batch_sync_us no_durability journal_out
+      perfetto_out faults_file check =
     let proto = protocol_arg additional percentile proto_name in
     let faults = load_plan faults_file in
+    let store =
+      let p = Domino_store.Store.default_params in
+      let p =
+        match fsync_us with
+        | None -> p
+        | Some us ->
+          { p with Domino_store.Store.sync_latency = Time_ns.of_ms_f (us /. 1000.) }
+      in
+      let p =
+        match batch_sync_us with
+        | None -> p
+        | Some us ->
+          { p with
+            Domino_store.Store.mode =
+              Domino_store.Store.Batched (Time_ns.of_ms_f (us /. 1000.)) }
+      in
+      if no_durability then { p with Domino_store.Store.durable = false } else p
+    in
     let journal =
       match (journal_out, perfetto_out, check) with
       | None, None, false -> None
@@ -185,7 +227,7 @@ let run_cmd =
     in
     let r =
       Exp_common.run ~seed ~rate ~alpha ~duration:(Time_ns.sec duration)
-        ?trace_op ?journal ?faults setting proto
+        ?trace_op ?journal ?faults ~store setting proto
     in
     let commit = Observer.Recorder.commit_latency_ms r.recorder in
     let exec = Observer.Recorder.exec_latency_ms r.recorder in
@@ -211,6 +253,14 @@ let run_cmd =
     | x :: rest when List.for_all (fun y -> y = x) rest ->
       Format.printf "  replicas converged ✓@."
     | _ -> Format.printf "  WARNING: replica state diverged@.");
+    Format.printf "  stable storage: %d records synced%s%s@." r.sync_writes
+      (if no_durability then " (durability OFF)" else "")
+      (match r.recovery_ms with
+      | [] -> ""
+      | spans ->
+        Printf.sprintf ", %d recoveries (max replay %.2f ms)"
+          (List.length spans)
+          (List.fold_left Float.max 0. spans));
     (match metrics_out with
     | Some file ->
       write_file file (Domino_obs.Metrics.to_json_string r.metrics);
@@ -250,7 +300,8 @@ let run_cmd =
     Term.(
       const action $ seed_arg $ setting_arg $ protocol_name_arg $ duration
       $ rate $ alpha $ additional_delay $ percentile $ metrics_out $ trace_op
-      $ journal_out_arg $ perfetto_out_arg $ faults_arg $ check_arg)
+      $ fsync_us $ batch_sync_us $ no_durability $ journal_out_arg
+      $ perfetto_out_arg $ faults_arg $ check_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one protocol over a WAN deployment")

@@ -1,6 +1,6 @@
 open Domino_sim
 open Domino_smr
-
+module Store = Domino_store.Store
 module Iset = Set.Make (Int)
 
 type callbacks = {
@@ -21,6 +21,10 @@ type post = {
       (** arrival order (newest first), at most one per acceptor *)
   mutable subjects : Op.t Op.Idmap.t;  (** ops proposed at this position *)
   mutable decided : value option;
+  mutable durable : bool;
+      (** the decision's "cdec" WAL record reached disk; only then may
+          it be re-sent to individual laggards or blanketed by the
+          decided watermark *)
   mutable recovering : value option;  (** the round-1 value, if started *)
   mutable p2bs : Iset.t;
 }
@@ -28,6 +32,12 @@ type post = {
 type t = {
   cfg : Config.t;
   cb : callbacks;
+  store : Store.t option;
+      (** shared with the co-located replica ("c"-prefixed records);
+          [None] runs without durability (engine-less unit tests) *)
+  mutable cwm_logged : Time_ns.t;
+      (** largest decided watermark whose "cwm" record is on disk — the
+          bulk no-op blanket an amnesiac restart must honour *)
   n : int;
   q : int;
   m : int;
@@ -48,11 +58,13 @@ type t = {
   mutable ticks : int;
 }
 
-let create cfg cb =
+let create ?store cfg cb =
   let n = Config.n cfg in
   {
     cfg;
     cb;
+    store;
+    cwm_logged = -1;
     n;
     q = Config.supermajority cfg;
     m = Config.majority cfg;
@@ -108,24 +120,58 @@ let rescue_op t (op : Op.t) =
 
 let value_id = function None -> None | Some op -> Some (Op.id op)
 
+let value_wire = function None -> "-" | Some op -> Op.to_wire op
+
+let value_of_wire s = if String.equal s "-" then None else Op.of_wire s
+
+let persist t record k =
+  match t.store with None -> k () | Some store -> Store.append_sync store record k
+
+(* Run [k] only once a "cwm" record covering [w] is durable: the
+   decided watermark no-op-blankets every untracked position below it,
+   so announcing (or answering a straggler from) a watermark the disk
+   has not seen would let an amnesiac restart re-decide one of those
+   positions as an operation. *)
+let with_durable_wm t w k =
+  if w <= t.cwm_logged then k ()
+  else
+    persist t
+      (Printf.sprintf "cwm %d" w)
+      (fun () ->
+        if w > t.cwm_logged then t.cwm_logged <- w;
+        k ())
+
 let decide t post value ~slow_path =
   if post.decided = None then begin
+    (* The decision binds in memory at once — later votes, tallies and
+       re-drives must see it — but everything the outside world can act
+       on (the commit broadcast, the slow reply, rescuing the losing
+       subjects, the decided watermark passing this position) waits for
+       the "cdec" record's fsync: an amnesiac coordinator must never
+       re-decide a position differently after someone observed the
+       first outcome. *)
     post.decided <- Some value;
-    t.undecided <- Iset.remove post.ts t.undecided;
     if slow_path then t.slow <- t.slow + 1 else t.fast <- t.fast + 1;
-    t.cb.send_commit post.ts value;
     (match value with
-    | Some op ->
-      t.committed_ops <- Op.Idset.add (Op.id op) t.committed_ops;
-      if slow_path then t.cb.send_slow_reply op
+    | Some op -> t.committed_ops <- Op.Idset.add (Op.id op) t.committed_ops
     | None -> ());
-    (* Subjects that were not chosen at this position are lost; hand
-       them to DM. *)
-    let chosen = value_id value in
-    Op.Idmap.iter
-      (fun id op -> if Some id <> chosen then rescue_op t op)
-      post.subjects;
-    recompute_w_dec t
+    persist t
+      (Printf.sprintf "cdec %d %s %s" post.ts (value_wire value)
+         (if slow_path then "s" else "f"))
+      (fun () ->
+        post.durable <- true;
+        t.undecided <- Iset.remove post.ts t.undecided;
+        t.cb.send_commit post.ts value;
+        (match value with
+        | Some op when slow_path -> t.cb.send_slow_reply op
+        | _ -> ());
+        (* Subjects that were not chosen at this position are lost; hand
+           them to DM. *)
+        let chosen = value_id value in
+        Op.Idmap.iter
+          (fun id op -> if Some id <> chosen then rescue_op t op)
+          post.subjects;
+        recompute_w_dec t)
   end
 
 (* Count reports per candidate value. Returns (best op candidate with
@@ -202,6 +248,7 @@ let get_post t ts =
         reports = [];
         subjects = Op.Idmap.empty;
         decided = None;
+        durable = false;
         recovering = None;
         p2bs = Iset.empty;
       }
@@ -263,8 +310,10 @@ let on_vote t ~ts ~subject ~report ~acceptor ~watermark =
         acceptor that never saw the outcome (it was crashed or
         partitioned when it went out). Until it learns one, it keeps
         the accept pending and its honest watermark — and therefore
-        [w_fast] — frozen, so answer it directly. *)
-     t.cb.send_commit_to acceptor ts None
+        [w_fast] — frozen, so answer it directly — once the no-op
+        blanket over this position is on disk. *)
+     with_durable_wm t t.w_dec (fun () ->
+         t.cb.send_commit_to acceptor ts None)
    end
    else begin
      let fresh = not (Hashtbl.mem t.tracked ts) in
@@ -278,8 +327,11 @@ let on_vote t ~ts ~subject ~report ~acceptor ~watermark =
          (* Position decided without this op. *)
          rescue_op t subject;
        (* Late vote for a settled position: re-send the decision so the
-          stuck acceptor can drop its pending accept (see above). *)
-       t.cb.send_commit_to acceptor ts chosen
+          stuck acceptor can drop its pending accept (see above). If
+          the decision is still waiting on its fsync, the commit
+          broadcast queued behind that barrier reaches the acceptor
+          anyway. *)
+       if post.durable then t.cb.send_commit_to acceptor ts chosen
      | None -> ());
      add_report t post acceptor report
    end);
@@ -307,23 +359,26 @@ let on_pull t ~acceptor ~from =
       (fun ts post acc ->
         if ts > from then
           match post.decided with
-          | Some (Some _ as value) -> (ts, value) :: acc
+          | Some (Some _ as value) when post.durable -> (ts, value) :: acc
           | _ -> acc
         else acc)
       t.tracked []
   in
   let missed = List.sort (fun (a, _) (b, _) -> Int.compare a b) missed in
   let rec go n = function
-    | [] -> t.cb.send_watermark_to acceptor t.w_dec ~complete:true
+    | [] ->
+      let w = t.w_dec in
+      with_durable_wm t w (fun () ->
+          t.cb.send_watermark_to acceptor w ~complete:true)
     | (ts, value) :: rest when n < pull_batch ->
       t.cb.send_commit_to acceptor ts value;
       go (n + 1) rest
     | (ts, _) :: _ ->
       (* Batch capped before full coverage: the watermark may only
          blanket up to the last re-sent decision. *)
-      t.cb.send_watermark_to acceptor
-        (Stdlib.min t.w_dec (ts - 1))
-        ~complete:false
+      let w = Stdlib.min t.w_dec (ts - 1) in
+      with_durable_wm t w (fun () ->
+          t.cb.send_watermark_to acceptor w ~complete:false)
   in
   go 0 missed
 
@@ -386,7 +441,61 @@ let tick t =
   recompute_w_dec t;
   if t.w_dec > t.w_sent then begin
     t.w_sent <- t.w_dec;
-    t.cb.send_watermark t.w_dec
+    let w = t.w_dec in
+    with_durable_wm t w (fun () -> t.cb.send_watermark w)
   end;
   t.ticks <- t.ticks + 1;
   if t.ticks land 0xFF = 0 then prune t
+
+(* ------------------------------------------------------------------ *)
+(* Crash with amnesia                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let wipe_volatile t =
+  Array.fill t.watermarks 0 t.n (-1);
+  Array.fill t.applied_wm 0 t.n (-1);
+  Hashtbl.reset t.tracked;
+  t.undecided <- Iset.empty;
+  t.w_dec <- -1;
+  t.w_sent <- -1;
+  t.cwm_logged <- -1;
+  t.committed_ops <- Op.Idset.empty;
+  (* [rescued] is volatile: a re-rescue after restart proposes the op at
+     a fresh DM position, and the execution engines' seen-sets collapse
+     the duplicate. [conflicts] stays — it is a cumulative statistic. *)
+  t.rescued <- Op.Idset.empty;
+  t.fast <- 0;
+  t.slow <- 0;
+  t.ticks <- 0
+
+let replay_record t record =
+  match String.split_on_char ' ' record with
+  | [ "cdec"; ts; v; path ] -> begin
+    match int_of_string_opt ts with
+    | None -> ()
+    | Some ts ->
+      let value = value_of_wire v in
+      let post = get_post t ts in
+      if post.decided = None then begin
+        post.decided <- Some value;
+        post.durable <- true;
+        t.undecided <- Iset.remove ts t.undecided;
+        if String.equal path "s" then t.slow <- t.slow + 1
+        else t.fast <- t.fast + 1;
+        match value with
+        | Some op ->
+          t.committed_ops <- Op.Idset.add (Op.id op) t.committed_ops
+        | None -> ()
+      end
+  end
+  | [ "cwm"; w ] -> begin
+    match int_of_string_opt w with
+    | None -> ()
+    | Some w ->
+      (* The durable blanket is re-honoured verbatim; [w_sent] stays -1
+         so the next tick re-announces it — with a jumped decision
+         sequence number, which is what drives every replica to pull. *)
+      if w > t.w_dec then t.w_dec <- w;
+      if w > t.cwm_logged then t.cwm_logged <- w
+  end
+  | _ -> ()

@@ -47,7 +47,13 @@ type callbacks = {
 
 type t
 
-val create : Config.t -> callbacks -> t
+val create : ?store:Domino_store.Store.t -> Config.t -> callbacks -> t
+(** [store] (shared with the co-located replica) receives "c"-prefixed
+    WAL records: "cdec" before a decision is externalized — the commit
+    broadcast, slow reply and loser rescues wait for its fsync — and
+    "cwm" before a decided watermark is announced, since the watermark
+    no-op-blankets untracked positions and must survive an amnesiac
+    restart. Omitted: no durability (engine-less unit tests). *)
 
 val on_vote :
   t ->
@@ -91,3 +97,13 @@ val noop_conflicts : t -> int
     operation (i.e. DFP's fast path failed for that op). *)
 
 val undecided_positions : t -> int
+
+val wipe_volatile : t -> unit
+(** Drop everything an amnesiac reboot loses: tracked posts, acceptor
+    watermarks, the decided watermark and the committed-op set. Pair
+    with {!replay_record} over the surviving "c"-prefixed records. *)
+
+val replay_record : t -> string -> unit
+(** Re-apply one surviving "cdec"/"cwm" record (in log order): decided
+    positions and the durable decided-watermark blanket are restored
+    without re-externalizing anything. *)

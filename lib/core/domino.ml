@@ -19,13 +19,20 @@ type stats = {
   late_decisions : int;
 }
 
-let create ~net ~cfg ~observer () =
+let create ~net ~cfg ~observer ?stores () =
   let n = Config.n cfg in
+  let stores =
+    match stores with
+    | Some stores -> stores
+    | None -> Durable.default_stores net ~replicas:cfg.Config.replicas
+  in
   let replicas =
-    Array.init n (fun index -> Replica.create ~net ~cfg ~index ~observer ())
+    Array.init n (fun index ->
+        Replica.create ~net ~cfg ~index ~observer ~store:stores.(index) ())
   in
   let coord_node = cfg.Config.coordinator in
   let coord_index = Config.replica_index cfg coord_node in
+  let coord_store = stores.(coord_index) in
   let send_from_coord ~dst msg = Fifo_net.send net ~src:coord_node ~dst msg in
   let broadcast_from_coord msg =
     Array.iter (fun r -> send_from_coord ~dst:r msg) cfg.Config.replicas
@@ -33,11 +40,21 @@ let create ~net ~cfg ~observer () =
   (* Per-destination sequence numbers on the decision stream (commits
      and decided watermarks): receivers detect drops — crash, lossy link
      — as gaps and pull the missed decisions rather than letting a later
-     watermark silently no-op-fill them. *)
+     watermark silently no-op-fill them. Every 64th stamp per
+     destination leaves a "dsq" high-water record in the coordinator's
+     WAL (a plain append — it rides the next group commit); an amnesiac
+     coordinator restarts each counter from the recovered high water
+     plus a slack larger than any plausible unsynced run, so it never
+     reuses a sequence number and every replica sees a gap and pulls. *)
   let decision_seq = Array.make n 0 in
   let stamp acceptor =
     decision_seq.(acceptor) <- decision_seq.(acceptor) + 1;
-    decision_seq.(acceptor)
+    let seq = decision_seq.(acceptor) in
+    if seq land 63 = 0 then
+      ignore
+        (Domino_store.Store.append coord_store
+           (Printf.sprintf "dsq %d %d" acceptor seq));
+    seq
   in
   let callbacks =
     {
@@ -79,9 +96,44 @@ let create ~net ~cfg ~observer () =
       rescue = (fun op -> Replica.dm_propose replicas.(coord_index) op);
     }
   in
-  let coordinator = Dfp_coordinator.create cfg callbacks in
+  let coordinator = Dfp_coordinator.create ~store:coord_store cfg callbacks in
   let clients = Hashtbl.create 16 in
   let t = { net; cfg; replicas; coordinator; clients } in
+  (* Crash-with-amnesia hooks: at the wipe instant volatile state drops;
+     at the restart instant the surviving WAL suffix replays. The
+     coordinator's records share the co-located replica's store,
+     dispatched by prefix. *)
+  let seq_slack = 64 + 1_000_000 in
+  Durable.install net ~replicas:cfg.Config.replicas ~stores
+    ~wipe:(fun i ->
+      Replica.wipe_volatile replicas.(i);
+      if i = coord_index then Dfp_coordinator.wipe_volatile coordinator)
+    ~replay:(fun i _snapshot records ->
+      Replica.set_replaying replicas.(i) true;
+      let dsq_hw = Array.make n 0 in
+      List.iter
+        (fun record ->
+          if i = coord_index then
+            match String.split_on_char ' ' record with
+            | [ "dsq"; acceptor; seq ] -> begin
+              match (int_of_string_opt acceptor, int_of_string_opt seq) with
+              | Some a, Some s when a >= 0 && a < n ->
+                if s > dsq_hw.(a) then dsq_hw.(a) <- s
+              | _ -> ()
+            end
+            | kind :: _ when String.length kind > 0 && kind.[0] = 'c' ->
+              Dfp_coordinator.replay_record coordinator record
+            | _ -> Replica.replay_record replicas.(i) record
+          else Replica.replay_record replicas.(i) record)
+        records;
+      Replica.set_replaying replicas.(i) false;
+      if i = coord_index then
+        (* Jump well past any stamp that may have gone out after the
+           last "dsq" record was synced: sequence numbers must never be
+           reused, and the forced gap makes every replica pull. *)
+        Array.iteri
+          (fun a hw -> decision_seq.(a) <- hw + seq_slack)
+          dsq_hw);
   (* Handlers: the coordinator replica sees learner traffic first, then
      regular replica dispatch. *)
   Array.iteri
@@ -213,7 +265,8 @@ module Api = struct
         ~coordinator:env.Protocol_intf.leader
         ~replicas:env.Protocol_intf.replicas ()
     in
-    create ~net ~cfg ~observer:env.Protocol_intf.observer ()
+    create ~net ~cfg ~observer:env.Protocol_intf.observer
+      ~stores:env.Protocol_intf.stores ()
 
   let submit = submit
   let committed_count = committed_count

@@ -24,8 +24,13 @@ val create :
   net:Message.msg Fifo_net.t ->
   cfg:Config.t ->
   observer:Observer.t ->
+  ?stores:Domino_store.Store.t array ->
   unit ->
   t
+(** [stores] (one per replica, indexed like [cfg.replicas]) hold each
+    node's durable state; the coordinator shares the co-located
+    replica's store. Fresh default stores when omitted. Installs the
+    wipe-restart hooks ({!Fifo_net.set_wipe_hook}) for every replica. *)
 
 val submit : t -> Op.t -> unit
 (** Submit from [op.client]'s client library. *)

@@ -3,6 +3,7 @@ open Domino_net
 open Domino_smr
 open Domino_log
 open Domino_measure
+module Store = Domino_store.Store
 
 module Tsmap = Map.Make (Int)
 module Iset = Set.Make (Int)
@@ -22,8 +23,8 @@ type t = {
   cfg : Config.t;
   self : Nodeid.t;
   index : int;
-  estimator : Estimator.t;
-  exec : Op.t Exec_engine.t;
+  mutable estimator : Estimator.t;
+  mutable exec : Op.t Exec_engine.t;
   observer : Observer.t;
   (* DFP acceptor: round-0 accepted proposals. *)
   mutable dfp_accepted : Op.t Tsmap.t;
@@ -40,17 +41,38 @@ type t = {
           only sound when no decision broadcast was dropped) *)
   (* Storage for the decided DFP lane (§6): explicit ops plus
      compressed no-op ranges, trimmed behind the decided watermark. *)
-  dfp_log : Op.t Decided_log.t;
+  mutable dfp_log : Op.t Decided_log.t;
   mutable dfp_log_wm : Time_ns.t;
+  mutable dfp_wm_logged : Time_ns.t;
+      (** highest decided watermark handed to the WAL; the sync barrier
+          completes before the watermark takes effect *)
   (* DM leader. *)
   mutable dm_cursor : Time_ns.t;
   mutable dm_pending : dm_inst Tsmap.t;
   mutable dm_watermark_sent : Time_ns.t;
+  (* DM acceptor: commits already persisted, to keep retransmissions
+     from re-syncing. *)
+  dm_commit_seen : (int * Time_ns.t, unit) Hashtbl.t;
+  dm_wm_logged : Time_ns.t array;  (** per lane, like [dfp_wm_logged] *)
   (* Optional learner role (every_replica_learns): per (ts, op) accept
      counts from broadcast votes. *)
   learner_counts : (Time_ns.t * Op.id, int ref) Hashtbl.t;
   mutable probe_seq : int;
   mutable executed : int;
+  (* Durability. This replica's share of the node's WAL ("d"-prefixed
+     records; a co-located coordinator writes "c"-prefixed records to
+     the same store):
+     - "dv <ts> <op>"        DFP round-0 accept, synced before the vote;
+     - "dp2a <ts> <op>"      DFP round-1 accept, synced before the P2b;
+     - "dc <ts> <op|->"      DFP decision, synced before execution;
+     - "dw <upto>"           DFP decided watermark, synced before its
+       no-op blanket opens positions to execution;
+     - "dmp <ts> <op>"       own-lane DM proposal, synced before the
+       accept round — an amnesiac leader must not reuse the timestamp;
+     - "dmc <lane> <ts> <op>" DM commit, synced before execution;
+     - "dmw <lane> <upto>"   DM lane watermark, synced before applying. *)
+  store : Store.t;
+  mutable replaying : bool;
 }
 
 let now_local t = Fifo_net.local_time t.net t.self
@@ -111,52 +133,60 @@ let dfp_watermark t =
   | None -> local
   | Some (ts, _) -> Stdlib.min local (ts - 1)
 
-let dfp_on_propose t (op : Op.t) ~ts =
-  let local = now_local t in
-  let report =
-    match Tsmap.find_opt ts t.dfp_accepted with
-    | Some existing -> Message.Voted_op existing
-    | None ->
-      if ts > local then begin
-        (* The position is in the future: this replica will hold the
-           op until its local clock passes [ts] (the paper's
-           scheduled-arrival wait). The vote itself goes out now, so
-           the wait burdens execution, not the fast-path commit. *)
-        t.observer.Observer.on_phase ~node:t.self ~op:(Some op) ~name:"sched_wait"
-          ~dur:(Time_ns.diff ts local)
-          ~now:(Engine.now (Fifo_net.engine t.net));
-        t.dfp_accepted <- Tsmap.add ts op t.dfp_accepted;
-        Message.Voted_op op
-      end
-      else
-        (* The position expired: it already holds an implicit no-op. *)
-        Message.Voted_noop
-  in
+let dfp_send_vote t ~ts ~subject ~report =
   let vote =
     Message.Dfp_vote
-      {
-        ts;
-        subject = op;
-        report;
-        acceptor = t.index;
-        watermark = dfp_watermark t;
-      }
+      { ts; subject; report; acceptor = t.index; watermark = dfp_watermark t }
   in
   send t ~dst:(coordinator t) vote;
-  if not (Nodeid.equal op.Op.client (coordinator t)) then
-    send t ~dst:op.Op.client vote;
+  if not (Nodeid.equal subject.Op.client (coordinator t)) then
+    send t ~dst:subject.Op.client vote;
   if t.cfg.Config.every_replica_learns then
     Array.iter
       (fun r -> if not (Nodeid.equal r (coordinator t)) then send t ~dst:r vote)
       (replicas t)
 
+let dfp_on_propose t (op : Op.t) ~ts =
+  let local = now_local t in
+  match Tsmap.find_opt ts t.dfp_accepted with
+  | Some existing ->
+    dfp_send_vote t ~ts ~subject:op ~report:(Message.Voted_op existing)
+  | None ->
+    if ts > local then begin
+      (* The position is in the future: this replica will hold the
+         op until its local clock passes [ts] (the paper's
+         scheduled-arrival wait). The vote itself goes out once the
+         accept is durable, so the wait burdens execution, not the
+         fast-path commit. *)
+      t.observer.Observer.on_phase ~node:t.self ~op:(Some op) ~name:"sched_wait"
+        ~dur:(Time_ns.diff ts local)
+        ~now:(now_engine t);
+      t.dfp_accepted <- Tsmap.add ts op t.dfp_accepted;
+      Store.append_sync t.store
+        (Printf.sprintf "dv %d %s" ts (Op.to_wire op))
+        (fun () -> dfp_send_vote t ~ts ~subject:op ~report:(Message.Voted_op op))
+    end
+    else
+      (* The position expired: it already holds an implicit no-op. *)
+      dfp_send_vote t ~ts ~subject:op ~report:Message.Voted_noop
+
 let dfp_on_p2a t ~ts ~value =
   (* Round 1 from the single coordinator always supersedes the fast
      round; record the value so a duplicate proposal reports it. *)
-  (match value with
-  | Some op -> t.dfp_accepted <- Tsmap.add ts op t.dfp_accepted
-  | None -> ());
-  send t ~dst:(coordinator t) (Message.Dfp_p2b { ts; acceptor = t.index })
+  let ack () =
+    send t ~dst:(coordinator t) (Message.Dfp_p2b { ts; acceptor = t.index })
+  in
+  match value with
+  | None -> ack ()
+  | Some op -> (
+    match Tsmap.find_opt ts t.dfp_accepted with
+    | Some prev when Op.compare_id (Op.id prev) (Op.id op) = 0 ->
+      ack () (* retransmitted P2a: already durable *)
+    | _ ->
+      t.dfp_accepted <- Tsmap.add ts op t.dfp_accepted;
+      Store.append_sync t.store
+        (Printf.sprintf "dp2a %d %s" ts (Op.to_wire op))
+        ack)
 
 let dfp_lane t = Config.dfp_lane t.cfg
 
@@ -171,8 +201,7 @@ let dfp_stream_in t ~seq =
   if seq > t.dfp_dseq then t.dfp_dseq <- seq;
   gap
 
-let dfp_on_commit t ~ts ~value ~seq =
-  ignore (dfp_stream_in t ~seq : bool);
+let dfp_commit_now t ~ts ~value =
   (* Individual decisions are position-local and idempotent: safe to
      apply whether in-order, re-sent, or following a gap. *)
   (match value with
@@ -185,19 +214,35 @@ let dfp_on_commit t ~ts ~value ~seq =
   (* The position is settled; drop acceptor state. *)
   t.dfp_accepted <- Tsmap.remove ts t.dfp_accepted
 
+let dfp_on_commit t ~ts ~value ~seq =
+  ignore (dfp_stream_in t ~seq : bool);
+  Store.append_sync t.store
+    (Printf.sprintf "dc %d %s" ts
+       (match value with Some op -> Op.to_wire op | None -> "-"))
+    (fun () -> dfp_commit_now t ~ts ~value)
+
 (* The §6 storage claim in numbers: a billion log positions per second
    collapse into a handful of interval nodes. We blanket the newly
    decided range with a no-op run (explicit ops shadow it in lookups)
    and trim everything the state machine has long executed. *)
 let dfp_log_retention = Time_ns.sec 2
 
-let dfp_apply_watermark t ~upto =
+let dfp_apply_watermark_now t ~upto =
   Exec_engine.set_watermark t.exec ~lane:(dfp_lane t) upto;
   t.dfp_covered <- Stdlib.max t.dfp_covered upto;
   if upto > t.dfp_log_wm then begin
     Decided_log.record_noop_range t.dfp_log ~lo:(t.dfp_log_wm + 1) ~hi:upto;
     t.dfp_log_wm <- upto;
     Decided_log.trim t.dfp_log ~upto:(upto - dfp_log_retention)
+  end
+
+let dfp_apply_watermark t ~upto =
+  (* The watermark's no-op blanket opens positions to execution, so it
+     must be durable before it takes effect. *)
+  if upto > t.dfp_wm_logged then begin
+    t.dfp_wm_logged <- upto;
+    Store.append_sync t.store (Printf.sprintf "dw %d" upto) (fun () ->
+        dfp_apply_watermark_now t ~upto)
   end
 
 let dfp_on_decided_watermark t ~upto ~seq ~resync ~complete =
@@ -232,8 +277,13 @@ let learner_on_vote t ~ts ~report =
     in
     incr count;
     if !count >= Config.supermajority t.cfg then begin
-      Exec_engine.decide_op t.exec { Position.ts; lane = dfp_lane t } op;
-      Hashtbl.remove t.learner_counts key
+      Hashtbl.remove t.learner_counts key;
+      (* A locally learned decision is a decision like any other: it
+         must hit the WAL before the state machine. *)
+      Store.append_sync t.store
+        (Printf.sprintf "dc %d %s" ts (Op.to_wire op))
+        (fun () ->
+          Exec_engine.decide_op t.exec { Position.ts; lane = dfp_lane t } op)
     end;
     if Hashtbl.length t.learner_counts > 65536 then
       (* Stale entries for positions that went through the slow path. *)
@@ -263,13 +313,18 @@ let dm_propose t (op : Op.t) =
         opened = now_engine t;
       }
       t.dm_pending;
-  Array.iteri
-    (fun i r ->
-      if i <> t.index then
-        send t ~dst:r (Message.Dm_accept { leader = t.index; ts; op }))
-    (replicas t)
+  Store.append_sync t.store
+    (Printf.sprintf "dmp %d %s" ts (Op.to_wire op))
+    (fun () ->
+      Array.iteri
+        (fun i r ->
+          if i <> t.index then
+            send t ~dst:r (Message.Dm_accept { leader = t.index; ts; op }))
+        (replicas t))
 
 let dm_on_accept t ~leader ~ts ~op =
+  (* The ack carries no promise — the leader's own durable proposal is
+     the only value this position can take — so nothing to persist. *)
   ignore op;
   send t ~dst:(replicas t).(leader)
     (Message.Dm_accepted { leader; ts; acceptor = t.index })
@@ -281,17 +336,29 @@ let dm_on_accepted t ~ts =
     inst.acks <- inst.acks + 1;
     if (not inst.committed) && inst.acks >= Config.majority t.cfg then begin
       inst.committed <- true;
-      (* Retained (holding the lane watermark down) until every replica
-         acks the commit — a crashed replica must not have the position
+      (* Safe to externalize before a commit record syncs: the (ts, op)
+         binding is already durable ("dmp"), and an amnesiac leader
+         re-drives the accept round to the same decision. Retained
+         (holding the lane watermark down) until every replica acks the
+         commit — a crashed replica must not have the position
          no-op-filled under an op the others executed. *)
       broadcast t (Message.Dm_commit { leader = t.index; ts; op = inst.op });
       send t ~dst:inst.op.Op.client (Message.Dm_reply { op = inst.op })
     end
 
 let dm_on_commit t ~leader ~ts ~op =
-  Exec_engine.decide_op t.exec { Position.ts; lane = leader } op;
-  send t ~dst:(replicas t).(leader)
-    (Message.Dm_commit_ack { leader; ts; acceptor = t.index })
+  if Hashtbl.mem t.dm_commit_seen (leader, ts) then
+    send t ~dst:(replicas t).(leader)
+      (Message.Dm_commit_ack { leader; ts; acceptor = t.index })
+  else begin
+    Hashtbl.replace t.dm_commit_seen (leader, ts) ();
+    Store.append_sync t.store
+      (Printf.sprintf "dmc %d %d %s" leader ts (Op.to_wire op))
+      (fun () ->
+        Exec_engine.decide_op t.exec { Position.ts; lane = leader } op;
+        send t ~dst:(replicas t).(leader)
+          (Message.Dm_commit_ack { leader; ts; acceptor = t.index }))
+  end
 
 let dm_on_commit_ack t ~ts ~acceptor =
   match Tsmap.find_opt ts t.dm_pending with
@@ -302,10 +369,18 @@ let dm_on_commit_ack t ~ts ~acceptor =
       t.dm_pending <- Tsmap.remove ts t.dm_pending
 
 let dm_on_watermark t ~leader ~upto =
-  Exec_engine.set_watermark t.exec ~lane:leader upto
+  if upto > t.dm_wm_logged.(leader) then begin
+    t.dm_wm_logged.(leader) <- upto;
+    Store.append_sync t.store
+      (Printf.sprintf "dmw %d %d" leader upto)
+      (fun () -> Exec_engine.set_watermark t.exec ~lane:leader upto)
+  end
 
 (* The lane watermark a DM leader may announce: its local clock,
-   bounded by its oldest uncommitted proposal. *)
+   bounded by its oldest uncommitted proposal. A wiped leader's clock
+   keeps running through the outage, so its post-recovery proposals
+   (clock + L_r) always land above anything it announced before — the
+   announcement itself needs no WAL record. *)
 let dm_send_watermark t =
   let local = now_local t in
   let bound =
@@ -409,41 +484,121 @@ let handle t ~src msg =
        that never target replicas. *)
     ()
 
-let create ~net ~cfg ~index ~observer () =
-  let self = cfg.Config.replicas.(index) in
+(* --- wipe-restart recovery --- *)
+
+let make_exec t =
+  Exec_engine.create ~n_lanes:(Config.n t.cfg + 1) ~on_exec:(fun _pos op ->
+      t.executed <- t.executed + 1;
+      if not t.replaying then
+        t.observer.Observer.on_execute ~replica:t.self op ~now:(now_engine t))
+
+let make_estimator cfg ~index =
+  Estimator.create ~window:cfg.Config.window ~percentile:cfg.Config.percentile
+    ~self:index ~n_replicas:(Config.n cfg) ()
+
+let wipe_volatile t =
+  t.estimator <- make_estimator t.cfg ~index:t.index;
+  t.exec <- make_exec t;
+  t.executed <- 0;
+  t.dfp_accepted <- Tsmap.empty;
+  t.dfp_covered <- -1;
+  t.dfp_dseq <- 0;
+  (* A rebooted acceptor missed an unknown stretch of the decision
+     stream: distrust broadcast watermarks until a complete resync. *)
+  t.dfp_synced <- false;
+  t.dfp_log <- Decided_log.create ();
+  t.dfp_log_wm <- -1;
+  t.dfp_wm_logged <- -1;
+  t.dm_cursor <- -1;
+  t.dm_pending <- Tsmap.empty;
+  t.dm_watermark_sent <- -1;
+  Hashtbl.reset t.dm_commit_seen;
+  Array.fill t.dm_wm_logged 0 (Array.length t.dm_wm_logged) (-1);
+  Hashtbl.reset t.learner_counts
+
+let replay_record t record =
+  match String.split_on_char ' ' record with
+  | [ "dv"; ts; w ] | [ "dp2a"; ts; w ] -> begin
+    match Op.of_wire w with
+    | Some op -> t.dfp_accepted <- Tsmap.add (int_of_string ts) op t.dfp_accepted
+    | None -> ()
+  end
+  | [ "dc"; ts; w ] ->
+    dfp_commit_now t ~ts:(int_of_string ts)
+      ~value:(if w = "-" then None else Op.of_wire w)
+  | [ "dw"; upto ] ->
+    let upto = int_of_string upto in
+    t.dfp_wm_logged <- Stdlib.max t.dfp_wm_logged upto;
+    dfp_apply_watermark_now t ~upto
+  | [ "dmp"; ts; w ] -> begin
+    match Op.of_wire w with
+    | None -> ()
+    | Some op ->
+      let ts = int_of_string ts in
+      t.dm_cursor <- Stdlib.max t.dm_cursor ts;
+      (* Replayed as uncommitted: the retransmission timer re-drives the
+         accept round, which is idempotent at the acceptors and decides
+         the same (ts, op). *)
+      t.dm_pending <-
+        Tsmap.add ts
+          {
+            op;
+            acks = 1;
+            committed = false;
+            commit_acks = Iset.empty;
+            opened = now_engine t;
+          }
+          t.dm_pending
+  end
+  | [ "dmc"; lane; ts; w ] -> begin
+    match Op.of_wire w with
+    | None -> ()
+    | Some op ->
+      let lane = int_of_string lane and ts = int_of_string ts in
+      Hashtbl.replace t.dm_commit_seen (lane, ts) ();
+      Exec_engine.decide_op t.exec { Position.ts; lane } op
+  end
+  | [ "dmw"; lane; upto ] ->
+    let lane = int_of_string lane and upto = int_of_string upto in
+    if upto > t.dm_wm_logged.(lane) then begin
+      t.dm_wm_logged.(lane) <- upto;
+      Exec_engine.set_watermark t.exec ~lane upto
+    end
+  | _ -> () (* a co-located coordinator's records; not ours *)
+
+let set_replaying t flag = t.replaying <- flag
+
+let create ~net ~cfg ~index ~observer ~store () =
   let n = Config.n cfg in
-  let rec t =
-    lazy
-      {
-        net;
-        cfg;
-        self;
-        index;
-        estimator =
-          Estimator.create ~window:cfg.Config.window
-            ~percentile:cfg.Config.percentile ~self:index ~n_replicas:n ();
-        exec =
-          Exec_engine.create ~n_lanes:(n + 1) ~on_exec:(fun _pos op ->
-              let state = Lazy.force t in
-              state.executed <- state.executed + 1;
-              observer.Observer.on_execute ~replica:self op
-                ~now:(Engine.now (Fifo_net.engine net)));
-        observer;
-        dfp_accepted = Tsmap.empty;
-        dfp_covered = -1;
-        dfp_dseq = 0;
-        dfp_synced = true;
-        dfp_log = Decided_log.create ();
-        dfp_log_wm = -1;
-        dm_cursor = -1;
-        dm_pending = Tsmap.empty;
-        dm_watermark_sent = -1;
-        learner_counts = Hashtbl.create 256;
-        probe_seq = 0;
-        executed = 0;
-      }
+  let t =
+    {
+      net;
+      cfg;
+      self = cfg.Config.replicas.(index);
+      index;
+      estimator = make_estimator cfg ~index;
+      exec = Exec_engine.create ~n_lanes:(n + 1) ~on_exec:(fun _ _ -> ());
+      observer;
+      dfp_accepted = Tsmap.empty;
+      dfp_covered = -1;
+      dfp_dseq = 0;
+      dfp_synced = true;
+      dfp_log = Decided_log.create ();
+      dfp_log_wm = -1;
+      dfp_wm_logged = -1;
+      dm_cursor = -1;
+      dm_pending = Tsmap.empty;
+      dm_watermark_sent = -1;
+      dm_commit_seen = Hashtbl.create 256;
+      dm_wm_logged = Array.make n (-1);
+      learner_counts = Hashtbl.create 256;
+      probe_seq = 0;
+      executed = 0;
+      store;
+      replaying = false;
+    }
   in
-  let t = Lazy.force t in
+  t.exec <- make_exec t;
   let engine = Fifo_net.engine net in
   ignore
     (Engine.every engine ~jitter:(Time_ns.us 500)

@@ -29,14 +29,33 @@ val create :
   cfg:Config.t ->
   index:int ->
   observer:Observer.t ->
+  store:Domino_store.Store.t ->
   unit ->
   t
 (** Builds the replica state for [cfg.replicas.(index)]. The node's
     network handler is installed by {!Domino.create}, which routes
     messages here via {!handle} (and to the coordinator when
-    co-located). Starts the probing and heartbeat/watermark timers. *)
+    co-located). Starts the probing and heartbeat/watermark timers.
+    [store] is the node's stable store; the replica writes "d"-prefixed
+    WAL records to it (a co-located coordinator shares it with "c"
+    records). *)
 
 val handle : t -> src:Nodeid.t -> Message.msg -> unit
+
+val wipe_volatile : t -> unit
+(** Drop everything an amnesiac reboot loses: acceptor state, execution
+    engine, estimator, DM lanes. The decision-stream sync flag drops
+    too, forcing a pull resync. Called from the node's wipe hook (see
+    {!Domino.create}); pair with {!replay_record} over the store's
+    surviving records. *)
+
+val replay_record : t -> string -> unit
+(** Re-apply one surviving "d"-prefixed WAL record (in log order).
+    Records of a co-located coordinator are ignored. *)
+
+val set_replaying : t -> bool -> unit
+(** While true, replayed executions skip the observer — they were
+    already reported before the wipe. *)
 
 val dm_propose : t -> Op.t -> unit
 (** Act as DM leader for this operation (used for client DM requests

@@ -80,6 +80,11 @@ type result = {
   store_fingerprints : int list;
   wall_events : int;
   provenance : Provenance.breakdown list;
+  sync_writes : int;
+      (** WAL records made durable by fsync barriers, summed over the
+          replicas' stable stores *)
+  recovery_ms : float list;
+      (** modeled wipe-restart replay spans, oldest first *)
 }
 
 let closest_replica setting ~client_dc =
@@ -183,7 +188,8 @@ let obs_observer metrics trace tracer jsink ~trace_op ~exec_replica_for =
 let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
     ?(duration = Time_ns.sec 30) ?measure_from ?measure_until ?metrics
     ?trace_op ?journal ?(sample_every = Time_ns.ms 100) ?faults
-    ?(dedup = true) setting proto =
+    ?(dedup = true) ?(store = Domino_store.Store.default_params) setting proto
+    =
   let measure_from =
     match measure_from with
     | Some v -> v
@@ -214,6 +220,14 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
   Observer.Recorder.stop_measuring recorder measure_until;
   let n_rep = Array.length replicas in
   let stores = Array.init n_rep (fun _ -> Store.create ()) in
+  (* The simulated stable stores ([Domino_store]) are distinct from the
+     KV service [stores] above: one per replica, on the run's engine so
+     fsync barriers cost simulated time, journaling into the same sink. *)
+  let dstores =
+    Array.init n_rep (fun i ->
+        Domino_store.Store.create engine ~node:replicas.(i) ~params:store
+          ~journal:jsink)
+  in
   let store_observer =
     {
       Observer.on_submit = (fun _ ~now:_ -> ());
@@ -288,6 +302,7 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
       replicas;
       leader = replicas.(setting.leader);
       coordinator_of = (fun c -> replicas.(coordinator_of c));
+      stores = dstores;
       observer;
       metrics;
       trace;
@@ -355,6 +370,27 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
       Provenance.record metrics bs;
       bs
   in
+  let store_counter key =
+    Array.fold_left
+      (fun acc st ->
+        acc
+        + (match List.assoc_opt key (Domino_store.Store.counters st) with
+          | Some v -> v
+          | None -> 0))
+      0 dstores
+  in
+  let sync_writes = store_counter "sync_writes" in
+  Metrics.add (Metrics.counter metrics "store.sync_writes") sync_writes;
+  Metrics.add (Metrics.counter metrics "store.syncs") (store_counter "syncs");
+  Metrics.add (Metrics.counter metrics "store.wipes") (store_counter "wipes");
+  let recovery_ms =
+    Array.fold_left
+      (fun acc st ->
+        acc @ List.map Time_ns.to_ms_f (Domino_store.Store.recovery_spans st))
+      [] dstores
+  in
+  let recovery_h = Metrics.histogram metrics "store.recovery_ms" in
+  List.iter (Metrics.observe recovery_h) recovery_ms;
   {
     recorder;
     metrics;
@@ -378,6 +414,8 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
     store_fingerprints = Array.to_list (Array.map Store.fingerprint stores);
     wall_events;
     provenance;
+    sync_writes;
+    recovery_ms;
   }
 
 (* --- parallel sweep machinery ---
@@ -390,9 +428,11 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
 
 let seed_for base i = Int64.add base (Int64.of_int (i * 1_000_003))
 
-let run_latencies ~seed ?rate ?alpha ?duration ?journal ?faults setting proto
-    =
-  let r = run ~seed ?rate ?alpha ?duration ?journal ?faults setting proto in
+let run_latencies ~seed ?rate ?alpha ?duration ?journal ?faults ?store setting
+    proto =
+  let r =
+    run ~seed ?rate ?alpha ?duration ?journal ?faults ?store setting proto
+  in
   ( Observer.Recorder.commit_latency_ms r.recorder,
     Observer.Recorder.exec_latency_ms r.recorder )
 
@@ -413,7 +453,7 @@ let run_many ?(runs = 3) ?(seed = 42L) ?rate ?alpha ?duration ?jobs setting
        (Array.make runs ()))
 
 let run_sweep ?(runs = 1) ?(seed = 42L) ?rate ?alpha ?duration ?jobs ?journal
-    ?faults cells =
+    ?faults ?store cells =
   let cells = Array.of_list cells in
   let n_cells = Array.length cells in
   (* Flatten to (cell, run) tasks so cores stay busy even when one
@@ -433,7 +473,7 @@ let run_sweep ?(runs = 1) ?(seed = 42L) ?rate ?alpha ?duration ?jobs ?journal
         in
         let pair =
           run_latencies ~seed:(seed_for seed ri) ?rate ?alpha ?duration
-            ?journal:j ?faults setting proto
+            ?journal:j ?faults ?store setting proto
         in
         (pair, j))
       tasks

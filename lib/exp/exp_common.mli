@@ -86,6 +86,13 @@ type result = {
   provenance : Provenance.breakdown list;
       (** per-committed-op critical-path latency decomposition; empty
           unless the run was journaled *)
+  sync_writes : int;
+      (** WAL records made durable by fsync barriers, summed over the
+          replicas' stable stores (also [store.sync_writes] in
+          metrics) *)
+  recovery_ms : float list;
+      (** modeled wipe-restart replay spans, oldest first (also the
+          [store.recovery_ms] histogram) *)
 }
 
 val run :
@@ -101,6 +108,7 @@ val run :
   ?sample_every:Time_ns.span ->
   ?faults:Domino_fault.Plan.t ->
   ?dedup:bool ->
+  ?store:Domino_store.Store.params ->
   setting ->
   protocol ->
   result
@@ -130,7 +138,13 @@ val run :
     [dedup] (default [true]) guards each replica's execution stream
     with {!Service.Dedup}, so retried ops apply at most once to the
     stores/journal; [~dedup:false] is the deliberately-unsafe mutant
-    used to prove the chaos checker catches double execution. *)
+    used to prove the chaos checker catches double execution.
+
+    [store] (default {!Domino_store.Store.default_params}) parameterizes
+    each replica's simulated stable store: fsync/append/snapshot
+    latency, group-commit mode, and the [durable = false] skip-fsync
+    mutant the chaos tests use to prove the checker catches recovery
+    from acknowledged-but-lost writes. *)
 
 val run_many :
   ?runs:int ->
@@ -157,6 +171,7 @@ val run_sweep :
   ?jobs:int ->
   ?journal:Journal.t ->
   ?faults:Domino_fault.Plan.t ->
+  ?store:Domino_store.Store.params ->
   (setting * protocol) list ->
   (Domino_stats.Summary.t * Domino_stats.Summary.t) list
 (** One {!run_many} per [(setting, protocol)] cell, with all

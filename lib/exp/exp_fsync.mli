@@ -1,0 +1,9 @@
+(** Fsync-cost experiment: commit latency for Domino and Multi-Paxos
+    with stable storage on the commit critical path, across disk
+    models (free / power-loss-protected NVMe / cloud block store /
+    spinning disk) and sync policies (immediate fsync per record vs a
+    batched barrier window). Quantifies what the durability subsystem
+    charges each protocol and what group commit buys back; see the
+    durability section of DESIGN.md. *)
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> Domino_stats.Tablefmt.t

@@ -168,6 +168,13 @@ let all =
       run = (fun ~quick ~seed -> [ Exp_fig13.table ~quick ~seed () ]);
       smoke = None;
     };
+    {
+      id = "fsync";
+      describe = "commit-latency cost of fsync-on-critical-path vs batched sync";
+      aliases = [ "durability" ];
+      run = (fun ~quick ~seed -> [ Exp_fsync.run ~quick ~seed () ]);
+      smoke = None;
+    };
   ]
 
 let find id =

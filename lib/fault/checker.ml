@@ -9,6 +9,7 @@ type report = {
   committed : int;
   executed : int;
   duplicate_execs : int;
+  recoveries : int;
 }
 
 let opid_str (c, s) = Printf.sprintf "%d#%d" c s
@@ -25,6 +26,7 @@ type seg = {
   exec_count : (int * Journal.opid, int) Hashtbl.t;
   mutable max_at : Time_ns.t;
   mutable interesting : bool;
+  mutable recoveries : int;
 }
 
 let new_seg label =
@@ -37,6 +39,7 @@ let new_seg label =
     exec_count = Hashtbl.create 256;
     max_at = Time_ns.zero;
     interesting = false;
+    recoveries = 0;
   }
 
 let feed seg ev =
@@ -69,6 +72,10 @@ let feed seg ev =
     order := op :: !order;
     Hashtbl.replace seg.exec_count (replica, op)
       (1 + Option.value ~default:0 (Hashtbl.find_opt seg.exec_count (replica, op)))
+  | Journal.Recovery { stage = "replay"; _ } ->
+    (* Wipe-restarts in this segment: surfaced in the report so a run
+       that was supposed to exercise recovery visibly did. *)
+    seg.recoveries <- seg.recoveries + 1
   | _ -> ()
 
 let rec is_prefix short long =
@@ -197,7 +204,8 @@ let check_seg ~require_complete seg =
     Hashtbl.length seg.submit,
     Hashtbl.length seg.commit,
     executed,
-    !dups )
+    !dups,
+    seg.recoveries )
 
 let check ?(require_complete = false) j =
   let segs = ref [] in
@@ -221,12 +229,12 @@ let check ?(require_complete = false) j =
       ]
     else []
   in
-  let violations, submitted, committed, executed, dups =
+  let violations, submitted, committed, executed, dups, recs =
     List.fold_left
-      (fun (vs, s, c, e, d) seg ->
-        let v, s', c', e', d' = check_seg ~require_complete seg in
-        (vs @ v, s + s', c + c', e + e', d + d'))
-      (overflow, 0, 0, 0, 0) segs
+      (fun (vs, s, c, e, d, r) seg ->
+        let v, s', c', e', d', r' = check_seg ~require_complete seg in
+        (vs @ v, s + s', c + c', e + e', d + d', r + r'))
+      (overflow, 0, 0, 0, 0, 0) segs
   in
   {
     ok = violations = [];
@@ -236,6 +244,7 @@ let check ?(require_complete = false) j =
     committed;
     executed;
     duplicate_execs = dups;
+    recoveries = recs;
   }
 
 let pp_report fmt r =
@@ -247,4 +256,6 @@ let pp_report fmt r =
     r.submitted r.committed r.executed;
   if r.duplicate_execs > 0 then
     Format.fprintf fmt ", %d duplicate executions" r.duplicate_execs;
+  if r.recoveries > 0 then
+    Format.fprintf fmt ", %d recoveries" r.recoveries;
   List.iter (fun v -> Format.fprintf fmt "@.  violation: %s" v) r.violations

@@ -35,6 +35,9 @@ type report = {
   committed : int;  (** distinct ops committed *)
   executed : int;  (** executions, summed over replicas *)
   duplicate_execs : int;  (** executions beyond the first per (replica, op) *)
+  recoveries : int;
+      (** wipe-restart recoveries observed ([recovery.replay] events) —
+          evidence the run exercised durable-state recovery at all *)
 }
 
 val check : ?require_complete:bool -> Journal.t -> report

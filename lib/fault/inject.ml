@@ -30,6 +30,22 @@ let schedule_event net jsink { Plan.at; action } =
     arm ~at (fun () ->
         Fifo_net.recover net node;
         fault jsink engine "recover" (Printf.sprintf "node=%d" node))
+  | Plan.Wipe { node } ->
+    arm ~at (fun () ->
+        fault jsink engine "wipe" (Printf.sprintf "node=%d" node);
+        let span = Fifo_net.wipe_restart net node in
+        (* The restart thunk was scheduled first, so by the time this
+           fires the node is back up and has replayed its log. *)
+        Engine.schedule engine ~delay:span (fun () ->
+            if Journal.enabled jsink then
+              Journal.emit jsink
+                (Journal.Recovery
+                   {
+                     node;
+                     stage = "up";
+                     detail = Printf.sprintf "after_us=%d" (span / Time_ns.us 1);
+                     at = Engine.now engine;
+                   })))
   | Plan.Partition { a; b; sym; until } ->
     let detail =
       Printf.sprintf "a=%s b=%s%s"

@@ -3,6 +3,7 @@ open Domino_sim
 type action =
   | Crash of { node : int }
   | Recover of { node : int }
+  | Wipe of { node : int }
   | Partition of { a : int list; b : int list; sym : bool; until : Time_ns.t }
   | Degrade of {
       src : int;
@@ -34,6 +35,7 @@ let nodes_str ns = String.concat "," (List.map string_of_int ns)
 let action_str = function
   | Crash { node } -> Printf.sprintf "crash node=%d" node
   | Recover { node } -> Printf.sprintf "recover node=%d" node
+  | Wipe { node } -> Printf.sprintf "wipe node=%d" node
   | Partition { a; b; sym; until } ->
     Printf.sprintf "partition a=%s b=%s%s until=%s" (nodes_str a) (nodes_str b)
       (if sym then " sym" else "")
@@ -111,6 +113,10 @@ let parse_action verb fields =
     let* v = field fields "node" in
     let* node = parse_int v in
     Ok (Recover { node })
+  | "wipe" ->
+    let* v = field fields "node" in
+    let* node = parse_int v in
+    Ok (Wipe { node })
   | "partition" ->
     let* av = field fields "a" in
     let* a = parse_nodes av in
@@ -189,6 +195,7 @@ let validate ~n t =
       match action with
       | Crash { node } -> check_node "crash" node
       | Recover { node } -> check_node "recover" node
+      | Wipe { node } -> check_node "wipe" node
       | Partition { a; b; sym = _; until } ->
         List.iter (check_node "partition") a;
         List.iter (check_node "partition") b;

@@ -7,6 +7,7 @@
     # comments and blank lines are ignored
     at 2s crash node=0
     at 2800ms recover node=0
+    at 3500ms wipe node=0
     at 3s partition a=0 b=1,2 sym until=5s
     at 3s degrade src=0 dst=1 delay=40ms loss=0.3 until=4s
     at 6s skew node=3 delta=30ms
@@ -19,6 +20,10 @@
     Semantics (implemented by {!Inject}):
     - [crash]/[recover]: network-severance crash — in-flight messages
       to the node die, timers keep running, volatile state survives.
+    - [wipe]: crash-with-amnesia — the node (crashed first if still
+      up) loses its volatile state and every storage write not yet
+      fsynced, then restarts after its modeled recovery span and
+      rebuilds from snapshot + log replay ({!Fifo_net.wipe_restart}).
     - [partition]: stall every directed pair from group [a] to group
       [b] (and the reverse with [sym]) until [until]; stalled messages
       deliver in FIFO order at the heal, like a TCP stall.
@@ -32,6 +37,7 @@ open Domino_sim
 type action =
   | Crash of { node : int }
   | Recover of { node : int }
+  | Wipe of { node : int }
   | Partition of { a : int list; b : int list; sym : bool; until : Time_ns.t }
   | Degrade of {
       src : int;

@@ -56,6 +56,13 @@ type 'msg t = {
      flush in FIFO order when the partition heals. *)
   blocked : bool array array;
   stash : (unit -> unit) Queue.t array array;
+  (* Wipe-restart hooks: [on_wipe] drops the node's volatile protocol
+     state and unsynced storage, returning the modeled recovery
+     duration; [on_replay] rebuilds from stable storage at the restart
+     instant. Installed by the protocol layer; nodes without hooks
+     degrade to a plain (state-preserving) restart. *)
+  on_wipe : (unit -> Time_ns.span) option array;
+  on_replay : (unit -> unit) option array;
   mutable sent : int;
   mutable delivered : int;
   mutable tracer : ('msg trace_event -> unit) option;
@@ -81,6 +88,8 @@ let create engine ~n =
     epoch = Array.make n 0;
     blocked = Array.make_matrix n n false;
     stash = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
+    on_wipe = Array.make n None;
+    on_replay = Array.make n None;
     sent = 0;
     delivered = 0;
     tracer = None;
@@ -214,6 +223,20 @@ let crash t node =
 let restart t node = t.nodes.(node).up <- true
 
 let recover = restart
+
+let set_wipe_hook t node ~wipe ~replay =
+  t.on_wipe.(node) <- Some wipe;
+  t.on_replay.(node) <- Some replay
+
+let wipe_restart t node =
+  (* A wipe of a live node is an instant kill + reboot: bump the epoch
+     so in-flight messages addressed to the old incarnation die. *)
+  if t.nodes.(node).up then crash t node;
+  let span = match t.on_wipe.(node) with None -> 0 | Some f -> f () in
+  Engine.schedule t.engine ~delay:span (fun () ->
+      t.nodes.(node).up <- true;
+      match t.on_replay.(node) with None -> () | Some f -> f ());
+  span
 
 let is_up t node = t.nodes.(node).up
 

@@ -102,8 +102,25 @@ val restart : 'msg t -> Nodeid.t -> unit
 
 val recover : 'msg t -> Nodeid.t -> unit
 (** Bring a crashed node back up (alias of {!restart}): it resumes with
-    its volatile protocol state intact — the simulator models a network
-    severance / process pause, not a disk wipe. *)
+    its volatile protocol state intact — a network severance / process
+    pause. This is the {e benign} recovery; a disk-wiping reboot is
+    {!wipe_restart}, which loses volatile state and unsynced storage
+    and rebuilds from the node's stable store. *)
+
+val set_wipe_hook :
+  'msg t -> Nodeid.t -> wipe:(unit -> Time_ns.span) -> replay:(unit -> unit) -> unit
+(** Install the node's wipe-restart hooks (replaces any previous):
+    [wipe] runs at the wipe instant — it must drop the node's volatile
+    protocol state and its store's unsynced tail, and return the
+    modeled recovery duration; [replay] runs at the restart instant,
+    after the node is back up, to rebuild state from stable storage. *)
+
+val wipe_restart : 'msg t -> Nodeid.t -> Time_ns.span
+(** Crash-with-amnesia: crash the node if it is up (epoch bump — see
+    {!crash}), run its [wipe] hook, and schedule restart + [replay]
+    after the returned recovery span, which is also returned to the
+    caller. A node without hooks restarts immediately with state
+    intact, i.e. degrades to {!recover}. *)
 
 val is_up : 'msg t -> Nodeid.t -> bool
 

@@ -42,6 +42,8 @@ type event =
   | Sample of { name : string; value : float; at : Time_ns.t }
   | Mark of { label : string; at : Time_ns.t }
   | Fault of { name : string; detail : string; at : Time_ns.t }
+  | Store_ev of { node : int; op : string; detail : string; at : Time_ns.t }
+  | Recovery of { node : int; stage : string; detail : string; at : Time_ns.t }
 
 type t = {
   ring : event array;
@@ -121,6 +123,12 @@ let pp_event buf ev =
   | Sample { name; value; at } -> p "@%d sample %s=%.6g" at name value
   | Mark { label; at } -> p "@%d mark %s" at label
   | Fault { name; detail; at } -> p "@%d fault.%s %s" at name detail
+  | Store_ev { node; op; detail; at } ->
+    p "@%d store.%s node=%d%s" at op node
+      (if detail = "" then "" else " " ^ detail)
+  | Recovery { node; stage; detail; at } ->
+    p "@%d recovery.%s node=%d%s" at stage node
+      (if detail = "" then "" else " " ^ detail)
 
 let to_lines t =
   let buf = Buffer.create 4096 in

@@ -65,6 +65,18 @@ type event =
       (** An injected fault (or its heal), recorded by [Fault.Inject] so
           journals — and Perfetto traces — show exactly when the network
           or a node misbehaved. Rendered as [fault.<name> <detail>]. *)
+  | Store_ev of { node : int; op : string; detail : string; at : Time_ns.t }
+      (** A stable-storage operation at a node — [append], [sync],
+          [truncate], [snapshot] — recorded by [Store] so journals show
+          what reached disk and when. Rendered as
+          [store.<op> node=<n> <detail>]. *)
+  | Recovery of { node : int; stage : string; detail : string; at : Time_ns.t }
+      (** A node-recovery lifecycle event — [wipe] (volatile state and
+          unsynced log tail lost), [replay] (durable state reloaded),
+          [up] (node back online) — its own event class so replay
+          progress is visible in the flight recorder, distinct from the
+          [fault.*] events that caused it. Rendered as
+          [recovery.<stage> node=<n> <detail>]. *)
 
 type t
 

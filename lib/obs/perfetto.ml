@@ -80,6 +80,8 @@ let of_journal j =
       | Journal.Msg_dropped { src; dst; _ } ->
         note src;
         note dst
+      | Journal.Store_ev { node; _ } | Journal.Recovery { node; _ } ->
+        note node
       | Journal.Timer_fired _ | Journal.Sample _ | Journal.Mark _
       | Journal.Fault _ -> ());
   let node_ids =
@@ -160,6 +162,16 @@ let of_journal j =
           (instant
              ~name:(Printf.sprintf "fault.%s %s" name detail)
              ~scope:"g" ~tid:0 ~ts:at [])
+      | Journal.Store_ev { node; op; detail; at } ->
+        push
+          (instant
+             ~name:(Printf.sprintf "store.%s %s" op detail)
+             ~scope:"t" ~tid:node ~ts:at [])
+      | Journal.Recovery { node; stage; detail; at } ->
+        push
+          (instant
+             ~name:(Printf.sprintf "recovery.%s %s" stage detail)
+             ~scope:"t" ~tid:node ~ts:at [])
       | Journal.Timer_fired _ -> ());
   Json.Obj
     [

@@ -5,6 +5,7 @@ type component =
   | Request_transit
   | Node_wait
   | Sched_wait
+  | Sync_wait
   | Quorum_transit
   | Reply_transit
 
@@ -14,6 +15,7 @@ let components =
     Request_transit;
     Node_wait;
     Sched_wait;
+    Sync_wait;
     Quorum_transit;
     Reply_transit;
   ]
@@ -23,6 +25,7 @@ let component_name = function
   | Request_transit -> "request_transit"
   | Node_wait -> "node_wait"
   | Sched_wait -> "sched_wait"
+  | Sync_wait -> "sync_wait"
   | Quorum_transit -> "quorum_transit"
   | Reply_transit -> "reply_transit"
 
@@ -49,6 +52,15 @@ let analyze j =
       (int, (Journal.opid option * Time_ns.t * Time_ns.t) list ref) Hashtbl.t =
     Hashtbl.create 64
   in
+  let syncs :
+      (int, (Journal.opid option * Time_ns.t * Time_ns.t) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let add_span tbl node span =
+    match Hashtbl.find_opt tbl node with
+    | Some l -> l := span :: !l
+    | None -> Hashtbl.add tbl node (ref [ span ])
+  in
   Array.iteri
     (fun i ev ->
       match ev with
@@ -63,12 +75,9 @@ let analyze j =
         | None -> Hashtbl.add dels_acc dst (ref [ i ])
       end
       | Journal.Phase { node; op; name = "sched_wait"; dur; at } when dur > 0
-        -> begin
-        let span = (op, at, Time_ns.add at dur) in
-        match Hashtbl.find_opt sched node with
-        | Some l -> l := span :: !l
-        | None -> Hashtbl.add sched node (ref [ span ])
-      end
+        -> add_span sched node (op, at, Time_ns.add at dur)
+      | Journal.Phase { node; op; name = "sync_wait"; dur; at } when dur > 0 ->
+        add_span syncs node (op, at, Time_ns.add at dur)
       | _ -> ())
     evs;
   let dels : (int, int array) Hashtbl.t = Hashtbl.create 64 in
@@ -107,34 +116,41 @@ let analyze j =
         if ci > i_s && commit_at >= at_s then begin
           let client_wait = ref 0
           and node_wait = ref 0
-          and sched_wait = ref 0 in
+          and sched_wait = ref 0
+          and sync_wait = ref 0 in
           (* Hops accumulate in reverse walk order, which (prepending)
              leaves the list in causal order. *)
           let hops = ref [] in
+          let overlap_in tbl node lo hi =
+            match Hashtbl.find_opt tbl node with
+            | None -> 0
+            | Some spans ->
+              List.fold_left
+                (fun acc (sop, s0, s1) ->
+                  let applies =
+                    match sop with None -> true | Some o -> o = op
+                  in
+                  if applies then
+                    let o0 = Stdlib.max lo s0 and o1 = Stdlib.min hi s1 in
+                    acc + Stdlib.max 0 (Time_ns.diff o1 o0)
+                  else acc)
+                0 !spans
+          in
           let add_resident node lo hi =
             let d = Time_ns.diff hi lo in
             if d > 0 then
               if node = submit_node then client_wait := !client_wait + d
               else begin
-                let overlap =
-                  match Hashtbl.find_opt sched node with
-                  | None -> 0
-                  | Some spans ->
-                    List.fold_left
-                      (fun acc (sop, s0, s1) ->
-                        let applies =
-                          match sop with None -> true | Some o -> o = op
-                        in
-                        if applies then
-                          let o0 = Stdlib.max lo s0
-                          and o1 = Stdlib.min hi s1 in
-                          acc + Stdlib.max 0 (Time_ns.diff o1 o0)
-                        else acc)
-                      0 !spans
+                let sched_overlap = Stdlib.min (overlap_in sched node lo hi) d in
+                (* fsync waits rank below intentional scheduling delay:
+                   whatever residency sched_wait already claims is not
+                   re-attributed to the disk. *)
+                let sync_overlap =
+                  Stdlib.min (overlap_in syncs node lo hi) (d - sched_overlap)
                 in
-                let overlap = Stdlib.min overlap d in
-                sched_wait := !sched_wait + overlap;
-                node_wait := !node_wait + (d - overlap)
+                sched_wait := !sched_wait + sched_overlap;
+                sync_wait := !sync_wait + sync_overlap;
+                node_wait := !node_wait + (d - sched_overlap - sync_overlap)
               end
           in
           let rec walk node time idx =
@@ -177,6 +193,7 @@ let analyze j =
               (Request_transit, !request_t);
               (Node_wait, !node_wait);
               (Sched_wait, !sched_wait);
+              (Sync_wait, !sync_wait);
               (Quorum_transit, !quorum_t);
               (Reply_transit, !reply_t);
             ]

@@ -21,6 +21,10 @@
       the next critical-path send (wait-for-quorum, service queues).
     - [Sched_wait]: the part of [Node_wait] covered by a protocol's
       ["sched_wait"] phase spans — Domino's scheduled-arrival wait.
+    - [Sync_wait]: the part of [Node_wait] covered by stable storage's
+      ["sync_wait"] phase spans — time the critical path spent waiting
+      for an fsync barrier. Ranked below [Sched_wait] where the two
+      overlap, so the components still tile the latency exactly.
     - [Quorum_transit]: intermediate replica-to-replica hops.
     - [Reply_transit]: the final hop that taught the client. *)
 
@@ -31,6 +35,7 @@ type component =
   | Request_transit
   | Node_wait
   | Sched_wait
+  | Sync_wait
   | Quorum_transit
   | Reply_transit
 

@@ -1,6 +1,7 @@
 open Domino_sim
 open Domino_net
 open Domino_smr
+module Store = Domino_store.Store
 
 type inst_id = { lane : int; iid : int }
 
@@ -21,6 +22,34 @@ let union_deps a b =
 let attrs_equal a b =
   a.seq = b.seq
   && List.sort_uniq compare a.deps = List.sort_uniq compare b.deps
+
+(* Wire forms for stable-storage records (space-free tokens): an
+   instance is "lane.iid", attributes are "seq:dep,dep,...". *)
+let inst_wire i = Printf.sprintf "%d.%d" i.lane i.iid
+
+let inst_of_wire s =
+  match String.split_on_char '.' s with
+  | [ l; i ] -> (
+    match (int_of_string_opt l, int_of_string_opt i) with
+    | Some lane, Some iid -> Some { lane; iid }
+    | _ -> None)
+  | _ -> None
+
+let attrs_wire a =
+  Printf.sprintf "%d:%s" a.seq (String.concat "," (List.map inst_wire a.deps))
+
+let attrs_of_wire s =
+  match String.split_on_char ':' s with
+  | [ seq; deps ] -> (
+    match int_of_string_opt seq with
+    | None -> None
+    | Some seq ->
+      let deps =
+        List.filter_map inst_of_wire
+          (List.filter (fun d -> d <> "") (String.split_on_char ',' deps))
+      in
+      Some { seq; deps })
+  | _ -> None
 
 type msg =
   | Request of Op.t
@@ -75,6 +104,18 @@ type t = {
   mutable states : replica_state array;
   mutable fast : int;
   mutable slow : int;
+  (* Durability. WAL records, per replica ([i] = "lane.iid", [a] =
+     "seq:dep,dep"):
+     - "own <i> <op> <a>"   leader, synced before the PreAccept round —
+       an amnesiac leader must not reuse the instance id;
+     - "pre <i> <op> <a>"   acceptor, first PreAccept only, synced
+       before PreAcceptOk — the recorded attributes are the promise;
+     - "macc <i> <op> <a>"  accept-round attributes (at the leader
+       before MAccept goes out, at acceptors before MAcceptOk);
+     - "cmt <i> <op> <a>"   synced before the commit is externalized
+       (leader) or executed (everyone). *)
+  stores : Store.t array;
+  replaying : bool array;
 }
 
 let now t = Engine.now (Fifo_net.engine t.net)
@@ -195,8 +236,9 @@ let try_execute t st root =
             if cmd.status = Committed then begin
               cmd.status <- Executed;
               executed := v :: !executed;
-              t.observer.Observer.on_execute ~replica:st.self cmd.op
-                ~now:(now t)
+              if not t.replaying.(st.lane) then
+                t.observer.Observer.on_execute ~replica:st.self cmd.op
+                  ~now:(now t)
             end)
           members)
       ordered;
@@ -241,13 +283,17 @@ let record_commit t st ~inst ~op ~attrs =
 (* --- Leader logic --- *)
 
 let broadcast_commit t st ~inst ~op ~attrs =
-  Array.iter
-    (fun r ->
-      if not (Nodeid.equal r st.self) then
-        Fifo_net.send t.net ~src:st.self ~dst:r (Commit { inst; op; attrs }))
-    t.replicas;
-  record_commit t st ~inst ~op ~attrs;
-  Fifo_net.send t.net ~src:st.self ~dst:op.Op.client (Reply { op })
+  Store.append_sync t.stores.(st.lane)
+    (Printf.sprintf "cmt %s %s %s" (inst_wire inst) (Op.to_wire op)
+       (attrs_wire attrs))
+    (fun () ->
+      Array.iter
+        (fun r ->
+          if not (Nodeid.equal r st.self) then
+            Fifo_net.send t.net ~src:st.self ~dst:r (Commit { inst; op; attrs }))
+        t.replicas;
+      record_commit t st ~inst ~op ~attrs;
+      Fifo_net.send t.net ~src:st.self ~dst:op.Op.client (Reply { op }))
 
 let leader_on_request t st (op : Op.t) =
   let inst = { lane = st.lane; iid = st.next_iid } in
@@ -265,13 +311,18 @@ let leader_on_request t st (op : Op.t) =
         opened = now t;
       }
       st.pending;
-  if t.n = 1 then broadcast_commit t st ~inst ~op ~attrs
-  else
-    Array.iter
-      (fun r ->
-        if not (Nodeid.equal r st.self) then
-          Fifo_net.send t.net ~src:st.self ~dst:r (PreAccept { inst; op; attrs }))
-      t.replicas
+  Store.append_sync t.stores.(st.lane)
+    (Printf.sprintf "own %s %s %s" (inst_wire inst) (Op.to_wire op)
+       (attrs_wire attrs))
+    (fun () ->
+      if t.n = 1 then broadcast_commit t st ~inst ~op ~attrs
+      else
+        Array.iter
+          (fun r ->
+            if not (Nodeid.equal r st.self) then
+              Fifo_net.send t.net ~src:st.self ~dst:r
+                (PreAccept { inst; op; attrs }))
+          t.replicas)
 
 let fast_quorum_peers t = (2 * t.f) - 1
 (* peer replies needed so that, with the leader, 2f replicas agree *)
@@ -311,12 +362,19 @@ let leader_on_preaccept_ok t st ~inst ~acceptor ~(attrs : attrs) =
             p.acks <- Nodeid.Set.singleton st.self;
             cmd.attrs <- attrs;
             cmd.status <- Accepted;
-            Array.iter
-              (fun r ->
-                if not (Nodeid.equal r st.self) then
-                  Fifo_net.send t.net ~src:st.self ~dst:r
-                    (MAccept { inst; op = cmd.op; attrs }))
-              t.replicas
+            (* The union attributes are this leader's accept-round
+               proposal; they must survive a wipe or a re-driven round
+               could propose a different union. *)
+            Store.append_sync t.stores.(st.lane)
+              (Printf.sprintf "macc %s %s %s" (inst_wire inst)
+                 (Op.to_wire cmd.op) (attrs_wire attrs))
+              (fun () ->
+                Array.iter
+                  (fun r ->
+                    if not (Nodeid.equal r st.self) then
+                      Fifo_net.send t.net ~src:st.self ~dst:r
+                        (MAccept { inst; op = cmd.op; attrs }))
+                  t.replicas)
           end
         end
       end
@@ -357,25 +415,44 @@ let acceptor_on_preaccept t st ~inst ~(op : Op.t) ~attrs =
     st.cmds <-
       Instmap.add inst { op; attrs = merged; status = Preaccepted } st.cmds;
     note_instance st ~key:op.Op.key ~inst ~seq:merged.seq;
+    Store.append_sync t.stores.(st.lane)
+      (Printf.sprintf "pre %s %s %s" (inst_wire inst) (Op.to_wire op)
+         (attrs_wire merged))
+      (fun () ->
+        Fifo_net.send t.net ~src:st.self
+          ~dst:t.replicas.(inst.lane)
+          (PreAcceptOk { inst; attrs = merged; acceptor = st.self }))
+
+let acceptor_on_accept t st ~(inst : inst_id) ~(op : Op.t) ~attrs =
+  let ack () =
     Fifo_net.send t.net ~src:st.self
       ~dst:t.replicas.(inst.lane)
-      (PreAcceptOk { inst; attrs = merged; acceptor = st.self })
-
-let acceptor_on_accept t st ~inst ~(op : Op.t) ~attrs =
-  (match Instmap.find_opt inst st.cmds with
-  | Some cmd ->
-    (* A committed instance keeps its committed attrs; only earlier
-       phases adopt the accept-round union. *)
-    if cmd.status = Preaccepted || cmd.status = Accepted then begin
-      cmd.attrs <- attrs;
-      cmd.status <- Accepted
-    end
-  | None ->
-    st.cmds <- Instmap.add inst { op; attrs; status = Accepted } st.cmds);
-  note_instance st ~key:op.Op.key ~inst ~seq:attrs.seq;
-  Fifo_net.send t.net ~src:st.self
-    ~dst:t.replicas.(inst.lane)
-    (MAcceptOk { inst; acceptor = st.self })
+      (MAcceptOk { inst; acceptor = st.self })
+  in
+  let already =
+    match Instmap.find_opt inst st.cmds with
+    | Some { status = Committed | Executed; _ } -> true
+    | Some ({ status = Accepted; _ } as cmd) -> attrs_equal cmd.attrs attrs
+    | _ -> false
+  in
+  if already then ack () (* retransmitted MAccept: re-ack, no re-sync *)
+  else begin
+    (match Instmap.find_opt inst st.cmds with
+    | Some cmd ->
+      (* A committed instance keeps its committed attrs; only earlier
+         phases adopt the accept-round union. *)
+      if cmd.status = Preaccepted || cmd.status = Accepted then begin
+        cmd.attrs <- attrs;
+        cmd.status <- Accepted
+      end
+    | None ->
+      st.cmds <- Instmap.add inst { op; attrs; status = Accepted } st.cmds);
+    note_instance st ~key:op.Op.key ~inst ~seq:attrs.seq;
+    Store.append_sync t.stores.(st.lane)
+      (Printf.sprintf "macc %s %s %s" (inst_wire inst) (Op.to_wire op)
+         (attrs_wire attrs))
+      ack
+  end
 
 let handle t lane ~src msg =
   let st = t.states.(lane) in
@@ -386,7 +463,15 @@ let handle t lane ~src msg =
     leader_on_preaccept_ok t st ~inst ~acceptor ~attrs
   | MAccept { inst; op; attrs } -> acceptor_on_accept t st ~inst ~op ~attrs
   | MAcceptOk { inst; acceptor } -> leader_on_accept_ok t st ~inst ~acceptor
-  | Commit { inst; op; attrs } -> record_commit t st ~inst ~op ~attrs
+  | Commit { inst; op; attrs } -> begin
+    match Instmap.find_opt inst st.cmds with
+    | Some { status = Committed | Executed; _ } -> () (* re-delivered *)
+    | _ ->
+      Store.append_sync t.stores.(st.lane)
+        (Printf.sprintf "cmt %s %s %s" (inst_wire inst) (Op.to_wire op)
+           (attrs_wire attrs))
+        (fun () -> record_commit t st ~inst ~op ~attrs)
+  end
   | CommitReq { inst } -> begin
     match Instmap.find_opt inst st.cmds with
     | Some ({ status = Committed | Executed; _ } as cmd) ->
@@ -401,8 +486,86 @@ let handle_client t ~src:_ msg =
   | Reply { op } -> t.observer.Observer.on_commit op ~now:(now t)
   | _ -> ()
 
-let create ~net ~replicas ~coordinator_of ~observer () =
+(* --- wipe-restart recovery --- *)
+
+let wipe t lane =
+  let st = t.states.(lane) in
+  st.next_iid <- 0;
+  st.cmds <- Instmap.empty;
+  Hashtbl.reset st.key_last;
+  st.pending <- Instmap.empty;
+  st.waiters <- Instmap.empty
+
+let replay_record t lane record =
+  let st = t.states.(lane) in
+  match String.split_on_char ' ' record with
+  | [ kind; i; w; a ] -> begin
+    match (inst_of_wire i, Op.of_wire w, attrs_of_wire a) with
+    | Some inst, Some op, Some attrs -> begin
+      if inst.lane = lane then
+        st.next_iid <- Stdlib.max st.next_iid (inst.iid + 1);
+      match kind with
+      | "own" ->
+        if not (Instmap.mem inst st.cmds) then begin
+          st.cmds <-
+            Instmap.add inst { op; attrs; status = Preaccepted } st.cmds;
+          note_instance st ~key:op.Op.key ~inst ~seq:attrs.seq;
+          st.pending <-
+            Instmap.add inst
+              {
+                initial = attrs;
+                replies = [];
+                acks = Nodeid.Set.singleton st.self;
+                in_accept = false;
+                opened = now t;
+              }
+              st.pending
+        end
+      | "pre" ->
+        if not (Instmap.mem inst st.cmds) then begin
+          st.cmds <-
+            Instmap.add inst { op; attrs; status = Preaccepted } st.cmds;
+          note_instance st ~key:op.Op.key ~inst ~seq:attrs.seq
+        end
+      | "macc" -> begin
+        (match Instmap.find_opt inst st.cmds with
+        | Some ({ status = Preaccepted | Accepted; _ } as cmd) ->
+          cmd.attrs <- attrs;
+          cmd.status <- Accepted
+        | Some _ -> ()
+        | None ->
+          st.cmds <- Instmap.add inst { op; attrs; status = Accepted } st.cmds);
+        note_instance st ~key:op.Op.key ~inst ~seq:attrs.seq;
+        if inst.lane = lane then
+          match Instmap.find_opt inst st.pending with
+          | Some p ->
+            p.in_accept <- true;
+            p.acks <- Nodeid.Set.singleton st.self
+          | None -> ()
+      end
+      | "cmt" ->
+        if inst.lane = lane then st.pending <- Instmap.remove inst st.pending;
+        record_commit t st ~inst ~op ~attrs
+      | _ -> ()
+    end
+    | _ -> ()
+  end
+  | _ -> ()
+
+let replay t lane snap records =
+  t.replaying.(lane) <- true;
+  (match snap with
+  | None -> ()
+  | Some blob ->
+    List.iter (replay_record t lane) (String.split_on_char '\n' blob));
+  List.iter (replay_record t lane) records;
+  t.replaying.(lane) <- false
+
+let create ~net ~replicas ~coordinator_of ~observer ?stores () =
   let n = Array.length replicas in
+  let stores =
+    match stores with Some s -> s | None -> Durable.default_stores net ~replicas
+  in
   let t =
     {
       net;
@@ -414,6 +577,8 @@ let create ~net ~replicas ~coordinator_of ~observer () =
       states = [||];
       fast = 0;
       slow = 0;
+      stores;
+      replaying = Array.make n false;
     }
   in
   t.states <-
@@ -430,6 +595,7 @@ let create ~net ~replicas ~coordinator_of ~observer () =
   Array.iteri
     (fun lane r -> Fifo_net.set_handler net r (handle t lane))
     replicas;
+  Durable.install net ~replicas ~stores ~wipe:(wipe t) ~replay:(replay t);
   for node = 0 to Fifo_net.size net - 1 do
     if not (Array.exists (Nodeid.equal node) replicas) then
       Fifo_net.set_handler net node (handle_client t)
@@ -517,7 +683,7 @@ module Api = struct
     Protocol_intf.instrument env ~name ~classify ~op_of net;
     create ~net ~replicas:env.Protocol_intf.replicas
       ~coordinator_of:env.Protocol_intf.coordinator_of
-      ~observer:env.Protocol_intf.observer ()
+      ~observer:env.Protocol_intf.observer ~stores:env.Protocol_intf.stores ()
 
   let submit = submit
   let committed_count t = t.fast + t.slow

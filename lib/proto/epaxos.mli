@@ -28,8 +28,11 @@ val create :
   replicas:Nodeid.t array ->
   coordinator_of:(Nodeid.t -> Nodeid.t) ->
   observer:Observer.t ->
+  ?stores:Domino_store.Store.t array ->
   unit ->
   t
+(** [stores] (one per replica, indexed like [replicas]) hold each
+    replica's durable instance log; fresh default stores when omitted. *)
 
 val submit : t -> Op.t -> unit
 

@@ -2,6 +2,7 @@ open Domino_sim
 open Domino_net
 open Domino_smr
 open Domino_log
+module Store = Domino_store.Store
 
 module Imap = Map.Make (Int)
 module Islot = Set.Make (Int)
@@ -19,6 +20,7 @@ type msg =
 
 type acceptor_state = {
   self : Nodeid.t;
+  idx : int;
   mutable next_free : int;
   mutable voted : (int * Op.t * Time_ns.t) Imap.t;
       (** slot -> (round, op, voted at); entries are dropped once the
@@ -30,7 +32,10 @@ type slot_tally = {
   mutable votes : (Nodeid.t * Op.t) list;  (** round-0 reports, arrival order *)
   mutable p2b : Nodeid.Set.t;
   mutable recovering : Op.t option option;  (** round-1 value if started *)
+  mutable reco_durable : bool;
+      (** the "reco" record is synced; gates round-1 re-drives *)
   mutable decided : bool;
+  mutable durable : bool;  (** the "dec" record is synced; gates resends *)
   mutable value : Op.t option;  (** the decided value, kept for catch-up *)
   mutable opened : Time_ns.t;  (** when the coordinator first saw this slot *)
 }
@@ -39,6 +44,7 @@ type t = {
   net : msg Fifo_net.t;
   replicas : Nodeid.t array;
   coordinator : Nodeid.t;
+  coord_idx : int;
   observer : Observer.t;
   n : int;
   majority : int;
@@ -63,12 +69,27 @@ type t = {
   mutable client_votes : Nodeid.Set.t Imap.t Op.Idmap.t;
   mutable fast : int;
   mutable slow : int;
+  (* Durability. WAL records:
+     - "vote <slot> <op>"     acceptor, synced before its round-0 Vote —
+       an amnesiac acceptor must never double-vote a slot nor reuse one;
+     - "p2a <slot> <v|->"     acceptor, synced before its P2b ack;
+     - "dec <slot> <v|-> <f|s>"  coordinator, synced before the decision
+       is revealed (Commit broadcast / Reply);
+     - "reco <slot> <v|->"    coordinator, synced before the round-1
+       P2a — the recovery value must not change across a wipe;
+     - "cmt <slot> <v|->"     every replica, synced before execution. *)
+  stores : Store.t array;
+  replaying : bool array;
 }
 
 let now t = Engine.now (Fifo_net.engine t.net)
 
 let broadcast t ~src msg =
   Array.iter (fun r -> Fifo_net.send t.net ~src ~dst:r msg) t.replicas
+
+let value_wire = function Some op -> Op.to_wire op | None -> "-"
+
+let value_of_wire = function "-" -> None | w -> Op.of_wire w
 
 let tally t slot =
   match Imap.find_opt slot t.tallies with
@@ -79,7 +100,9 @@ let tally t slot =
         votes = [];
         p2b = Nodeid.Set.empty;
         recovering = None;
+        reco_durable = false;
         decided = false;
+        durable = false;
         value = None;
         opened = now t;
       }
@@ -90,7 +113,7 @@ let tally t slot =
 
 (* --- Execution (slot order at every replica) --- *)
 
-let deliver_commit t idx slot value =
+let deliver_commit_now t idx slot value =
   let st = t.acceptors.(idx) in
   st.voted <- Imap.remove slot st.voted;
   let decided = Interval_set.add slot t.decided_sets.(idx) in
@@ -105,7 +128,28 @@ let deliver_commit t idx slot value =
   | Some hi -> Exec_engine.set_watermark exec ~lane:0 hi
   | None -> ())
 
+let deliver_commit t idx slot value =
+  (* Commits may be re-delivered through pulls and late broadcasts;
+     only the first one is persisted and applied. *)
+  if not (Interval_set.mem slot t.decided_sets.(idx)) then
+    if t.replaying.(idx) then deliver_commit_now t idx slot value
+    else
+      Store.append_sync t.stores.(idx)
+        (Printf.sprintf "cmt %d %s" slot (value_wire value))
+        (fun () -> deliver_commit_now t idx slot value)
+
 (* --- Coordinator logic --- *)
+
+(* Round-1 proposals fix the recovery value first in volatile state
+   (so the pick never changes under concurrent arrivals), then on disk
+   (so it never changes across a wipe), and only then on the wire. *)
+let send_recovery t slot (tl : slot_tally) value =
+  tl.recovering <- Some value;
+  Store.append_sync t.stores.(t.coord_idx)
+    (Printf.sprintf "reco %d %s" slot (value_wire value))
+    (fun () ->
+      tl.reco_durable <- true;
+      broadcast t ~src:t.coordinator (P2a { slot; value }))
 
 (* A vote that arrives after its slot was decided may reveal a lost
    operation (its other slots may all be settled). *)
@@ -128,8 +172,7 @@ let maybe_rescue_late t (op : Op.t) =
     t.max_slot <- t.max_slot + 1;
     let slot = t.max_slot in
     let fresh = tally t slot in
-    fresh.recovering <- Some (Some op);
-    broadcast t ~src:t.coordinator (P2a { slot; value = Some op })
+    send_recovery t slot fresh (Some op)
   end
 
 let commit_slot t slot value ~fast_path =
@@ -142,25 +185,37 @@ let commit_slot t slot value ~fast_path =
     t.observer.Observer.on_phase ~node:t.coordinator ~op:value
       ~name:(if fast_path then "fast_commit" else "slow_commit")
       ~dur:0 ~now:(now t);
-    broadcast t ~src:t.coordinator (Commit { slot; value });
-    (match value with
-    | Some op when not (Op.Idset.mem (Op.id op) t.committed_ops) ->
-      t.committed_ops <- Op.Idset.add (Op.id op) t.committed_ops;
-      (* The client may already have learned a fast commit; the
-         recorder deduplicates. *)
-      Fifo_net.send t.net ~src:t.coordinator ~dst:op.Op.client (Reply { op })
-    | _ -> ());
-    (* If this slot was carrying a rescued/recovered operation that just
-       lost to a competing round-0 value, put it back in play. *)
-    match tl.recovering with
-    | Some (Some op')
-      when (match value with
-           | Some w -> Op.compare_id (Op.id w) (Op.id op') <> 0
-           | None -> true)
-           && not (Op.Idset.mem (Op.id op') t.committed_ops) ->
-      t.reproposed <- Op.Idset.remove (Op.id op') t.reproposed;
-      maybe_rescue_late t op'
-    | _ -> ()
+    let fresh_commit =
+      match value with
+      | Some op when not (Op.Idset.mem (Op.id op) t.committed_ops) ->
+        t.committed_ops <- Op.Idset.add (Op.id op) t.committed_ops;
+        true
+      | _ -> false
+    in
+    Store.append_sync t.stores.(t.coord_idx)
+      (Printf.sprintf "dec %d %s %s" slot (value_wire value)
+         (if fast_path then "f" else "s"))
+      (fun () ->
+        tl.durable <- true;
+        broadcast t ~src:t.coordinator (Commit { slot; value });
+        (match value with
+        | Some op when fresh_commit ->
+          (* The client may already have learned a fast commit; the
+             recorder deduplicates. *)
+          Fifo_net.send t.net ~src:t.coordinator ~dst:op.Op.client
+            (Reply { op })
+        | _ -> ());
+        (* If this slot was carrying a rescued/recovered operation that
+           just lost to a competing round-0 value, put it back in play. *)
+        match tl.recovering with
+        | Some (Some op')
+          when (match value with
+               | Some w -> Op.compare_id (Op.id w) (Op.id op') <> 0
+               | None -> true)
+               && not (Op.Idset.mem (Op.id op') t.committed_ops) ->
+          t.reproposed <- Op.Idset.remove (Op.id op') t.reproposed;
+          maybe_rescue_late t op'
+        | _ -> ())
   end
 
 (* The Fast Paxos coordinated-recovery value rule: inside the first
@@ -196,11 +251,8 @@ let recovery_pick t (tl : slot_tally) =
 
 let start_recovery t slot =
   let tl = tally t slot in
-  if (not tl.decided) && tl.recovering = None then begin
-    let value = recovery_pick t tl in
-    tl.recovering <- Some value;
-    broadcast t ~src:t.coordinator (P2a { slot; value })
-  end
+  if (not tl.decided) && tl.recovering = None then
+    send_recovery t slot tl (recovery_pick t tl)
 
 (* Re-propose operations that lost every slot they were voted into —
    without this a losing client would hang forever. Only operations
@@ -230,8 +282,7 @@ let rescue_lost_ops t (tl : slot_tally) =
         t.max_slot <- t.max_slot + 1;
         let slot = t.max_slot in
         let fresh = tally t slot in
-        fresh.recovering <- Some (Some op);
-        broadcast t ~src:t.coordinator (P2a { slot; value = Some op })
+        send_recovery t slot fresh (Some op)
       end)
     candidates
 
@@ -291,18 +342,35 @@ let acceptor_on_propose t (st : acceptor_state) (op : Op.t) =
   let slot = st.next_free in
   st.next_free <- slot + 1;
   st.voted <- Imap.add slot (0, op, now t) st.voted;
-  let vote = Vote { slot; op; acceptor = st.self } in
-  Fifo_net.send t.net ~src:st.self ~dst:t.coordinator vote;
-  Fifo_net.send t.net ~src:st.self ~dst:op.Op.client vote
+  Store.append_sync t.stores.(st.idx)
+    (Printf.sprintf "vote %d %s" slot (Op.to_wire op))
+    (fun () ->
+      let vote = Vote { slot; op; acceptor = st.self } in
+      Fifo_net.send t.net ~src:st.self ~dst:t.coordinator vote;
+      Fifo_net.send t.net ~src:st.self ~dst:op.Op.client vote)
 
 let acceptor_on_p2a t (st : acceptor_state) ~slot ~value =
   (* Round 1 overrides any round-0 vote; there is a single coordinator,
      so no promise bookkeeping is needed. *)
-  (match value with
-  | Some op -> st.voted <- Imap.add slot (1, op, now t) st.voted
-  | None -> ());
-  Fifo_net.send t.net ~src:st.self ~dst:t.coordinator
-    (P2b { slot; acceptor = st.self })
+  let ack () =
+    Fifo_net.send t.net ~src:st.self ~dst:t.coordinator
+      (P2b { slot; acceptor = st.self })
+  in
+  let already =
+    match (Imap.find_opt slot st.voted, value) with
+    | Some (1, v, _), Some op -> Op.compare_id (Op.id v) (Op.id op) = 0
+    | _, None -> true (* a no-op round 1 changes no acceptor state *)
+    | _ -> false
+  in
+  if already then ack ()
+  else begin
+    (match value with
+    | Some op -> st.voted <- Imap.add slot (1, op, now t) st.voted
+    | None -> ());
+    Store.append_sync t.stores.(st.idx)
+      (Printf.sprintf "p2a %d %s" slot (value_wire value))
+      ack
+  end
 
 (* --- Client-side fast learning --- *)
 
@@ -323,13 +391,105 @@ let client_on_vote t ~slot ~(op : Op.t) ~acceptor =
   if Nodeid.Set.cardinal votes >= t.supermajority then
     t.observer.Observer.on_commit op ~now:(now t)
 
-let create ~net ~replicas ~coordinator ~observer () =
+(* --- wipe-restart recovery --- *)
+
+let wipe t i =
+  let st = t.acceptors.(i) in
+  st.next_free <- 0;
+  st.voted <- Imap.empty;
+  t.decided_sets.(i) <- Interval_set.empty;
+  t.max_decided.(i) <- -1;
+  let r = t.replicas.(i) in
+  t.execs.(i) <-
+    Exec_engine.create ~n_lanes:1 ~on_exec:(fun _pos op ->
+        if not t.replaying.(i) then
+          t.observer.Observer.on_execute ~replica:r op ~now:(now t));
+  if i = t.coord_idx then begin
+    t.tallies <- Imap.empty;
+    t.undecided_slots <- Islot.empty;
+    t.committed_ops <- Op.Idset.empty;
+    t.op_slots <- Op.Idmap.empty;
+    t.ops_seen <- Op.Idmap.empty;
+    t.max_slot <- -1;
+    t.reproposed <- Op.Idset.empty;
+    t.fast <- 0;
+    t.slow <- 0
+  end
+
+let replay_record t i record =
+  let st = t.acceptors.(i) in
+  match String.split_on_char ' ' record with
+  | [ "vote"; s; w ] -> begin
+    match Op.of_wire w with
+    | None -> ()
+    | Some op ->
+      let slot = int_of_string s in
+      st.voted <- Imap.add slot (0, op, now t) st.voted;
+      st.next_free <- Stdlib.max st.next_free (slot + 1)
+  end
+  | [ "p2a"; s; w ] -> begin
+    match value_of_wire w with
+    | None -> ()
+    | Some op ->
+      let slot = int_of_string s in
+      st.voted <- Imap.add slot (1, op, now t) st.voted;
+      st.next_free <- Stdlib.max st.next_free (slot + 1)
+  end
+  | [ "cmt"; s; w ] ->
+    let slot = int_of_string s in
+    if not (Interval_set.mem slot t.decided_sets.(i)) then
+      deliver_commit_now t i slot (value_of_wire w)
+  | [ "dec"; s; w; f ] when i = t.coord_idx ->
+    let slot = int_of_string s in
+    let tl = tally t slot in
+    if not tl.decided then begin
+      tl.decided <- true;
+      tl.durable <- true;
+      tl.value <- value_of_wire w;
+      t.undecided_slots <- Islot.remove slot t.undecided_slots;
+      if f = "f" then t.fast <- t.fast + 1 else t.slow <- t.slow + 1;
+      t.max_slot <- Stdlib.max t.max_slot slot;
+      match tl.value with
+      | Some op ->
+        t.committed_ops <- Op.Idset.add (Op.id op) t.committed_ops;
+        t.ops_seen <- Op.Idmap.add (Op.id op) op t.ops_seen
+      | None -> ()
+    end
+  | [ "reco"; s; w ] when i = t.coord_idx ->
+    let slot = int_of_string s in
+    let tl = tally t slot in
+    if not tl.decided then begin
+      let value = value_of_wire w in
+      tl.recovering <- Some value;
+      tl.reco_durable <- true;
+      t.max_slot <- Stdlib.max t.max_slot slot;
+      match value with
+      | Some op ->
+        t.reproposed <- Op.Idset.add (Op.id op) t.reproposed;
+        t.ops_seen <- Op.Idmap.add (Op.id op) op t.ops_seen
+      | None -> ()
+    end
+  | _ -> ()
+
+let replay t i snap records =
+  t.replaying.(i) <- true;
+  (match snap with
+  | None -> ()
+  | Some blob -> List.iter (replay_record t i) (String.split_on_char '\n' blob));
+  List.iter (replay_record t i) records;
+  t.replaying.(i) <- false
+
+let create ~net ~replicas ~coordinator ~observer ?stores () =
   let n = Array.length replicas in
+  let stores =
+    match stores with Some s -> s | None -> Durable.default_stores net ~replicas
+  in
   let t =
     {
       net;
       replicas;
       coordinator;
+      coord_idx = Durable.index_of replicas coordinator;
       observer;
       n;
       majority = Quorum.majority n;
@@ -342,23 +502,29 @@ let create ~net ~replicas ~coordinator ~observer () =
       max_slot = -1;
       reproposed = Op.Idset.empty;
       acceptors =
-        Array.map (fun r -> { self = r; next_free = 0; voted = Imap.empty }) replicas;
+        Array.mapi
+          (fun idx r -> { self = r; idx; next_free = 0; voted = Imap.empty })
+          replicas;
       decided_sets = Array.make n Interval_set.empty;
       max_decided = Array.make n (-1);
       execs = [||];
       client_votes = Op.Idmap.empty;
       fast = 0;
       slow = 0;
+      stores;
+      replaying = Array.make n false;
     }
   in
   let execs =
     Array.mapi
-      (fun _i r ->
+      (fun i r ->
         Exec_engine.create ~n_lanes:1 ~on_exec:(fun _pos op ->
-            observer.Observer.on_execute ~replica:r op ~now:(now t)))
+            if not t.replaying.(i) then
+              observer.Observer.on_execute ~replica:r op ~now:(now t)))
       replicas
   in
   let t = { t with execs } in
+  Durable.install net ~replicas ~stores ~wipe:(wipe t) ~replay:(replay t);
   (* Quiescence recovery: a slot some acceptors voted but that can no
      longer fill up naturally (e.g. the workload stopped) is recovered
      by the coordinator after a timeout comfortably above any RTT. *)
@@ -372,10 +538,11 @@ let create ~net ~replicas ~coordinator ~observer () =
              | Some tl when (not tl.decided) && tl.opened < cutoff -> (
                match tl.recovering with
                | None -> start_recovery t slot
-               | Some value ->
+               | Some value when tl.reco_durable ->
                  (* The P2a round — or its P2bs — may have died with a
                     crashed node; re-drive it until the slot decides. *)
-                 broadcast t ~src:t.coordinator (P2a { slot; value }))
+                 broadcast t ~src:t.coordinator (P2a { slot; value })
+               | Some _ -> ())
              | _ -> ())
            t.undecided_slots));
   Array.iteri
@@ -397,7 +564,7 @@ let create ~net ~replicas ~coordinator ~observer () =
           let sent = ref 0 and slot = ref from in
           while !sent < 512 && !slot <= t.max_slot do
             (match Imap.find_opt !slot t.tallies with
-            | Some tl when tl.decided ->
+            | Some tl when tl.decided && tl.durable ->
               Fifo_net.send t.net ~src:t.coordinator ~dst:src
                 (Commit { slot = !slot; value = tl.value });
               incr sent
@@ -480,7 +647,7 @@ module Api = struct
     Protocol_intf.instrument env ~name ~classify ~op_of net;
     create ~net ~replicas:env.Protocol_intf.replicas
       ~coordinator:env.Protocol_intf.leader
-      ~observer:env.Protocol_intf.observer ()
+      ~observer:env.Protocol_intf.observer ~stores:env.Protocol_intf.stores ()
 
   let submit = submit
   let committed_count t = t.fast + t.slow

@@ -29,8 +29,12 @@ val create :
   replicas:Nodeid.t array ->
   coordinator:Nodeid.t ->
   observer:Observer.t ->
+  ?stores:Domino_store.Store.t array ->
   unit ->
   t
+(** [stores] (one per replica, indexed like [replicas]) hold each
+    acceptor's durable votes and the coordinator's decisions; fresh
+    default stores when omitted. *)
 
 val submit : t -> Op.t -> unit
 

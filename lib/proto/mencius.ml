@@ -2,6 +2,7 @@ open Domino_sim
 open Domino_net
 open Domino_smr
 open Domino_log
+module Store = Domino_store.Store
 
 type msg =
   | Request of Op.t
@@ -26,11 +27,13 @@ module Imap = Map.Make (Int)
 type replica_state = {
   self : Nodeid.t;
   lane : int;  (** this replica's lane = its index in [replicas] *)
-  exec : Op.t Exec_engine.t;
+  mutable exec : Op.t Exec_engine.t;
   mutable next_k : int;  (** next unused index in own lane *)
   mutable proposals : proposal Imap.t;  (** own slot -> proposal *)
   own_by_id : (Op.id, proposal) Hashtbl.t;
   mutable skip_sent : int;  (** last [upto_k] broadcast *)
+  acc_seen : (int, unit) Hashtbl.t;  (** foreign slots already persisted *)
+  wm_seen : int array;  (** per owner lane, highest durable noop bound *)
 }
 
 type t = {
@@ -42,6 +45,21 @@ type t = {
   mutable states : replica_state array;  (** indexed by lane *)
   coordinator_of : Nodeid.t -> Nodeid.t;
   mutable committed_count : int;
+  (* Durability. WAL records, per replica:
+     - "prop <slot> <op>"  owner, synced before the Accept broadcast and
+       the local decision — an amnesiac owner must re-propose the same
+       value into the same slot;
+     - "acc <slot> <op>"   acceptor, synced before its Accepted ack and
+       the local decision (an Accept is final in Mencius);
+     - "skip <upto_k>"     owner, synced before the Skip broadcast — the
+       owner must never propose below a noop bound others learned;
+     - "wm <lane> <upto_k>" acceptor, synced before the noop watermark
+       advances — execution past a skip must survive a wipe;
+     - "cmt <slot>"        owner, plain append (rides the next group
+       commit) marking its proposal majority-acknowledged, so replay
+       does not double-count or re-announce old commits. *)
+  stores : Store.t array;
+  replaying : bool array;
 }
 
 let now t = Engine.now (Fifo_net.engine t.net)
@@ -64,14 +82,26 @@ let maybe_broadcast_skip t st =
     | None -> st.next_k
     | Some (slot, _) -> Stdlib.min st.next_k (k_of ~n:t.n slot)
   in
-  if limit > st.skip_sent then begin
+  if limit > st.skip_sent && not t.replaying.(st.lane) then begin
     st.skip_sent <- limit;
-    broadcast t ~src:st.self (Skip { owner_lane = st.lane; upto_k = limit })
+    Store.append_sync t.stores.(st.lane) (Printf.sprintf "skip %d" limit)
+      (fun () ->
+        broadcast t ~src:st.self (Skip { owner_lane = st.lane; upto_k = limit }))
   end
 
 let apply_skip t lane_idx ~owner_lane ~upto_k =
   let st = t.states.(lane_idx) in
-  Exec_engine.set_watermark st.exec ~lane:owner_lane (upto_k - 1)
+  (* The watermark opens noop-covered positions to execution, so it is
+     externalizing state: sync it before it takes effect. *)
+  if upto_k - 1 > st.wm_seen.(owner_lane) then begin
+    st.wm_seen.(owner_lane) <- upto_k - 1;
+    let apply () = Exec_engine.set_watermark st.exec ~lane:owner_lane (upto_k - 1) in
+    if t.replaying.(lane_idx) then apply ()
+    else
+      Store.append_sync t.stores.(lane_idx)
+        (Printf.sprintf "wm %d %d" owner_lane upto_k)
+        apply
+  end
 
 (* The owner is the only proposer of its slots, so an accepted value is
    final in failure-free runs: replicas treat a received ACCEPT as the
@@ -119,19 +149,32 @@ let handle t lane_idx ~src:_ msg =
     in
     st.proposals <- Imap.add slot p st.proposals;
     Hashtbl.replace st.own_by_id (Op.id op) p;
-    Array.iter
-      (fun r ->
-        if not (Nodeid.equal r st.self) then
-          Fifo_net.send t.net ~src:st.self ~dst:r (Accept { slot; op }))
-      t.replicas;
-    (* The owner's own acceptance decides the slot locally. *)
-    record_decision t lane_idx slot op
+    Store.append_sync t.stores.(lane_idx)
+      (Printf.sprintf "prop %d %s" slot (Op.to_wire op))
+      (fun () ->
+        Array.iter
+          (fun r ->
+            if not (Nodeid.equal r st.self) then
+              Fifo_net.send t.net ~src:st.self ~dst:r (Accept { slot; op }))
+          t.replicas;
+        (* The owner's own acceptance decides the slot locally. *)
+        record_decision t lane_idx slot op)
   | Accept { slot; op } ->
-    advance_past t st slot;
-    Fifo_net.send t.net ~src:st.self
-      ~dst:t.replicas.(owner_lane ~n:t.n slot)
-      (Accepted { slot; acceptor = st.self });
-    record_decision t lane_idx slot op
+    let ack () =
+      Fifo_net.send t.net ~src:st.self
+        ~dst:t.replicas.(owner_lane ~n:t.n slot)
+        (Accepted { slot; acceptor = st.self })
+    in
+    if Hashtbl.mem st.acc_seen slot then ack () (* re-driven Accept *)
+    else begin
+      Hashtbl.replace st.acc_seen slot ();
+      advance_past t st slot;
+      Store.append_sync t.stores.(lane_idx)
+        (Printf.sprintf "acc %d %s" slot (Op.to_wire op))
+        (fun () ->
+          ack ();
+          record_decision t lane_idx slot op)
+    end
   | Accepted { slot; acceptor } -> begin
     match Imap.find_opt slot st.proposals with
     | None -> ()
@@ -140,6 +183,7 @@ let handle t lane_idx ~src:_ msg =
       if (not p.committed) && Nodeid.Set.cardinal p.acks >= t.majority then begin
         p.committed <- true;
         t.committed_count <- t.committed_count + 1;
+        ignore (Store.append t.stores.(lane_idx) (Printf.sprintf "cmt %d" slot));
         t.observer.Observer.on_phase ~node:st.self ~op:(Some p.op)
           ~name:"quorum_reached" ~dur:0 ~now:(now t);
         maybe_reply t st p
@@ -159,8 +203,100 @@ let handle_client t ~src:_ msg =
   | Reply { op } -> t.observer.Observer.on_commit op ~now:(now t)
   | _ -> ()
 
-let create ~net ~replicas ~coordinator_of ~observer () =
+(* --- wipe-restart recovery --- *)
+
+let make_exec t lane =
+  let self = t.replicas.(lane) in
+  Exec_engine.create ~n_lanes:t.n ~on_exec:(fun _pos op ->
+      let st = t.states.(lane) in
+      if not t.replaying.(lane) then
+        t.observer.Observer.on_execute ~replica:self op ~now:(now t);
+      (* The owner reports the commit only when the op is both
+         majority-acknowledged and decided in order (Mencius' delayed
+         commit). *)
+      match Hashtbl.find_opt st.own_by_id (Op.id op) with
+      | Some p ->
+        p.ordered <- true;
+        maybe_reply t st p
+      | None -> ())
+
+let wipe t lane =
+  let st = t.states.(lane) in
+  st.exec <- make_exec t lane;
+  st.next_k <- 0;
+  st.proposals <- Imap.empty;
+  Hashtbl.reset st.own_by_id;
+  st.skip_sent <- 0;
+  Hashtbl.reset st.acc_seen;
+  Array.fill st.wm_seen 0 t.n (-1)
+
+let replay_record t lane record =
+  let st = t.states.(lane) in
+  match String.split_on_char ' ' record with
+  | [ "prop"; s; w ] -> begin
+    match Op.of_wire w with
+    | None -> ()
+    | Some op ->
+      let slot = int_of_string s in
+      st.next_k <- Stdlib.max st.next_k (k_of ~n:t.n slot + 1);
+      let p =
+        {
+          op;
+          acks = Nodeid.Set.singleton st.self;
+          committed = false;
+          ordered = false;
+          replied = false;
+          opened = now t;
+        }
+      in
+      st.proposals <- Imap.add slot p st.proposals;
+      Hashtbl.replace st.own_by_id (Op.id op) p;
+      record_decision t lane slot op
+  end
+  | [ "acc"; s; w ] -> begin
+    match Op.of_wire w with
+    | None -> ()
+    | Some op ->
+      let slot = int_of_string s in
+      Hashtbl.replace st.acc_seen slot ();
+      advance_past t st slot;
+      record_decision t lane slot op
+  end
+  | [ "skip"; k ] ->
+    let k = int_of_string k in
+    st.skip_sent <- Stdlib.max st.skip_sent k;
+    st.next_k <- Stdlib.max st.next_k k
+  | [ "wm"; l; k ] ->
+    let l = int_of_string l and k = int_of_string k in
+    if k - 1 > st.wm_seen.(l) then begin
+      st.wm_seen.(l) <- k - 1;
+      Exec_engine.set_watermark st.exec ~lane:l (k - 1)
+    end
+  | [ "cmt"; s ] -> begin
+    match Imap.find_opt (int_of_string s) st.proposals with
+    | Some p ->
+      p.committed <- true;
+      maybe_reply t st p
+    | None -> ()
+  end
+  | _ -> ()
+
+let replay t lane snap records =
+  t.replaying.(lane) <- true;
+  (match snap with
+  | None -> ()
+  | Some blob ->
+    List.iter (replay_record t lane) (String.split_on_char '\n' blob));
+  List.iter (replay_record t lane) records;
+  t.replaying.(lane) <- false;
+  (* The replayed cursor may be announceable now. *)
+  maybe_broadcast_skip t t.states.(lane)
+
+let create ~net ~replicas ~coordinator_of ~observer ?stores () =
   let n = Array.length replicas in
+  let stores =
+    match stores with Some s -> s | None -> Durable.default_stores net ~replicas
+  in
   let t =
     {
       net;
@@ -171,39 +307,27 @@ let create ~net ~replicas ~coordinator_of ~observer () =
       states = [||];
       coordinator_of;
       committed_count = 0;
+      stores;
+      replaying = Array.make n false;
     }
   in
-  let mk_state lane =
-    let self = replicas.(lane) in
-    let rec st =
-      lazy
+  t.states <-
+    Array.init n (fun lane ->
         {
-          self;
+          self = replicas.(lane);
           lane;
-          exec =
-            Exec_engine.create ~n_lanes:n ~on_exec:(fun _pos op ->
-                observer.Observer.on_execute ~replica:self op ~now:(now t);
-                (* The owner reports the commit only when the op is both
-                   majority-acknowledged and decided in order (Mencius'
-                   delayed commit). *)
-                let state = Lazy.force st in
-                match Hashtbl.find_opt state.own_by_id (Op.id op) with
-                | Some p ->
-                  p.ordered <- true;
-                  maybe_reply t state p
-                | None -> ());
+          exec = make_exec t lane;
           next_k = 0;
           proposals = Imap.empty;
           own_by_id = Hashtbl.create 256;
           skip_sent = 0;
-        }
-    in
-    Lazy.force st
-  in
-  t.states <- Array.init n mk_state;
+          acc_seen = Hashtbl.create 256;
+          wm_seen = Array.make n (-1);
+        });
   Array.iteri
     (fun lane r -> Fifo_net.set_handler net r (handle t lane))
     replicas;
+  Durable.install net ~replicas ~stores ~wipe:(wipe t) ~replay:(replay t);
   for node = 0 to Fifo_net.size net - 1 do
     if not (Array.exists (Nodeid.equal node) replicas) then
       Fifo_net.set_handler net node (handle_client t)
@@ -261,7 +385,7 @@ module Api = struct
     Protocol_intf.instrument env ~name ~classify ~op_of net;
     create ~net ~replicas:env.Protocol_intf.replicas
       ~coordinator_of:env.Protocol_intf.coordinator_of
-      ~observer:env.Protocol_intf.observer ()
+      ~observer:env.Protocol_intf.observer ~stores:env.Protocol_intf.stores ()
 
   let submit = submit
   let committed_count = committed_count

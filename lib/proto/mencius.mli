@@ -24,9 +24,12 @@ val create :
   replicas:Nodeid.t array ->
   coordinator_of:(Nodeid.t -> Nodeid.t) ->
   observer:Observer.t ->
+  ?stores:Domino_store.Store.t array ->
   unit ->
   t
-(** [coordinator_of client] is the replica the client sends to. *)
+(** [coordinator_of client] is the replica the client sends to.
+    [stores] (one per replica, indexed like [replicas]) hold each
+    replica's durable lane state; fresh default stores when omitted. *)
 
 val submit : t -> Op.t -> unit
 

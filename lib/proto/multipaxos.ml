@@ -2,6 +2,7 @@ open Domino_sim
 open Domino_net
 open Domino_smr
 open Domino_log
+module Store = Domino_store.Store
 
 type msg =
   | Request of Op.t
@@ -35,12 +36,30 @@ type t = {
   applied : (Nodeid.t, int ref) Hashtbl.t;
   parked : (Nodeid.t, (int, Op.t) Hashtbl.t) Hashtbl.t;
   execs : (Nodeid.t, Op.t Exec_engine.t) Hashtbl.t;
+  (* Durability. WAL records (one string each, space-separated):
+     - "open <slot> <op>"  leader, synced before the Accept broadcast —
+       the slot->op binding survives a leader wipe, so a re-driven slot
+       can only re-decide the same value;
+     - "acc <slot> <op>"   follower, synced before its Accepted ack —
+       the classic promise-before-ack;
+     - "dec <slot> <op>"   leader, on quorum (synced in the background:
+       the binding is already durable via "open");
+     - "cmt <slot> <op>"   every replica, synced before the op is
+       parked/executed — execution is gated on durability, so replay
+       reproduces exactly the executed prefix. *)
+  stores : Store.t array;
+  acc_seen : (int, unit) Hashtbl.t array;  (** follower slots already synced *)
+  replaying : bool array;
   mutable committed_count : int;
 }
 
 let now t = Engine.now (Fifo_net.engine t.net)
 
+let index_of t node = Durable.index_of t.replicas node
+
 let exec_engine t node = Hashtbl.find t.execs node
+
+let op_rec kind slot op = Printf.sprintf "%s %d %s" kind slot (Op.to_wire op)
 
 (* Commits normally arrive on the FIFO channel from the leader in slot
    order, but a replica that was crashed (or a slot that committed late
@@ -48,7 +67,7 @@ let exec_engine t node = Hashtbl.find t.execs node
    strictly contiguously — parking out-of-order commits until the gap
    fills via {!Pull} — keeps every replica's history a prefix of the
    leader's. *)
-let apply_commit t node slot op =
+let apply_commit_now t node slot op =
   let applied = Hashtbl.find t.applied node in
   let parked = Hashtbl.find t.parked node in
   if slot >= !applied then Hashtbl.replace parked slot op;
@@ -64,6 +83,15 @@ let apply_commit t node slot op =
       drain ()
   in
   drain ()
+
+let apply_commit t node slot op =
+  let applied = Hashtbl.find t.applied node in
+  if slot >= !applied then
+    let idx = index_of t node in
+    if t.replaying.(idx) then apply_commit_now t node slot op
+    else
+      Store.append_sync t.stores.(idx) (op_rec "cmt" slot op) (fun () ->
+          apply_commit_now t node slot op)
 
 let handle_leader t ~src msg =
   match msg with
@@ -81,11 +109,13 @@ let handle_leader t ~src msg =
       }
     in
     Hashtbl.replace t.slots slot state;
-    Array.iter
-      (fun r ->
-        if not (Nodeid.equal r t.leader) then
-          Fifo_net.send t.net ~src:t.leader ~dst:r (Accept { slot; op }))
-      t.replicas
+    Store.append_sync t.stores.(index_of t t.leader) (op_rec "open" slot op)
+      (fun () ->
+        Array.iter
+          (fun r ->
+            if not (Nodeid.equal r t.leader) then
+              Fifo_net.send t.net ~src:t.leader ~dst:r (Accept { slot; op }))
+          t.replicas)
   | Accepted { slot; acceptor } -> begin
     match Hashtbl.find_opt t.slots slot with
     | None -> ()
@@ -99,6 +129,11 @@ let handle_leader t ~src msg =
           ~name:"quorum_reached" ~dur:0 ~now:(now t);
         Hashtbl.remove t.slots slot;
         Hashtbl.replace t.committed_log slot state.op;
+        (* The slot->op binding is already durable ("open"), so the
+           decision can be externalized before its own record syncs: a
+           wiped leader re-drives the slot to the same value. *)
+        Store.append_sync t.stores.(index_of t t.leader)
+          (op_rec "dec" slot state.op) (fun () -> ());
         Fifo_net.send t.net ~src:t.leader ~dst:state.op.Op.client
           (Reply { op = state.op });
         Array.iter
@@ -126,9 +161,17 @@ let handle_leader t ~src msg =
 
 let handle_follower t self ~src:_ msg =
   match msg with
-  | Accept { slot; _ } ->
-    Fifo_net.send t.net ~src:self ~dst:t.leader
-      (Accepted { slot; acceptor = self })
+  | Accept { slot; op } ->
+    let idx = index_of t self in
+    let ack () =
+      Fifo_net.send t.net ~src:self ~dst:t.leader
+        (Accepted { slot; acceptor = self })
+    in
+    if Hashtbl.mem t.acc_seen.(idx) slot then ack ()
+    else begin
+      Hashtbl.replace t.acc_seen.(idx) slot ();
+      Store.append_sync t.stores.(idx) (op_rec "acc" slot op) ack
+    end
   | Commit { slot; op } -> apply_commit t self slot op
   | Request _ | Accepted _ | Reply _ | Pull _ -> ()
 
@@ -137,8 +180,105 @@ let handle_client t ~src:_ msg =
   | Reply { op } -> t.observer.Observer.on_commit op ~now:(now t)
   | _ -> ()
 
-let create ~net ~replicas ~leader ~observer () =
+(* --- wipe-restart recovery --- *)
+
+let fresh_exec t r =
+  let idx = index_of t r in
+  Exec_engine.create ~n_lanes:1 ~on_exec:(fun _pos op ->
+      if not t.replaying.(idx) then
+        t.observer.Observer.on_execute ~replica:r op ~now:(now t))
+
+(* The snapshot is the same language as the WAL plus an "applied"
+   header, so decode is just replay. *)
+let encode t i =
+  let node = t.replicas.(i) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "applied %d" !(Hashtbl.find t.applied node));
+  if Nodeid.equal node t.leader then begin
+    Hashtbl.iter
+      (fun slot op ->
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (op_rec "dec" slot op))
+      t.committed_log;
+    Hashtbl.iter
+      (fun slot (state : slot_state) ->
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (op_rec "open" slot state.op))
+      t.slots
+  end;
+  Buffer.contents buf
+
+let wipe t i =
+  let node = t.replicas.(i) in
+  if Nodeid.equal node t.leader then begin
+    Hashtbl.reset t.slots;
+    Hashtbl.reset t.committed_log;
+    t.next_slot <- 0;
+    t.committed_count <- 0
+  end;
+  Hashtbl.find t.applied node := 0;
+  Hashtbl.reset (Hashtbl.find t.parked node);
+  Hashtbl.reset t.acc_seen.(i);
+  Hashtbl.replace t.execs node (fresh_exec t node)
+
+let replay_record t node record =
+  let is_leader = Nodeid.equal node t.leader in
+  match String.split_on_char ' ' record with
+  | [ "applied"; n ] ->
+    let n = int_of_string n in
+    Hashtbl.find t.applied node := n;
+    Exec_engine.set_watermark (exec_engine t node) ~lane:0 (n - 1)
+  | [ "open"; s; w ] when is_leader -> begin
+    match Op.of_wire w with
+    | None -> ()
+    | Some op ->
+      let slot = int_of_string s in
+      t.next_slot <- Stdlib.max t.next_slot (slot + 1);
+      if not (Hashtbl.mem t.committed_log slot) then
+        Hashtbl.replace t.slots slot
+          {
+            op;
+            acks = Nodeid.Set.singleton t.leader;
+            committed = false;
+            opened = now t;
+          }
+  end
+  | [ "dec"; s; w ] when is_leader -> begin
+    match Op.of_wire w with
+    | None -> ()
+    | Some op ->
+      let slot = int_of_string s in
+      t.next_slot <- Stdlib.max t.next_slot (slot + 1);
+      Hashtbl.remove t.slots slot;
+      if not (Hashtbl.mem t.committed_log slot) then begin
+        Hashtbl.replace t.committed_log slot op;
+        t.committed_count <- t.committed_count + 1
+      end
+  end
+  | [ "acc"; s; _ ] -> Hashtbl.replace t.acc_seen.(index_of t node) (int_of_string s) ()
+  | [ "cmt"; s; w ] -> begin
+    match Op.of_wire w with
+    | None -> ()
+    | Some op -> apply_commit_now t node (int_of_string s) op
+  end
+  | _ -> ()
+
+let replay t i snap records =
+  let node = t.replicas.(i) in
+  t.replaying.(i) <- true;
+  (match snap with
+  | None -> ()
+  | Some blob ->
+    List.iter (replay_record t node) (String.split_on_char '\n' blob));
+  List.iter (replay_record t node) records;
+  t.replaying.(i) <- false
+
+let create ~net ~replicas ~leader ~observer ?stores () =
   let n = Array.length replicas in
+  let stores =
+    match stores with Some s -> s | None -> Durable.default_stores net ~replicas
+  in
   let t =
     {
       net;
@@ -152,22 +292,24 @@ let create ~net ~replicas ~leader ~observer () =
       applied = Hashtbl.create 8;
       parked = Hashtbl.create 8;
       execs = Hashtbl.create 8;
+      stores;
+      acc_seen = Array.init n (fun _ -> Hashtbl.create 64);
+      replaying = Array.make n false;
       committed_count = 0;
     }
   in
   Array.iter
     (fun r ->
-      let exec =
-        Exec_engine.create ~n_lanes:1 ~on_exec:(fun _pos op ->
-            observer.Observer.on_execute ~replica:r op ~now:(now t))
-      in
-      Hashtbl.replace t.execs r exec;
+      Hashtbl.replace t.execs r (fresh_exec t r);
       Hashtbl.replace t.applied r (ref 0);
       Hashtbl.replace t.parked r (Hashtbl.create 64);
       if Nodeid.equal r leader then
         Fifo_net.set_handler net r (handle_leader t)
       else Fifo_net.set_handler net r (handle_follower t r))
     replicas;
+  Durable.install net ~replicas ~stores ~wipe:(wipe t) ~replay:(replay t);
+  Durable.auto_snapshot net ~replicas ~stores ~interval:(Time_ns.sec 1)
+    ~encode:(encode t);
   (* Any node that is not a replica is a client of this protocol. *)
   for node = 0 to Fifo_net.size net - 1 do
     if not (Array.exists (Nodeid.equal node) replicas) then
@@ -230,7 +372,8 @@ module Api = struct
     let net = env.Protocol_intf.make_net () in
     Protocol_intf.instrument env ~name ~classify ~op_of net;
     create ~net ~replicas:env.Protocol_intf.replicas
-      ~leader:env.Protocol_intf.leader ~observer:env.Protocol_intf.observer ()
+      ~leader:env.Protocol_intf.leader ~observer:env.Protocol_intf.observer
+      ~stores:env.Protocol_intf.stores ()
 
   let submit = submit
   let committed_count = committed_count

@@ -19,10 +19,12 @@ val create :
   replicas:Nodeid.t array ->
   leader:Nodeid.t ->
   observer:Observer.t ->
+  ?stores:Domino_store.Store.t array ->
   unit ->
   t
 (** Installs handlers on [net] for every replica. [leader] must be one
-    of [replicas]. *)
+    of [replicas]. [stores] (one per replica, indexed like [replicas])
+    hold the durable log; fresh default stores when omitted. *)
 
 val submit : t -> Op.t -> unit
 (** Send [op] from [op.client] (a node on the same network) to the

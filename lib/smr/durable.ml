@@ -1,0 +1,38 @@
+open Domino_sim
+open Domino_net
+module Store = Domino_store.Store
+
+let default_stores net ~replicas =
+  Array.map
+    (fun r ->
+      Store.create (Fifo_net.engine net) ~node:r ~params:Store.default_params
+        ~journal:Domino_obs.Journal.null)
+    replicas
+
+let index_of replicas node =
+  let idx = ref (-1) in
+  Array.iteri (fun i r -> if Nodeid.equal r node then idx := i) replicas;
+  !idx
+
+let install net ~replicas ~stores ~wipe ~replay =
+  Array.iteri
+    (fun i r ->
+      Fifo_net.set_wipe_hook net r
+        ~wipe:(fun () ->
+          wipe i;
+          Store.wipe stores.(i);
+          Store.recovery_span stores.(i))
+        ~replay:(fun () ->
+          let snap, records = Store.recover stores.(i) in
+          replay i snap records))
+    replicas
+
+let auto_snapshot net ~replicas ~stores ~interval ~encode =
+  Array.iteri
+    (fun i r ->
+      ignore
+        (Engine.every (Fifo_net.engine net) ~interval (fun () ->
+             if Fifo_net.is_up net r then
+               let st = stores.(i) in
+               Store.snapshot st (encode i) ~upto:(Store.appended st))))
+    replicas

@@ -28,5 +28,11 @@ val compare_id : id -> id -> int
 
 val pp : Format.formatter -> t -> unit
 
+val to_wire : t -> string
+(** Single-token encoding ([client:seq:key:value]) for stable-storage
+    log records; inverse of {!of_wire}. *)
+
+val of_wire : string -> t option
+
 module Idmap : Map.S with type key = id
 module Idset : Set.S with type elt = id

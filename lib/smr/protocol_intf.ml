@@ -10,6 +10,7 @@ type env = {
   metrics : Metrics.t;
   trace : Trace.sink;
   journal : Journal.sink;
+  stores : Domino_store.Store.t array;
   params : (string * float) list;
 }
 

@@ -32,6 +32,10 @@ type env = {
   journal : Journal.sink;
       (** the flight recorder's event stream; {!Journal.null} when
           recording is off *)
+  stores : Domino_store.Store.t array;
+      (** one stable store per replica, indexed like [replicas]:
+          protocols persist safety-critical state here (fsync before
+          externalizing) and rebuild from it after a wipe-restart *)
   params : (string * float) list;
       (** protocol-specific knobs, e.g. Domino's
           [additional_delay_ms]; unknown keys are ignored *)

@@ -1,0 +1,260 @@
+open Domino_sim
+open Domino_obs
+
+type sync_mode = Immediate | Batched of Time_ns.span
+
+type params = {
+  sync_latency : Time_ns.span;
+  append_latency : Time_ns.span;
+  snapshot_latency : Time_ns.span;
+  replay_per_record : Time_ns.span;
+  mode : sync_mode;
+  durable : bool;
+}
+
+(* The default disk is a capacitor-backed (power-loss-protected) NVMe
+   device: flushes acknowledge from the protected write cache, so an
+   fsync barrier costs tens of microseconds, not milliseconds. Slower
+   disks (cloud block stores, consumer SSDs) are modeled by raising
+   [sync_latency]; see the fsync-cost experiment. *)
+let default_params =
+  {
+    sync_latency = Time_ns.us 40;
+    append_latency = Time_ns.ns 500;
+    snapshot_latency = Time_ns.ms 2;
+    replay_per_record = Time_ns.ns 500;
+    mode = Immediate;
+    durable = true;
+  }
+
+type t = {
+  engine : Engine.t;
+  node : int;
+  params : params;
+  journal : Journal.sink;
+  (* Record lists are newest-first; indices are global append positions.
+     [durable_upto] is the disk frontier: records with idx < durable_upto
+     survive a wipe (via the snapshot for idx < snapshot upto, via
+     [durable] for the rest). *)
+  mutable appended : int;
+  mutable unsynced : (int * string) list;
+  mutable durable : (int * string) list;
+  mutable durable_upto : int;
+  mutable snap : (string * int) option;
+  mutable waiting : (unit -> unit) list;
+  mutable barrier_open : bool;
+  mutable inflight : bool;
+  (* Bumped by [wipe]: completions belonging to a previous incarnation
+     check it and die, like in-flight messages to a crashed node. *)
+  mutable epoch : int;
+  mutable n_appends : int;
+  mutable n_syncs : int;
+  mutable n_sync_writes : int;
+  mutable n_truncated : int;
+  mutable n_snapshots : int;
+  mutable n_replayed : int;
+  mutable n_lost : int;
+  mutable n_wipes : int;
+  mutable recovery_spans : Time_ns.span list;
+}
+
+let create engine ~node ~params ~journal =
+  {
+    engine;
+    node;
+    params;
+    journal;
+    appended = 0;
+    unsynced = [];
+    durable = [];
+    durable_upto = 0;
+    snap = None;
+    waiting = [];
+    barrier_open = false;
+    inflight = false;
+    epoch = 0;
+    n_appends = 0;
+    n_syncs = 0;
+    n_sync_writes = 0;
+    n_truncated = 0;
+    n_snapshots = 0;
+    n_replayed = 0;
+    n_lost = 0;
+    n_wipes = 0;
+    recovery_spans = [];
+  }
+
+let node t = t.node
+
+let appended t = t.appended
+
+let durable_upto t = t.durable_upto
+
+let unsynced_count t = t.appended - t.durable_upto
+
+let store_ev t op detail =
+  if Journal.enabled t.journal then
+    Journal.emit t.journal
+      (Journal.Store_ev { node = t.node; op; detail; at = Engine.now t.engine })
+
+let recovery_ev t stage detail =
+  if Journal.enabled t.journal then
+    Journal.emit t.journal
+      (Journal.Recovery
+         { node = t.node; stage; detail; at = Engine.now t.engine })
+
+let kind_of record =
+  match String.index_opt record ' ' with
+  | None -> record
+  | Some i -> String.sub record 0 i
+
+let append t record =
+  let idx = t.appended in
+  t.appended <- idx + 1;
+  t.n_appends <- t.n_appends + 1;
+  t.unsynced <- (idx, record) :: t.unsynced;
+  store_ev t "append" (Printf.sprintf "rec=%d kind=%s" idx (kind_of record));
+  idx
+
+(* One fsync barrier: everything appended before the barrier starts is
+   on disk when it completes. Requests arriving while a barrier is in
+   flight coalesce into the next one (group commit). *)
+let rec start_barrier t =
+  if (not t.inflight) && t.waiting <> [] then begin
+    t.inflight <- true;
+    let cbs = List.rev t.waiting in
+    t.waiting <- [];
+    let upto = t.appended in
+    let fresh = upto - t.durable_upto in
+    let dur =
+      Time_ns.add t.params.sync_latency
+        (t.params.append_latency * Stdlib.max 0 fresh)
+    in
+    let started = Engine.now t.engine in
+    t.n_syncs <- t.n_syncs + 1;
+    t.n_sync_writes <- t.n_sync_writes + Stdlib.max 0 fresh;
+    store_ev t "sync"
+      (Printf.sprintf "recs=%d upto=%d dur_us=%d" fresh upto
+         (dur / Time_ns.us 1));
+    let epoch = t.epoch in
+    Engine.schedule t.engine ~delay:dur (fun () ->
+        if t.epoch = epoch then begin
+          t.inflight <- false;
+          if upto > t.durable_upto then begin
+            let newly, still =
+              List.partition (fun (idx, _) -> idx < upto) t.unsynced
+            in
+            t.unsynced <- still;
+            t.durable <- newly @ t.durable;
+            t.durable_upto <- upto
+          end;
+          if Journal.enabled t.journal && dur > 0 then
+            Journal.emit t.journal
+              (Journal.Phase
+                 {
+                   node = t.node;
+                   op = None;
+                   name = "sync_wait";
+                   dur;
+                   at = started;
+                 });
+          List.iter (fun k -> k ()) cbs;
+          start_barrier t
+        end)
+  end
+
+let sync t k =
+  t.waiting <- k :: t.waiting;
+  match t.params.mode with
+  | Immediate -> start_barrier t
+  | Batched window ->
+    if (not t.barrier_open) && not t.inflight then begin
+      t.barrier_open <- true;
+      let epoch = t.epoch in
+      Engine.schedule t.engine ~delay:window (fun () ->
+          if t.epoch = epoch then begin
+            t.barrier_open <- false;
+            start_barrier t
+          end)
+    end
+
+let append_sync t record k =
+  ignore (append t record);
+  sync t k
+
+let snapshot t blob ~upto =
+  if upto > t.appended then invalid_arg "Store.snapshot: upto > appended";
+  t.n_snapshots <- t.n_snapshots + 1;
+  store_ev t "snapshot" (Printf.sprintf "upto=%d bytes=%d" upto (String.length blob));
+  let epoch = t.epoch in
+  Engine.schedule t.engine ~delay:t.params.snapshot_latency (fun () ->
+      if t.epoch = epoch then begin
+        (match t.snap with
+        | Some (_, prev) when prev >= upto -> ()
+        | _ -> t.snap <- Some (blob, upto));
+        (* The snapshot covers every record below [upto]; drop them. *)
+        let keep_d = List.filter (fun (idx, _) -> idx >= upto) t.durable in
+        let cut = List.length t.durable - List.length keep_d in
+        t.durable <- keep_d;
+        t.unsynced <- List.filter (fun (idx, _) -> idx >= upto) t.unsynced;
+        t.durable_upto <- Stdlib.max t.durable_upto upto;
+        t.n_truncated <- t.n_truncated + cut;
+        if cut > 0 then store_ev t "truncate" (Printf.sprintf "recs=%d" cut)
+      end)
+
+let wipe t =
+  t.epoch <- t.epoch + 1;
+  t.inflight <- false;
+  t.barrier_open <- false;
+  t.waiting <- [];
+  t.n_wipes <- t.n_wipes + 1;
+  if not t.params.durable then begin
+    (* Skip-fsync mutant: the disk acknowledged everything and kept
+       nothing — the crash reveals the lie. *)
+    t.durable <- [];
+    t.durable_upto <- 0;
+    t.snap <- None
+  end;
+  let lost = t.appended - t.durable_upto in
+  t.n_lost <- t.n_lost + lost;
+  t.unsynced <- [];
+  t.appended <- t.durable_upto;
+  recovery_ev t "wipe"
+    (Printf.sprintf "lost=%d durable=%d" lost t.durable_upto)
+
+let recovery_span t =
+  let n_records = List.length t.durable in
+  let snap_part =
+    match t.snap with None -> 0 | Some _ -> t.params.snapshot_latency
+  in
+  Time_ns.add t.params.sync_latency
+    (Time_ns.add snap_part (t.params.replay_per_record * n_records))
+
+let recover t =
+  let records =
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) t.durable
+    |> List.map snd
+  in
+  let n = List.length records in
+  t.n_replayed <- t.n_replayed + n;
+  let span = recovery_span t in
+  t.recovery_spans <- span :: t.recovery_spans;
+  recovery_ev t "replay"
+    (Printf.sprintf "snapshot=%s records=%d span_us=%d"
+       (match t.snap with None -> "none" | Some (_, upto) -> string_of_int upto)
+       n (span / Time_ns.us 1));
+  (Option.map fst t.snap, records)
+
+let counters t =
+  [
+    ("appends", t.n_appends);
+    ("syncs", t.n_syncs);
+    ("sync_writes", t.n_sync_writes);
+    ("truncated", t.n_truncated);
+    ("snapshots", t.n_snapshots);
+    ("replayed", t.n_replayed);
+    ("lost", t.n_lost);
+    ("wipes", t.n_wipes);
+  ]
+
+let recovery_spans t = List.rev t.recovery_spans

@@ -70,10 +70,12 @@ let check_cell plan_file proto () =
       (Exp_common.protocol_name proto)
       report.Checker.committed
 
-let test_journal_determinism () =
+let test_journal_determinism plan_file () =
   (* A faulted sweep across every protocol, run twice with different
-     parallelism: the merged journals must match byte for byte. *)
-  let faults = load_plan "plans/leader_crash.plan" in
+     parallelism: the merged journals must match byte for byte. Run for
+     both a plain crash plan and a wipe-restart plan, so the storage
+     and recovery event streams are covered by the contract too. *)
+  let faults = load_plan (Filename.concat "plans" plan_file) in
   let sweep jobs =
     let journal = Journal.create () in
     let cells = List.map (fun p -> (Exp_common.fig7_double, p)) protocols in
@@ -85,7 +87,9 @@ let test_journal_determinism () =
   in
   let j1 = sweep 1 and j4 = sweep 4 in
   Alcotest.(check bool)
-    "faulted sweep journal byte-identical at jobs=1 and jobs=4" true
+    (Printf.sprintf
+       "%s sweep journal byte-identical at jobs=1 and jobs=4" plan_file)
+    true
     (String.equal j1 j4)
 
 let () =
@@ -106,6 +110,10 @@ let () =
     (groups
     @ [
         ( "determinism",
-          [ Alcotest.test_case "jobs 1 = jobs 4" `Slow test_journal_determinism ]
-        );
+          [
+            Alcotest.test_case "jobs 1 = jobs 4 (crash)" `Slow
+              (test_journal_determinism "leader_crash.plan");
+            Alcotest.test_case "jobs 1 = jobs 4 (wipe)" `Slow
+              (test_journal_determinism "rolling_wipe.plan");
+          ] );
       ])

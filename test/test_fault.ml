@@ -33,17 +33,23 @@ let test_plan_parse () =
 
 at 2s crash node=0
 at 2800ms recover node=0
+at 2900ms wipe node=1
 at 3s partition a=0 b=1,2 sym until=5s
 at 3s degrade src=0 dst=1 delay=40ms loss=0.3 until=4s
 at 6s skew node=3 delta=-30ms
 |}
   in
-  check_int "events" 5 (List.length plan);
+  check_int "events" 6 (List.length plan);
   (match plan with
   | { Plan.at; action = Plan.Crash { node } } :: _ ->
     check_int "crash at" (Time_ns.sec 2) at;
     check_int "crash node" 0 node
   | _ -> Alcotest.fail "first event should be the crash");
+  (match List.nth plan 2 with
+  | { Plan.at; action = Plan.Wipe { node } } ->
+    check_int "wipe at" (Time_ns.ms 2900) at;
+    check_int "wipe node" 1 node
+  | _ -> Alcotest.fail "third event should be the wipe");
   match List.rev plan with
   | { Plan.action = Plan.Skew { node; delta }; _ } :: _ ->
     check_int "skew node" 3 node;
@@ -55,6 +61,7 @@ let test_plan_roundtrip () =
     "at 1500ms crash node=2\n\
      at 2500ms recover node=2\n\
      at 2s partition a=1 b=0,2 sym until=4s\n\
+     at 2600ms wipe node=2\n\
      at 3s degrade src=4 dst=1 delay=30ms loss=0.25 until=4500ms\n\
      at 3500ms skew node=3 delta=25ms\n"
   in
@@ -377,20 +384,21 @@ let test_checker_ring_overflow_unsound () =
 
 (* --- Integration: short faulted runs through the harness --- *)
 
-let run_checked ?(dedup = true) ?(duration = Time_ns.sec 4) ~plan proto =
+let run_checked ?(dedup = true) ?(duration = Time_ns.sec 4) ?store ~plan proto
+    =
   let faults = parse_exn plan in
   let journal = Journal.create () in
   let result =
     Exp_common.run ~seed:5L ~rate:50. ~duration
       ~measure_from:(Time_ns.ms 500) ~measure_until:duration ~journal ~faults
-      ~dedup Exp_common.fig7_double proto
+      ~dedup ?store Exp_common.fig7_double proto
   in
-  (result, Checker.check ~require_complete:true journal)
+  (result, journal, Checker.check ~require_complete:true journal)
 
 let test_domino_retry_failover () =
   (* Coordinator (replica 0) dies mid-run and comes back: Domino's
      in-protocol client retry must failover to DM and land every op. *)
-  let result, report =
+  let result, _, report =
     run_checked ~plan:"at 1s crash node=0\nat 2s recover node=0\n"
       Exp_common.domino_default
   in
@@ -403,7 +411,7 @@ let test_harness_retry_under_partition () =
      than the retry timeout: the harness wrapper must re-submit, and
      dedup must keep execution exactly-once. *)
   let plan = "at 1s partition a=3 b=0 sym until=2200ms\n" in
-  let result, report = run_checked ~plan Exp_common.Multi_paxos in
+  let result, _, report = run_checked ~plan Exp_common.Multi_paxos in
   check_bool "checker passes with dedup on" true report.Checker.ok;
   check_bool "harness retried" true
     (List.assoc "harness_retries" result.Exp_common.extra > 0);
@@ -414,22 +422,117 @@ let test_dedup_mutant_caught () =
      duplicates from client retries now reach the state machines, and
      the checker must catch them. *)
   let plan = "at 1s partition a=3 b=0 sym until=2200ms\n" in
-  let _, report = run_checked ~dedup:false ~plan Exp_common.Multi_paxos in
+  let _, _, report = run_checked ~dedup:false ~plan Exp_common.Multi_paxos in
   check_bool "mutant fails the checker" false report.Checker.ok;
   check_bool "double execution detected" true
     (report.Checker.duplicate_execs > 0)
 
+(* --- Crash-with-amnesia through the harness --- *)
+
+let wipe_plan = "at 1s crash node=2\nat 1800ms wipe node=2\n"
+
+let test_wipe_recovery_clean () =
+  (* A wiped follower restarts from its WAL and rejoins: the run stays
+     exactly-once and complete, the journal carries the recovery
+     events, and the harness surfaces the storage work. *)
+  List.iter
+    (fun proto ->
+      let result, _, report = run_checked ~plan:wipe_plan proto in
+      check_bool
+        (Exp_common.protocol_name proto ^ " checker passes across a wipe")
+        true report.Checker.ok;
+      check_bool
+        (Exp_common.protocol_name proto ^ " recovery observed")
+        true
+        (report.Checker.recoveries > 0);
+      check_bool
+        (Exp_common.protocol_name proto ^ " fsyncs happened")
+        true
+        (result.Exp_common.sync_writes > 0);
+      check_bool
+        (Exp_common.protocol_name proto ^ " recovery span measured")
+        true
+        (result.Exp_common.recovery_ms <> []))
+    [
+      Exp_common.domino_default;
+      Exp_common.Mencius;
+      Exp_common.Epaxos;
+      Exp_common.Multi_paxos;
+      Exp_common.Fast_paxos;
+    ]
+
+let test_durability_mutant_caught () =
+  (* Same wipe with [durable = false] stores — the disk acknowledged
+     fsyncs it never kept, so the node restarts fully amnesiac (zero
+     records to replay). Run against node 0, whose amnesia is most
+     corrupting: the Multi-Paxos leader re-decides already-executed
+     slots and the DFP coordinator forgets its decided watermark, so
+     the checker must flag the run (mirroring PR 4's dedup mutant).
+     The other three protocols can evade this particular plan: the
+     blank node fast-forwards its execution cursor to the peers'
+     watermarks and resumes with only new ops, which the journal
+     checker cannot distinguish from a slow-but-correct replica — the
+     damage is confined to that replica's unobserved KV state. *)
+  let store =
+    { Domino_store.Store.default_params with Domino_store.Store.durable = false }
+  in
+  let plan = "at 1s crash node=0\nat 1800ms wipe node=0\n" in
+  List.iter
+    (fun proto ->
+      let _, _, report = run_checked ~store ~plan proto in
+      check_bool
+        (Exp_common.protocol_name proto ^ ": skip-fsync mutant caught")
+        false report.Checker.ok)
+    [ Exp_common.domino_default; Exp_common.Multi_paxos ]
+
+let test_probe_silence_steers_dm () =
+  (* §5.8 regression: while replica 1 is crashed its probe replies stop,
+     so once the estimator's 1 s probe timeout has passed, every Domino
+     client must stop choosing DFP (which needs all n replicas fresh)
+     and route via DM; after recovery the probes refresh and DFP
+     resumes. Windows leave 100 ms of slack around the transitions. *)
+  let _, journal, report =
+    run_checked ~duration:(Time_ns.sec 6)
+      ~plan:"at 2s crash node=1\nat 4s recover node=1\n"
+      Exp_common.domino_default
+  in
+  check_bool "checker passes" true report.Checker.ok;
+  let count name ~from ~upto =
+    let c = ref 0 in
+    Journal.iter journal (fun ev ->
+        match ev with
+        | Journal.Phase { name = n; at; _ } ->
+          if String.equal n name && at >= from && at < upto then incr c
+        | _ -> ());
+    !c
+  in
+  let before_dfp = count "route_dfp" ~from:0 ~upto:(Time_ns.sec 2) in
+  let before_dm = count "route_dm" ~from:0 ~upto:(Time_ns.sec 2) in
+  check_bool "DFP dominates while all replicas answer probes" true
+    (before_dfp > before_dm);
+  (* [2s, 3.1s) is the limbo where pre-crash probe replies are still
+     within the timeout; after that the crashed replica is stale. *)
+  check_int "no DFP routing while probes are silent" 0
+    (count "route_dfp" ~from:(Time_ns.ms 3100) ~upto:(Time_ns.sec 4));
+  check_bool "clients kept submitting via DM" true
+    (count "route_dm" ~from:(Time_ns.ms 3100) ~upto:(Time_ns.sec 4) > 0);
+  check_bool "DFP resumes after recovery" true
+    (count "route_dfp" ~from:(Time_ns.ms 4500) ~upto:(Time_ns.sec 6) > 0)
+
 (* --- QCheck: random minority-fault plans never break any protocol --- *)
 
-let plan_of_case (node, (crash_ms, down_ms), extra) =
+let plan_of_case ((node, (crash_ms, down_ms), extra), wipe) =
   let b =
     match node with 0 -> "1,2" | 1 -> "0,2" | _ -> "0,1"
   in
   let lines =
-    [
-      Printf.sprintf "at %dms crash node=%d" crash_ms node;
-      Printf.sprintf "at %dms recover node=%d" (crash_ms + down_ms) node;
-    ]
+    [ Printf.sprintf "at %dms crash node=%d" crash_ms node ]
+    @ (if wipe then
+         (* Crash-with-amnesia: the wipe restarts the node by itself
+            (after its modeled recovery span), no recover event. *)
+         [ Printf.sprintf "at %dms wipe node=%d" (crash_ms + down_ms) node ]
+       else
+         [ Printf.sprintf "at %dms recover node=%d" (crash_ms + down_ms) node ])
     @
     match extra with
     | 0 -> []
@@ -451,19 +554,21 @@ let plan_of_case (node, (crash_ms, down_ms), extra) =
 let chaos_property =
   let case =
     QCheck.(
-      triple (int_bound 2)
-        (pair (int_range 800 1800) (int_range 200 800))
-        (int_bound 2))
+      pair
+        (triple (int_bound 2)
+           (pair (int_range 800 1800) (int_range 200 800))
+           (int_bound 2))
+        bool)
   in
   let arb =
     QCheck.set_print (fun c -> "plan:\n" ^ plan_of_case c) case
   in
   QCheck.Test.make ~name:"minority faults: all protocols stay safe and live"
-    ~count:3 arb (fun c ->
+    ~count:4 arb (fun c ->
       let plan = plan_of_case c in
       List.for_all
         (fun proto ->
-          let _, report = run_checked ~plan proto in
+          let _, _, report = run_checked ~plan proto in
           if not report.Checker.ok then
             QCheck.Test.fail_reportf
               "%s failed the checker under@.%s@.%a"
@@ -529,5 +634,14 @@ let () =
           Alcotest.test_case "dedup mutant caught" `Quick
             test_dedup_mutant_caught;
           q chaos_property;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "wipe recovery stays exactly-once" `Quick
+            test_wipe_recovery_clean;
+          Alcotest.test_case "skip-fsync mutant caught" `Quick
+            test_durability_mutant_caught;
+          Alcotest.test_case "probe silence steers DFP to DM" `Quick
+            test_probe_silence_steers_dm;
         ] );
     ]

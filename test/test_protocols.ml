@@ -107,6 +107,13 @@ let direct_run name =
         replicas;
         leader = 0;
         coordinator_of = (fun c -> replicas.(c mod Array.length replicas));
+        stores =
+          Array.map
+            (fun node ->
+              Domino_store.Store.create engine ~node
+                ~params:Domino_store.Store.default_params
+                ~journal:Journal.null)
+            replicas;
         observer;
         metrics = Metrics.create ();
         trace = Trace.null;

@@ -1,0 +1,174 @@
+(* Unit tests for the simulated stable storage (lib/store): fsync
+   barriers cost simulated time, group commit coalesces concurrent
+   requests, batched mode holds barriers open, snapshots truncate the
+   log, and wipe implements crash-with-amnesia — including the epoch
+   guard that kills in-flight completions and the skip-fsync mutant
+   that loses everything. *)
+
+open Domino_sim
+open Domino_obs
+open Domino_store
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let params =
+  {
+    Store.sync_latency = Time_ns.us 100;
+    append_latency = Time_ns.us 1;
+    snapshot_latency = Time_ns.ms 1;
+    replay_per_record = Time_ns.us 1;
+    mode = Store.Immediate;
+    durable = true;
+  }
+
+let mk ?(params = params) () =
+  let engine = Engine.create ~seed:1L () in
+  (engine, Store.create engine ~node:0 ~params ~journal:Journal.null)
+
+let counter store key =
+  match List.assoc_opt key (Store.counters store) with
+  | Some v -> v
+  | None -> Alcotest.failf "missing counter %s" key
+
+let test_sync_costs_time () =
+  let engine, store = mk () in
+  ignore (Store.append store "a 1");
+  ignore (Store.append store "a 2");
+  let done_at = ref (-1) in
+  Store.sync store (fun () -> done_at := Engine.now engine);
+  check_int "not durable before the barrier completes" 0
+    (Store.durable_upto store);
+  Engine.run engine;
+  (* 100 us fixed + 1 us for each of the two fresh records. *)
+  check_int "barrier took sync + per-record time" (Time_ns.us 102) !done_at;
+  check_int "disk frontier advanced" 2 (Store.durable_upto store);
+  check_int "nothing left unsynced" 0 (Store.unsynced_count store);
+  check_int "sync writes counted" 2 (counter store "sync_writes")
+
+let test_group_commit_coalesces () =
+  let engine, store = mk () in
+  let order = ref [] in
+  let cb tag = fun () -> order := (tag, Engine.now engine) :: !order in
+  Store.append_sync store "a 1" (cb "first");
+  (* These arrive while the first barrier is in flight: they must
+     coalesce into one follow-up barrier, callbacks in request order. *)
+  Engine.schedule_at engine ~at:(Time_ns.us 10) (fun () ->
+      Store.append_sync store "a 2" (cb "second");
+      Store.append_sync store "a 3" (cb "third"));
+  Engine.run engine;
+  (match List.rev !order with
+  | [ ("first", t1); ("second", t2); ("third", t3) ] ->
+    check_int "first barrier: sync + 1 record" (Time_ns.us 101) t1;
+    (* Second barrier starts when the first lands, covers 2 records. *)
+    check_int "coalesced barrier lands together" t2 t3;
+    check_int "coalesced barrier: sync + 2 records"
+      (Time_ns.us 101 + Time_ns.us 102)
+      t2
+  | _ -> Alcotest.fail "expected three callbacks in request order");
+  check_int "two barriers, not three" 2 (counter store "syncs");
+  check_int "every record written exactly once" 3 (counter store "sync_writes")
+
+let test_batched_mode_holds_window () =
+  let engine, store =
+    mk ~params:{ params with Store.mode = Store.Batched (Time_ns.us 50) } ()
+  in
+  let done_at = ref (-1) in
+  Store.append_sync store "a 1" (fun () -> ());
+  Engine.schedule_at engine ~at:(Time_ns.us 20) (fun () ->
+      Store.append_sync store "a 2" (fun () -> done_at := Engine.now engine));
+  Engine.run engine;
+  (* One barrier for both: window 50 us, then sync + 2 records. *)
+  check_int "single batched barrier" 1 (counter store "syncs");
+  check_int "barrier held for the window first"
+    (Time_ns.us 50 + Time_ns.us 102)
+    !done_at
+
+let test_wipe_loses_unsynced_tail () =
+  let engine, store = mk () in
+  Store.append_sync store "a 1" (fun () -> ());
+  ignore (Store.append store "a 2");
+  Engine.run engine;
+  ignore (Store.append store "a 3");
+  check_int "two records not yet on disk" 2 (Store.unsynced_count store);
+  Store.wipe store;
+  check_int "appended rewinds to the disk frontier" 1 (Store.appended store);
+  check_int "loss counted" 2 (counter store "lost");
+  let snap, records = Store.recover store in
+  check_bool "no snapshot" true (snap = None);
+  Alcotest.(check (list string)) "only the synced prefix survives" [ "a 1" ]
+    records;
+  check_bool "recovery span is positive" true (Store.recovery_span store > 0);
+  check_int "recovery span recorded" 1
+    (List.length (Store.recovery_spans store))
+
+let test_wipe_aborts_inflight_barrier () =
+  let engine, store = mk () in
+  let fired = ref false in
+  Store.append_sync store "a 1" (fun () -> fired := true);
+  (* Wipe while the barrier is in flight: the epoch guard must kill
+     both the completion and the pending callback. *)
+  Engine.schedule_at engine ~at:(Time_ns.us 10) (fun () -> Store.wipe store);
+  Engine.run engine;
+  check_bool "callback died with the node" false !fired;
+  check_int "nothing became durable" 0 (Store.durable_upto store);
+  (* The store remains usable in its next incarnation. *)
+  Store.append_sync store "a 2" (fun () -> fired := true);
+  Engine.run engine;
+  check_bool "new incarnation syncs fine" true !fired;
+  check_int "new record durable" 1 (Store.durable_upto store)
+
+let test_snapshot_truncates_log () =
+  let engine, store = mk () in
+  ignore (Store.append store "a 1");
+  ignore (Store.append store "a 2");
+  Store.sync store (fun () -> ());
+  Engine.run engine;
+  Store.snapshot store "blob" ~upto:2;
+  Engine.run engine;
+  check_int "covered records truncated" 2 (counter store "truncated");
+  Store.wipe store;
+  let snap, records = Store.recover store in
+  check_bool "snapshot survives the wipe" true (snap = Some "blob");
+  Alcotest.(check (list string)) "truncated log is empty" [] records;
+  check_int "frontier covers the snapshot" 2 (Store.durable_upto store)
+
+let test_skip_fsync_mutant_loses_everything () =
+  let engine, store = mk ~params:{ params with Store.durable = false } () in
+  ignore (Store.append store "a 1");
+  Store.sync store (fun () -> ());
+  Engine.run engine;
+  Store.snapshot store "blob" ~upto:1;
+  Engine.run engine;
+  check_int "mutant looks durable before the crash" 1
+    (Store.durable_upto store);
+  Store.wipe store;
+  let snap, records = Store.recover store in
+  check_bool "snapshot gone" true (snap = None);
+  check_bool "log gone" true (records = []);
+  check_int "frontier reset to zero" 0 (Store.durable_upto store)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "sync costs simulated time" `Quick
+            test_sync_costs_time;
+          Alcotest.test_case "group commit coalesces" `Quick
+            test_group_commit_coalesces;
+          Alcotest.test_case "batched mode holds window" `Quick
+            test_batched_mode_holds_window;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "wipe loses unsynced tail" `Quick
+            test_wipe_loses_unsynced_tail;
+          Alcotest.test_case "wipe aborts in-flight barrier" `Quick
+            test_wipe_aborts_inflight_barrier;
+          Alcotest.test_case "snapshot truncates log" `Quick
+            test_snapshot_truncates_log;
+          Alcotest.test_case "skip-fsync mutant loses everything" `Quick
+            test_skip_fsync_mutant_loses_everything;
+        ] );
+    ]
