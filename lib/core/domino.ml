@@ -239,34 +239,21 @@ module Api = struct
 
   let name = "domino"
 
-  let create (env : Protocol_intf.env) =
-    let net = env.Protocol_intf.make_net () in
-    Protocol_intf.instrument env ~name ~classify:Message.classify
-      ~op_of:Message.op_of net;
+  let create (env : Protocol_intf.Group.env) =
+    let open Protocol_intf in
+    let net = env.Group.make_net () in
+    instrument env ~name ~classify:Message.classify ~op_of:Message.op_of net;
+    let p = env.Group.params in
     let cfg =
-      Config.make
-        ~additional_delay:
-          (Time_ns.of_ms_f
-             (Protocol_intf.param env "additional_delay_ms" ~default:0.))
-        ~percentile:(Protocol_intf.param env "percentile" ~default:95.)
-        ~every_replica_learns:
-          (Protocol_intf.flag env "every_replica_learns" ~default:false)
-        ~adaptive:(Protocol_intf.flag env "adaptive" ~default:false)
-        ~force_dfp:(Protocol_intf.flag env "force_dfp" ~default:false)
-        ~retry_timeout:
-          (Time_ns.of_ms_f
-             (Protocol_intf.param env "retry_timeout_ms" ~default:0.))
-        ~retry_max_attempts:
-          (int_of_float
-             (Protocol_intf.param env "retry_max_attempts" ~default:6.))
-        ~retry_failover_after:
-          (int_of_float
-             (Protocol_intf.param env "retry_failover_after" ~default:1.))
-        ~coordinator:env.Protocol_intf.leader
-        ~replicas:env.Protocol_intf.replicas ()
+      Config.make ~additional_delay:p.additional_delay
+        ~percentile:p.percentile ~every_replica_learns:p.every_replica_learns
+        ~adaptive:p.adaptive ~force_dfp:p.force_dfp
+        ~retry_timeout:p.retry_timeout
+        ~retry_max_attempts:p.retry_max_attempts
+        ~retry_failover_after:p.retry_failover_after
+        ~coordinator:env.Group.leader ~replicas:env.Group.replicas ()
     in
-    create ~net ~cfg ~observer:env.Protocol_intf.observer
-      ~stores:env.Protocol_intf.stores ()
+    create ~net ~cfg ~observer:env.Group.observer ~stores:env.Group.stores ()
 
   let submit = submit
   let committed_count = committed_count

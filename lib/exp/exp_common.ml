@@ -2,7 +2,6 @@ open Domino_sim
 open Domino_net
 open Domino_smr
 open Domino_obs
-open Domino_kv
 
 type setting = {
   topo : Topology.t;
@@ -88,334 +87,65 @@ type result = {
 }
 
 let closest_replica setting ~client_dc =
-  let ci = Topology.index setting.topo client_dc in
-  let best = ref (0, infinity) in
-  Array.iteri
-    (fun idx dc ->
-      let ri = Topology.index setting.topo dc in
-      let rtt = Topology.rtt_ms setting.topo ci ri in
-      if rtt < snd !best then best := (idx, rtt))
-    setting.replica_dcs;
-  fst !best
+  Domino_shard.Placement.closest_replica setting.topo
+    ~replica_dcs:setting.replica_dcs ~client_dc
 
-(* Node layout: replicas first, then clients. *)
-let layout setting =
-  let n_rep = Array.length setting.replica_dcs in
-  let n_cli = Array.length setting.client_dcs in
-  let placement = Array.append setting.replica_dcs setting.client_dcs in
-  let replicas = Array.init n_rep Fun.id in
-  let clients = List.init n_cli (fun i -> n_rep + i) in
-  (placement, replicas, clients)
-
-(* The harness-side observability observer: run-level counters, the
-   commit/execution latency histograms, and the submit/commit/execute
-   span events for the focused operation. *)
-let obs_observer metrics trace tracer jsink ~trace_op ~exec_replica_for =
-  let submitted_c = Metrics.counter metrics "run.submitted" in
-  let retries_c = Metrics.counter metrics "run.retries" in
-  let committed_c = Metrics.counter metrics "run.committed" in
-  let executed_c = Metrics.counter metrics "run.executed" in
-  let commit_h = Metrics.histogram metrics "run.commit_latency_ms" in
-  let exec_h = Metrics.histogram metrics "run.exec_latency_ms" in
-  let submit_times : (Op.id, Time_ns.t) Hashtbl.t = Hashtbl.create 1024 in
-  let submit_count = ref 0 in
-  let latency_ms op ~now =
-    match Hashtbl.find_opt submit_times (Op.id op) with
-    | Some at -> Some (Time_ns.to_ms_f (Time_ns.diff now at))
-    | None -> None
-  in
-  {
-    Observer.on_submit =
-      (fun op ~now ->
-        if Hashtbl.mem submit_times (Op.id op) then
-          (* A protocol-level re-submission of a timed-out request:
-             latency stays anchored at the first submit, and the
-             journal keeps a single Submit per op. *)
-          Metrics.inc retries_c
-        else begin
-          Metrics.inc submitted_c;
-          Hashtbl.replace submit_times (Op.id op) now;
-          (match trace_op with
-          | Some n when !submit_count = n -> Trace.set_focus tracer (Op.id op)
-          | _ -> ());
-          incr submit_count;
-          if Journal.enabled jsink then
-            Journal.emit jsink
-              (Journal.Submit
-                 {
-                   op = Op.id op;
-                   node = op.Op.client;
-                   key = op.Op.key;
-                   at = now;
-                 });
-          if Trace.enabled trace then
-            Trace.emit trace
-              (Trace.Submit { op = Op.id op; node = op.Op.client; at = now })
-        end);
-    on_commit =
-      (fun op ~now ->
-        Metrics.inc committed_c;
-        (match latency_ms op ~now with
-        | Some l -> Metrics.observe commit_h l
-        | None -> ());
-        if Journal.enabled jsink then
-          Journal.emit jsink
-            (Journal.Commit { op = Op.id op; node = op.Op.client; at = now });
-        if Trace.enabled trace then
-          Trace.emit trace
-            (Trace.Committed { op = Op.id op; node = op.Op.client; at = now }));
-    on_execute =
-      (fun ~replica op ~now ->
-        Metrics.inc executed_c;
-        (if exec_replica_for op = Some replica then
-           match latency_ms op ~now with
-           | Some l -> Metrics.observe exec_h l
-           | None -> ());
-        if Journal.enabled jsink then
-          Journal.emit jsink
-            (Journal.Execute { op = Op.id op; replica; at = now });
-        if Trace.enabled trace then
-          Trace.emit trace
-            (Trace.Executed { op = Op.id op; replica; at = now }));
-    on_phase =
-      (fun ~node ~op ~name ~dur ~now ->
-        if Journal.enabled jsink then
-          Journal.emit jsink
-            (Journal.Phase
-               { node; op = Option.map Op.id op; name; dur; at = now }));
-  }
-
-let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
-    ?(duration = Time_ns.sec 30) ?measure_from ?measure_until ?metrics
-    ?trace_op ?journal ?(sample_every = Time_ns.ms 100) ?faults
-    ?(dedup = true) ?(store = Domino_store.Store.default_params) setting proto
-    =
-  let measure_from =
-    match measure_from with
-    | Some v -> v
-    | None -> Stdlib.min (Time_ns.sec 5) (duration / 4)
-  in
-  let measure_until =
-    match measure_until with
-    | Some v -> v
-    | None -> duration - Stdlib.min (Time_ns.sec 2) (duration / 8)
-  in
-  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
-  let tracer = Trace.create () in
-  let trace =
-    match trace_op with Some _ -> Trace.sink tracer | None -> Trace.null
-  in
-  let engine = Engine.create ~seed () in
-  let jsink =
-    match journal with Some j -> Journal.sink j | None -> Journal.null
-  in
-  let flight =
-    match journal with
-    | Some j -> Some (Recorder.attach ~sample_every j engine)
-    | None -> None
-  in
-  let placement, replicas, clients = layout setting in
-  let recorder = Observer.Recorder.create () in
-  Observer.Recorder.start_measuring recorder measure_from;
-  Observer.Recorder.stop_measuring recorder measure_until;
-  let n_rep = Array.length replicas in
-  let stores = Array.init n_rep (fun _ -> Store.create ()) in
-  (* The simulated stable stores ([Domino_store]) are distinct from the
-     KV service [stores] above: one per replica, on the run's engine so
-     fsync barriers cost simulated time, journaling into the same sink. *)
-  let dstores =
-    Array.init n_rep (fun i ->
-        Domino_store.Store.create engine ~node:replicas.(i) ~params:store
-          ~journal:jsink)
-  in
-  let store_observer =
-    {
-      Observer.on_submit = (fun _ ~now:_ -> ());
-      on_commit = (fun _ ~now:_ -> ());
-      on_execute =
-        (fun ~replica op ~now:_ ->
-          if replica < n_rep then Store.apply stores.(replica) op);
-      on_phase = (fun ~node:_ ~op:_ ~name:_ ~dur:_ ~now:_ -> ());
-    }
-  in
-  let exec_replica_for (op : Op.t) =
-    let client_dc = placement.(op.Op.client) in
-    Some (closest_replica setting ~client_dc)
-  in
-  (* Harness-side retry sits between the workload and the protocol for
-     the four protocols without an in-protocol client retry; Domino's
-     own client handles timeouts and coordinator failover, enabled via
-     params below. Only armed under fault injection: fault-free runs
-     measure the protocols' native latency undisturbed. *)
-  let retry =
+(* [run] is the degenerate one-group case of the shard fabric: empty
+   metric/journal prefix, no composition marks, no hot-shard detector —
+   byte-identical (journal and metrics JSON) to the flat harness this
+   module used to implement inline. *)
+let run ?seed ?rate ?alpha ?duration ?measure_from ?measure_until ?metrics
+    ?trace_op ?journal ?sample_every ?faults ?dedup ?store setting proto =
+  let params =
+    let p = Protocols.params proto in
+    (* Under faults, arm Domino's in-protocol client retry (same
+       patience as the harness-side [Retry.default_policy]); the fabric
+       gives every group whose params leave it unarmed the harness-side
+       [Retry] wrapper instead. *)
     match (faults, proto) with
-    | Some _, (Mencius | Epaxos | Multi_paxos | Fast_paxos) ->
-      Some (Retry.create engine)
-    | _ -> None
+    | Some _, Domino _ ->
+      {
+        p with
+        Protocol_intf.retry_timeout = Time_ns.ms 800;
+        retry_max_attempts = 6;
+        retry_failover_after = 1;
+      }
+    | _ -> p
   in
-  let observer =
-    Observer.both
-      (Observer.both
-         (Observer.Recorder.observer recorder ~exec_replica_for ())
-         store_observer)
-      (obs_observer metrics trace tracer jsink ~trace_op ~exec_replica_for)
-  in
-  let observer =
-    match retry with
-    | Some r -> Observer.both (Retry.observer r) observer
-    | None -> observer
-  in
-  (* At-most-once execution at the service layer: retries can drive the
-     same op through consensus twice, so duplicates are filtered here —
-     before the stores, recorder, and journal see them. [~dedup:false]
-     is the deliberately-unsafe mutant the chaos tests use to prove the
-     checker catches double execution. *)
-  let dedups =
-    Array.init n_rep (fun _ -> Service.Dedup.create ~enabled:dedup ())
-  in
-  let observer =
-    let inner = observer in
+  let config =
     {
-      inner with
-      Observer.on_execute =
-        (fun ~replica op ~now ->
-          if replica >= n_rep || Service.Dedup.fresh dedups.(replica) op then
-            inner.Observer.on_execute ~replica op ~now);
+      Domino_shard.Fabric.topo = setting.topo;
+      client_dcs = setting.client_dcs;
+      groups =
+        [|
+          {
+            Domino_shard.Fabric.replica_dcs = setting.replica_dcs;
+            leader = setting.leader;
+            protocol = Protocols.resolve proto;
+            params;
+          };
+        |];
+      slots = Domino_shard.Slots.Hash { slots = 1 };
     }
   in
-  let coordinator_of client =
-    closest_replica setting ~client_dc:placement.(client)
+  let r =
+    Domino_shard.Fabric.run ?seed ?rate ?alpha ?duration ?measure_from
+      ?measure_until ?metrics ?trace_op ?journal ?sample_every ?faults ?dedup
+      ?store config
   in
-  let delivered = ref (fun () -> 0) in
-  let sent = ref (fun () -> 0) in
-  let env =
-    {
-      Protocol_intf.make_net =
-        (fun () ->
-          let net = Topology.make_net engine setting.topo ~placement () in
-          (match faults with
-          | Some plan -> Domino_fault.Inject.install plan ~net ~journal:jsink
-          | None -> ());
-          delivered := (fun () -> Fifo_net.messages_delivered net);
-          sent := (fun () -> Fifo_net.messages_sent net);
-          net);
-      replicas;
-      leader = replicas.(setting.leader);
-      coordinator_of = (fun c -> replicas.(coordinator_of c));
-      stores = dstores;
-      observer;
-      metrics;
-      trace;
-      journal = jsink;
-      params =
-        (Protocols.params proto
-        @
-        (* Under faults, arm Domino's in-protocol client retry (same
-           patience as the harness-side [Retry.default_policy]). *)
-        match (faults, proto) with
-        | Some _, Domino _ ->
-          [
-            ("retry_timeout_ms", 800.);
-            ("retry_max_attempts", 6.);
-            ("retry_failover_after", 1.);
-          ]
-        | _ -> []);
-    }
-  in
-  let (module P : Protocol_intf.S) = Protocols.resolve proto in
-  let p = P.create env in
-  (match retry with Some r -> Retry.set_submit r (P.submit p) | None -> ());
-  (match flight with
-  | None -> ()
-  | Some r ->
-    (* Probe registration order fixes the [Sample] stream order. *)
-    let submitted_c = Metrics.counter metrics "run.submitted"
-    and committed_c = Metrics.counter metrics "run.committed" in
-    Recorder.add_probe r "engine.pending" (fun () ->
-        float_of_int (Engine.pending engine));
-    Recorder.add_probe r "run.inflight_ops" (fun () ->
-        float_of_int
-          (Metrics.counter_value submitted_c
-          - Metrics.counter_value committed_c));
-    Recorder.add_probe r "net.inflight_msgs" (fun () ->
-        float_of_int (!sent () - !delivered ()));
-    List.iter
-      (fun (n, probe) -> Recorder.add_probe r ("proto." ^ n) probe)
-      (P.gauges p));
-  let drain = Time_ns.sec 3 in
-  let submit =
-    match retry with Some r -> Retry.submit r | None -> P.submit p
-  in
-  let _workload =
-    Workload.create ~alpha ~rate ~clients ~duration ~submit engine
-  in
-  Engine.run ~until:(duration + drain) engine;
-  let fast_commits, slow_commits =
-    match P.fast_slow_counts p with Some (f, s) -> (f, s) | None -> (0, 0)
-  in
-  Metrics.add (Metrics.counter metrics "run.fast_commits") fast_commits;
-  Metrics.add (Metrics.counter metrics "run.slow_commits") slow_commits;
-  Metrics.set
-    (Metrics.gauge metrics "sim.events")
-    (float_of_int (Engine.events_executed engine));
-  let wall_events = !delivered () in
-  Metrics.set
-    (Metrics.gauge metrics "net.messages_delivered")
-    (float_of_int wall_events);
-  let provenance =
-    match journal with
-    | None -> []
-    | Some j ->
-      let bs = Provenance.analyze j in
-      Provenance.record metrics bs;
-      bs
-  in
-  let store_counter key =
-    Array.fold_left
-      (fun acc st ->
-        acc
-        + (match List.assoc_opt key (Domino_store.Store.counters st) with
-          | Some v -> v
-          | None -> 0))
-      0 dstores
-  in
-  let sync_writes = store_counter "sync_writes" in
-  Metrics.add (Metrics.counter metrics "store.sync_writes") sync_writes;
-  Metrics.add (Metrics.counter metrics "store.syncs") (store_counter "syncs");
-  Metrics.add (Metrics.counter metrics "store.wipes") (store_counter "wipes");
-  let recovery_ms =
-    Array.fold_left
-      (fun acc st ->
-        acc @ List.map Time_ns.to_ms_f (Domino_store.Store.recovery_spans st))
-      [] dstores
-  in
-  let recovery_h = Metrics.histogram metrics "store.recovery_ms" in
-  List.iter (Metrics.observe recovery_h) recovery_ms;
+  let g = r.Domino_shard.Fabric.groups.(0) in
   {
-    recorder;
-    metrics;
-    trace = tracer;
-    fast_commits;
-    slow_commits;
-    extra =
-      (P.extra_stats p
-      @ (match retry with
-        | Some r ->
-          [
-            ("harness_retries", Retry.retries r);
-            ("harness_abandoned", Retry.abandoned r);
-          ]
-        | None -> [])
-      @
-      let dups =
-        Array.fold_left (fun acc d -> acc + Service.Dedup.duplicates d) 0 dedups
-      in
-      if dups > 0 then [ ("dedup_suppressed", dups) ] else []);
-    store_fingerprints = Array.to_list (Array.map Store.fingerprint stores);
-    wall_events;
-    provenance;
-    sync_writes;
-    recovery_ms;
+    recorder = g.Domino_shard.Fabric.recorder;
+    metrics = r.Domino_shard.Fabric.metrics;
+    trace = r.Domino_shard.Fabric.trace;
+    fast_commits = g.Domino_shard.Fabric.fast_commits;
+    slow_commits = g.Domino_shard.Fabric.slow_commits;
+    extra = g.Domino_shard.Fabric.extra;
+    store_fingerprints = g.Domino_shard.Fabric.store_fingerprints;
+    wall_events = g.Domino_shard.Fabric.wall_events;
+    provenance = r.Domino_shard.Fabric.provenance;
+    sync_writes = g.Domino_shard.Fabric.sync_writes;
+    recovery_ms = g.Domino_shard.Fabric.recovery_ms;
   }
 
 (* --- parallel sweep machinery ---

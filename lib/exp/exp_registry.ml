@@ -175,6 +175,15 @@ let all =
       run = (fun ~quick ~seed -> [ Exp_fsync.run ~quick ~seed () ]);
       smoke = None;
     };
+    {
+      id = "shards";
+      describe =
+        "shard-serving fabric: N Domino groups behind a slot router, shard \
+         count x client population";
+      aliases = [ "fabric" ];
+      run = (fun ~quick ~seed -> Exp_shards.run ~quick ~seed ());
+      smoke = Some (fun ~seed ?faults () -> Exp_shards.smoke_journal ~seed ?faults ());
+    };
   ]
 
 let find id =

@@ -54,15 +54,18 @@ let api_name = function
   | Multi_paxos -> "multipaxos"
   | Fast_paxos -> "fastpaxos"
 
+(* One decode site: the selector's knobs land in the typed params
+   record with exhaustive defaults for everything it doesn't set. *)
 let params = function
   | Domino { additional_delay; percentile; every_replica_learns; adaptive } ->
-    [
-      ("additional_delay_ms", Time_ns.to_ms_f additional_delay);
-      ("percentile", percentile);
-      ("every_replica_learns", if every_replica_learns then 1. else 0.);
-      ("adaptive", if adaptive then 1. else 0.);
-    ]
-  | Mencius | Epaxos | Multi_paxos | Fast_paxos -> []
+    {
+      Protocol_intf.default_params with
+      Protocol_intf.additional_delay;
+      percentile;
+      every_replica_learns;
+      adaptive;
+    }
+  | Mencius | Epaxos | Multi_paxos | Fast_paxos -> Protocol_intf.default_params
 
 let of_api_name = function
   | "domino" -> Some domino_default
@@ -72,18 +75,27 @@ let of_api_name = function
   | "fastpaxos" -> Some Fast_paxos
   | _ -> None
 
-let register_all () =
-  List.iter Protocol_intf.register
-    [
-      (module Domino_core.Domino.Api : Protocol_intf.S);
-      (module Domino_proto.Mencius.Api);
-      (module Domino_proto.Epaxos.Api);
-      (module Domino_proto.Multipaxos.Api);
-      (module Domino_proto.Fastpaxos.Api);
-    ]
+(* [Protocol_intf.register] hands back the module it registered, so
+   resolution binds each instance once at first use — no name lookup,
+   no re-registration per run. *)
+let registered =
+  lazy
+    (let r p = Protocol_intf.register p in
+     ( r (module Domino_core.Domino.Api : Protocol_intf.S),
+       r (module Domino_proto.Mencius.Api : Protocol_intf.S),
+       r (module Domino_proto.Epaxos.Api : Protocol_intf.S),
+       r (module Domino_proto.Multipaxos.Api : Protocol_intf.S),
+       r (module Domino_proto.Fastpaxos.Api : Protocol_intf.S) ))
+
+let register_all () = ignore (Lazy.force registered)
 
 let resolve proto =
-  register_all ();
-  match Protocol_intf.find (api_name proto) with
-  | Some p -> p
-  | None -> invalid_arg ("Protocols.resolve: " ^ api_name proto)
+  let domino, mencius, epaxos, multipaxos, fastpaxos =
+    Lazy.force registered
+  in
+  match proto with
+  | Domino _ -> domino
+  | Mencius -> mencius
+  | Epaxos -> epaxos
+  | Multi_paxos -> multipaxos
+  | Fast_paxos -> fastpaxos

@@ -5,8 +5,9 @@ open Domino_smr
 
     Experiments and the CLI pick protocols with this plain variant
     (Domino's config knobs inline); {!resolve} maps a selection to its
-    {!Protocol_intf.S} registry entry and {!params} flattens the knobs
-    into the [env.params] list the unified API expects. *)
+    {!Protocol_intf.S} registry entry and {!params} decodes the knobs
+    into the typed {!Protocol_intf.params} record the unified API
+    expects. *)
 
 type t =
   | Domino of {
@@ -36,7 +37,9 @@ val name : t -> string
 val api_name : t -> string
 (** Registry key ("multipaxos"). *)
 
-val params : t -> (string * float) list
+val params : t -> Protocol_intf.params
+(** The selector's knobs as the typed record, every other field at its
+    {!Protocol_intf.default_params} value. *)
 
 val of_api_name : string -> t option
 (** Inverse of {!api_name}, with Domino at its default settings. *)
@@ -46,5 +49,5 @@ val register_all : unit -> unit
     (idempotent). *)
 
 val resolve : t -> Protocol_intf.protocol
-(** [register_all] + lookup.
-    @raise Invalid_argument on an unregistered name. *)
+(** The selector's registered module, bound once at registration — no
+    per-run name lookup. *)

@@ -678,12 +678,13 @@ module Api = struct
 
   let name = "epaxos"
 
-  let create (env : Protocol_intf.env) =
-    let net = env.Protocol_intf.make_net () in
-    Protocol_intf.instrument env ~name ~classify ~op_of net;
-    create ~net ~replicas:env.Protocol_intf.replicas
-      ~coordinator_of:env.Protocol_intf.coordinator_of
-      ~observer:env.Protocol_intf.observer ~stores:env.Protocol_intf.stores ()
+  let create (env : Protocol_intf.Group.env) =
+    let open Protocol_intf in
+    let net = env.Group.make_net () in
+    instrument env ~name ~classify ~op_of net;
+    create ~net ~replicas:env.Group.replicas
+      ~coordinator_of:env.Group.coordinator_of ~observer:env.Group.observer
+      ~stores:env.Group.stores ()
 
   let submit = submit
   let committed_count t = t.fast + t.slow

@@ -368,12 +368,12 @@ module Api = struct
 
   let name = "multipaxos"
 
-  let create (env : Protocol_intf.env) =
-    let net = env.Protocol_intf.make_net () in
-    Protocol_intf.instrument env ~name ~classify ~op_of net;
-    create ~net ~replicas:env.Protocol_intf.replicas
-      ~leader:env.Protocol_intf.leader ~observer:env.Protocol_intf.observer
-      ~stores:env.Protocol_intf.stores ()
+  let create (env : Protocol_intf.Group.env) =
+    let open Protocol_intf in
+    let net = env.Group.make_net () in
+    instrument env ~name ~classify ~op_of net;
+    create ~net ~replicas:env.Group.replicas ~leader:env.Group.leader
+      ~observer:env.Group.observer ~stores:env.Group.stores ()
 
   let submit = submit
   let committed_count = committed_count

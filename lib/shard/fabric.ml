@@ -1,0 +1,524 @@
+open Domino_sim
+open Domino_net
+open Domino_smr
+open Domino_obs
+open Domino_kv
+
+type group_spec = {
+  replica_dcs : string array;
+  leader : int;
+  protocol : Protocol_intf.protocol;
+  params : Protocol_intf.params;
+}
+
+type config = {
+  topo : Topology.t;
+  client_dcs : string array;
+  groups : group_spec array;
+  slots : Slots.spec;
+}
+
+type group_result = {
+  prefix : string;
+  protocol_name : string;
+  recorder : Observer.Recorder.t;
+  fast_commits : int;
+  slow_commits : int;
+  extra : (string * int) list;
+  store_fingerprints : int list;
+  wall_events : int;
+  sync_writes : int;
+  recovery_ms : float list;
+  routed : int;
+}
+
+type result = {
+  metrics : Metrics.t;
+  trace : Trace.t;
+  groups : group_result array;
+  provenance : Provenance.breakdown list;
+  client_commit_ms : (string * Domino_stats.Summary.t) array;
+  hot_flags : int array;
+  hot_checks : int;
+}
+
+(* One group's live state between construction and collection. *)
+type live = {
+  spec : group_spec;
+  g_prefix : string;
+  g_recorder : Observer.Recorder.t;
+  kv_stores : Store.t array;
+  dstores : Domino_store.Store.t array;
+  retry : Retry.t option;
+  dedups : Service.Dedup.t array;
+  committed_c : Metrics.counter;
+  submit : Op.t -> unit;
+  gauges : (string * (unit -> float)) list;
+  delivered : unit -> int;
+  sent : unit -> int;
+  fast_slow : unit -> (int * int) option;
+  extra : unit -> (string * int) list;
+}
+
+(* The harness-side observability observer: run-level counters, the
+   commit/execution latency histograms, and the submit/commit/execute
+   span events for the focused operation. Counter names carry the
+   group prefix, so each group of a fabric owns its own [run.*]
+   instruments; the single-group prefix is empty and keeps the
+   historical names. *)
+let obs_observer ~prefix metrics trace tracer jsink ~trace_op ~submit_count
+    ~exec_replica_for =
+  let counter n = Metrics.counter metrics (prefix ^ n) in
+  let submitted_c = counter "run.submitted" in
+  let retries_c = counter "run.retries" in
+  let committed_c = counter "run.committed" in
+  let executed_c = counter "run.executed" in
+  let commit_h = Metrics.histogram metrics (prefix ^ "run.commit_latency_ms") in
+  let exec_h = Metrics.histogram metrics (prefix ^ "run.exec_latency_ms") in
+  let submit_times : (Op.id, Time_ns.t) Hashtbl.t = Hashtbl.create 1024 in
+  let latency_ms op ~now =
+    match Hashtbl.find_opt submit_times (Op.id op) with
+    | Some at -> Some (Time_ns.to_ms_f (Time_ns.diff now at))
+    | None -> None
+  in
+  {
+    Observer.on_submit =
+      (fun op ~now ->
+        if Hashtbl.mem submit_times (Op.id op) then
+          (* A protocol-level re-submission of a timed-out request:
+             latency stays anchored at the first submit, and the
+             journal keeps a single Submit per op. *)
+          Metrics.inc retries_c
+        else begin
+          Metrics.inc submitted_c;
+          Hashtbl.replace submit_times (Op.id op) now;
+          (* The focus counter is cluster-wide: the N-th submitted op
+             of the whole run, whichever group it routed to. *)
+          (match trace_op with
+          | Some n when !submit_count = n -> Trace.set_focus tracer (Op.id op)
+          | _ -> ());
+          incr submit_count;
+          if Journal.enabled jsink then
+            Journal.emit jsink
+              (Journal.Submit
+                 {
+                   op = Op.id op;
+                   node = op.Op.client;
+                   key = op.Op.key;
+                   at = now;
+                 });
+          if Trace.enabled trace then
+            Trace.emit trace
+              (Trace.Submit { op = Op.id op; node = op.Op.client; at = now })
+        end);
+    on_commit =
+      (fun op ~now ->
+        Metrics.inc committed_c;
+        (match latency_ms op ~now with
+        | Some l -> Metrics.observe commit_h l
+        | None -> ());
+        if Journal.enabled jsink then
+          Journal.emit jsink
+            (Journal.Commit { op = Op.id op; node = op.Op.client; at = now });
+        if Trace.enabled trace then
+          Trace.emit trace
+            (Trace.Committed { op = Op.id op; node = op.Op.client; at = now }));
+    on_execute =
+      (fun ~replica op ~now ->
+        Metrics.inc executed_c;
+        (if exec_replica_for op = Some replica then
+           match latency_ms op ~now with
+           | Some l -> Metrics.observe exec_h l
+           | None -> ());
+        if Journal.enabled jsink then
+          Journal.emit jsink
+            (Journal.Execute { op = Op.id op; replica; at = now });
+        if Trace.enabled trace then
+          Trace.emit trace
+            (Trace.Executed { op = Op.id op; replica; at = now }));
+    on_phase =
+      (fun ~node ~op ~name ~dur ~now ->
+        if Journal.enabled jsink then
+          Journal.emit jsink
+            (Journal.Phase
+               { node; op = Option.map Op.id op; name; dur; at = now }));
+  }
+
+let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
+    ?(duration = Time_ns.sec 30) ?measure_from ?measure_until ?metrics
+    ?trace_op ?journal ?(sample_every = Time_ns.ms 100)
+    ?(hot_every = Time_ns.ms 500) ?(hot_factor = 2.) ?faults ?(dedup = true)
+    ?(store = Domino_store.Store.default_params) (config : config) =
+  let n_groups = Array.length config.groups in
+  if n_groups = 0 then invalid_arg "Fabric.run: no groups";
+  let n_rep =
+    let (g0 : group_spec) = config.groups.(0) in
+    Array.length g0.replica_dcs
+  in
+  Array.iter
+    (fun g ->
+      if Array.length g.replica_dcs <> n_rep then
+        invalid_arg
+          "Fabric.run: groups must host equal replica counts (client node \
+           ids are shared across group networks)")
+    config.groups;
+  let n_cli = Array.length config.client_dcs in
+  let measure_from =
+    match measure_from with
+    | Some v -> v
+    | None -> Stdlib.min (Time_ns.sec 5) (duration / 4)
+  in
+  let measure_until =
+    match measure_until with
+    | Some v -> v
+    | None -> duration - Stdlib.min (Time_ns.sec 2) (duration / 8)
+  in
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let tracer = Trace.create () in
+  let trace =
+    match trace_op with Some _ -> Trace.sink tracer | None -> Trace.null
+  in
+  let engine = Engine.create ~seed () in
+  let jsink =
+    match journal with Some j -> Journal.sink j | None -> Journal.null
+  in
+  let flight =
+    match journal with
+    | Some j -> Some (Recorder.attach ~sample_every j engine)
+    | None -> None
+  in
+  (* Group composition header, multi-group only: single-group journals
+     stay byte-identical to the flat (pre-fabric) layout. *)
+  if n_groups > 1 && Journal.enabled jsink then
+    Array.iteri
+      (fun k (g : group_spec) ->
+        let (module P : Protocol_intf.S) = g.protocol in
+        Journal.emit jsink
+          (Journal.Mark
+             {
+               label =
+                 Printf.sprintf "g%d proto=%s replicas=%s leader=%d" k P.name
+                   (String.concat "," (Array.to_list g.replica_dcs))
+                   g.leader;
+               at = Time_ns.zero;
+             }))
+      config.groups;
+  let cluster =
+    {
+      Protocol_intf.Cluster.engine;
+      topo = config.topo;
+      metrics;
+      trace;
+      journal = jsink;
+    }
+  in
+  let submit_count = ref 0 in
+  let make_group k (spec : group_spec) : live =
+    let prefix = if n_groups = 1 then "" else Printf.sprintf "g%d." k in
+    (* Node layout within this group's network: replicas first, then
+       clients — every group numbers the shared physical clients
+       identically because replica counts are equal. *)
+    let placement = Array.append spec.replica_dcs config.client_dcs in
+    let replicas = Array.init n_rep Fun.id in
+    let recorder = Observer.Recorder.create () in
+    Observer.Recorder.start_measuring recorder measure_from;
+    Observer.Recorder.stop_measuring recorder measure_until;
+    let kv_stores = Array.init n_rep (fun _ -> Store.create ()) in
+    (* The simulated stable stores ([Domino_store]) are distinct from
+       the KV service stores above: one per replica, on the shared
+       engine so fsync barriers cost simulated time, journaling into
+       the same sink. *)
+    let dstores =
+      Array.init n_rep (fun i ->
+          Domino_store.Store.create engine ~node:replicas.(i) ~params:store
+            ~journal:jsink)
+    in
+    let store_observer =
+      {
+        Observer.on_submit = (fun _ ~now:_ -> ());
+        on_commit = (fun _ ~now:_ -> ());
+        on_execute =
+          (fun ~replica op ~now:_ ->
+            if replica < n_rep then Store.apply kv_stores.(replica) op);
+        on_phase = (fun ~node:_ ~op:_ ~name:_ ~dur:_ ~now:_ -> ());
+      }
+    in
+    let exec_replica_for (op : Op.t) =
+      let client_dc = placement.(op.Op.client) in
+      Some
+        (Placement.closest_replica config.topo ~replica_dcs:spec.replica_dcs
+           ~client_dc)
+    in
+    (* Per-group retry/failover sits between the router and the
+       protocol. A protocol whose params arm an in-protocol client
+       retry (Domino under faults) handles timeouts and coordinator
+       failover itself; every other group gets the harness-side
+       [Retry] wrapper. Only armed under fault injection: fault-free
+       runs measure the protocols' native latency undisturbed. *)
+    let retry =
+      match faults with
+      | Some _ when spec.params.Protocol_intf.retry_timeout = 0 ->
+        Some (Retry.create engine)
+      | _ -> None
+    in
+    let observer =
+      Observer.both
+        (Observer.both
+           (Observer.Recorder.observer recorder ~exec_replica_for ())
+           store_observer)
+        (obs_observer ~prefix metrics trace tracer jsink ~trace_op
+           ~submit_count ~exec_replica_for)
+    in
+    let observer =
+      match retry with
+      | Some r -> Observer.both (Retry.observer r) observer
+      | None -> observer
+    in
+    (* At-most-once execution at the service layer: retries can drive
+       the same op through consensus twice, so duplicates are filtered
+       here — before the stores, recorder, and journal see them.
+       [~dedup:false] is the deliberately-unsafe mutant the chaos tests
+       use to prove the checker catches double execution. *)
+    let dedups =
+      Array.init n_rep (fun _ -> Service.Dedup.create ~enabled:dedup ())
+    in
+    let observer =
+      let inner = observer in
+      {
+        inner with
+        Observer.on_execute =
+          (fun ~replica op ~now ->
+            if replica >= n_rep || Service.Dedup.fresh dedups.(replica) op
+            then inner.Observer.on_execute ~replica op ~now);
+      }
+    in
+    let coordinator_of client =
+      replicas.(Placement.closest_replica config.topo
+                  ~replica_dcs:spec.replica_dcs
+                  ~client_dc:placement.(client))
+    in
+    let delivered = ref (fun () -> 0) in
+    let sent = ref (fun () -> 0) in
+    let env =
+      {
+        Protocol_intf.Group.cluster;
+        prefix;
+        make_net =
+          (fun () ->
+            let net =
+              Topology.make_net engine config.topo ~placement ()
+            in
+            (match faults with
+            | Some plan ->
+              Domino_fault.Inject.install plan ~net ~journal:jsink
+            | None -> ());
+            delivered := (fun () -> Fifo_net.messages_delivered net);
+            sent := (fun () -> Fifo_net.messages_sent net);
+            net);
+        replicas;
+        leader = replicas.(spec.leader);
+        coordinator_of;
+        observer;
+        stores = dstores;
+        params = spec.params;
+      }
+    in
+    let (module P : Protocol_intf.S) = spec.protocol in
+    let p = P.create env in
+    (match retry with Some r -> Retry.set_submit r (P.submit p) | None -> ());
+    let submit =
+      match retry with Some r -> Retry.submit r | None -> P.submit p
+    in
+    {
+      spec;
+      g_prefix = prefix;
+      g_recorder = recorder;
+      kv_stores;
+      dstores;
+      retry;
+      dedups;
+      committed_c = Metrics.counter metrics (prefix ^ "run.committed");
+      submit;
+      gauges = P.gauges p;
+      delivered = (fun () -> !delivered ());
+      sent = (fun () -> !sent ());
+      fast_slow = (fun () -> P.fast_slow_counts p);
+      extra = (fun () -> P.extra_stats p);
+    }
+  in
+  let lives = Array.mapi make_group config.groups in
+  (match flight with
+  | None -> ()
+  | Some r ->
+    (* Probe registration order fixes the [Sample] stream order:
+       engine-wide gauges first, then each group's in registration
+       order. *)
+    Recorder.add_probe r "engine.pending" (fun () ->
+        float_of_int (Engine.pending engine));
+    Array.iter
+      (fun live ->
+        let prefix = live.g_prefix in
+        let submitted_c =
+          Metrics.counter metrics (prefix ^ "run.submitted")
+        in
+        Recorder.add_probe r (prefix ^ "run.inflight_ops") (fun () ->
+            float_of_int
+              (Metrics.counter_value submitted_c
+              - Metrics.counter_value live.committed_c));
+        Recorder.add_probe r (prefix ^ "net.inflight_msgs") (fun () ->
+            float_of_int (live.sent () - live.delivered ()));
+        List.iter
+          (fun (n, probe) ->
+            Recorder.add_probe r (prefix ^ "proto." ^ n) probe)
+          live.gauges)
+      lives);
+  (* The shard router: each group's (retry-wrapped) submit behind the
+     slot map. With one group it degenerates to that group's submit. *)
+  let assignment =
+    Slots.assign ~slots:(Slots.slots config.slots) ~groups:n_groups
+  in
+  let router =
+    Router.create ~spec:config.slots ~assignment
+      ~submits:(Array.map (fun live -> live.submit) lives)
+  in
+  (* Hot-shard detection, multi-group only: a single group can't be
+     hot relative to its peers, and the extra sampling timer would
+     perturb single-group byte-identity with the flat harness. *)
+  let hotspot =
+    if n_groups > 1 then
+      Some
+        (Hotspot.create engine ~every:hot_every ~groups:n_groups
+           ~factor:hot_factor
+           ~loads:(fun () ->
+             Array.map
+               (fun live ->
+                 float_of_int (Metrics.counter_value live.committed_c))
+               lives)
+           ~journal:jsink ())
+    else None
+  in
+  (match (flight, hotspot) with
+  | Some r, Some h -> Recorder.add_probe r "fabric.hottest" (Hotspot.probe h)
+  | _ -> ());
+  let drain = Time_ns.sec 3 in
+  let clients = List.init n_cli (fun i -> n_rep + i) in
+  let _workload =
+    Workload.create ~alpha ~rate ~clients ~duration
+      ~submit:(Router.submit router) engine
+  in
+  Engine.run ~until:(duration + drain) engine;
+  let routed = Router.routed router in
+  let group_results =
+    Array.mapi
+      (fun k live ->
+        let prefix = live.g_prefix in
+        let counter n = Metrics.counter metrics (prefix ^ n) in
+        let fast_commits, slow_commits =
+          match live.fast_slow () with Some (f, s) -> (f, s) | None -> (0, 0)
+        in
+        Metrics.add (counter "run.fast_commits") fast_commits;
+        Metrics.add (counter "run.slow_commits") slow_commits;
+        let wall_events = live.delivered () in
+        Metrics.set
+          (Metrics.gauge metrics (prefix ^ "net.messages_delivered"))
+          (float_of_int wall_events);
+        let store_counter key =
+          Array.fold_left
+            (fun acc st ->
+              acc
+              + (match
+                   List.assoc_opt key (Domino_store.Store.counters st)
+                 with
+                | Some v -> v
+                | None -> 0))
+            0 live.dstores
+        in
+        let sync_writes = store_counter "sync_writes" in
+        Metrics.add (counter "store.sync_writes") sync_writes;
+        Metrics.add (counter "store.syncs") (store_counter "syncs");
+        Metrics.add (counter "store.wipes") (store_counter "wipes");
+        let recovery_ms =
+          Array.fold_left
+            (fun acc st ->
+              acc
+              @ List.map Time_ns.to_ms_f
+                  (Domino_store.Store.recovery_spans st))
+            [] live.dstores
+        in
+        let recovery_h =
+          Metrics.histogram metrics (prefix ^ "store.recovery_ms")
+        in
+        List.iter (Metrics.observe recovery_h) recovery_ms;
+        let (module P : Protocol_intf.S) = live.spec.protocol in
+        {
+          prefix;
+          protocol_name = P.name;
+          recorder = live.g_recorder;
+          fast_commits;
+          slow_commits;
+          extra =
+            (live.extra ()
+            @ (match live.retry with
+              | Some r ->
+                [
+                  ("harness_retries", Retry.retries r);
+                  ("harness_abandoned", Retry.abandoned r);
+                ]
+              | None -> [])
+            @
+            let dups =
+              Array.fold_left
+                (fun acc d -> acc + Service.Dedup.duplicates d)
+                0 live.dedups
+            in
+            if dups > 0 then [ ("dedup_suppressed", dups) ] else []);
+          store_fingerprints =
+            Array.to_list (Array.map Store.fingerprint live.kv_stores);
+          wall_events;
+          sync_writes;
+          recovery_ms;
+          routed = routed.(k);
+        })
+      lives
+  in
+  Metrics.set
+    (Metrics.gauge metrics "sim.events")
+    (float_of_int (Engine.events_executed engine));
+  let provenance =
+    match journal with
+    | None -> []
+    | Some j ->
+      let bs = Provenance.analyze j in
+      Provenance.record metrics bs;
+      bs
+  in
+  (* Per-client commit latency, merged across the groups that client's
+     keys routed to: the bottleneck-node surface of the shards
+     experiment. Physical client [i] is node [n_rep + i] in every
+     group's network. *)
+  let client_commit_ms =
+    Array.init n_cli (fun i ->
+        let node = n_rep + i in
+        let merged =
+          Array.fold_left
+            (fun acc live ->
+              Domino_stats.Summary.merge acc
+                (Observer.Recorder.commit_latency_of_client_ms live.g_recorder
+                   node))
+            (Domino_stats.Summary.create ())
+            lives
+        in
+        (config.client_dcs.(i), merged))
+  in
+  {
+    metrics;
+    trace = tracer;
+    groups = group_results;
+    provenance;
+    client_commit_ms;
+    hot_flags =
+      (match hotspot with
+      | Some h -> Hotspot.flags h
+      | None -> Array.make n_groups 0);
+    hot_checks = (match hotspot with Some h -> Hotspot.checks h | None -> 0);
+  }

@@ -1,0 +1,93 @@
+open Domino_sim
+open Domino_net
+open Domino_smr
+open Domino_obs
+
+(** The shard-serving fabric: one simulation engine hosting N consensus
+    groups behind a slot router.
+
+    Each group is an independent protocol instance — its own replicas,
+    networks, stable stores, retry policy, and leader placement — but
+    all groups share the engine, topology, metrics registry, journal
+    ring, and flight recorder, with per-group instruments namespaced
+    [g<k>.…]. Physical clients are shared too: every group numbers them
+    identically (replica ids first, client ids after — which requires
+    equal replica counts across groups), so one workload generator
+    drives the whole fabric through the {!Router}.
+
+    A single-group fabric is byte-identical (journal and metrics JSON)
+    to the historical flat harness: the prefix is empty, no composition
+    [Mark]s are emitted, and the hot-shard detector stays off. The
+    [lib/exp] harness's [Exp_common.run] is exactly that degenerate
+    case. *)
+
+type group_spec = {
+  replica_dcs : string array;
+  leader : int;  (** index into [replica_dcs] *)
+  protocol : Protocol_intf.protocol;
+  params : Protocol_intf.params;
+}
+
+type config = {
+  topo : Topology.t;
+  client_dcs : string array;
+  groups : group_spec array;
+  slots : Slots.spec;
+}
+
+type group_result = {
+  prefix : string;  (** ["g<k>."], or [""] for a single group *)
+  protocol_name : string;
+  recorder : Observer.Recorder.t;
+  fast_commits : int;
+  slow_commits : int;
+  extra : (string * int) list;
+  store_fingerprints : int list;
+  wall_events : int;
+  sync_writes : int;
+  recovery_ms : float list;
+  routed : int;  (** ops the router sent this group *)
+}
+
+type result = {
+  metrics : Metrics.t;
+  trace : Trace.t;
+  groups : group_result array;
+  provenance : Provenance.breakdown list;
+  client_commit_ms : (string * Domino_stats.Summary.t) array;
+      (** per physical client (dc name, commit latency merged across
+          every group that client's keys routed to) — the bottleneck-
+          node surface of the shards experiment *)
+  hot_flags : int array;
+  hot_checks : int;
+}
+
+val run :
+  ?seed:int64 ->
+  ?rate:float ->
+  ?alpha:float ->
+  ?duration:Time_ns.span ->
+  ?measure_from:Time_ns.span ->
+  ?measure_until:Time_ns.span ->
+  ?metrics:Metrics.t ->
+  ?trace_op:int ->
+  ?journal:Journal.t ->
+  ?sample_every:Time_ns.span ->
+  ?hot_every:Time_ns.span ->
+  ?hot_factor:float ->
+  ?faults:Domino_fault.Plan.t ->
+  ?dedup:bool ->
+  ?store:Domino_store.Store.params ->
+  config ->
+  result
+(** Build every group, wire the router over their (retry-wrapped)
+    submit paths, drive one shared workload, run to [duration] plus a
+    3 s drain, and collect per-group plus fabric-wide results.
+
+    Per-group retry/failover: under [?faults], a group whose params arm
+    an in-protocol client retry ([retry_timeout > 0]) relies on it;
+    every other group's submit is wrapped in the harness
+    {!Domino_smr.Retry}. Without faults neither is armed.
+
+    @raise Invalid_argument on an empty group list, unequal replica
+    counts across groups, or fewer slots than groups. *)

@@ -1,0 +1,28 @@
+open Domino_smr
+
+type t = {
+  spec : Slots.spec;
+  assignment : int array;
+  submits : (Op.t -> unit) array;
+  routed : int array;
+}
+
+let create ~spec ~assignment ~submits =
+  Slots.validate spec;
+  let groups = Array.length submits in
+  if groups = 0 then invalid_arg "Router.create: no groups";
+  if Array.length assignment <> Slots.slots spec then
+    invalid_arg "Router.create: assignment size <> slot count";
+  ignore (Slots.spread assignment ~groups);
+  { spec; assignment; submits; routed = Array.make groups 0 }
+
+let group_of t key = Slots.owner t.spec t.assignment key
+
+let submit t (op : Op.t) =
+  let g = group_of t op.Op.key in
+  t.routed.(g) <- t.routed.(g) + 1;
+  t.submits.(g) op
+
+let routed t = Array.copy t.routed
+
+let groups t = Array.length t.submits

@@ -1,0 +1,35 @@
+open Domino_smr
+
+(** The client-side shard router: one submit function per consensus
+    group plus a slot map, exactly the smart-client shape of Redis
+    Cluster / Spanner proxies. An operation's key picks its slot, the
+    slot's owning group gets the op.
+
+    Retry and failover are composed {e underneath} the router by the
+    fabric: each group's submit function is (under fault injection)
+    already wrapped in its per-group retry/failover policy — the
+    protocol's own client retry when it has one, the harness
+    {!Domino_smr.Retry} otherwise — so a crashed group leader stalls
+    only that group's slots and the router's other targets keep
+    committing. *)
+
+type t
+
+val create :
+  spec:Slots.spec ->
+  assignment:int array ->
+  submits:(Op.t -> unit) array ->
+  t
+(** @raise Invalid_argument on an empty group list, a slot-count
+    mismatch, or an assignment naming an unknown group. *)
+
+val group_of : t -> int -> int
+(** The group that owns a key. Pure; used by tests and rebalancing. *)
+
+val submit : t -> Op.t -> unit
+(** Route one op to its key's owner. *)
+
+val routed : t -> int array
+(** Ops routed per group so far. *)
+
+val groups : t -> int

@@ -1,0 +1,54 @@
+type spec =
+  | Hash of { slots : int }
+  | Range of { slots : int; keys : int }
+
+let slots = function Hash { slots } | Range { slots; _ } -> slots
+
+let validate spec =
+  let s = slots spec in
+  if s <= 0 then invalid_arg "Slots: slot count must be positive";
+  match spec with
+  | Range { keys; _ } when keys <= 0 ->
+    invalid_arg "Slots: keyspace size must be positive"
+  | _ -> ()
+
+(* SplitMix64 finalizer: a fixed, well-mixed integer hash. Written out
+   rather than [Hashtbl.hash] so slot placement is a stable function of
+   the key across OCaml versions — slot maps are part of the journal's
+   determinism contract. *)
+let mix64 k =
+  let open Int64 in
+  let z = add (of_int k) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let slot_of_key spec key =
+  match spec with
+  | Hash { slots } ->
+    Int64.to_int (Int64.rem (Int64.logand (mix64 key) Int64.max_int)
+                    (Int64.of_int slots))
+  | Range { slots; keys } ->
+    (* Contiguous key ranges of near-equal width; out-of-range keys
+       clamp to the edge slots. *)
+    if key <= 0 then 0
+    else if key >= keys then slots - 1
+    else key * slots / keys
+
+let assign ~slots ~groups =
+  if groups <= 0 then invalid_arg "Slots.assign: groups must be positive";
+  if slots < groups then
+    invalid_arg "Slots.assign: fewer slots than groups";
+  Array.init slots (fun s -> s mod groups)
+
+let owner spec assignment key = assignment.(slot_of_key spec key)
+
+let spread assignment ~groups =
+  let counts = Array.make groups 0 in
+  Array.iter
+    (fun g ->
+      if g < 0 || g >= groups then
+        invalid_arg "Slots.spread: assignment references unknown group";
+      counts.(g) <- counts.(g) + 1)
+    assignment;
+  counts

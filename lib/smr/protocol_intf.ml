@@ -1,30 +1,66 @@
+open Domino_sim
 open Domino_net
 open Domino_obs
 
-type env = {
-  make_net : 'msg. unit -> 'msg Fifo_net.t;
-  replicas : Nodeid.t array;
-  leader : Nodeid.t;
-  coordinator_of : Nodeid.t -> Nodeid.t;
-  observer : Observer.t;
-  metrics : Metrics.t;
-  trace : Trace.sink;
-  journal : Journal.sink;
-  stores : Domino_store.Store.t array;
-  params : (string * float) list;
+type params = {
+  additional_delay : Time_ns.span;
+  percentile : float;
+  every_replica_learns : bool;
+  adaptive : bool;
+  force_dfp : bool;
+  retry_timeout : Time_ns.span;
+  retry_max_attempts : int;
+  retry_failover_after : int;
 }
 
-let param env name ~default =
-  match List.assoc_opt name env.params with Some v -> v | None -> default
+let default_params =
+  {
+    additional_delay = 0;
+    percentile = 95.;
+    every_replica_learns = false;
+    adaptive = false;
+    force_dfp = false;
+    retry_timeout = 0;
+    retry_max_attempts = 6;
+    retry_failover_after = 1;
+  }
 
-let flag env name ~default =
-  param env name ~default:(if default then 1. else 0.) <> 0.
+module Cluster = struct
+  type env = {
+    engine : Engine.t;
+    topo : Topology.t;
+    metrics : Metrics.t;
+    trace : Trace.sink;
+    journal : Journal.sink;
+  }
+end
+
+module Group = struct
+  type env = {
+    cluster : Cluster.env;
+    prefix : string;
+    make_net : 'msg. unit -> 'msg Fifo_net.t;
+    replicas : Nodeid.t array;
+    leader : Nodeid.t;
+    coordinator_of : Nodeid.t -> Nodeid.t;
+    observer : Observer.t;
+    stores : Domino_store.Store.t array;
+    params : params;
+  }
+
+  let metrics g = g.cluster.Cluster.metrics
+  let trace g = g.cluster.Cluster.trace
+  let journal g = g.cluster.Cluster.journal
+  let qualify g name = g.prefix ^ name
+end
+
+type env = Group.env
 
 module type S = sig
   type t
 
   val name : string
-  val create : env -> t
+  val create : Group.env -> t
   val submit : t -> Op.t -> unit
   val committed_count : t -> int
   val fast_slow_counts : t -> (int * int) option
@@ -47,7 +83,8 @@ let locked f =
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
 let register ((module P : S) as p) =
-  locked (fun () -> Hashtbl.replace registry P.name p)
+  locked (fun () -> Hashtbl.replace registry P.name p);
+  p
 
 let find name = locked (fun () -> Hashtbl.find_opt registry name)
 
@@ -55,10 +92,17 @@ let names () =
   locked (fun () ->
       List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) registry []))
 
-let instrument (type msg) env ~name ~(classify : msg -> Msg_class.t)
-    ~(op_of : msg -> Op.t option) (net : msg Fifo_net.t) =
+let instrument (type msg) (env : Group.env) ~name
+    ~(classify : msg -> Msg_class.t) ~(op_of : msg -> Op.t option)
+    (net : msg Fifo_net.t) =
+  (* Metric names carry the group prefix, so two groups running the
+     same protocol on one cluster count into distinct instruments
+     ([g0.domino.msg.*] vs [g1.domino.msg.*]); a single-group run has
+     the empty prefix and keeps the historical [domino.msg.*] names. *)
+  let name = Group.qualify env name in
+  let metrics = Group.metrics env in
   let counter suffix cls =
-    Metrics.counter env.metrics
+    Metrics.counter metrics
       (Printf.sprintf "%s.msg.%s.%s" name (Msg_class.to_string cls) suffix)
   in
   (* Pre-register one counter per (class, direction) so the hot path is
@@ -82,8 +126,8 @@ let instrument (type msg) env ~name ~(classify : msg -> Msg_class.t)
   let sent = pick "sent"
   and delivered = pick "delivered"
   and dropped = pick "dropped" in
-  let trace = env.trace in
-  let journal = env.journal in
+  let trace = Group.trace env in
+  let journal = Group.journal env in
   Fifo_net.set_tracer net (fun ev ->
       match ev with
       | Fifo_net.Sent { seq; src; dst; msg; at } ->

@@ -1,3 +1,4 @@
+open Domino_sim
 open Domino_net
 open Domino_obs
 
@@ -6,45 +7,92 @@ open Domino_obs
     Every replication protocol in the repo — the four comparison
     systems and Domino itself — implements {!S} and registers a
     first-class module under a stable name. Harnesses (the experiment
-    runner, the CLI, the conformance tests) construct an {!env} and
-    dispatch through the registry instead of pattern-matching on a
-    protocol variant, so adding a protocol means adding one module and
-    one [register] call, not editing every caller.
+    runner, the shard fabric, the CLI, the conformance tests)
+    construct environments and dispatch through the registry instead
+    of pattern-matching on a protocol variant, so adding a protocol
+    means adding one module and one [register] call, not editing every
+    caller.
 
-    The [env] record is the whole wiring contract: the protocol builds
-    its own network via [make_net] (each protocol has its own message
-    type, hence the universally-quantified field), places itself on
-    [replicas], and reads deployment roles ([leader],
-    [coordinator_of]) and free-form numeric [params] — Domino's config
-    knobs travel there so the signature stays protocol-agnostic. *)
+    The environment is split in two layers so one simulation can host
+    many consensus groups:
 
-type env = {
-  make_net : 'msg. unit -> 'msg Fifo_net.t;
-      (** fresh network for the protocol's own message type *)
-  replicas : Nodeid.t array;
-  leader : Nodeid.t;
-      (** Multi-Paxos leader; Fast Paxos / DFP coordinator *)
-  coordinator_of : Nodeid.t -> Nodeid.t;
-      (** per-client entry replica (Mencius, EPaxos) *)
-  observer : Observer.t;
-  metrics : Metrics.t;
-  trace : Trace.sink;
-  journal : Journal.sink;
-      (** the flight recorder's event stream; {!Journal.null} when
-          recording is off *)
-  stores : Domino_store.Store.t array;
-      (** one stable store per replica, indexed like [replicas]:
-          protocols persist safety-critical state here (fsync before
-          externalizing) and rebuild from it after a wipe-restart *)
-  params : (string * float) list;
-      (** protocol-specific knobs, e.g. Domino's
-          [additional_delay_ms]; unknown keys are ignored *)
+    - {!Cluster.env} is shared by every group on an engine: the engine
+      itself, the WAN topology, and the cluster-wide observability
+      sinks (metrics registry, trace sink, flight-recorder journal).
+    - {!Group.env} is one group's slice: its replicas and roles, its
+      stable stores, its typed {!params}, its harness observer, and a
+      [prefix] that namespaces everything the group emits into the
+      shared metrics registry ([g0.domino.msg.*], [g1.run.committed],
+      ...). A single-group run uses the empty prefix, which keeps its
+      output byte-identical to the historical flat layout. *)
+
+type params = {
+  additional_delay : Time_ns.span;
+      (** Domino: extra delay added to DFP request timestamps *)
+  percentile : float;
+      (** Domino: percentile used for delay estimates *)
+  every_replica_learns : bool;  (** Domino: learner broadcast mode *)
+  adaptive : bool;  (** Domino: §5.4 feedback controller *)
+  force_dfp : bool;  (** Domino: disable the DM fallback *)
+  retry_timeout : Time_ns.span;
+      (** in-protocol client retry patience; [0] disables retry *)
+  retry_max_attempts : int;
+  retry_failover_after : int;
+      (** failed attempts before the client fails over away from its
+          coordinator *)
 }
+(** Protocol knobs, decoded once by the harness with exhaustive
+    defaults ({!default_params}) instead of stringly per-call-site
+    lookups. Protocols read the fields they care about and ignore the
+    rest. *)
 
-val param : env -> string -> default:float -> float
+val default_params : params
 
-val flag : env -> string -> default:bool -> bool
-(** A [params] entry read as a boolean (non-zero = true). *)
+module Cluster : sig
+  type env = {
+    engine : Engine.t;
+    topo : Topology.t;
+    metrics : Metrics.t;
+    trace : Trace.sink;
+    journal : Journal.sink;
+        (** the flight recorder's event stream; {!Journal.null} when
+            recording is off *)
+  }
+end
+
+module Group : sig
+  type env = {
+    cluster : Cluster.env;
+    prefix : string;
+        (** metric namespace of this group instance, [""] for a
+            single-group run, ["g<k>."] within a shard fabric *)
+    make_net : 'msg. unit -> 'msg Fifo_net.t;
+        (** fresh network for the protocol's own message type, spanning
+            this group's replicas and its clients *)
+    replicas : Nodeid.t array;
+    leader : Nodeid.t;
+        (** Multi-Paxos leader; Fast Paxos / DFP coordinator *)
+    coordinator_of : Nodeid.t -> Nodeid.t;
+        (** per-client entry replica (Mencius, EPaxos) *)
+    observer : Observer.t;
+    stores : Domino_store.Store.t array;
+        (** one stable store per replica, indexed like [replicas]:
+            protocols persist safety-critical state here (fsync before
+            externalizing) and rebuild from it after a wipe-restart *)
+    params : params;
+  }
+
+  val metrics : env -> Metrics.t
+  val trace : env -> Trace.sink
+  val journal : env -> Journal.sink
+
+  val qualify : env -> string -> string
+  (** [qualify g name] is [g.prefix ^ name] — the group-namespaced
+      instrument name. *)
+end
+
+type env = Group.env
+(** A protocol is created from its group's environment. *)
 
 module type S = sig
   type t
@@ -52,7 +100,7 @@ module type S = sig
   val name : string
   (** Stable registry key (lowercase, no spaces). *)
 
-  val create : env -> t
+  val create : Group.env -> t
   (** Build the protocol instance: make the net, install handlers and
       the observability instrumentation ({!instrument}). *)
 
@@ -80,8 +128,10 @@ end
 
 type protocol = (module S)
 
-val register : protocol -> unit
-(** Idempotent: re-registering a name replaces the entry. *)
+val register : protocol -> protocol
+(** Idempotent: re-registering a name replaces the entry. Returns the
+    module it registered so call sites can bind the instance directly
+    instead of re-resolving it through {!find}. *)
 
 val find : string -> protocol option
 
@@ -89,7 +139,7 @@ val names : unit -> string list
 (** Sorted. *)
 
 val instrument :
-  env ->
+  Group.env ->
   name:string ->
   classify:('msg -> Msg_class.t) ->
   op_of:('msg -> Op.t option) ->
@@ -97,9 +147,10 @@ val instrument :
   unit
 (** Install the observability hook on the protocol's network: counts
     every send, delivery and drop into
-    [<name>.msg.<class>.{sent,delivered,dropped}] counters; when the
-    flight recorder is on, journals every message event; and — when
-    tracing is enabled — emits span events for messages whose
-    operation [op_of] can identify. Messages that do not carry the
-    operation (bare acks, probes) are counted but not attributed to a
-    span. *)
+    [<prefix><name>.msg.<class>.{sent,delivered,dropped}] counters —
+    the group's prefix keeps two groups running the same protocol from
+    colliding on one instrument; when the flight recorder is on,
+    journals every message event; and — when tracing is enabled —
+    emits span events for messages whose operation [op_of] can
+    identify. Messages that do not carry the operation (bare acks,
+    probes) are counted but not attributed to a span. *)

@@ -100,13 +100,25 @@ let direct_run name =
         on_phase = (fun ~node:_ ~op:_ ~name:_ ~dur:_ ~now:_ -> ());
       }
     in
+    let cluster =
+      {
+        Protocol_intf.Cluster.engine;
+        topo = Topology.na;
+        metrics = Metrics.create ();
+        trace = Trace.null;
+        journal = Journal.null;
+      }
+    in
     let env =
       {
-        Protocol_intf.make_net =
+        Protocol_intf.Group.cluster;
+        prefix = "";
+        make_net =
           (fun () -> Topology.make_net engine Topology.na ~placement ());
         replicas;
         leader = 0;
         coordinator_of = (fun c -> replicas.(c mod Array.length replicas));
+        observer;
         stores =
           Array.map
             (fun node ->
@@ -114,11 +126,7 @@ let direct_run name =
                 ~params:Domino_store.Store.default_params
                 ~journal:Journal.null)
             replicas;
-        observer;
-        metrics = Metrics.create ();
-        trace = Trace.null;
-        journal = Journal.null;
-        params = [];
+        params = Protocol_intf.default_params;
       }
     in
     let p = P.create env in
