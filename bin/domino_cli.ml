@@ -88,6 +88,21 @@ let seed_arg =
   let doc = "Random seed (runs are deterministic per seed)." in
   Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"N" ~doc)
 
+let scheduler_arg =
+  let doc =
+    "Event-queue implementation: $(b,wheel) (hierarchical timing wheel, \
+     default) or $(b,pheap) (binary heap). Runs are byte-identical \
+     across the two; the flag exists for A/B measurement and as a \
+     fallback."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("wheel", Engine.Wheel_sched); ("pheap", Engine.Pheap_sched) ])
+        Engine.Wheel_sched
+    & info [ "scheduler" ] ~docv:"IMPL" ~doc)
+
 let setting_arg =
   let settings =
     [
@@ -197,9 +212,10 @@ let run_cmd =
                      with --faults (wipe events) and --check to watch \
                      the safety checker catch the violation.")
   in
-  let action seed setting proto_name duration rate alpha additional percentile
-      metrics_out trace_op fsync_us batch_sync_us no_durability journal_out
-      perfetto_out faults_file check =
+  let action seed scheduler setting proto_name duration rate alpha additional
+      percentile metrics_out trace_op fsync_us batch_sync_us no_durability
+      journal_out perfetto_out faults_file check =
+    Engine.set_default_scheduler scheduler;
     let proto = protocol_arg additional percentile proto_name in
     let faults = load_plan faults_file in
     let store =
@@ -298,10 +314,11 @@ let run_cmd =
   in
   let term =
     Term.(
-      const action $ seed_arg $ setting_arg $ protocol_name_arg $ duration
-      $ rate $ alpha $ additional_delay $ percentile $ metrics_out $ trace_op
-      $ fsync_us $ batch_sync_us $ no_durability $ journal_out_arg
-      $ perfetto_out_arg $ faults_arg $ check_arg)
+      const action $ seed_arg $ scheduler_arg $ setting_arg
+      $ protocol_name_arg $ duration $ rate $ alpha $ additional_delay
+      $ percentile $ metrics_out $ trace_op $ fsync_us $ batch_sync_us
+      $ no_durability $ journal_out_arg $ perfetto_out_arg $ faults_arg
+      $ check_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one protocol over a WAN deployment")
@@ -384,8 +401,9 @@ let experiment_cmd =
             "Independent simulation runs to execute in parallel (default: \
              all cores). Output is byte-identical for every value.")
   in
-  let action seed paper list_only jobs ids journal_out perfetto_out faults_file
-      check =
+  let action seed scheduler paper list_only jobs ids journal_out perfetto_out
+      faults_file check =
+    Engine.set_default_scheduler scheduler;
     let faults = load_plan faults_file in
     (match jobs with
     | Some n -> (
@@ -487,7 +505,7 @@ let experiment_cmd =
     (Cmd.info "experiment"
        ~doc:"Regenerate one (or all) of the paper's tables and figures")
     Term.(
-      const action $ seed_arg $ paper $ list_only $ jobs $ ids
+      const action $ seed_arg $ scheduler_arg $ paper $ list_only $ jobs $ ids
       $ journal_out_arg $ perfetto_out_arg $ faults_arg $ check_arg)
 
 let default =

@@ -19,12 +19,35 @@ module Zipf = struct
     done;
     !sum
 
+  (* [zeta n theta] is a pure function, and a multi-client workload
+     computes the same (n, theta) harmonic sum once per client — at the
+     default 1M keys that is 1M libm [pow] calls each, which dominates
+     experiment setup. Memoize it. The cached float is the identical
+     value the direct computation returns, so sampling is unaffected;
+     the lock is for sweeps running simulations on several domains. *)
+  let zeta_cache : (int * float, float) Hashtbl.t = Hashtbl.create 8
+  let zeta_cache_lock = Mutex.create ()
+
+  let zeta_memo n theta =
+    Mutex.lock zeta_cache_lock;
+    match Hashtbl.find_opt zeta_cache (n, theta) with
+    | Some z ->
+      Mutex.unlock zeta_cache_lock;
+      z
+    | None ->
+      Mutex.unlock zeta_cache_lock;
+      let z = zeta n theta in
+      Mutex.lock zeta_cache_lock;
+      Hashtbl.replace zeta_cache (n, theta) z;
+      Mutex.unlock zeta_cache_lock;
+      z
+
   let create ?(alpha = 0.75) ~n rng =
     if n <= 0 then invalid_arg "Zipf.create: n must be positive";
     if alpha <= 0. || alpha >= 1. then
       invalid_arg "Zipf.create: alpha must be in (0, 1)";
     let theta = alpha in
-    let zetan = zeta n theta in
+    let zetan = zeta_memo n theta in
     let zeta2 = zeta 2 theta in
     let alpha_p = 1. /. (1. -. theta) in
     let eta =

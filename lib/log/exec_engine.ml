@@ -23,6 +23,10 @@ type 'op t = {
   mutable seen : Position.Set.t;
       (** executed explicit positions, for duplicate detection; pruned
           against [cursor] lazily *)
+  mutable seen_size : int;
+      (** [Set.cardinal t.seen], maintained incrementally: the prune
+          threshold check runs on every watermark raise and a Set's
+          cardinal is an O(n) walk *)
 }
 
 let create ~n_lanes ~on_exec =
@@ -40,6 +44,7 @@ let create ~n_lanes ~on_exec =
     executed = 0;
     late = 0;
     seen = Position.Set.empty;
+    seen_size = 0;
   }
 
 let watermark t ~lane = t.lanes.(lane).watermark
@@ -93,7 +98,13 @@ let rec pump t =
       state.pending <- Tsmap.remove pos.ts state.pending;
       state.executed_set <- Interval_set.add pos.ts state.executed_set;
       t.cursor <- Some pos;
-      t.seen <- Position.Set.add pos t.seen;
+      (* [add] returns the set itself when the element is present, so
+         the physical-equality check keeps [seen_size] exact. *)
+      let seen' = Position.Set.add pos t.seen in
+      if seen' != t.seen then begin
+        t.seen <- seen';
+        t.seen_size <- t.seen_size + 1
+      end;
       (match decision with
       | Noop -> ()
       | Op op ->
@@ -145,8 +156,10 @@ let prune_seen t =
   let min_wm =
     Array.fold_left (fun acc s -> Stdlib.min acc s.watermark) max_int t.lanes
   in
-  if Position.Set.cardinal t.seen > 4096 then
-    t.seen <- Position.Set.filter (fun p -> p.Position.ts > min_wm) t.seen
+  if t.seen_size > 4096 then begin
+    t.seen <- Position.Set.filter (fun p -> p.Position.ts > min_wm) t.seen;
+    t.seen_size <- Position.Set.cardinal t.seen
+  end
 
 let set_watermark t ~lane ts =
   let state = t.lanes.(lane) in

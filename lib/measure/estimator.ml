@@ -12,6 +12,10 @@ type t = {
   mutable percentile : float;
   probe_timeout : Time_ns.span;
   self : int option;
+  (* Reusable sort buffer for the per-choice latency scans: these run
+     for every client submission and every answered probe, so they must
+     not build a fresh list pipeline each time. *)
+  scratch : int array;
 }
 
 type choice = Dfp | Dm of int
@@ -27,7 +31,13 @@ let create ?(window = Time_ns.sec 1) ?(percentile = 95.)
       peer_replication_latency = None;
     }
   in
-  { peers = Array.init n_replicas mk; percentile; probe_timeout; self }
+  {
+    peers = Array.init n_replicas mk;
+    percentile;
+    probe_timeout;
+    self;
+    scratch = Array.make n_replicas 0;
+  }
 
 let n_replicas t = Array.length t.peers
 
@@ -74,68 +84,80 @@ let predict_arrival t ~replica ~now_local =
   | None -> None
   | Some off -> Some (Time_ns.add now_local off)
 
+(* Insert [v] into the ascending prefix [buf.(0 .. k-1)]. *)
+let insort buf k v =
+  let i = ref k in
+  while !i > 0 && buf.(!i - 1) > v do
+    buf.(!i) <- buf.(!i - 1);
+    decr i
+  done;
+  buf.(!i) <- v
+
 let request_timestamp t ~now_local ~q ~extra =
   let n = n_replicas t in
-  let arrivals =
-    List.filter_map
-      (fun replica -> predict_arrival t ~replica ~now_local)
-      (List.init n Fun.id)
-  in
-  if List.length arrivals < q then None
-  else begin
-    let sorted = List.sort compare arrivals in
-    let qth = List.nth sorted (q - 1) in
-    Some (Time_ns.add qth extra)
-  end
+  let buf = t.scratch in
+  let k = ref 0 in
+  for replica = 0 to n - 1 do
+    match predict_arrival t ~replica ~now_local with
+    | None -> ()
+    | Some arrival ->
+      insort buf !k arrival;
+      incr k
+  done;
+  if !k < q then None else Some (Time_ns.add buf.(q - 1) extra)
 
-let sorted_rtts t ~now_local =
+(* Live per-replica RTT estimates, sorted ascending into [t.scratch];
+   returns how many there are. *)
+let fill_rtts t ~now_local =
   let n = n_replicas t in
-  let rtts =
-    List.filter_map (fun replica -> rtt t ~replica ~now_local) (List.init n Fun.id)
-  in
-  List.sort compare rtts
+  let buf = t.scratch in
+  let k = ref 0 in
+  for replica = 0 to n - 1 do
+    match rtt t ~replica ~now_local with
+    | None -> ()
+    | Some e ->
+      insort buf !k e;
+      incr k
+  done;
+  !k
 
 let replication_latency t ~m ~now_local =
-  let rtts = sorted_rtts t ~now_local in
-  if List.length rtts < m then None else Some (List.nth rtts (m - 1))
+  let k = fill_rtts t ~now_local in
+  if k < m then None else Some t.scratch.(m - 1)
 
 let lat_dfp t ~q ~now_local =
-  let rtts = sorted_rtts t ~now_local in
-  if List.length rtts < q then None else Some (List.nth rtts (q - 1))
+  let k = fill_rtts t ~now_local in
+  if k < q then None else Some t.scratch.(q - 1)
 
 let lat_dm t ~now_local =
   let n = n_replicas t in
-  let candidate replica =
+  let best = ref None in
+  for replica = 0 to n - 1 do
     match rtt t ~replica ~now_local with
-    | None -> None
-    | Some e_r -> begin
+    | None -> ()
+    | Some e_r -> (
       match t.peers.(replica).peer_replication_latency with
-      | None -> None
-      | Some l_r -> Some (e_r + l_r, replica)
-    end
-  in
-  List.filter_map candidate (List.init n Fun.id)
-  |> List.fold_left
-       (fun best c ->
-         match best with
-         | None -> Some c
-         | Some (b, _) -> if fst c < b then Some c else best)
-       None
+      | None -> ()
+      | Some l_r ->
+        let c = e_r + l_r in
+        (match !best with
+        | Some (b, _) when c >= b -> ()
+        | _ -> best := Some (c, replica)))
+  done;
+  !best
 
 let closest_live t ~now_local =
   let n = n_replicas t in
-  List.filter_map
-    (fun replica ->
-      match rtt t ~replica ~now_local with
-      | None -> None
-      | Some e -> Some (e, replica))
-    (List.init n Fun.id)
-  |> List.fold_left
-       (fun best c ->
-         match best with
-         | None -> Some c
-         | Some (b, _) -> if fst c < b then Some c else best)
-       None
+  let best = ref None in
+  for replica = 0 to n - 1 do
+    match rtt t ~replica ~now_local with
+    | None -> ()
+    | Some e -> (
+      match !best with
+      | Some (b, _) when e >= b -> ()
+      | _ -> best := Some (e, replica))
+  done;
+  !best
 
 let choose t ~q ~now_local =
   match (lat_dfp t ~q ~now_local, lat_dm t ~now_local) with

@@ -8,6 +8,15 @@ type t = {
   mutable head : int;
   mutable size : int;
   mutable last_added : Time_ns.span option;
+  (* The live values as a sorted multiset, maintained incrementally on
+     add/expire so {!percentile} is a pair of array reads instead of a
+     copy + sort per call. [sorted.(0 .. size-1)] always equals the
+     ascending sort of the live ring values; inserts and removals are a
+     binary search plus an [Array.blit] shift (a memmove), which for the
+     ~100-element windows the estimator keeps is far cheaper than the
+     O(n log n) sort this replaces — percentile queries dominated whole
+     simulation runs before. *)
+  mutable sorted : Time_ns.span array;
 }
 
 let initial_capacity = 64
@@ -21,11 +30,34 @@ let create ~window =
     head = 0;
     size = 0;
     last_added = None;
+    sorted = Array.make initial_capacity 0;
   }
 
 let window_span t = t.window
 
 let capacity t = Array.length t.times
+
+(* Leftmost index in [sorted.(0 .. size-1)] holding a value >= [v]
+   ([size] if none): the insertion point that keeps equal values
+   adjacent and the array ascending. *)
+let lower_bound t v =
+  let lo = ref 0 and hi = ref t.size in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if t.sorted.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let sorted_insert t v =
+  let i = lower_bound t v in
+  Array.blit t.sorted i t.sorted (i + 1) (t.size - i);
+  t.sorted.(i) <- v
+
+let sorted_remove t v =
+  let i = lower_bound t v in
+  (* The value is present by invariant: it was inserted on add and is
+     removed exactly once, on expiry. *)
+  Array.blit t.sorted (i + 1) t.sorted i (t.size - 1 - i)
 
 let grow t =
   let cap = capacity t in
@@ -38,11 +70,15 @@ let grow t =
   done;
   t.times <- ntimes;
   t.values <- nvalues;
-  t.head <- 0
+  t.head <- 0;
+  let nsorted = Array.make ncap 0 in
+  Array.blit t.sorted 0 nsorted 0 t.size;
+  t.sorted <- nsorted
 
 let expire t ~now =
   let cutoff = now - t.window in
   while t.size > 0 && t.times.(t.head) < cutoff do
+    sorted_remove t t.values.(t.head);
     t.head <- (t.head + 1) mod capacity t;
     t.size <- t.size - 1
   done
@@ -53,6 +89,7 @@ let add t ~now value =
   let idx = (t.head + t.size) mod capacity t in
   t.times.(idx) <- now;
   t.values.(idx) <- value;
+  sorted_insert t value;
   t.size <- t.size + 1;
   t.last_added <- Some value
 
@@ -64,12 +101,7 @@ let percentile t ~now p =
   expire t ~now;
   if t.size = 0 then None
   else begin
-    let live = Array.make t.size 0 in
-    let cap = capacity t in
-    for i = 0 to t.size - 1 do
-      live.(i) <- t.values.((t.head + i) mod cap)
-    done;
-    Array.sort Int.compare live;
+    let live = t.sorted in
     let p = Float.max 0. (Float.min 100. p) in
     let rank = p /. 100. *. float_of_int (t.size - 1) in
     let lo = int_of_float (floor rank) in

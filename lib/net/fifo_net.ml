@@ -21,24 +21,38 @@ let drop_reason_string = function
   | Dst_crashed -> "dst_crashed"
   | No_handler -> "no_handler"
 
-type 'msg trace_event =
-  | Sent of { seq : int; src : Nodeid.t; dst : Nodeid.t; msg : 'msg; at : Time_ns.t }
-  | Delivered of {
-      seq : int;
-      src : Nodeid.t;
-      dst : Nodeid.t;
-      msg : 'msg;
-      sent_at : Time_ns.t;
-      at : Time_ns.t;
-    }
-  | Dropped of {
-      seq : int;
-      src : Nodeid.t;
-      dst : Nodeid.t;
-      msg : 'msg;
-      reason : drop_reason;
-      at : Time_ns.t;
-    }
+(* One in-flight message on a directed pair. The records live in a
+   per-pair ring and are reused once their message delivers, so the
+   steady-state send path allocates nothing — where it used to build
+   two fresh closures per message. *)
+type 'msg pending = {
+  mutable p_at : Time_ns.t;
+  mutable p_seq : int;
+  mutable p_msg : 'msg;
+  mutable p_sent_at : Time_ns.t;
+  mutable p_epoch : int;
+}
+
+(* A directed (src, dst) pair: its in-flight ring plus one reusable
+   [drain] closure that every delivery event on the pair shares.
+   Delivery times are strictly increasing per pair (the FIFO clamp), so
+   the k-th drain to fire unblocked always pops the ring head — the
+   event <-> record pairing is implicit in FIFO order.
+
+   [scheduled] counts drain events currently in the engine queue for
+   this pair. A drain firing while the pair is partitioned consumes its
+   event but leaves the record ringed; [len - scheduled] is then the
+   stalled backlog that {!set_partition}'s heal re-schedules (one event
+   per record, exactly like the old stash flush). *)
+type 'msg pair = {
+  pr_src : Nodeid.t;
+  pr_dst : Nodeid.t;
+  mutable ring : 'msg pending array;  (** circular, power-of-two capacity *)
+  mutable head : int;
+  mutable len : int;
+  mutable scheduled : int;
+  mutable drain : unit -> unit;
+}
 
 type 'msg t = {
   engine : Engine.t;
@@ -51,11 +65,11 @@ type 'msg t = {
      node is dead once the node has crashed (epoch bumped), even if the
      node later recovers — TCP connections do not survive a reboot. *)
   epoch : int array;
-  (* Partition masks and the per-directed-pair stall queues. A blocked
-     pair behaves like a TCP stall, not a drop: deliveries queue up and
-     flush in FIFO order when the partition heals. *)
+  (* Partition masks. A blocked pair behaves like a TCP stall, not a
+     drop: records stay in the pair ring and flush in FIFO order when
+     the partition heals. *)
   blocked : bool array array;
-  stash : (unit -> unit) Queue.t array array;
+  pairs : 'msg pair array array;
   (* Wipe-restart hooks: [on_wipe] drops the node's volatile protocol
      state and unsynced storage, returning the modeled recovery
      duration; [on_replay] rebuilds from stable storage at the restart
@@ -65,7 +79,29 @@ type 'msg t = {
   on_replay : (unit -> unit) option array;
   mutable sent : int;
   mutable delivered : int;
-  mutable tracer : ('msg trace_event -> unit) option;
+  (* Observability hooks take labeled arguments instead of an event
+     variant, so tracing a message allocates nothing. *)
+  mutable on_sent :
+    (seq:int -> src:Nodeid.t -> dst:Nodeid.t -> 'msg -> at:Time_ns.t -> unit)
+    option;
+  mutable on_delivered :
+    (seq:int ->
+    src:Nodeid.t ->
+    dst:Nodeid.t ->
+    'msg ->
+    sent_at:Time_ns.t ->
+    at:Time_ns.t ->
+    unit)
+    option;
+  mutable on_dropped :
+    (seq:int ->
+    src:Nodeid.t ->
+    dst:Nodeid.t ->
+    'msg ->
+    reason:drop_reason ->
+    at:Time_ns.t ->
+    unit)
+    option;
   mutable on_drop :
     (reason:drop_reason ->
     seq:int ->
@@ -76,29 +112,115 @@ type 'msg t = {
     option;
 }
 
+let drop t ~seq ~src ~dst msg reason =
+  (match t.on_drop with
+  | None -> ()
+  | Some f -> f ~reason ~seq ~src ~dst ~at:(Engine.now t.engine));
+  match t.on_dropped with
+  | None -> ()
+  | Some f -> f ~seq ~src ~dst msg ~reason ~at:(Engine.now t.engine)
+
+(* The delivery instant proper: epoch / liveness / handler checks, then
+   the handler. Runs from a drain (instant-processing nodes) or from a
+   service-completion event. *)
+let deliver_core t ~seq ~src ~dst msg ~sent_at ~epoch =
+  let node = t.nodes.(dst) in
+  if t.epoch.(dst) <> epoch then drop t ~seq ~src ~dst msg Dst_crashed
+  else if not node.up then drop t ~seq ~src ~dst msg Dst_down
+  else begin
+    match node.handler with
+    | None -> drop t ~seq ~src ~dst msg No_handler
+    | Some handler ->
+      t.delivered <- t.delivered + 1;
+      (match t.on_delivered with
+      | None -> ()
+      | Some f -> f ~seq ~src ~dst msg ~sent_at ~at:(Engine.now t.engine));
+      handler ~src msg
+  end
+
+(* Fires once per message (scheduled at the send instant, so engine
+   event order — and journal byte-identity — matches the one-closure-
+   per-message scheme this replaces). Pops the ring head unless the
+   pair is partitioned, in which case the record waits for the heal
+   flush. *)
+let drain_pair t pair () =
+  pair.scheduled <- pair.scheduled - 1;
+  if not t.blocked.(pair.pr_src).(pair.pr_dst) then begin
+    let r = pair.ring.(pair.head) in
+    pair.head <- (pair.head + 1) land (Array.length pair.ring - 1);
+    pair.len <- pair.len - 1;
+    let seq = r.p_seq
+    and msg = r.p_msg
+    and sent_at = r.p_sent_at
+    and epoch = r.p_epoch in
+    let src = pair.pr_src and dst = pair.pr_dst in
+    match t.nodes.(dst).service with
+    | None -> deliver_core t ~seq ~src ~dst msg ~sent_at ~epoch
+    | Some service ->
+      (* Pick the earliest-free worker. *)
+      let best = ref 0 in
+      Array.iteri
+        (fun i busy_until ->
+          if busy_until < service.slots.(!best) then best := i)
+        service.slots;
+      let now = Engine.now t.engine in
+      let start = Time_ns.max now service.slots.(!best) in
+      let cost = service.cost msg in
+      let finish = Time_ns.add start cost in
+      service.slots.(!best) <- finish;
+      service.busy <- service.busy + cost;
+      Engine.schedule_at t.engine ~at:finish (fun () ->
+          deliver_core t ~seq ~src ~dst msg ~sent_at ~epoch)
+  end
+
 let create engine ~n =
-  {
-    engine;
-    nodes =
-      Array.init n (fun _ ->
-          { handler = None; clock = Clock.perfect; up = true; service = None });
-    links = Array.make_matrix n n None;
-    self_rng = Rng.split (Engine.rng engine);
-    last_delivery = Array.make_matrix n n Time_ns.zero;
-    epoch = Array.make n 0;
-    blocked = Array.make_matrix n n false;
-    stash = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
-    on_wipe = Array.make n None;
-    on_replay = Array.make n None;
-    sent = 0;
-    delivered = 0;
-    tracer = None;
-    on_drop = None;
-  }
+  let t =
+    {
+      engine;
+      nodes =
+        Array.init n (fun _ ->
+            { handler = None; clock = Clock.perfect; up = true; service = None });
+      links = Array.make_matrix n n None;
+      self_rng = Rng.split (Engine.rng engine);
+      last_delivery = Array.make_matrix n n Time_ns.zero;
+      epoch = Array.make n 0;
+      blocked = Array.make_matrix n n false;
+      pairs =
+        Array.init n (fun src ->
+            Array.init n (fun dst ->
+                {
+                  pr_src = src;
+                  pr_dst = dst;
+                  ring = [||];
+                  head = 0;
+                  len = 0;
+                  scheduled = 0;
+                  drain = ignore;
+                }));
+      on_wipe = Array.make n None;
+      on_replay = Array.make n None;
+      sent = 0;
+      delivered = 0;
+      on_sent = None;
+      on_delivered = None;
+      on_dropped = None;
+      on_drop = None;
+    }
+  in
+  Array.iter
+    (fun row -> Array.iter (fun pair -> pair.drain <- drain_pair t pair) row)
+    t.pairs;
+  t
 
-let set_tracer t f = t.tracer <- Some f
+let set_message_hooks t ~sent ~delivered ~dropped =
+  t.on_sent <- Some sent;
+  t.on_delivered <- Some delivered;
+  t.on_dropped <- Some dropped
 
-let clear_tracer t = t.tracer <- None
+let clear_message_hooks t =
+  t.on_sent <- None;
+  t.on_delivered <- None;
+  t.on_dropped <- None
 
 let engine t = t.engine
 
@@ -130,14 +252,19 @@ let delay_for t ~src ~dst =
   if src = dst then self_delay t
   else Link.sample (link t ~src ~dst) ~now:(Engine.now t.engine)
 
-let drop t ~seq ~src ~dst msg reason =
-  (match t.on_drop with
-  | None -> ()
-  | Some f -> f ~reason ~seq ~src ~dst ~at:(Engine.now t.engine));
-  match t.tracer with
-  | None -> ()
-  | Some f ->
-    f (Dropped { seq; src; dst; msg; reason; at = Engine.now t.engine })
+(* Double the pair ring. [msg] (the message being appended) fills the
+   fresh records — the ring can only grow mid-send, so a value of the
+   message type is always in hand. *)
+let ring_grow pair msg =
+  let cap = Array.length pair.ring in
+  let ncap = if cap = 0 then 4 else 2 * cap in
+  let nring =
+    Array.init ncap (fun i ->
+        if i < pair.len then pair.ring.((pair.head + i) land (cap - 1))
+        else { p_at = 0; p_seq = 0; p_msg = msg; p_sent_at = 0; p_epoch = 0 })
+  in
+  pair.ring <- nring;
+  pair.head <- 0
 
 let send t ~src ~dst msg =
   if not t.nodes.(src).up then drop t ~seq:(-1) ~src ~dst msg Src_down
@@ -148,60 +275,23 @@ let send t ~src ~dst msg =
     let raw = Time_ns.add now (delay_for t ~src ~dst) in
     let at = Time_ns.max raw (Time_ns.add t.last_delivery.(src).(dst) 1) in
     t.last_delivery.(src).(dst) <- at;
-    (match t.tracer with
+    (match t.on_sent with
     | None -> ()
-    | Some f -> f (Sent { seq; src; dst; msg; at = now }));
+    | Some f -> f ~seq ~src ~dst msg ~at:now);
+    let pair = t.pairs.(src).(dst) in
+    if pair.len = Array.length pair.ring then ring_grow pair msg;
     (* The destination incarnation this message is addressed to: if the
        node crashes (even if it recovers) before delivery, the message
        is dropped at delivery time rather than delivered stale. *)
-    let dst_epoch = t.epoch.(dst) in
-    let handle () =
-      let node = t.nodes.(dst) in
-      if t.epoch.(dst) <> dst_epoch then drop t ~seq ~src ~dst msg Dst_crashed
-      else if not node.up then drop t ~seq ~src ~dst msg Dst_down
-      else begin
-        match node.handler with
-        | None -> drop t ~seq ~src ~dst msg No_handler
-        | Some handler ->
-          t.delivered <- t.delivered + 1;
-          (match t.tracer with
-          | None -> ()
-          | Some f ->
-            f
-              (Delivered
-                 {
-                   seq;
-                   src;
-                   dst;
-                   msg;
-                   sent_at = now;
-                   at = Engine.now t.engine;
-                 }));
-          handler ~src msg
-      end
-    in
-    let rec deliver () =
-      if t.blocked.(src).(dst) then Queue.push deliver t.stash.(src).(dst)
-      else
-        let node = t.nodes.(dst) in
-        match node.service with
-        | None -> handle ()
-        | Some service ->
-          (* Pick the earliest-free worker. *)
-          let best = ref 0 in
-          Array.iteri
-            (fun i busy_until ->
-              if busy_until < service.slots.(!best) then best := i)
-            service.slots;
-          let now = Engine.now t.engine in
-          let start = Time_ns.max now service.slots.(!best) in
-          let cost = service.cost msg in
-          let finish = Time_ns.add start cost in
-          service.slots.(!best) <- finish;
-          service.busy <- service.busy + cost;
-          ignore (Engine.schedule_at t.engine ~at:finish handle)
-    in
-    ignore (Engine.schedule_at t.engine ~at deliver)
+    let r = pair.ring.((pair.head + pair.len) land (Array.length pair.ring - 1)) in
+    r.p_at <- at;
+    r.p_seq <- seq;
+    r.p_msg <- msg;
+    r.p_sent_at <- now;
+    r.p_epoch <- t.epoch.(dst);
+    pair.len <- pair.len + 1;
+    pair.scheduled <- pair.scheduled + 1;
+    Engine.schedule_at t.engine ~at pair.drain
   end
 
 let broadcast t ~src ~dsts f = List.iter (fun dst -> send t ~src ~dst (f dst)) dsts
@@ -244,14 +334,16 @@ let set_partition t ~src ~dst blocked =
   let was = t.blocked.(src).(dst) in
   t.blocked.(src).(dst) <- blocked;
   if was && not blocked then begin
-    (* Flush the stalled deliveries at the heal instant, in FIFO order
-       (same-instant events run in scheduling order). Each thunk
-       re-checks the mask, so re-partitioning before the flush fires
-       just re-stashes. *)
-    let q = t.stash.(src).(dst) in
-    for _ = 1 to Queue.length q do
-      Engine.schedule t.engine ~delay:0 (Queue.pop q)
-    done
+    (* Flush the stalled records at the heal instant, one event each in
+       FIFO order (same-instant events run in scheduling order). Each
+       drain re-checks the mask, so re-partitioning before the flush
+       fires just re-stalls. *)
+    let pair = t.pairs.(src).(dst) in
+    let deficit = pair.len - pair.scheduled in
+    for _ = 1 to deficit do
+      Engine.schedule t.engine ~delay:0 pair.drain
+    done;
+    pair.scheduled <- pair.scheduled + deficit
   end
 
 let partitioned t ~src ~dst = t.blocked.(src).(dst)

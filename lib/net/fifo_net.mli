@@ -26,35 +26,6 @@ type drop_reason =
 
 val drop_reason_string : drop_reason -> string
 
-type 'msg trace_event =
-  | Sent of { seq : int; src : Nodeid.t; dst : Nodeid.t; msg : 'msg; at : Time_ns.t }
-      (** emitted at the send instant; [seq] is a network-wide message
-          sequence number pairing this with its delivery *)
-  | Delivered of {
-      seq : int;
-      src : Nodeid.t;
-      dst : Nodeid.t;
-      msg : 'msg;
-      sent_at : Time_ns.t;
-      at : Time_ns.t;
-    }
-      (** emitted just before the destination handler runs (so [at]
-          includes any service-queue wait) *)
-  | Dropped of {
-      seq : int;
-          (** [-1] when the source was down: the message was refused
-              before a sequence number was assigned, so
-              {!messages_sent} is unaffected *)
-      src : Nodeid.t;
-      dst : Nodeid.t;
-      msg : 'msg;
-      reason : drop_reason;
-      at : Time_ns.t;
-    }
-      (** emitted where a message dies silently: source crashed at the
-          send instant, or destination crashed / had no handler at the
-          delivery instant *)
-
 val create : Engine.t -> n:int -> 'msg t
 (** [create engine ~n] makes a network of [n] nodes with perfect clocks
     and no links. Links must be installed with {!set_link} (or
@@ -149,13 +120,40 @@ val messages_sent : 'msg t -> int
 
 val messages_delivered : 'msg t -> int
 
-val set_tracer : 'msg t -> ('msg trace_event -> unit) -> unit
-(** Install the observability hook (replaces any previous): called for
-    every send and every delivery. The observability layer uses this
-    for per-message-class metrics and per-op span traces. Costs nothing
-    when unset — the hot path is a single [option] match. *)
+val set_message_hooks :
+  'msg t ->
+  sent:(seq:int -> src:Nodeid.t -> dst:Nodeid.t -> 'msg -> at:Time_ns.t -> unit) ->
+  delivered:
+    (seq:int ->
+    src:Nodeid.t ->
+    dst:Nodeid.t ->
+    'msg ->
+    sent_at:Time_ns.t ->
+    at:Time_ns.t ->
+    unit) ->
+  dropped:
+    (seq:int ->
+    src:Nodeid.t ->
+    dst:Nodeid.t ->
+    'msg ->
+    reason:drop_reason ->
+    at:Time_ns.t ->
+    unit) ->
+  unit
+(** Install the observability hooks (replaces any previous). [sent]
+    fires at the send instant; [seq] is a network-wide message sequence
+    number pairing it with its delivery. [delivered] fires just before
+    the destination handler runs (so [at] includes any service-queue
+    wait). [dropped] fires where a message dies silently: source
+    crashed at the send instant ([seq] is then [-1]: no sequence number
+    was assigned, so {!messages_sent} is unaffected), or destination
+    crashed / had no handler at the delivery instant. The observability
+    layer uses these for per-message-class metrics, journal records and
+    per-op span traces. Labeled-argument hooks instead of an event
+    variant: tracing allocates nothing, and an unset hook costs a
+    single [option] match. *)
 
-val clear_tracer : 'msg t -> unit
+val clear_message_hooks : 'msg t -> unit
 
 val set_drop_hook :
   'msg t ->

@@ -1,8 +1,30 @@
-type kind =
-  | Once of (unit -> unit)
-  | Periodic of periodic
+type scheduler = Pheap_sched | Wheel_sched
 
-and periodic = {
+let scheduler_name = function Pheap_sched -> "pheap" | Wheel_sched -> "wheel"
+
+let scheduler_of_string = function
+  | "pheap" -> Some Pheap_sched
+  | "wheel" -> Some Wheel_sched
+  | _ -> None
+
+(* Process-wide default so the CLI's [--scheduler] flag reaches every
+   engine created deep inside experiment harnesses without threading a
+   parameter through each layer. *)
+let default = ref Wheel_sched
+
+let set_default_scheduler s = default := s
+
+let default_scheduler () = !default
+
+(* The queue holds plain thunks: fire-once events are the caller's
+   closure as-is, and a periodic timer is one self-rescheduling [tick]
+   closure allocated once at {!every} — no per-event kind box to
+   allocate or match on the hot path. *)
+type queue =
+  | Q_heap of (unit -> unit) Pheap.t
+  | Q_wheel of (unit -> unit) Wheel.t
+
+type periodic = {
   interval : Time_ns.span;
   jitter : Time_ns.span;
   body : unit -> unit;
@@ -11,7 +33,7 @@ and periodic = {
 
 type t = {
   mutable clock : Time_ns.t;
-  queue : kind Pheap.t;
+  queue : queue;
   root_rng : Rng.t;
   mutable events_run : int;
   mutable event_hook : (Time_ns.t -> unit) option;
@@ -20,20 +42,29 @@ type t = {
 
 (* Cancellation tokens point straight at the queue entry (or the
    periodic record), so the common fire-once path allocates nothing
-   beyond the heap entry itself: no canceller table, no id indirection. *)
+   beyond the queue entry itself: no canceller table, no id
+   indirection. *)
 type event_id =
-  | Ev_once of kind Pheap.handle
+  | Ev_heap of (unit -> unit) Pheap.handle
+  | Ev_wheel of (unit -> unit) Wheel.handle
   | Ev_periodic of periodic
 
-let create ?(seed = 1L) () =
+let create ?(seed = 1L) ?scheduler () =
+  let scheduler = match scheduler with Some s -> s | None -> !default in
   {
     clock = Time_ns.zero;
-    queue = Pheap.create ();
+    queue =
+      (match scheduler with
+      | Pheap_sched -> Q_heap (Pheap.create ())
+      | Wheel_sched -> Q_wheel (Wheel.create ~dummy:(fun () -> ())));
     root_rng = Rng.create seed;
     events_run = 0;
     event_hook = None;
     timer_hook = None;
   }
+
+let scheduler t =
+  match t.queue with Q_heap _ -> Pheap_sched | Q_wheel _ -> Wheel_sched
 
 let now t = t.clock
 
@@ -49,9 +80,16 @@ let clear_timer_hook t = t.timer_hook <- None
 
 let rng t = t.root_rng
 
+(* Fire-once insertion without a cancellation token: on the wheel this
+   recycles arena entries and allocates nothing in steady state. *)
+let enqueue t ~at f =
+  match t.queue with
+  | Q_heap q -> ignore (Pheap.push q ~time:at f)
+  | Q_wheel q -> Wheel.add q ~time:at f
+
 let schedule_at t ~at f =
   let at = Time_ns.max at t.clock in
-  ignore (Pheap.push t.queue ~time:at (Once f))
+  enqueue t ~at f
 
 let schedule t ~delay f =
   let delay = Stdlib.max 0 delay in
@@ -59,7 +97,9 @@ let schedule t ~delay f =
 
 let schedule_at_cancellable t ~at f =
   let at = Time_ns.max at t.clock in
-  Ev_once (Pheap.push t.queue ~time:at (Once f))
+  match t.queue with
+  | Q_heap q -> Ev_heap (Pheap.push q ~time:at f)
+  | Q_wheel q -> Ev_wheel (Wheel.push q ~time:at f)
 
 let schedule_cancellable t ~delay f =
   let delay = Stdlib.max 0 delay in
@@ -68,61 +108,86 @@ let schedule_cancellable t ~delay f =
 let every t ?(jitter = 0) ~interval body =
   if interval <= 0 then invalid_arg "Engine.every: interval must be positive";
   let p = { interval; jitter; body; cancelled = false } in
-  let first =
-    let j = if jitter > 0 then Rng.int t.root_rng jitter else 0 in
-    Time_ns.add t.clock (interval + j)
-  in
-  ignore (Pheap.push t.queue ~time:first (Periodic p));
-  Ev_periodic p
-
-let cancel t id =
-  match id with
-  | Ev_once handle -> Pheap.cancel t.queue handle
-  | Ev_periodic p -> p.cancelled <- true
-
-let run_event t kind =
-  match kind with
-  | Once f -> f ()
-  | Periodic p ->
+  let rec tick () =
     if not p.cancelled then begin
       (match t.timer_hook with None -> () | Some f -> f t.clock);
       p.body ();
       if not p.cancelled then begin
         let j = if p.jitter > 0 then Rng.int t.root_rng p.jitter else 0 in
-        let next = Time_ns.add t.clock (p.interval + j) in
-        ignore (Pheap.push t.queue ~time:next (Periodic p))
+        enqueue t ~at:(Time_ns.add t.clock (p.interval + j)) tick
       end
     end
+  in
+  let first =
+    let j = if jitter > 0 then Rng.int t.root_rng jitter else 0 in
+    Time_ns.add t.clock (interval + j)
+  in
+  enqueue t ~at:first tick;
+  Ev_periodic p
 
-let exec t time kind =
+let cancel t id =
+  match id with
+  | Ev_heap handle -> (
+    match t.queue with
+    | Q_heap q -> Pheap.cancel q handle
+    | Q_wheel _ -> invalid_arg "Engine.cancel: id from another engine")
+  | Ev_wheel handle -> (
+    match t.queue with
+    | Q_wheel q -> Wheel.cancel q handle
+    | Q_heap _ -> invalid_arg "Engine.cancel: id from another engine")
+  | Ev_periodic p -> p.cancelled <- true
+
+let exec t time f =
   t.clock <- Time_ns.max t.clock time;
   t.events_run <- t.events_run + 1;
-  (match t.event_hook with None -> () | Some f -> f t.clock);
-  run_event t kind
+  (match t.event_hook with None -> () | Some hook -> hook t.clock);
+  f ()
 
 let step t =
-  match Pheap.pop t.queue with
+  let next =
+    match t.queue with Q_heap q -> Pheap.pop q | Q_wheel q -> Wheel.pop q
+  in
+  match next with
   | None -> false
-  | Some (time, kind) ->
-    exec t time kind;
+  | Some (time, f) ->
+    exec t time f;
     true
 
 let run ?until t =
-  match until with
-  | None ->
-    let continue = ref true in
-    while !continue do
-      match Pheap.pop t.queue with
-      | None -> continue := false
-      | Some (time, kind) -> exec t time kind
-    done
+  (match until with
+  | None -> (
+    match t.queue with
+    | Q_heap q ->
+      let continue = ref true in
+      while !continue do
+        match Pheap.pop q with
+        | None -> continue := false
+        | Some (time, f) -> exec t time f
+      done
+    | Q_wheel q ->
+      let continue = ref true in
+      while !continue do
+        match Wheel.pop q with
+        | None -> continue := false
+        | Some (time, f) -> exec t time f
+      done)
   | Some deadline ->
-    let continue = ref true in
-    while !continue do
-      match Pheap.pop_due t.queue ~limit:deadline with
-      | None -> continue := false
-      | Some (time, kind) -> exec t time kind
-    done;
-    if t.clock < deadline then t.clock <- deadline
+    (match t.queue with
+    | Q_heap q ->
+      let continue = ref true in
+      while !continue do
+        match Pheap.pop_due q ~limit:deadline with
+        | None -> continue := false
+        | Some (time, f) -> exec t time f
+      done
+    | Q_wheel q ->
+      let continue = ref true in
+      while !continue do
+        match Wheel.pop_due q ~limit:deadline with
+        | None -> continue := false
+        | Some (time, f) -> exec t time f
+      done);
+    if t.clock < deadline then t.clock <- deadline)
 
-let pending t = Pheap.length t.queue
+let pending t =
+  match t.queue with Q_heap q -> Pheap.length q | Q_wheel q -> Wheel.length q

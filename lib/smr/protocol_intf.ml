@@ -128,47 +128,52 @@ let instrument (type msg) (env : Group.env) ~name
   and dropped = pick "dropped" in
   let trace = Group.trace env in
   let journal = Group.journal env in
-  Fifo_net.set_tracer net (fun ev ->
-      match ev with
-      | Fifo_net.Sent { seq; src; dst; msg; at } ->
-        let cls = classify msg in
-        Metrics.inc (sent cls);
-        (if Journal.enabled journal then
-           Journal.emit journal
-             (Journal.Msg_sent
-                { seq; src; dst; cls = Msg_class.to_string cls;
-                  op = Option.map Op.id (op_of msg); at }));
-        if Trace.enabled trace then begin
-          match op_of msg with
-          | Some op ->
-            Trace.emit trace
-              (Trace.Sent
-                 { op = Op.id op; seq; src; dst;
-                   cls = Msg_class.to_string cls; at })
-          | None -> ()
-        end
-      | Fifo_net.Delivered { seq; src; dst; msg; sent_at; at } ->
-        let cls = classify msg in
-        Metrics.inc (delivered cls);
-        (if Journal.enabled journal then
-           Journal.emit journal
-             (Journal.Msg_delivered
-                { seq; src; dst; cls = Msg_class.to_string cls;
-                  op = Option.map Op.id (op_of msg); sent_at; at }));
-        if Trace.enabled trace then begin
-          match op_of msg with
-          | Some op ->
-            Trace.emit trace
-              (Trace.Delivered
-                 { op = Op.id op; seq; src; dst;
-                   cls = Msg_class.to_string cls; sent_at; at })
-          | None -> ()
-        end
-      | Fifo_net.Dropped { seq; src; dst; msg; reason; at } ->
-        let cls = classify msg in
-        Metrics.inc (dropped cls);
-        if Journal.enabled journal then
-          Journal.emit journal
-            (Journal.Msg_dropped
-               { seq; src; dst; cls = Msg_class.to_string cls;
-                 reason = Fifo_net.drop_reason_string reason; at }))
+  (* The journal sink is fixed at construction (Null vs Rec), so the
+     enabled test hoists out of the per-message hooks entirely: a
+     sinkless run pays one counter bump per event and nothing else. The
+     trace check stays per-event — its focus op can be set after
+     wiring. *)
+  let journal_on = Journal.enabled journal in
+  Fifo_net.set_message_hooks net
+    ~sent:(fun ~seq ~src ~dst msg ~at ->
+      let cls = classify msg in
+      Metrics.inc (sent cls);
+      if journal_on then
+        Journal.emit journal
+          (Journal.Msg_sent
+             { seq; src; dst; cls = Msg_class.to_string cls;
+               op = Option.map Op.id (op_of msg); at });
+      if Trace.enabled trace then begin
+        match op_of msg with
+        | Some op ->
+          Trace.emit trace
+            (Trace.Sent
+               { op = Op.id op; seq; src; dst;
+                 cls = Msg_class.to_string cls; at })
+        | None -> ()
+      end)
+    ~delivered:(fun ~seq ~src ~dst msg ~sent_at ~at ->
+      let cls = classify msg in
+      Metrics.inc (delivered cls);
+      if journal_on then
+        Journal.emit journal
+          (Journal.Msg_delivered
+             { seq; src; dst; cls = Msg_class.to_string cls;
+               op = Option.map Op.id (op_of msg); sent_at; at });
+      if Trace.enabled trace then begin
+        match op_of msg with
+        | Some op ->
+          Trace.emit trace
+            (Trace.Delivered
+               { op = Op.id op; seq; src; dst;
+                 cls = Msg_class.to_string cls; sent_at; at })
+        | None -> ()
+      end)
+    ~dropped:(fun ~seq ~src ~dst msg ~reason ~at ->
+      let cls = classify msg in
+      Metrics.inc (dropped cls);
+      if journal_on then
+        Journal.emit journal
+          (Journal.Msg_dropped
+             { seq; src; dst; cls = Msg_class.to_string cls;
+               reason = Fifo_net.drop_reason_string reason; at }))

@@ -236,6 +236,172 @@ let prop_heap_sorts =
       in
       drain [] = List.sort compare times)
 
+(* --- Wheel --- *)
+
+let drain_wheel w =
+  let rec go acc =
+    match Wheel.pop w with
+    | None -> List.rev acc
+    | Some (t, v) -> go ((t, v) :: acc)
+  in
+  go []
+
+let test_wheel_orders () =
+  let w = Wheel.create ~dummy:(-1) in
+  let ts = [ 5; 1; 9; 3; 7; 1; 0 ] in
+  List.iteri (fun i t -> Wheel.add w ~time:t i) ts;
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 1; 3; 5; 7; 9 ]
+    (List.map fst (drain_wheel w));
+  check_bool "empty after drain" true (Wheel.is_empty w)
+
+let test_wheel_fifo_on_ties () =
+  let w = Wheel.create ~dummy:(-1) in
+  for i = 0 to 9 do
+    Wheel.add w ~time:42 i
+  done;
+  Alcotest.(check (list int)) "insertion order" (List.init 10 Fun.id)
+    (List.map snd (drain_wheel w))
+
+let test_wheel_far_future () =
+  (* Times spread across every wheel level, including beyond a
+     level-0 lap (32 us) and out to hours: ordering must hold when
+     entries cascade down through multiple levels. *)
+  let w = Wheel.create ~dummy:(-1) in
+  let times =
+    [ 0; 1_000; 33_000; 1_000_000; 50_000_000; Time_ns.sec 1;
+      Time_ns.sec 3600; 3; Time_ns.ms 2; Time_ns.sec 7200 ]
+  in
+  List.iteri (fun i t -> Wheel.add w ~time:t i) times;
+  Alcotest.(check (list int)) "globally sorted" (List.sort compare times)
+    (List.map fst (drain_wheel w))
+
+let test_wheel_cancel () =
+  let w = Wheel.create ~dummy:"" in
+  Wheel.add w ~time:1 "a";
+  let b = Wheel.push w ~time:2 "b" in
+  Wheel.add w ~time:3 "c";
+  Wheel.cancel w b;
+  Wheel.cancel w b (* idempotent *);
+  check_int "live" 2 (Wheel.length w);
+  Alcotest.(check (list string)) "b skipped" [ "a"; "c" ]
+    (List.map snd (drain_wheel w))
+
+let test_wheel_cancel_after_pop () =
+  let w = Wheel.create ~dummy:"" in
+  let a = Wheel.push w ~time:1 "a" in
+  ignore (Wheel.push w ~time:2 "b");
+  Alcotest.(check (option (pair int string))) "pops a" (Some (1, "a")) (Wheel.pop w);
+  Wheel.cancel w a (* must not touch the live count: a already left *);
+  check_int "b still live" 1 (Wheel.length w);
+  Alcotest.(check (option (pair int string))) "pops b" (Some (2, "b")) (Wheel.pop w)
+
+let test_wheel_peek () =
+  let w = Wheel.create ~dummy:0 in
+  Alcotest.(check (option int)) "empty" None (Wheel.peek_time w);
+  let a = Wheel.push w ~time:(Time_ns.ms 5) 1 in
+  ignore (Wheel.push w ~time:(Time_ns.ms 9) 2);
+  Alcotest.(check (option int)) "min" (Some (Time_ns.ms 5)) (Wheel.peek_time w);
+  Wheel.cancel w a;
+  Alcotest.(check (option int)) "skips dead" (Some (Time_ns.ms 9)) (Wheel.peek_time w)
+
+let test_wheel_pop_due () =
+  let w = Wheel.create ~dummy:"" in
+  let a = Wheel.push w ~time:1 "a" in
+  Wheel.add w ~time:5 "b";
+  Wheel.add w ~time:(Time_ns.sec 9) "c";
+  Wheel.cancel w a;
+  Alcotest.(check (option (pair int string)))
+    "skips dead, pops due" (Some (5, "b"))
+    (Wheel.pop_due w ~limit:6);
+  Alcotest.(check (option (pair int string)))
+    "beyond limit stays" None
+    (Wheel.pop_due w ~limit:6);
+  check_int "c still queued" 1 (Wheel.length w);
+  Alcotest.(check (option (pair int string)))
+    "pops once due" (Some (Time_ns.sec 9, "c"))
+    (Wheel.pop_due w ~limit:(Time_ns.sec 9))
+
+let test_wheel_recycles_add_entries () =
+  (* Steady-state fire-once traffic must not grow the arena: pop an
+     [add]ed entry, insert another, repeat. Indirectly observable via
+     correctness (recycled cells must carry the new time/value). *)
+  let w = Wheel.create ~dummy:(-1) in
+  for round = 0 to 9_999 do
+    Wheel.add w ~time:(round * 3) round;
+    match Wheel.pop w with
+    | Some (t, v) ->
+      check_int "time" (round * 3) t;
+      check_int "value" round v
+    | None -> Alcotest.fail "pop returned None"
+  done;
+  check_bool "empty" true (Wheel.is_empty w)
+
+(* The equivalence property the whole PR leans on: any interleaving of
+   insert / cancel / pop / pop_due produces the identical observation
+   sequence from the wheel and from the binary heap, including
+   insertion-order ties at equal timestamps. *)
+let prop_wheel_pheap_equivalent =
+  let open QCheck in
+  (* (selector, a, b) triples decode into operations; times mix a
+     dense small range (forcing ties) with shifts up to 2^40 ns
+     (forcing multi-level cascades). *)
+  let op = triple (int_bound 5) (int_bound 0xFFFF) (int_bound 40) in
+  Test.make ~name:"wheel = pheap on any op sequence" ~count:300
+    (list_of_size Gen.(int_range 0 400) op)
+    (fun ops ->
+      let h = Pheap.create () in
+      let w = Wheel.create ~dummy:(-1) in
+      let h_handles = ref [] and w_handles = ref [] and n_handles = ref 0 in
+      let next_val = ref 0 in
+      let obs_h = Buffer.create 256 and obs_w = Buffer.create 256 in
+      let record buf tag = function
+        | None -> Buffer.add_string buf (tag ^ ":none;")
+        | Some (t, v) -> Buffer.add_string buf (Printf.sprintf "%s:%d,%d;" tag t v)
+      in
+      let time_of a b = if b land 1 = 0 then a land 63 else a lsl (b mod 24) in
+      List.iter
+        (fun (sel, a, b) ->
+          match sel with
+          | 0 | 1 ->
+            (* fire-once insert *)
+            let t = time_of a b and v = !next_val in
+            incr next_val;
+            ignore (Pheap.push h ~time:t v);
+            Wheel.add w ~time:t v
+          | 2 ->
+            (* cancellable insert *)
+            let t = time_of a b and v = !next_val in
+            incr next_val;
+            h_handles := Pheap.push h ~time:t v :: !h_handles;
+            w_handles := Wheel.push w ~time:t v :: !w_handles;
+            incr n_handles
+          | 3 ->
+            (* cancel one of the handles issued so far (possibly one
+               that already popped — both sides must no-op) *)
+            if !n_handles > 0 then begin
+              let i = a mod !n_handles in
+              Pheap.cancel h (List.nth !h_handles i);
+              Wheel.cancel w (List.nth !w_handles i)
+            end
+          | 4 ->
+            record obs_h "p" (Pheap.pop h);
+            record obs_w "p" (Wheel.pop w)
+          | _ ->
+            let limit = time_of a b in
+            record obs_h "d" (Pheap.pop_due h ~limit);
+            record obs_w "d" (Wheel.pop_due w ~limit))
+        ops;
+      (* Drain what's left. *)
+      let rec drain () =
+        let rh = Pheap.pop h and rw = Wheel.pop w in
+        record obs_h "e" rh;
+        record obs_w "e" rw;
+        if rh <> None || rw <> None then drain ()
+      in
+      drain ();
+      Pheap.length h = 0 && Wheel.length w = 0
+      && Buffer.contents obs_h = Buffer.contents obs_w)
+
 (* --- Engine --- *)
 
 let test_engine_runs_in_order () =
@@ -340,6 +506,59 @@ let test_engine_past_deadline_clamped () =
   Engine.run e;
   check_int "past deadline runs now" (Time_ns.ms 5) !hit_at
 
+(* [run ~until] with only a cancelled prefix and a live event beyond
+   the deadline: nothing may execute, the clock must land exactly on
+   the deadline (never on the cancelled entries' or the future event's
+   time), and the future event must still fire later at its own
+   instant. Pinned for both queue implementations — the wheel answers
+   this from a peek without advancing its cursor. *)
+let run_until_pins_clock scheduler () =
+  let e = Engine.create ~scheduler () in
+  let a = Engine.schedule_cancellable e ~delay:(Time_ns.ms 1) (fun () -> ()) in
+  let b = Engine.schedule_cancellable e ~delay:(Time_ns.ms 2) (fun () -> ()) in
+  Engine.cancel e a;
+  Engine.cancel e b;
+  let hit_at = ref (-1) in
+  Engine.schedule_at e ~at:(Time_ns.ms 10) (fun () -> hit_at := Engine.now e);
+  Engine.run ~until:(Time_ns.ms 5) e;
+  check_int "nothing executed" 0 (Engine.events_executed e);
+  check_int "clock = deadline exactly" (Time_ns.ms 5) (Engine.now e);
+  check_int "future event untouched" (-1) !hit_at;
+  check_int "future event still pending" 1 (Engine.pending e);
+  Engine.run e;
+  check_int "fires at its own instant" (Time_ns.ms 10) !hit_at;
+  check_int "exactly one event executed" 1 (Engine.events_executed e)
+
+(* One scripted run, both schedulers: execution order, periodic timers
+   (whose jitter draws come from the engine RNG) and cancellations must
+   match event for event. *)
+let test_engine_scheduler_parity () =
+  let script scheduler =
+    let e = Engine.create ~seed:99L ~scheduler () in
+    let log = Buffer.create 256 in
+    let hit tag = Buffer.add_string log (Printf.sprintf "%s@%d;" tag (Engine.now e)) in
+    ignore (Engine.schedule e ~delay:(Time_ns.ms 3) (fun () -> hit "a"));
+    ignore (Engine.schedule e ~delay:(Time_ns.ms 3) (fun () -> hit "b"));
+    let p =
+      Engine.every e ~interval:(Time_ns.ms 2) ~jitter:(Time_ns.ms 1) (fun () ->
+          hit "tick")
+    in
+    let c = Engine.schedule_cancellable e ~delay:(Time_ns.ms 4) (fun () -> hit "dead") in
+    ignore
+      (Engine.schedule e ~delay:(Time_ns.ms 1) (fun () ->
+           Engine.cancel e c;
+           ignore (Engine.schedule e ~delay:(Time_ns.ms 1) (fun () -> hit "nested"))));
+    Engine.run ~until:(Time_ns.ms 20) e;
+    Engine.cancel e p;
+    Engine.run ~until:(Time_ns.ms 30) e;
+    (Buffer.contents log, Engine.events_executed e, Engine.now e)
+  in
+  let lp, np, tp = script Engine.Pheap_sched in
+  let lw, nw, tw = script Engine.Wheel_sched in
+  Alcotest.(check string) "same execution trace" lp lw;
+  check_int "same event count" np nw;
+  check_int "same final clock" tp tw
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "sim"
@@ -376,6 +595,19 @@ let () =
           Alcotest.test_case "pop_due" `Quick test_heap_pop_due;
           q prop_heap_sorts;
         ] );
+      ( "wheel",
+        [
+          Alcotest.test_case "orders" `Quick test_wheel_orders;
+          Alcotest.test_case "FIFO ties" `Quick test_wheel_fifo_on_ties;
+          Alcotest.test_case "far future levels" `Quick test_wheel_far_future;
+          Alcotest.test_case "cancel" `Quick test_wheel_cancel;
+          Alcotest.test_case "cancel after pop" `Quick test_wheel_cancel_after_pop;
+          Alcotest.test_case "peek" `Quick test_wheel_peek;
+          Alcotest.test_case "pop_due" `Quick test_wheel_pop_due;
+          Alcotest.test_case "recycles add entries" `Quick
+            test_wheel_recycles_add_entries;
+          q prop_wheel_pheap_equivalent;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
@@ -388,5 +620,10 @@ let () =
           Alcotest.test_case "periodic self-cancel" `Quick test_engine_every_cancel_inside;
           Alcotest.test_case "clock monotone" `Quick test_engine_clock_monotone;
           Alcotest.test_case "past deadline clamps" `Quick test_engine_past_deadline_clamped;
+          Alcotest.test_case "run-until pins clock (pheap)" `Quick
+            (run_until_pins_clock Engine.Pheap_sched);
+          Alcotest.test_case "run-until pins clock (wheel)" `Quick
+            (run_until_pins_clock Engine.Wheel_sched);
+          Alcotest.test_case "scheduler parity" `Quick test_engine_scheduler_parity;
         ] );
     ]
