@@ -4,7 +4,8 @@
      run        simulate one protocol over a deployment and print latency
      probe      generate a synthetic inter-DC trace and analyse predictability
      geometry   the paper's §4 placement analysis
-     experiment regenerate one (or all) of the paper's tables/figures *)
+     experiment regenerate one (or all) of the paper's tables/figures
+     analyze    replay a journal file into windowed timelines + dip reports *)
 
 open Cmdliner
 open Domino_sim
@@ -83,6 +84,34 @@ let perfetto_out_arg =
         ~doc:
           "Record the run and write a Chrome/Perfetto trace-event JSON \
            file to $(docv) (open at ui.perfetto.dev).")
+
+let timeline_out_arg =
+  Cmdliner.Arg.(
+    value & opt (some string) None
+    & info [ "timeline-out" ] ~docv:"FILE"
+        ~doc:
+          "Aggregate the run into a fixed-window timeline (per-window \
+           throughput, latency quantiles, inflight, drops, durable \
+           writes) and write it as deterministic CSV to $(docv).")
+
+let timeline_window_arg =
+  Cmdliner.Arg.(
+    value & opt float 100.
+    & info [ "timeline-window" ] ~docv:"MS"
+        ~doc:"Timeline window width in milliseconds of sim time.")
+
+let timeline_window_span ms =
+  if ms <= 0. then begin
+    Format.eprintf "domino-sim: --timeline-window must be positive@.";
+    exit 2
+  end;
+  Time_ns.of_ms_f ms
+
+(* Offline replay shares the fabric's slot-mark resolver so sharded
+   journals attribute per group exactly as the live router did. *)
+let timeline_of_journal ~window j =
+  Domino_obs.Timeline.of_journal ~window
+    ~group_resolver:Domino_shard.Slots.resolver_of_mark j
 
 let seed_arg =
   let doc = "Random seed (runs are deterministic per seed)." in
@@ -214,7 +243,7 @@ let run_cmd =
   in
   let action seed scheduler setting proto_name duration rate alpha additional
       percentile metrics_out trace_op fsync_us batch_sync_us no_durability
-      journal_out perfetto_out faults_file check =
+      journal_out perfetto_out timeline_out timeline_window faults_file check =
     Engine.set_default_scheduler scheduler;
     let proto = protocol_arg additional percentile proto_name in
     let faults = load_plan faults_file in
@@ -241,10 +270,20 @@ let run_cmd =
       | None, None, false -> None
       | _ -> Some (Domino_obs.Journal.create ())
     in
+    let agg =
+      match timeline_out with
+      | None -> None
+      | Some _ ->
+        Some
+          (Domino_obs.Timeline.create
+             ~window:(timeline_window_span timeline_window)
+             ())
+    in
     let r =
       Exp_common.run ~seed ~rate ~alpha ~duration:(Time_ns.sec duration)
-        ?trace_op ?journal ?faults ~store setting proto
+        ?trace_op ?journal ?timeline:agg ?faults ~store setting proto
     in
+    let timeline = Option.map Domino_obs.Timeline.finish agg in
     let commit = Observer.Recorder.commit_latency_ms r.recorder in
     let exec = Observer.Recorder.exec_latency_ms r.recorder in
     Format.printf "%s on %d replicas, %d clients, %.0f req/s each:@."
@@ -300,10 +339,20 @@ let run_cmd =
       | None -> ());
       (match perfetto_out with
       | Some file ->
-        write_file file (Domino_obs.Perfetto.to_string j);
+        write_file file (Domino_obs.Perfetto.to_string ?timeline j);
         Format.printf "  perfetto trace written to %s@." file
       | None -> ());
       if check then run_checker j);
+    (match (timeline, timeline_out) with
+    | Some tl, Some file ->
+      write_file file (Domino_obs.Timeline.to_csv tl);
+      Format.printf "  timeline written to %s@." file;
+      let dips = Domino_obs.Dip.analyze tl in
+      if dips <> [] then begin
+        Format.printf "@.";
+        Domino_stats.Tablefmt.print (Domino_obs.Dip.to_table dips)
+      end
+    | _ -> ());
     match trace_op with
     | Some n ->
       let tree = Domino_obs.Trace.span_tree r.trace in
@@ -317,8 +366,8 @@ let run_cmd =
       const action $ seed_arg $ scheduler_arg $ setting_arg
       $ protocol_name_arg $ duration $ rate $ alpha $ additional_delay
       $ percentile $ metrics_out $ trace_op $ fsync_us $ batch_sync_us
-      $ no_durability $ journal_out_arg $ perfetto_out_arg $ faults_arg
-      $ check_arg)
+      $ no_durability $ journal_out_arg $ perfetto_out_arg $ timeline_out_arg
+      $ timeline_window_arg $ faults_arg $ check_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one protocol over a WAN deployment")
@@ -402,7 +451,7 @@ let experiment_cmd =
              all cores). Output is byte-identical for every value.")
   in
   let action seed scheduler paper list_only jobs ids journal_out perfetto_out
-      faults_file check =
+      timeline_out timeline_window faults_file check =
     Engine.set_default_scheduler scheduler;
     let faults = load_plan faults_file in
     (match jobs with
@@ -425,8 +474,8 @@ let experiment_cmd =
         (List.sort
            (fun a b -> compare a.Exp_registry.id b.Exp_registry.id)
            Exp_registry.all)
-    else if journal_out <> None || perfetto_out <> None || check
-            || faults <> None
+    else if journal_out <> None || perfetto_out <> None || timeline_out <> None
+            || check || faults <> None
     then begin
       (* Flight-record one experiment's smoke run instead of printing
          its tables. *)
@@ -458,9 +507,25 @@ let experiment_cmd =
           Format.printf "journal written to %s (%d events)@." file
             (Domino_obs.Journal.length j)
         | None -> ());
+        let timeline =
+          (* Offline: the smoke journal replayed through the windowed
+             aggregator — the same path `analyze` uses on files. *)
+          match timeline_out with
+          | None -> None
+          | Some _ ->
+            Some
+              (timeline_of_journal
+                 ~window:(timeline_window_span timeline_window)
+                 j)
+        in
+        (match (timeline, timeline_out) with
+        | Some tl, Some file ->
+          write_file file (Domino_obs.Timeline.to_csv tl);
+          Format.printf "timeline written to %s@." file
+        | _ -> ());
         (match perfetto_out with
         | Some file ->
-          write_file file (Domino_obs.Perfetto.to_string j);
+          write_file file (Domino_obs.Perfetto.to_string ?timeline j);
           Format.printf "perfetto trace written to %s@." file
         | None -> ());
         if check then run_checker j
@@ -506,7 +571,109 @@ let experiment_cmd =
        ~doc:"Regenerate one (or all) of the paper's tables and figures")
     Term.(
       const action $ seed_arg $ scheduler_arg $ paper $ list_only $ jobs $ ids
-      $ journal_out_arg $ perfetto_out_arg $ faults_arg $ check_arg)
+      $ journal_out_arg $ perfetto_out_arg $ timeline_out_arg
+      $ timeline_window_arg $ faults_arg $ check_arg)
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let journal_file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Journal file to analyze (as written by --journal-out; any \
+             chaos or golden journal in the repo works).")
+  in
+  let csv_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Write the per-window timeline CSV to $(docv).")
+  in
+  let gauges_csv_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "gauges-csv" ] ~docv:"FILE"
+          ~doc:"Write the per-window sampled-gauge CSV to $(docv).")
+  in
+  let dips_csv_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dips-csv" ] ~docv:"FILE"
+          ~doc:"Write the per-fault dip report CSV to $(docv).")
+  in
+  let json_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write timeline + dip reports as one JSON document to $(docv).")
+  in
+  let per_node =
+    Arg.(
+      value & flag
+      & info [ "per-node" ]
+          ~doc:"Include per-node rows in the timeline CSV output.")
+  in
+  let action journal_file window_ms csv_out gauges_csv_out dips_csv_out
+      json_out per_node =
+    let contents =
+      match open_in_bin journal_file with
+      | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      | exception Sys_error msg ->
+        Format.eprintf "domino-sim: %s@." msg;
+        exit 2
+    in
+    let j =
+      match Domino_obs.Journal.of_lines contents with
+      | Ok j -> j
+      | Error msg ->
+        Format.eprintf "domino-sim: %s: %s@." journal_file msg;
+        exit 2
+    in
+    let tl = timeline_of_journal ~window:(timeline_window_span window_ms) j in
+    let dips = Domino_obs.Dip.analyze tl in
+    Domino_stats.Tablefmt.print (Domino_obs.Timeline.summary_table tl);
+    Format.printf "@.";
+    if dips = [] then Format.printf "no fault events in this journal@."
+    else Domino_stats.Tablefmt.print (Domino_obs.Dip.to_table dips);
+    let write what file contents =
+      write_file file contents;
+      Format.printf "%s written to %s@." what file
+    in
+    Option.iter
+      (fun f -> write "timeline CSV" f (Domino_obs.Timeline.to_csv ~per_node tl))
+      csv_out;
+    Option.iter
+      (fun f -> write "gauges CSV" f (Domino_obs.Timeline.gauges_to_csv tl))
+      gauges_csv_out;
+    Option.iter
+      (fun f -> write "dips CSV" f (Domino_obs.Dip.to_csv dips))
+      dips_csv_out;
+    Option.iter
+      (fun f ->
+        write "JSON" f
+          (Domino_stats.Json.to_string_pretty
+             (Domino_stats.Json.Obj
+                [
+                  ("timeline", Domino_obs.Timeline.to_json tl);
+                  ("dips", Domino_obs.Dip.to_json dips);
+                ])
+          ^ "\n"))
+      json_out
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Replay a journal file into a fixed-window timeline and per-fault \
+          dip/recovery report (deterministic CSV/JSON output)")
+    Term.(
+      const action $ journal_file $ timeline_window_arg $ csv_out
+      $ gauges_csv_out $ dips_csv_out $ json_out $ per_node)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -519,4 +686,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ run_cmd; probe_cmd; geometry_cmd; experiment_cmd ]))
+          [ run_cmd; probe_cmd; geometry_cmd; experiment_cmd; analyze_cmd ]))

@@ -95,7 +95,8 @@ let closest_replica setting ~client_dc =
    byte-identical (journal and metrics JSON) to the flat harness this
    module used to implement inline. *)
 let run ?seed ?rate ?alpha ?duration ?measure_from ?measure_until ?metrics
-    ?trace_op ?journal ?sample_every ?faults ?dedup ?store setting proto =
+    ?trace_op ?journal ?timeline ?sample_every ?faults ?dedup ?store setting
+    proto =
   let params =
     let p = Protocols.params proto in
     (* Under faults, arm Domino's in-protocol client retry (same
@@ -130,8 +131,8 @@ let run ?seed ?rate ?alpha ?duration ?measure_from ?measure_until ?metrics
   in
   let r =
     Domino_shard.Fabric.run ?seed ?rate ?alpha ?duration ?measure_from
-      ?measure_until ?metrics ?trace_op ?journal ?sample_every ?faults ?dedup
-      ?store config
+      ?measure_until ?metrics ?trace_op ?journal ?timeline ?sample_every
+      ?faults ?dedup ?store config
   in
   let g = r.Domino_shard.Fabric.groups.(0) in
   {
@@ -158,10 +159,11 @@ let run ?seed ?rate ?alpha ?duration ?measure_from ?measure_until ?metrics
 
 let seed_for base i = Int64.add base (Int64.of_int (i * 1_000_003))
 
-let run_latencies ~seed ?rate ?alpha ?duration ?journal ?faults ?store setting
-    proto =
+let run_latencies ~seed ?rate ?alpha ?duration ?journal ?timeline ?faults
+    ?store setting proto =
   let r =
-    run ~seed ?rate ?alpha ?duration ?journal ?faults ?store setting proto
+    run ~seed ?rate ?alpha ?duration ?journal ?timeline ?faults ?store setting
+      proto
   in
   ( Observer.Recorder.commit_latency_ms r.recorder,
     Observer.Recorder.exec_latency_ms r.recorder )
@@ -183,9 +185,12 @@ let run_many ?(runs = 3) ?(seed = 42L) ?rate ?alpha ?duration ?jobs setting
        (Array.make runs ()))
 
 let run_sweep ?(runs = 1) ?(seed = 42L) ?rate ?alpha ?duration ?jobs ?journal
-    ?faults ?store cells =
+    ?timeline ?faults ?store cells =
   let cells = Array.of_list cells in
   let n_cells = Array.length cells in
+  let mark_label ci ri =
+    Printf.sprintf "cell=%d run=%d seed=%Ld" ci ri (seed_for seed ri)
+  in
   (* Flatten to (cell, run) tasks so cores stay busy even when one
      cell's protocol simulates slower than the others. *)
   let tasks = Array.init (n_cells * runs) (fun t -> (t / runs, t mod runs)) in
@@ -201,28 +206,48 @@ let run_sweep ?(runs = 1) ?(seed = 42L) ?rate ?alpha ?duration ?jobs ?journal
             (fun parent -> Journal.create ~capacity:(Journal.capacity parent) ())
             journal
         in
+        (* Likewise each task aggregates its own timeline, which comes
+           back as plain data ([finish]) and is absorbed into the
+           caller's collector below, sequentially in task order — never
+           one mutable aggregator shared across domains. Feeding the
+           cell mark first gives the task's segment the same label
+           offline replay of the merged journal would produce. *)
+        let tl =
+          Option.map
+            (fun parent ->
+              let agg =
+                Timeline.create ~window:(Timeline.window parent)
+                  ~group_resolver:Domino_shard.Slots.resolver_of_mark ()
+              in
+              Timeline.feed agg
+                (Journal.Mark { label = mark_label ci ri; at = Time_ns.zero });
+              agg)
+            timeline
+        in
         let pair =
           run_latencies ~seed:(seed_for seed ri) ?rate ?alpha ?duration
-            ?journal:j ?faults ?store setting proto
+            ?journal:j ?timeline:tl ?faults ?store setting proto
         in
-        (pair, j))
+        (pair, j, Option.map Timeline.finish tl))
       tasks
   in
   (match journal with
   | None -> ()
   | Some parent ->
     Array.iteri
-      (fun t (_, j) ->
+      (fun t (_, j, _) ->
         let ci = t / runs and ri = t mod runs in
         Journal.record parent
-          (Journal.Mark
-             {
-               label =
-                 Printf.sprintf "cell=%d run=%d seed=%Ld" ci ri
-                   (seed_for seed ri);
-               at = Time_ns.zero;
-             });
+          (Journal.Mark { label = mark_label ci ri; at = Time_ns.zero });
         Option.iter (Journal.append parent) j)
       results);
+  (match timeline with
+  | None -> ()
+  | Some parent ->
+    Array.iter
+      (fun (_, _, tl) ->
+        Option.iter (fun tl -> Timeline.absorb parent ~label:"" tl) tl)
+      results);
   List.init n_cells (fun ci ->
-      merge_pairs (Array.map fst (Array.sub results (ci * runs) runs)))
+      merge_pairs
+        (Array.map (fun (p, _, _) -> p) (Array.sub results (ci * runs) runs)))

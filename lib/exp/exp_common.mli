@@ -105,6 +105,7 @@ val run :
   ?metrics:Metrics.t ->
   ?trace_op:int ->
   ?journal:Journal.t ->
+  ?timeline:Timeline.agg ->
   ?sample_every:Time_ns.span ->
   ?faults:Domino_fault.Plan.t ->
   ?dedup:bool ->
@@ -128,6 +129,10 @@ val run :
     latency decomposition (also recorded as [prov.*] histograms in the
     metrics registry). Without [journal], none of this costs anything
     beyond one variant match per hook.
+
+    [timeline] feeds the given {!Domino_obs.Timeline} collector online
+    as the run executes (installing a throwaway journal when [journal]
+    is absent); call [Timeline.finish] on it afterwards.
 
     [faults] arms a {!Domino_fault.Plan} on the run's network
     ({!Domino_fault.Inject.install}) and switches on client retry: the
@@ -170,6 +175,7 @@ val run_sweep :
   ?duration:Time_ns.span ->
   ?jobs:int ->
   ?journal:Journal.t ->
+  ?timeline:Timeline.agg ->
   ?faults:Domino_fault.Plan.t ->
   ?store:Domino_store.Store.params ->
   (setting * protocol) list ->
@@ -185,7 +191,15 @@ val run_sweep :
     [journal] records every task's run into a per-task ring (same
     capacity as the parent) and merges them into [journal] in task
     order, each preceded by a [Mark] naming the (cell, run, seed) —
-    the merged stream is byte-identical for every [jobs]. *)
+    the merged stream is byte-identical for every [jobs].
+
+    [timeline] likewise: every task aggregates its own windowed
+    timeline online (window taken from the caller's collector), and the
+    finished per-task segments are absorbed into [timeline] in task
+    order with the same (cell, run, seed) labels — so
+    [Timeline.finish timeline] after the sweep is byte-identical (CSV,
+    JSON) for every [jobs], and element-for-element equal to offline
+    replay of the merged [journal]. *)
 
 val closest_replica : setting -> client_dc:string -> int
 (** Index of the replica with the lowest RTT to the client's

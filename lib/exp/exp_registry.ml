@@ -176,6 +176,16 @@ let all =
       smoke = None;
     };
     {
+      id = "recovery";
+      describe =
+        "fault dip/recovery report: baseline RPS, dip depth, time-to-recover, \
+         p99 spike per fault x protocol";
+      aliases = [ "dips"; "timelines" ];
+      run = (fun ~quick ~seed -> [ Exp_recovery.run ~quick ~seed () ]);
+      smoke =
+        Some (fun ~seed ?faults () -> Exp_recovery.smoke_journal ~seed ?faults ());
+    };
+    {
       id = "shards";
       describe =
         "shard-serving fabric: N Domino groups behind a slot router, shard \

@@ -213,11 +213,15 @@ let check ?(require_complete = false) j =
   let flush () =
     if !cur.interesting then segs := !cur :: !segs
   in
-  Journal.iter j (function
-    | Journal.Mark { label; _ } ->
-      flush ();
-      cur := new_seg label
-    | ev -> feed !cur ev);
+  (* Segment splitting shares Journal.segment_label with Obs.Timeline,
+     so the checker and the timeline analyzer always cut a merged sweep
+     journal at the same points. *)
+  Journal.iter j (fun ev ->
+      match Journal.segment_label ev with
+      | Some label ->
+        flush ();
+        cur := new_seg label
+      | None -> feed !cur ev);
   flush ();
   let segs = List.rev !segs in
   let overflow =

@@ -49,6 +49,7 @@ type t = {
   ring : event array;
   cap : int;
   mutable next : int;  (** total events ever recorded *)
+  mutable tap : (event -> unit) option;
 }
 
 let create ?(capacity = 1 lsl 20) () =
@@ -57,13 +58,17 @@ let create ?(capacity = 1 lsl 20) () =
     ring = Array.make capacity (Mark { label = ""; at = Time_ns.zero });
     cap = capacity;
     next = 0;
+    tap = None;
   }
 
 let capacity t = t.cap
 
+let set_tap t tap = t.tap <- tap
+
 let record t ev =
   t.ring.(t.next mod t.cap) <- ev;
-  t.next <- t.next + 1
+  t.next <- t.next + 1;
+  match t.tap with None -> () | Some f -> f ev
 
 let recorded t = t.next
 
@@ -136,3 +141,147 @@ let to_lines t =
       pp_event buf ev;
       Buffer.add_char buf '\n');
   Buffer.contents buf
+
+(* --- parsing (the exact inverse of pp_event) --- *)
+
+let parse_opid s =
+  match String.index_opt s '#' with
+  | None -> None
+  | Some i -> (
+    match
+      ( int_of_string_opt (String.sub s 0 i),
+        int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+    with
+    | Some c, Some q -> Some (c, q)
+    | _ -> None)
+
+let parse_opt_opid s =
+  if s = "-" then Some None
+  else match parse_opid s with Some id -> Some (Some id) | None -> None
+
+let strip_prefix ~prefix s =
+  let np = String.length prefix and ns = String.length s in
+  if ns >= np && String.sub s 0 np = prefix then
+    Some (String.sub s np (ns - np))
+  else None
+
+let field key tok = strip_prefix ~prefix:(key ^ "=") tok
+
+let ifield key tok = Option.bind (field key tok) int_of_string_opt
+
+let parse_pair tok =
+  (* "n3>n7" *)
+  try Scanf.sscanf tok "n%d>n%d%!" (fun a b -> Some (a, b))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let parse_line line =
+  (* [String.concat " "] is the exact inverse of [split_on_char ' '], so
+     trailing free-form fields (mark labels, fault details) round-trip
+     byte-for-byte even if they contain repeated spaces. *)
+  let ( let* ) o f = match o with Some v -> f v | None -> None in
+  let ev =
+    match String.split_on_char ' ' line with
+    | at_tok :: kw :: rest when String.length at_tok > 1 && at_tok.[0] = '@' ->
+      let* at =
+        int_of_string_opt (String.sub at_tok 1 (String.length at_tok - 1))
+      in
+      (match (kw, rest) with
+      | "submit", [ o; n; k ] ->
+        let* op = Option.bind (field "op" o) parse_opid in
+        let* node = ifield "node" n in
+        let* key = ifield "key" k in
+        Some (Submit { op; node; key; at })
+      | "commit", [ o; n ] ->
+        let* op = Option.bind (field "op" o) parse_opid in
+        let* node = ifield "node" n in
+        Some (Commit { op; node; at })
+      | "execute", [ o; r ] ->
+        let* op = Option.bind (field "op" o) parse_opid in
+        let* replica = ifield "replica" r in
+        Some (Execute { op; replica; at })
+      | "send", [ s; pair; c; o ] ->
+        let* seq = ifield "seq" s in
+        let* src, dst = parse_pair pair in
+        let* cls = field "cls" c in
+        let* op = Option.bind (field "op" o) parse_opt_opid in
+        Some (Msg_sent { seq; src; dst; cls; op; at })
+      | "deliver", [ s; pair; c; o; sa ] ->
+        let* seq = ifield "seq" s in
+        let* src, dst = parse_pair pair in
+        let* cls = field "cls" c in
+        let* op = Option.bind (field "op" o) parse_opt_opid in
+        let* sent_at =
+          Option.bind (field "sent" sa) (strip_prefix ~prefix:"@")
+          |> Fun.flip Option.bind int_of_string_opt
+        in
+        Some (Msg_delivered { seq; src; dst; cls; op; sent_at; at })
+      | "drop", [ s; pair; c; r ] ->
+        let* seq = ifield "seq" s in
+        let* src, dst = parse_pair pair in
+        let* cls = field "cls" c in
+        let* reason = field "reason" r in
+        Some (Msg_dropped { seq; src; dst; cls; reason; at })
+      | "timer", [] -> Some (Timer_fired { at })
+      | "phase", [ n; o; nm; d ] ->
+        let* node = ifield "node" n in
+        let* op = Option.bind (field "op" o) parse_opt_opid in
+        let* name = field "name" nm in
+        let* dur = ifield "dur" d in
+        Some (Phase { node; op; name; dur; at })
+      | "sample", _ ->
+        let raw = String.concat " " rest in
+        let* i = String.rindex_opt raw '=' in
+        let name = String.sub raw 0 i in
+        let* value =
+          float_of_string_opt
+            (String.sub raw (i + 1) (String.length raw - i - 1))
+        in
+        Some (Sample { name; value; at })
+      | "mark", _ -> Some (Mark { label = String.concat " " rest; at })
+      | _, _ -> (
+        match strip_prefix ~prefix:"fault." kw with
+        | Some name ->
+          Some (Fault { name; detail = String.concat " " rest; at })
+        | None -> (
+          let node_detail rest =
+            match rest with
+            | n :: detail ->
+              let* node = ifield "node" n in
+              Some (node, String.concat " " detail)
+            | [] -> None
+          in
+          match strip_prefix ~prefix:"store." kw with
+          | Some op ->
+            let* node, detail = node_detail rest in
+            Some (Store_ev { node; op; detail; at })
+          | None -> (
+            match strip_prefix ~prefix:"recovery." kw with
+            | Some stage ->
+              let* node, detail = node_detail rest in
+              Some (Recovery { node; stage; detail; at })
+            | None -> None))))
+    | _ -> None
+  in
+  match ev with
+  | Some ev -> Ok ev
+  | None -> Error (Printf.sprintf "unparseable journal line: %S" line)
+
+let of_lines s =
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+  in
+  let t = create ~capacity:(Stdlib.max 1 (List.length lines)) () in
+  let rec go n = function
+    | [] -> Ok t
+    | l :: tl -> (
+      match parse_line l with
+      | Ok ev ->
+        record t ev;
+        go (n + 1) tl
+      | Error e -> Error (Printf.sprintf "line %d: %s" n e))
+  in
+  go 1 lines
+
+(* --- segmentation --- *)
+
+let segment_label = function Mark { label; _ } -> Some label | _ -> None

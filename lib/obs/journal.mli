@@ -108,6 +108,14 @@ val append : t -> t -> unit
     order. Used by the sweep runner to merge per-run journals
     deterministically. *)
 
+val set_tap : t -> (event -> unit) option -> unit
+(** Install (or clear) a tap invoked on every event recorded from now
+    on — including events copied in by {!append}. Unlike the ring, a
+    tap sees the complete stream even past overwrite, which is how
+    online timeline aggregation stays exact on long runs. Costs one
+    option match per recorded event; a journal-less run is
+    unaffected. *)
+
 (** {2 Emission sink} *)
 
 type sink = Null | Rec of t
@@ -128,3 +136,21 @@ val pp_event : Buffer.t -> event -> unit
 
 val to_lines : t -> string
 (** The whole journal, one event per line (each newline-terminated). *)
+
+val parse_line : string -> (event, string) result
+(** The exact inverse of {!pp_event}: parsing a rendered line yields
+    the original event, and re-rendering a parsed line yields the
+    original bytes (QCheck-pinned). This is what makes journal files on
+    disk a real interchange format — the [analyze] subcommand replays
+    them offline. *)
+
+val of_lines : string -> (t, string) result
+(** Parse a whole rendered journal (as produced by {!to_lines}); blank
+    lines are skipped. Errors carry the 1-based line number. *)
+
+(** {2 Segmentation} *)
+
+val segment_label : event -> string option
+(** [Some label] when the event is a segment boundary — a [Mark]. The
+    shared rule by which both the chaos checker and timelines split a
+    sweep-merged journal back into per-run segments. *)

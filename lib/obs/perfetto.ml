@@ -65,7 +65,39 @@ let counter ~name ~ts ~value =
    a slice, so each send/delivery gets a 1µs sliver on its track. *)
 let anchor_dur = 1000
 
-let of_journal j =
+(* Timeline windows render as extra counter tracks ("timeline.<scope>.rps"
+   etc.) stamped at each window start, so the windowed view overlays the
+   raw per-event slices in the trace UI. *)
+let timeline_counters tl =
+  let out = ref [] in
+  let push e = out := e :: !out in
+  List.iter
+    (fun (seg : Timeline.segment) ->
+      let window = seg.Timeline.window in
+      let track scope pts =
+        Array.iter
+          (fun (p : Timeline.point) ->
+            let ts =
+              int_of_float (Timeline.window_start_ms ~window p.Timeline.index *. 1e6)
+            in
+            let c name value =
+              if not (Float.is_nan value) then
+                push (counter ~name:(Printf.sprintf "timeline.%s.%s" scope name)
+                        ~ts ~value)
+            in
+            c "rps" (Timeline.rps ~window p);
+            c "inflight" (float_of_int p.Timeline.inflight);
+            c "p99_ms" p.Timeline.p99_ms)
+          pts
+      in
+      track "cluster" seg.Timeline.cluster;
+      Array.iter
+        (fun (g, pts) -> track (Printf.sprintf "g%d" g) pts)
+        seg.Timeline.groups)
+    tl;
+  List.rev !out
+
+let of_journal ?timeline j =
   (* Pass 1: the set of node tracks, in id order. *)
   let nodes = Hashtbl.create 16 in
   let note n = Hashtbl.replace nodes n () in
@@ -173,10 +205,13 @@ let of_journal j =
              ~name:(Printf.sprintf "recovery.%s %s" stage detail)
              ~scope:"t" ~tid:node ~ts:at [])
       | Journal.Timer_fired _ -> ());
+  let extra =
+    match timeline with None -> [] | Some tl -> timeline_counters tl
+  in
   Json.Obj
     [
-      ("traceEvents", Json.List (metadata @ List.rev !out));
+      ("traceEvents", Json.List (metadata @ List.rev !out @ extra));
       ("displayTimeUnit", Json.String "ms");
     ]
 
-let to_string j = Json.to_string (of_journal j) ^ "\n"
+let to_string ?timeline j = Json.to_string (of_journal ?timeline j) ^ "\n"

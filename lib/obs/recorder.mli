@@ -15,9 +15,17 @@ open Domino_sim
 
 type t
 
-val attach : ?sample_every:Time_ns.span -> Journal.t -> Engine.t -> t
+val attach :
+  ?sample_every:Time_ns.span ->
+  ?timeline:Timeline.agg ->
+  Journal.t ->
+  Engine.t ->
+  t
 (** Install the hooks. One recorder per engine: attaching replaces any
-    previously installed timer hook. *)
+    previously installed timer hook. With [timeline], every recorded
+    journal event is also fed to the aggregator (a {!Journal.set_tap}),
+    building the windowed timeline online as the run executes; without
+    it nothing timeline-related touches the hot path. *)
 
 val add_probe : t -> string -> (unit -> float) -> unit
 (** Register a gauge to snapshot each sampling tick. Safe to call
@@ -26,3 +34,8 @@ val add_probe : t -> string -> (unit -> float) -> unit
 val journal : t -> Journal.t
 
 val sink : t -> Journal.sink
+
+val clock : t -> Timeline.Clock.t option
+(** The sampling cadence driver ([Some] iff [sample_every] was given):
+    other fixed-window consumers can register on it instead of
+    scheduling their own periodic timers. *)

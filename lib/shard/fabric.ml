@@ -146,7 +146,7 @@ let obs_observer ~prefix metrics trace tracer jsink ~trace_op ~submit_count
 
 let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
     ?(duration = Time_ns.sec 30) ?measure_from ?measure_until ?metrics
-    ?trace_op ?journal ?(sample_every = Time_ns.ms 100)
+    ?trace_op ?journal ?timeline ?(sample_every = Time_ns.ms 100)
     ?(hot_every = Time_ns.ms 500) ?(hot_factor = 2.) ?faults ?(dedup = true)
     ?(store = Domino_store.Store.default_params) (config : config) =
   let n_groups = Array.length config.groups in
@@ -179,12 +179,22 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
     match trace_op with Some _ -> Trace.sink tracer | None -> Trace.null
   in
   let engine = Engine.create ~seed () in
+  (* An online timeline is fed by the journal's tap, so it needs a
+     journal even when the caller only wants the timeline: a capacity-1
+     throwaway ring makes every event flow through the tap at minimal
+     memory cost. Journaling never changes simulated behavior, only
+     what is recorded. *)
+  let journal =
+    match (journal, timeline) with
+    | None, Some _ -> Some (Journal.create ~capacity:1 ())
+    | j, _ -> j
+  in
   let jsink =
     match journal with Some j -> Journal.sink j | None -> Journal.null
   in
   let flight =
     match journal with
-    | Some j -> Some (Recorder.attach ~sample_every j engine)
+    | Some j -> Some (Recorder.attach ~sample_every ?timeline j engine)
     | None -> None
   in
   (* Group composition header, multi-group only: single-group journals
@@ -203,6 +213,18 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
                at = Time_ns.zero;
              }))
       config.groups;
+  (* Slot-map metadata, also multi-group only: offline timeline replay
+     (Slots.resolver_of_mark) re-derives key->group attribution from
+     this mark, matching the live router's map below. *)
+  if n_groups > 1 && Journal.enabled jsink then
+    Journal.emit jsink
+      (Journal.Mark
+         {
+           label =
+             Printf.sprintf "slots=%s groups=%d" (Slots.to_string config.slots)
+               n_groups;
+           at = Time_ns.zero;
+         });
   let cluster =
     {
       Protocol_intf.Cluster.engine;
@@ -381,14 +403,26 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
     Router.create ~spec:config.slots ~assignment
       ~submits:(Array.map (fun live -> live.submit) lives)
   in
+  (* The online timeline gets the same key->group map the router
+     routes by, so per-group attribution matches offline replay of the
+     slots mark above. *)
+  (match timeline with
+  | Some agg when n_groups > 1 ->
+    Timeline.set_group_map agg ~groups:n_groups (fun key ->
+        Slots.owner config.slots assignment key)
+  | _ -> ());
   (* Hot-shard detection, multi-group only: a single group can't be
      hot relative to its peers, and the extra sampling timer would
-     perturb single-group byte-identity with the flat harness. *)
+     perturb single-group byte-identity with the flat harness. The
+     detector rides a Timeline.Clock at [hot_every] — scheduled here,
+     where its private timer used to be, so journal bytes are
+     unchanged. *)
   let hotspot =
     if n_groups > 1 then
       Some
-        (Hotspot.create engine ~every:hot_every ~groups:n_groups
-           ~factor:hot_factor
+        (Hotspot.create
+           (Timeline.Clock.create engine ~window:hot_every)
+           ~groups:n_groups ~factor:hot_factor
            ~loads:(fun () ->
              Array.map
                (fun live ->

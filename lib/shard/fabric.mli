@@ -72,6 +72,7 @@ val run :
   ?metrics:Metrics.t ->
   ?trace_op:int ->
   ?journal:Journal.t ->
+  ?timeline:Timeline.agg ->
   ?sample_every:Time_ns.span ->
   ?hot_every:Time_ns.span ->
   ?hot_factor:float ->
@@ -83,6 +84,11 @@ val run :
 (** Build every group, wire the router over their (retry-wrapped)
     submit paths, drive one shared workload, run to [duration] plus a
     3 s drain, and collect per-group plus fabric-wide results.
+
+    With [timeline], the run feeds the aggregator online (installing a
+    throwaway journal if none was given) and hands it the router's
+    key->group map, so multi-group timelines attribute per group; call
+    [Timeline.finish] on it after [run] returns.
 
     Per-group retry/failover: under [?faults], a group whose params arm
     an in-protocol client retry ([retry_timeout > 0]) relies on it;

@@ -1,4 +1,3 @@
-open Domino_sim
 open Domino_obs
 
 type t = {
@@ -10,7 +9,7 @@ type t = {
   mutable checks : int;
 }
 
-let create engine ~every ~groups ?(factor = 2.) ~loads ~journal () =
+let create clock ~groups ?(factor = 2.) ~loads ~journal () =
   if groups <= 0 then invalid_arg "Hotspot.create: groups <= 0";
   let t =
     {
@@ -22,43 +21,42 @@ let create engine ~every ~groups ?(factor = 2.) ~loads ~journal () =
       checks = 0;
     }
   in
-  ignore
-    (Engine.every engine ~interval:every (fun () ->
-         let cur = loads () in
-         if Array.length cur <> groups then
-           invalid_arg "Hotspot: load vector size changed";
-         let delta = Array.mapi (fun g c -> c -. t.last.(g)) cur in
-         t.last <- cur;
-         t.checks <- t.checks + 1;
-         let total = Array.fold_left ( +. ) 0. delta in
-         let mean = total /. float_of_int groups in
-         let hottest = ref (-1) and hi = ref 0. in
-         Array.iteri
-           (fun g d ->
-             if d > !hi then begin
-               hi := d;
-               hottest := g
-             end)
-           delta;
-         t.hottest <- !hottest;
-         (* A shard is hot when its share of the interval's load is
-            [factor] times the even split — the same signal a slot
-            rebalancer would act on. *)
-         if groups > 1 && mean > 0. then
-           Array.iteri
-             (fun g d ->
-               if d > t.factor *. mean then begin
-                 t.flags.(g) <- t.flags.(g) + 1;
-                 if Journal.enabled journal then
-                   Journal.emit journal
-                     (Journal.Sample
-                        {
-                          name = Printf.sprintf "fabric.hot.g%d" g;
-                          value = d;
-                          at = Engine.now engine;
-                        })
-               end)
-             delta));
+  Timeline.Clock.on_window clock (fun ~index:_ ~now ->
+      let cur = loads () in
+      if Array.length cur <> groups then
+        invalid_arg "Hotspot: load vector size changed";
+      let delta = Array.mapi (fun g c -> c -. t.last.(g)) cur in
+      t.last <- cur;
+      t.checks <- t.checks + 1;
+      let total = Array.fold_left ( +. ) 0. delta in
+      let mean = total /. float_of_int groups in
+      let hottest = ref (-1) and hi = ref 0. in
+      Array.iteri
+        (fun g d ->
+          if d > !hi then begin
+            hi := d;
+            hottest := g
+          end)
+        delta;
+      t.hottest <- !hottest;
+      (* A shard is hot when its share of the window's load is [factor]
+         times the even split — the same signal a slot rebalancer would
+         act on. *)
+      if groups > 1 && mean > 0. then
+        Array.iteri
+          (fun g d ->
+            if d > t.factor *. mean then begin
+              t.flags.(g) <- t.flags.(g) + 1;
+              if Journal.enabled journal then
+                Journal.emit journal
+                  (Journal.Sample
+                     {
+                       name = Printf.sprintf "fabric.hot.g%d" g;
+                       value = d;
+                       at = now;
+                     })
+            end)
+          delta);
   t
 
 let flags t = Array.copy t.flags

@@ -52,3 +52,40 @@ let spread assignment ~groups =
       counts.(g) <- counts.(g) + 1)
     assignment;
   counts
+
+(* --- serialization: the fabric's journal metadata mark --- *)
+
+let to_string = function
+  | Hash { slots } -> Printf.sprintf "hash:%d" slots
+  | Range { slots; keys } -> Printf.sprintf "range:%d:%d" slots keys
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ "hash"; n ] -> (
+    match int_of_string_opt n with
+    | Some slots when slots > 0 -> Some (Hash { slots })
+    | _ -> None)
+  | [ "range"; n; k ] -> (
+    match (int_of_string_opt n, int_of_string_opt k) with
+    | Some slots, Some keys when slots > 0 && keys > 0 ->
+      Some (Range { slots; keys })
+    | _ -> None)
+  | _ -> None
+
+let resolver_of_mark label =
+  (* "slots=<spec> groups=<n>", the mark Fabric writes for multi-group
+     runs so offline timeline analysis can re-derive key->group. *)
+  match String.split_on_char ' ' label with
+  | [ s_tok; g_tok ]
+    when String.length s_tok > 6
+         && String.sub s_tok 0 6 = "slots="
+         && String.length g_tok > 7
+         && String.sub g_tok 0 7 = "groups=" -> (
+    let spec_s = String.sub s_tok 6 (String.length s_tok - 6) in
+    let groups_s = String.sub g_tok 7 (String.length g_tok - 7) in
+    match (of_string spec_s, int_of_string_opt groups_s) with
+    | Some spec, Some groups when groups > 0 && slots spec >= groups ->
+      let assignment = assign ~slots:(slots spec) ~groups in
+      Some (groups, fun key -> assignment.(slot_of_key spec key))
+    | _ -> None)
+  | _ -> None

@@ -36,3 +36,15 @@ val spread : int array -> groups:int -> int array
 (** Slots owned per group under an assignment; sanity surface for
     tests and rebalancing.
     @raise Invalid_argument if the assignment names an unknown group. *)
+
+val to_string : spec -> string
+(** ["hash:16"] / ["range:16:1000000"]. *)
+
+val of_string : string -> spec option
+(** Inverse of {!to_string}. *)
+
+val resolver_of_mark : string -> (int * (int -> int)) option
+(** A {!Domino_obs.Timeline.group_resolver}: recognises the fabric's
+    [slots=<spec> groups=<n>] journal mark and rebuilds [(groups, key
+    -> group)] from the canonical {!assign}, so offline timeline
+    replay attributes ops to the same groups the live router did. *)

@@ -78,6 +78,27 @@ let test_jobs_byte_identical () =
     (Digest.to_hex (Digest.string a))
     (Digest.to_hex (Digest.string b))
 
+let sweep_timeline_csv ~jobs =
+  let tl = Timeline.create () in
+  ignore
+    (Exp_common.run_sweep ~runs:2 ~seed:7L ~duration:(Time_ns.sec 2) ~jobs
+       ~timeline:tl
+       [
+         (Exp_common.fig7_double, Exp_common.domino_default);
+         (Exp_common.fig7_double, Exp_common.Multi_paxos);
+       ]);
+  let t = Timeline.finish tl in
+  Timeline.to_csv ~per_node:true t ^ Timeline.gauges_to_csv t
+
+let test_timeline_jobs_byte_identical () =
+  (* The merged timeline rides the same determinism contract as the
+     merged journal: per-task collectors absorbed in task order. *)
+  let a = sweep_timeline_csv ~jobs:1 in
+  let b = sweep_timeline_csv ~jobs:4 in
+  check_bool "timeline non-trivial" true (String.length a > 1_000);
+  check_bool "labeled by sweep cell" true (contains a "cell=1 run=1");
+  Alcotest.(check string) "timeline CSV byte-identical" a b
+
 (* --- recorder hooks end to end ------------------------------------- *)
 
 let journaled_run proto =
@@ -212,6 +233,8 @@ let () =
       ( "determinism",
         [
           Alcotest.test_case "jobs 1 = jobs 4" `Slow test_jobs_byte_identical;
+          Alcotest.test_case "timeline jobs 1 = jobs 4" `Slow
+            test_timeline_jobs_byte_identical;
         ] );
       ( "recorder",
         [
