@@ -65,7 +65,12 @@ let load_plan = function
       exit 2)
 
 let run_checker j =
-  let report = Domino_fault.Checker.check j in
+  (* The slot resolver lets the checker's epoch-split rule key each
+     op's migration history off the fabric's slots mark. *)
+  let report =
+    Domino_fault.Checker.check
+      ~slot_resolver:Domino_shard.Slots.slot_resolver_of_mark j
+  in
   Format.printf "@.%a@." Domino_fault.Checker.pp_report report;
   if not report.Domino_fault.Checker.ok then exit 1
 
@@ -450,8 +455,17 @@ let experiment_cmd =
             "Independent simulation runs to execute in parallel (default: \
              all cores). Output is byte-identical for every value.")
   in
+  let rebalance =
+    Arg.(
+      value & flag
+      & info [ "rebalance" ]
+          ~doc:
+            "Smoke runs only: let the hot-shard detector trigger live slot \
+             migrations (auto-rebalance) instead of the experiment's planned \
+             migration plan. Only the $(b,rebalance) experiment honors it.")
+  in
   let action seed scheduler paper list_only jobs ids journal_out perfetto_out
-      timeline_out timeline_window faults_file check =
+      timeline_out timeline_window faults_file check rebalance =
     Engine.set_default_scheduler scheduler;
     let faults = load_plan faults_file in
     (match jobs with
@@ -475,7 +489,7 @@ let experiment_cmd =
            (fun a b -> compare a.Exp_registry.id b.Exp_registry.id)
            Exp_registry.all)
     else if journal_out <> None || perfetto_out <> None || timeline_out <> None
-            || check || faults <> None
+            || check || faults <> None || rebalance
     then begin
       (* Flight-record one experiment's smoke run instead of printing
          its tables. *)
@@ -500,24 +514,28 @@ let experiment_cmd =
           entry.Exp_registry.id;
         exit 2
       | Some smoke ->
-        let j = smoke ~seed ?faults () in
+        (* Online: the aggregator rides the run's journal tap. The
+           result is byte-identical to offline replay of the journal
+           (a QCheck-pinned equality), and it exercises the live
+           router's attribution path — which is the point of the CI's
+           online-vs-offline `cmp` on migration runs. *)
+        let agg =
+          match timeline_out with
+          | None -> None
+          | Some _ ->
+            Some
+              (Domino_obs.Timeline.create
+                 ~window:(timeline_window_span timeline_window)
+                 ~group_resolver:Domino_shard.Slots.resolver_of_mark ())
+        in
+        let j = smoke ~seed ?faults ~rebalance ?timeline:agg () in
         (match journal_out with
         | Some file ->
           write_file file (Domino_obs.Journal.to_lines j);
           Format.printf "journal written to %s (%d events)@." file
             (Domino_obs.Journal.length j)
         | None -> ());
-        let timeline =
-          (* Offline: the smoke journal replayed through the windowed
-             aggregator — the same path `analyze` uses on files. *)
-          match timeline_out with
-          | None -> None
-          | Some _ ->
-            Some
-              (timeline_of_journal
-                 ~window:(timeline_window_span timeline_window)
-                 j)
-        in
+        let timeline = Option.map Domino_obs.Timeline.finish agg in
         (match (timeline, timeline_out) with
         | Some tl, Some file ->
           write_file file (Domino_obs.Timeline.to_csv tl);
@@ -572,7 +590,7 @@ let experiment_cmd =
     Term.(
       const action $ seed_arg $ scheduler_arg $ paper $ list_only $ jobs $ ids
       $ journal_out_arg $ perfetto_out_arg $ timeline_out_arg
-      $ timeline_window_arg $ faults_arg $ check_arg)
+      $ timeline_window_arg $ faults_arg $ check_arg $ rebalance)
 
 (* --- analyze --- *)
 

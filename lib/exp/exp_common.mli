@@ -151,6 +151,12 @@ val run :
     mutant the chaos tests use to prove the checker catches recovery
     from acknowledged-but-lost writes. *)
 
+val seed_for : int64 -> int -> int64
+(** [seed_for base i] is the i-th task's derived seed, the same
+    spacing every sweep in this module uses — exposed so sibling
+    sweeps (the rebalance determinism sweep) seed and label their runs
+    identically. *)
+
 val run_many :
   ?runs:int ->
   ?seed:int64 ->

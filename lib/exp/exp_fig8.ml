@@ -69,11 +69,11 @@ let run ?(quick = true) ?(seed = 42L) variant () =
    [experiment --journal-out/--perfetto-out] smoke target and the CI
    determinism check. Two simulated seconds keep every event of all
    four runs inside one default-capacity ring. *)
-let smoke_journal ~seed ?faults variant =
+let smoke_journal ~seed ?faults ?timeline variant =
   let j = Domino_obs.Journal.create () in
   ignore
     (Exp_common.run_sweep ~runs:1 ~seed ~duration:(Time_ns.sec 2) ~journal:j
-       ?faults
+       ?timeline ?faults
        (List.map (fun proto -> (setting variant, proto)) protocols));
   j
 

@@ -19,11 +19,16 @@ val run :
   ?quick:bool -> ?seed:int64 -> variant -> unit -> Domino_stats.Tablefmt.t
 
 val smoke_journal :
-  seed:int64 -> ?faults:Domino_fault.Plan.t -> variant -> Domino_obs.Journal.t
+  seed:int64 ->
+  ?faults:Domino_fault.Plan.t ->
+  ?timeline:Domino_obs.Timeline.agg ->
+  variant ->
+  Domino_obs.Journal.t
 (** A 2-second journaled run of the figure's sweep: the flight-recorder
     smoke target behind [experiment <fig8x> --journal-out]. The journal
     is byte-identical for every [--jobs]. [faults] injects the same
-    fault plan into every cell of the sweep. *)
+    fault plan into every cell of the sweep; [timeline] is fed online
+    during the run. *)
 
 val domino_client_mix :
   ?quick:bool -> ?seed:int64 -> variant -> unit -> int * int

@@ -70,7 +70,7 @@ let run ?(quick = true) ?(seed = 42L) () =
 
 (* The CLI/CI smoke target: a short journaled crash-and-heal run whose
    journal feeds `domino analyze` (the chaos-suite CSV artifacts). *)
-let smoke_journal ~seed ?faults () =
+let smoke_journal ~seed ?faults ?timeline () =
   let faults =
     match faults with
     | Some f -> f
@@ -78,6 +78,6 @@ let smoke_journal ~seed ?faults () =
   in
   let j = Journal.create () in
   ignore
-    (Exp_common.run ~seed ~duration:(Time_ns.sec 6) ~journal:j ~faults
-       Exp_common.fig7_double Exp_common.domino_default);
+    (Exp_common.run ~seed ~duration:(Time_ns.sec 6) ~journal:j ?timeline
+       ~faults Exp_common.fig7_double Exp_common.domino_default);
   j

@@ -12,7 +12,11 @@
 val run : ?quick:bool -> ?seed:int64 -> unit -> Domino_stats.Tablefmt.t
 
 val smoke_journal :
-  seed:int64 -> ?faults:Domino_fault.Plan.t -> unit -> Domino_obs.Journal.t
+  seed:int64 ->
+  ?faults:Domino_fault.Plan.t ->
+  ?timeline:Domino_obs.Timeline.agg ->
+  unit ->
+  Domino_obs.Journal.t
 (** A short journaled crash-and-heal Domino run (default plan: leader
     crash at 2.5 s, recover at 4 s), for CLI smokes and the CI
-    [analyze] artifacts. *)
+    [analyze] artifacts. [timeline] is fed online during the run. *)

@@ -7,7 +7,12 @@ type entry = {
   aliases : string list;
   run : quick:bool -> seed:int64 -> Tablefmt.t list;
   smoke :
-    (seed:int64 -> ?faults:Domino_fault.Plan.t -> unit -> Domino_obs.Journal.t)
+    (seed:int64 ->
+    ?faults:Domino_fault.Plan.t ->
+    ?rebalance:bool ->
+    ?timeline:Domino_obs.Timeline.agg ->
+    unit ->
+    Domino_obs.Journal.t)
     option;
 }
 
@@ -93,8 +98,8 @@ let all =
       run = (fun ~quick ~seed -> [ Exp_fig8.run ~quick ~seed Exp_fig8.Na3 () ]);
       smoke =
         Some
-          (fun ~seed ?faults () ->
-            Exp_fig8.smoke_journal ~seed ?faults Exp_fig8.Na3);
+          (fun ~seed ?faults ?rebalance:_ ?timeline () ->
+            Exp_fig8.smoke_journal ~seed ?faults ?timeline Exp_fig8.Na3);
     };
     {
       id = "fig8b";
@@ -103,8 +108,8 @@ let all =
       run = (fun ~quick ~seed -> [ Exp_fig8.run ~quick ~seed Exp_fig8.Na5 () ]);
       smoke =
         Some
-          (fun ~seed ?faults () ->
-            Exp_fig8.smoke_journal ~seed ?faults Exp_fig8.Na5);
+          (fun ~seed ?faults ?rebalance:_ ?timeline () ->
+            Exp_fig8.smoke_journal ~seed ?faults ?timeline Exp_fig8.Na5);
     };
     {
       id = "fig8c";
@@ -114,8 +119,8 @@ let all =
         (fun ~quick ~seed -> [ Exp_fig8.run ~quick ~seed Exp_fig8.Globe () ]);
       smoke =
         Some
-          (fun ~seed ?faults () ->
-            Exp_fig8.smoke_journal ~seed ?faults Exp_fig8.Globe);
+          (fun ~seed ?faults ?rebalance:_ ?timeline () ->
+            Exp_fig8.smoke_journal ~seed ?faults ?timeline Exp_fig8.Globe);
     };
     {
       id = "fig9";
@@ -183,7 +188,9 @@ let all =
       aliases = [ "dips"; "timelines" ];
       run = (fun ~quick ~seed -> [ Exp_recovery.run ~quick ~seed () ]);
       smoke =
-        Some (fun ~seed ?faults () -> Exp_recovery.smoke_journal ~seed ?faults ());
+        Some
+          (fun ~seed ?faults ?rebalance:_ ?timeline () ->
+            Exp_recovery.smoke_journal ~seed ?faults ?timeline ());
     };
     {
       id = "shards";
@@ -192,7 +199,22 @@ let all =
          count x client population";
       aliases = [ "fabric" ];
       run = (fun ~quick ~seed -> Exp_shards.run ~quick ~seed ());
-      smoke = Some (fun ~seed ?faults () -> Exp_shards.smoke_journal ~seed ?faults ());
+      smoke =
+        Some
+          (fun ~seed ?faults ?rebalance:_ ?timeline () ->
+            Exp_shards.smoke_journal ~seed ?faults ?timeline ());
+    };
+    {
+      id = "rebalance";
+      describe =
+        "live slot migration under traffic: 2 Domino groups, hot range slot \
+         moved mid-run (planned or hotspot-triggered), throughput dip + TTR";
+      aliases = [ "migrate" ];
+      run = (fun ~quick ~seed -> Exp_rebalance.run ~quick ~seed ());
+      smoke =
+        Some
+          (fun ~seed ?faults ?rebalance ?timeline () ->
+            Exp_rebalance.smoke_journal ~seed ?faults ?rebalance ?timeline ());
     };
   ]
 

@@ -15,11 +15,20 @@ type entry = {
   aliases : string list;  (** alternate ids, e.g. [fig4] -> [geometry] *)
   run : quick:bool -> seed:int64 -> Domino_stats.Tablefmt.t list;
   smoke :
-    (seed:int64 -> ?faults:Domino_fault.Plan.t -> unit -> Domino_obs.Journal.t)
+    (seed:int64 ->
+    ?faults:Domino_fault.Plan.t ->
+    ?rebalance:bool ->
+    ?timeline:Domino_obs.Timeline.agg ->
+    unit ->
+    Domino_obs.Journal.t)
     option;
       (** a short flight-recorded run of the experiment, for
           [--journal-out]/[--perfetto-out]/[--faults]/[--check]; [None]
-          where one would add nothing (input tables, trace analyses) *)
+          where one would add nothing (input tables, trace analyses).
+          [timeline] is fed online during the run (byte-identical to
+          offline replay of the journal); [rebalance] switches the
+          [rebalance] experiment to detector-triggered auto mode and is
+          ignored elsewhere *)
 }
 
 val all : entry list

@@ -16,7 +16,12 @@ val run :
     detail, and the hash-vs-range partitioning contrast at 4 groups. *)
 
 val smoke_journal :
-  seed:int64 -> ?faults:Domino_fault.Plan.t -> unit -> Domino_obs.Journal.t
+  seed:int64 ->
+  ?faults:Domino_fault.Plan.t ->
+  ?timeline:Domino_obs.Timeline.agg ->
+  unit ->
+  Domino_obs.Journal.t
 (** A short journaled 2-group fabric run — the CLI's
     [experiment shards --journal-out] smoke target and the CI
-    multi-group determinism check. *)
+    multi-group determinism check. [timeline] is fed online during
+    the run. *)

@@ -10,6 +10,7 @@ type report = {
   executed : int;
   duplicate_execs : int;
   recoveries : int;
+  migrations : int;
 }
 
 let opid_str (c, s) = Printf.sprintf "%d#%d" c s
@@ -27,6 +28,9 @@ type seg = {
   mutable max_at : Time_ns.t;
   mutable interesting : bool;
   mutable recoveries : int;
+  mutable bumps : (Time_ns.t * int) list;
+      (** journaled [migrate.epoch] ownership changes, (at, slot),
+          newest first *)
 }
 
 let new_seg label =
@@ -40,6 +44,7 @@ let new_seg label =
     max_at = Time_ns.zero;
     interesting = false;
     recoveries = 0;
+    bumps = [];
   }
 
 let feed seg ev =
@@ -76,6 +81,8 @@ let feed seg ev =
     (* Wipe-restarts in this segment: surfaced in the report so a run
        that was supposed to exercise recovery visibly did. *)
     seg.recoveries <- seg.recoveries + 1
+  | Journal.Migrate { stage = "epoch"; slot; at; _ } ->
+    seg.bumps <- (at, slot) :: seg.bumps
   | _ -> ()
 
 let rec is_prefix short long =
@@ -89,7 +96,7 @@ let rec is_prefix short long =
    calling a missing execution a violation. *)
 let tail_slack = Time_ns.ms 500
 
-let check_seg ~require_complete seg =
+let check_seg ~require_complete ~slot_of seg =
   let violations = ref [] in
   let violate fmt =
     Printf.ksprintf
@@ -163,6 +170,46 @@ let check_seg ~require_complete seg =
               replica
               (String.concat " " (List.map opid_str (List.filteri (fun i _ -> i < 6) s))))
         seqs;
+      (* 2b. migration epoch split: once this key's slot has changed
+         owner (a journaled [migrate.epoch] bump), no pre-bump op may
+         execute after a post-bump op in any replica's sequence —
+         otherwise the old owner's log kept growing for the key past the
+         handoff, the double-owner failure mode. An op's epoch is the
+         number of bumps of its slot before its first submit. *)
+      (match slot_of with
+      | None -> ()
+      | Some slot_of ->
+        let slot = slot_of key in
+        let bumps =
+          List.filter_map
+            (fun (at, s) -> if s = slot then Some at else None)
+            seg.bumps
+          |> List.sort compare
+        in
+        if bumps <> [] then
+          let epoch_of op =
+            match Hashtbl.find_opt seg.submit op with
+            | None -> None
+            | Some s ->
+              Some (List.length (List.filter (fun b -> b <= s) bumps))
+          in
+          List.iter
+            (fun (replica, sq) ->
+              let hi = ref 0 in
+              List.iter
+                (fun op ->
+                  match epoch_of op with
+                  | None -> ()
+                  | Some e ->
+                    if e < !hi then
+                      violate
+                        "key %d (slot %d): replica %d executed \
+                         pre-migration op %s after a post-migration op \
+                         (epoch %d after %d)"
+                        key slot replica (opid_str op) e !hi
+                    else hi := e)
+                sq)
+            seqs);
       (* 3. write-only linearizability (WGL-style real-time check): an
          op that committed before another was submitted must be ordered
          before it in the witness order. *)
@@ -207,7 +254,7 @@ let check_seg ~require_complete seg =
     !dups,
     seg.recoveries )
 
-let check ?(require_complete = false) j =
+let check ?(require_complete = false) ?slot_resolver j =
   let segs = ref [] in
   let cur = ref (new_seg "") in
   let flush () =
@@ -233,12 +280,18 @@ let check ?(require_complete = false) j =
       ]
     else []
   in
-  let violations, submitted, committed, executed, dups, recs =
+  let violations, submitted, committed, executed, dups, recs, migs =
     List.fold_left
-      (fun (vs, s, c, e, d, r) seg ->
-        let v, s', c', e', d', r' = check_seg ~require_complete seg in
-        (vs @ v, s + s', c + c', e + e', d + d', r + r'))
-      (overflow, 0, 0, 0, 0, 0) segs
+      (fun (vs, s, c, e, d, r, m) seg ->
+        let slot_of =
+          match slot_resolver with
+          | Some resolve -> resolve seg.label
+          | None -> None
+        in
+        let v, s', c', e', d', r' = check_seg ~require_complete ~slot_of seg in
+        (vs @ v, s + s', c + c', e + e', d + d', r + r',
+         m + List.length seg.bumps))
+      (overflow, 0, 0, 0, 0, 0, 0) segs
   in
   {
     ok = violations = [];
@@ -249,6 +302,7 @@ let check ?(require_complete = false) j =
     executed;
     duplicate_execs = dups;
     recoveries = recs;
+    migrations = migs;
   }
 
 let pp_report fmt r =
@@ -262,4 +316,6 @@ let pp_report fmt r =
     Format.fprintf fmt ", %d duplicate executions" r.duplicate_execs;
   if r.recoveries > 0 then
     Format.fprintf fmt ", %d recoveries" r.recoveries;
+  if r.migrations > 0 then
+    Format.fprintf fmt ", %d migrations" r.migrations;
   List.iter (fun v -> Format.fprintf fmt "@.  violation: %s" v) r.violations

@@ -17,7 +17,15 @@
     - {b committed ⇒ executed}: a committed op must execute at some
       replica, modulo a 500 ms slack at the journal's tail (drain);
     - with [require_complete]: every submitted op must commit — the
-      bar for minority-fault plans, where liveness must hold.
+      bar for minority-fault plans, where liveness must hold;
+    - {b migration epoch split} (with [slot_resolver]): a live slot
+      migration journals an [migrate.epoch] ownership bump; for keys of
+      a migrated slot, no op submitted before the bump may execute
+      after an op submitted after it — a key served by both the old
+      and the new owner past the handoff is the double-owner bug.
+      Replica ids alias across groups, so a key executed in both
+      groups' logs also trips exactly-once/prefix-agreement; the epoch
+      check localizes the failure to the handoff.
 
     Limits: the checker sees submit/commit times at journal
     granularity and checks writes only (the workload is blind writes),
@@ -38,8 +46,20 @@ type report = {
   recoveries : int;
       (** wipe-restart recoveries observed ([recovery.replay] events) —
           evidence the run exercised durable-state recovery at all *)
+  migrations : int;
+      (** slot ownership changes observed ([migrate.epoch] events) —
+          evidence the run exercised live migration at all *)
 }
 
-val check : ?require_complete:bool -> Journal.t -> report
+val check :
+  ?require_complete:bool ->
+  ?slot_resolver:(string -> (int -> int) option) ->
+  Journal.t ->
+  report
+(** [slot_resolver] recovers a key→slot map from a segment's label
+    (the fabric's [slots=...] mark;
+    [Domino_shard.Slots.slot_resolver_of_mark] implements it — injected
+    rather than referenced because [lib/shard] depends on this
+    library). Without it the migration epoch-split check is skipped. *)
 
 val pp_report : Format.formatter -> report -> unit

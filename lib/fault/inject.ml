@@ -85,6 +85,11 @@ let schedule_event net jsink { Plan.at; action } =
         else Clock.set_offset c (Time_ns.add (Clock.offset c) delta);
         fault jsink engine "skew"
           (Printf.sprintf "node=%d delta=%dms" node (delta / Time_ns.ms 1)))
+  | Plan.Migrate _ ->
+    (* Not a network fault: the shard fabric splits migrations out of
+       the plan and drives them through Shard.Migrate. Reaching here
+       (e.g. a migrate event left in a per-group plan) is a no-op. *)
+    ()
 
 let install plan ~net ~journal =
   (match Plan.validate ~n:(Fifo_net.size net) plan with

@@ -13,6 +13,7 @@ type action =
       until : Time_ns.t;
     }
   | Skew of { node : int; delta : Time_ns.span }
+  | Migrate of { slot : int; from_g : int; to_g : int }
 
 type event = { at : Time_ns.t; action : action }
 
@@ -45,6 +46,8 @@ let action_str = function
       (span_str delay) loss (span_str until)
   | Skew { node; delta } ->
     Printf.sprintf "skew node=%d delta=%s" node (span_str delta)
+  | Migrate { slot; from_g; to_g } ->
+    Printf.sprintf "migrate slot=%d from=%d to=%d" slot from_g to_g
 
 let event_str { at; action } =
   Printf.sprintf "at %s %s" (span_str at) (action_str action)
@@ -153,6 +156,14 @@ let parse_action verb fields =
     let* dv = field fields "delta" in
     let* delta = parse_span dv in
     Ok (Skew { node; delta })
+  | "migrate" ->
+    let* sv = field fields "slot" in
+    let* slot = parse_int sv in
+    let* fv = field fields "from" in
+    let* from_g = parse_int fv in
+    let* tv = field fields "to" in
+    let* to_g = parse_int tv in
+    Ok (Migrate { slot; from_g; to_g })
   | v -> Error (Printf.sprintf "unknown fault verb %S" v)
 
 let parse_line line =
@@ -211,6 +222,16 @@ let validate ~n t =
         if until <= at then
           err "degrade at %s: until=%s not after start" (span_str at)
             (span_str until)
-      | Skew { node; delta = _ } -> check_node "skew" node)
+      | Skew { node; delta = _ } -> check_node "skew" node
+      | Migrate { slot; from_g; to_g } ->
+        (* from/to are GROUP indices, not node ids: the fabric checks
+           them against its group count; here only static shape. *)
+        if slot < 0 then err "migrate: slot %d negative" slot;
+        if from_g < 0 then err "migrate: from %d negative" from_g;
+        if to_g < 0 then err "migrate: to %d negative" to_g;
+        if from_g = to_g then err "migrate: from = to = %d" from_g)
     t;
   match !errs with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
+
+let partition_migrations t =
+  List.partition (function { action = Migrate _; _ } -> true | _ -> false) t

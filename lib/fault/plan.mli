@@ -11,6 +11,7 @@
     at 3s partition a=0 b=1,2 sym until=5s
     at 3s degrade src=0 dst=1 delay=40ms loss=0.3 until=4s
     at 6s skew node=3 delta=30ms
+    at 3s migrate slot=0 from=0 to=1
     v}
 
     — and {!to_string} emits exactly the syntax {!parse} accepts, so
@@ -30,7 +31,12 @@
     - [degrade]: add [delay] to the link's base one-way delay and set
       its loss rate (losses surface as RTO-sized delay spikes, Domino
       runs over TCP) until [until], then restore.
-    - [skew]: step the node's local clock by [delta] (may be negative). *)
+    - [skew]: step the node's local clock by [delta] (may be negative).
+    - [migrate]: live slot migration — move ownership of [slot] from
+      group [from] to group [to]. Not a network fault: {!Inject}
+      ignores it; the shard fabric splits these events out of the plan
+      (see [Plan.partition_migrations]) and hands them to its
+      [Shard.Migrate] orchestrator. [from]/[to] are group indices. *)
 
 open Domino_sim
 
@@ -47,6 +53,7 @@ type action =
       until : Time_ns.t;
     }
   | Skew of { node : int; delta : Time_ns.span }
+  | Migrate of { slot : int; from_g : int; to_g : int }
 
 type event = { at : Time_ns.t; action : action }
 
@@ -63,4 +70,11 @@ val event_str : event -> string
 
 val validate : n:int -> t -> (unit, string) result
 (** Static sanity: node indices in [\[0, n)], heal times after their
-    start, loss in [\[0, 1\]]. *)
+    start, loss in [\[0, 1\]]. [migrate] events carry group indices
+    (checked non-negative and distinct here; range-checked against the
+    group count by the fabric). *)
+
+val partition_migrations : t -> t * t
+(** Split a plan into its [migrate] events and everything else. The
+    fabric drives the first list through its migration orchestrator
+    and installs only the second as network faults. *)

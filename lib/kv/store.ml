@@ -14,6 +14,19 @@ let size t = Hashtbl.length t.table
 
 let version t = t.version
 
+let export t ~keep =
+  Hashtbl.fold
+    (fun k v acc -> if keep k then (k, v) :: acc else acc)
+    t.table []
+  |> List.sort compare
+
+let import t bindings =
+  List.iter
+    (fun (k, v) ->
+      Hashtbl.replace t.table k v;
+      t.version <- t.version + 1)
+    bindings
+
 let fingerprint t =
   (* Content digest over sorted bindings: order-insensitive, so two
      replicas converge iff every key holds the same final value —

@@ -21,6 +21,17 @@ val size : t -> int
 val version : t -> int
 (** Number of operations applied. *)
 
+val export : t -> keep:(int -> bool) -> (int * int64) list
+(** The bindings whose key satisfies [keep], sorted by key — the
+    deterministic snapshot a slot migration ships to the destination
+    group. *)
+
+val import : t -> (int * int64) list -> unit
+(** Install bindings (replacing any present), bumping [version] once
+    per binding. Importing the same snapshot into every replica of a
+    group is fingerprint-preserving across the group: all replicas
+    mutate identically. *)
+
 val fingerprint : t -> int
 (** Digest of (applied-op count, sorted key/value contents). Replicas
     that applied the same multiset of operations with the same same-key

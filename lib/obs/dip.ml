@@ -19,39 +19,48 @@ type report = {
 }
 
 let is_start = function
-  | "crash" | "wipe" | "partition" | "degrade" | "skew" -> true
+  | "crash" | "wipe" | "partition" | "degrade" | "skew" | "migrate" -> true
   | _ -> false
 
-let heal_kind = function
-  | "crash" -> Some "recover"
-  | "partition" -> Some "heal"
-  | "degrade" -> Some "restore"
-  | _ -> None  (* wipe heals via recovery.up; skew is never healed *)
+let heal_kinds = function
+  | "crash" -> [ "recover" ]
+  | "partition" -> [ "heal" ]
+  | "degrade" -> [ "restore" ]
+  | "migrate" -> [ "migrate.done"; "migrate.abort" ]
+  | _ -> []  (* wipe heals via recovery.up; skew is never healed *)
 
-(* "node=3 ..." -> Some 3 *)
-let node_of_detail detail =
+(* First token of a detail string: "node=3 ..." -> Some 3 for "node";
+   "slot=5 from=g0 ..." -> Some 5 for "slot". *)
+let first_field_of_detail key detail =
   match String.split_on_char ' ' detail with
   | tok :: _ -> (
     match String.index_opt tok '=' with
-    | Some i when String.sub tok 0 i = "node" ->
+    | Some i when String.sub tok 0 i = key ->
       int_of_string_opt (String.sub tok (i + 1) (String.length tok - i - 1))
     | _ -> None)
   | [] -> None
 
+let node_of_detail = first_field_of_detail "node"
+
+let slot_of_detail = first_field_of_detail "slot"
+
 let find_heal (seg : Timeline.segment) ~at ~kind ~detail =
   let node = node_of_detail detail in
+  let slot = slot_of_detail detail in
   let best = ref None in
   let consider t = match !best with Some b when b <= t -> () | _ -> best := Some t in
-  (match heal_kind kind with
-  | Some hk ->
+  (match heal_kinds kind with
+  | [] -> ()
+  | hks ->
     Array.iter
       (fun (hat, hkind, hdetail) ->
         if
-          hat > at && hkind = hk
+          hat > at
+          && List.mem hkind hks
           && (node = None || node_of_detail hdetail = node)
+          && (slot = None || slot_of_detail hdetail = slot)
         then consider hat)
-      seg.Timeline.faults
-  | None -> ());
+      seg.Timeline.faults);
   if kind = "wipe" then
     Array.iter
       (fun (rat, rnode, stage) ->

@@ -2,7 +2,9 @@
     how deep did throughput dip and how long until it recovered.
 
     For each [fault.*] start event (crash, wipe, partition, degrade,
-    skew) in a {!Timeline.segment}, the report gives:
+    skew) — and each [migrate] lifecycle start the timeline surfaces
+    for a live slot migration — in a {!Timeline.segment}, the report
+    gives:
 
     - the {b baseline} RPS: mean cluster throughput over the windows
       immediately preceding the fault;
@@ -41,8 +43,9 @@ val analyze :
   report list
 (** One report per fault-start event, in journal order per segment.
     [baseline_windows] (default 10) is the lookback; heal events
-    ([recover]/[heal]/[restore], and [recovery.up] for wipes) are
-    matched to their start by kind and node. *)
+    ([recover]/[heal]/[restore], [recovery.up] for wipes, and
+    [migrate.done]/[migrate.abort] for migrations) are matched to
+    their start by kind and node (or slot, for migrations). *)
 
 val to_csv : report list -> string
 (** [seg,label,fault,detail,at_ms,heal_ms,baseline_rps,dip_rps,dip_pct,ttr_ms,p99_base_ms,p99_spike_ms];

@@ -44,6 +44,15 @@ type event =
   | Fault of { name : string; detail : string; at : Time_ns.t }
   | Store_ev of { node : int; op : string; detail : string; at : Time_ns.t }
   | Recovery of { node : int; stage : string; detail : string; at : Time_ns.t }
+  | Migrate of {
+      stage : string;
+      slot : int;
+      from_g : int;
+      to_g : int;
+      epoch : int;
+      detail : string;
+      at : Time_ns.t;
+    }
 
 type t = {
   ring : event array;
@@ -133,6 +142,10 @@ let pp_event buf ev =
       (if detail = "" then "" else " " ^ detail)
   | Recovery { node; stage; detail; at } ->
     p "@%d recovery.%s node=%d%s" at stage node
+      (if detail = "" then "" else " " ^ detail)
+  | Migrate { stage; slot; from_g; to_g; epoch; detail; at } ->
+    p "@%d migrate.%s slot=%d from=g%d to=g%d epoch=%d%s" at stage slot from_g
+      to_g epoch
       (if detail = "" then "" else " " ^ detail)
 
 let to_lines t =
@@ -238,6 +251,22 @@ let parse_line line =
         in
         Some (Sample { name; value; at })
       | "mark", _ -> Some (Mark { label = String.concat " " rest; at })
+      | _, _ when strip_prefix ~prefix:"migrate." kw <> None -> (
+        match (strip_prefix ~prefix:"migrate." kw, rest) with
+        | Some stage, sl :: f :: t :: e :: detail ->
+          let gfield key tok =
+            Option.bind (field key tok) (strip_prefix ~prefix:"g")
+            |> Fun.flip Option.bind int_of_string_opt
+          in
+          let* slot = ifield "slot" sl in
+          let* from_g = gfield "from" f in
+          let* to_g = gfield "to" t in
+          let* epoch = ifield "epoch" e in
+          Some
+            (Migrate
+               { stage; slot; from_g; to_g; epoch;
+                 detail = String.concat " " detail; at })
+        | _ -> None)
       | _, _ -> (
         match strip_prefix ~prefix:"fault." kw with
         | Some name ->

@@ -77,6 +77,27 @@ type event =
           progress is visible in the flight recorder, distinct from the
           [fault.*] events that caused it. Rendered as
           [recovery.<stage> node=<n> <detail>]. *)
+  | Migrate of {
+      stage : string;
+      slot : int;
+      from_g : int;
+      to_g : int;
+      epoch : int;
+      detail : string;
+      at : Time_ns.t;
+    }
+      (** A slot-migration lifecycle event emitted by [Shard.Migrate] —
+          [freeze] (source stops accepting the slot, new submits queue),
+          [drain] (in-flight ops on the slot settled or deadline hit),
+          [transfer] (key state snapshotted and installed at the
+          destination), [epoch] (the router's versioned assignment
+          bumped: from this event on the slot belongs to [to_g]),
+          [done] / [abort] (queue flushed; migration over). Offline
+          replay uses the [epoch] events to attribute each key to the
+          correct group per epoch. NOT a [Mark]: a migration happens
+          mid-run and must not split the checker/timeline segment.
+          Rendered as
+          [migrate.<stage> slot=<s> from=g<a> to=g<b> epoch=<e> <detail>]. *)
 
 type t
 

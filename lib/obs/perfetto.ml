@@ -115,7 +115,7 @@ let of_journal ?timeline j =
       | Journal.Store_ev { node; _ } | Journal.Recovery { node; _ } ->
         note node
       | Journal.Timer_fired _ | Journal.Sample _ | Journal.Mark _
-      | Journal.Fault _ -> ());
+      | Journal.Fault _ | Journal.Migrate _ -> ());
   let node_ids =
     List.sort compare (Hashtbl.fold (fun n () acc -> n :: acc) nodes [])
   in
@@ -204,6 +204,13 @@ let of_journal ?timeline j =
           (instant
              ~name:(Printf.sprintf "recovery.%s %s" stage detail)
              ~scope:"t" ~tid:node ~ts:at [])
+      | Journal.Migrate { stage; slot; from_g; to_g; epoch; at; _ } ->
+        push
+          (instant
+             ~name:
+               (Printf.sprintf "migrate.%s slot=%d g%d>g%d epoch=%d" stage
+                  slot from_g to_g epoch)
+             ~scope:"g" ~tid:0 ~ts:at [])
       | Journal.Timer_fired _ -> ());
   let extra =
     match timeline with None -> [] | Some tl -> timeline_counters tl

@@ -158,7 +158,15 @@ let gadvance gs k = while gs.gidx < k do gclose gs done
 
 (* --- streaming collector --- *)
 
-type group_resolver = string -> (int * (int -> int)) option
+type group_map = {
+  groups : int;
+  lookup : int -> int;  (** key -> group, under the CURRENT epoch *)
+  migrate : slot:int -> to_g:int -> unit;
+      (** applied on each [migrate.epoch] event so offline replay tracks
+          ownership changes exactly as the live router did *)
+}
+
+type group_resolver = string -> group_map option
 
 type opinfo = {
   submitted_at : Time_ns.t;
@@ -175,7 +183,7 @@ type seg_state = {
   mutable faults_r : (Time_ns.t * string * string) list;
   mutable recoveries_r : (Time_ns.t * int * string) list;
   ops : (int * int, opinfo) Hashtbl.t;
-  mutable gmap : (int * (int -> int)) option;
+  mutable gmap : group_map option;
   mutable max_idx : int;  (** last window touched by a counted event *)
   mutable counted : int;
 }
@@ -215,18 +223,18 @@ let create ?(window = default_window) ?group_resolver () =
 
 let window agg = agg.win
 
-let apply_map seg ~groups f =
+let apply_map seg gm =
   (* Only multi-group runs carry a group axis; pre-create every group's
      series so a group with no traffic still renders (all-zero). *)
-  if groups > 1 then begin
-    seg.gmap <- Some (groups, f);
-    for g = 0 to groups - 1 do
+  if gm.groups > 1 then begin
+    seg.gmap <- Some gm;
+    for g = 0 to gm.groups - 1 do
       if not (Hashtbl.mem seg.groups_t g) then
         Hashtbl.replace seg.groups_t g (series ())
     done
   end
 
-let set_group_map agg ~groups f = apply_map agg.seg ~groups f
+let set_group_map agg gm = apply_map agg.seg gm
 
 let sorted_bindings tbl cmp =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
@@ -312,14 +320,14 @@ let feed agg ev =
     match agg.resolver with
     | Some resolve -> (
       match resolve label with
-      | Some (groups, f) -> apply_map agg.seg ~groups f
+      | Some gm -> apply_map agg.seg gm
       | None -> ())
     | None -> ())
   | Submit { op; node; key; at } ->
     let k = count at in
     let group =
       match seg.gmap with
-      | Some (_, f) -> f key
+      | Some gm -> gm.lookup key
       | None -> -1
     in
     if not (Hashtbl.mem seg.ops op) then
@@ -412,6 +420,25 @@ let feed agg ev =
   | Recovery { node; stage; at; _ } ->
     ignore (count at);
     seg.recoveries_r <- (at, node, stage) :: seg.recoveries_r
+  | Migrate { stage; slot; from_g; to_g; epoch; detail; at } -> (
+    ignore (count at);
+    let d =
+      Printf.sprintf "slot=%d from=g%d to=g%d epoch=%d%s" slot from_g to_g
+        epoch
+        (if detail = "" then "" else " " ^ detail)
+    in
+    match stage with
+    | "epoch" ->
+      (* The live router is re-pointed immediately before this event is
+         journaled, so mutating the replay map here keeps offline
+         attribution byte-identical to the online tap. *)
+      (match seg.gmap with
+      | Some gm -> gm.migrate ~slot ~to_g
+      | None -> ())
+    | "freeze" -> seg.faults_r <- (at, "migrate", d) :: seg.faults_r
+    | "done" | "abort" ->
+      seg.faults_r <- (at, "migrate." ^ stage, d) :: seg.faults_r
+    | _ -> ())
   | Store_ev _ | Msg_sent _ | Msg_delivered _ | Timer_fired _ | Phase _ -> ()
 
 let absorb agg ~label t =

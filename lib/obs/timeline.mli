@@ -96,7 +96,11 @@ type segment = {
       (** per sampled gauge name, sparse (only windows with samples);
           group scope is carried by the name prefix ([g0.proto...]) *)
   faults : (Time_ns.t * string * string) array;
-      (** injected [fault.*] events: (at, kind, detail) *)
+      (** injected [fault.*] events plus migration lifecycle markers:
+          (at, kind, detail). A [migrate.freeze] lands as kind
+          ["migrate"], its completion as ["migrate.done"] (or
+          ["migrate.abort"]), so {!Dip} prices migrations with the same
+          baseline/dip/TTR report as crashes and partitions. *)
   recoveries : (Time_ns.t * int * string) array;
       (** [recovery.*] lifecycle events: (at, node, stage) *)
 }
@@ -114,9 +118,23 @@ type agg
 (** A streaming collector: feed it events (in journal order), then
     {!finish}. *)
 
-type group_resolver = string -> (int * (int -> int)) option
+type group_map = {
+  groups : int;
+  lookup : int -> int;  (** key -> group, under the current epoch *)
+  migrate : slot:int -> to_g:int -> unit;
+      (** invoked on each [migrate.epoch] journal event. The offline
+          resolver backs [lookup] with a mutable copy of the slot
+          assignment and re-points it here; the online map reads the
+          live router (already re-pointed when the event fires), so its
+          [migrate] is a no-op — either way attribution of every
+          subsequent submit is identical. *)
+}
+(** A per-segment key→group attribution map that can follow slot
+    migrations across epochs. *)
+
+type group_resolver = string -> group_map option
 (** Recovers per-group attribution from a segment's metadata marks:
-    applied to each [Mark] label, returning [(groups, key -> group)]
+    applied to each [Mark] label, returning the segment's {!group_map}
     when the label describes the run's slot map (the fabric's
     [slots=...] mark; [Domino_shard.Slots.resolver_of_mark] implements
     it). *)
@@ -125,9 +143,9 @@ val create : ?window:Time_ns.span -> ?group_resolver:group_resolver -> unit -> a
 
 val window : agg -> Time_ns.span
 
-val set_group_map : agg -> groups:int -> (int -> int) -> unit
+val set_group_map : agg -> group_map -> unit
 (** Provide the key→group map directly (the online path: the fabric
-    passes its router's map). Applies to the current segment. *)
+    passes its router's live map). Applies to the current segment. *)
 
 val feed : agg -> Journal.event -> unit
 

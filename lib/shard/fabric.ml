@@ -40,6 +40,7 @@ type result = {
   client_commit_ms : (string * Domino_stats.Summary.t) array;
   hot_flags : int array;
   hot_checks : int;
+  migrations : Migrate.outcome list;
 }
 
 (* One group's live state between construction and collection. *)
@@ -67,7 +68,7 @@ type live = {
    instruments; the single-group prefix is empty and keeps the
    historical names. *)
 let obs_observer ~prefix metrics trace tracer jsink ~trace_op ~submit_count
-    ~exec_replica_for =
+    ~exec_replica_for ~note_commit =
   let counter n = Metrics.counter metrics (prefix ^ n) in
   let submitted_c = counter "run.submitted" in
   let retries_c = counter "run.retries" in
@@ -114,6 +115,10 @@ let obs_observer ~prefix metrics trace tracer jsink ~trace_op ~submit_count
     on_commit =
       (fun op ~now ->
         Metrics.inc committed_c;
+        (* Retire the op from the router's in-flight tracking — the
+           drain gauge a live slot migration polls. The ref is filled
+           in after the router exists. *)
+        !note_commit (Op.id op);
         (match latency_ms op ~now with
         | Some l -> Metrics.observe commit_h l
         | None -> ());
@@ -148,9 +153,32 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
     ?(duration = Time_ns.sec 30) ?measure_from ?measure_until ?metrics
     ?trace_op ?journal ?timeline ?(sample_every = Time_ns.ms 100)
     ?(hot_every = Time_ns.ms 500) ?(hot_factor = 2.) ?faults ?(dedup = true)
+    ?(auto_rebalance = false) ?(migrate_mutant = false)
     ?(store = Domino_store.Store.default_params) (config : config) =
   let n_groups = Array.length config.groups in
   if n_groups = 0 then invalid_arg "Fabric.run: no groups";
+  (* Planned slot migrations are scheduled by the fabric itself (they
+     need the router, KV stores, and stable stores), not by Inject;
+     the full plan still flows to each group's injector, where Migrate
+     actions are no-ops. *)
+  let migrations =
+    match faults with
+    | Some plan -> fst (Domino_fault.Plan.partition_migrations plan)
+    | None -> []
+  in
+  let migration_armed = migrations <> [] || auto_rebalance in
+  if migration_armed && n_groups < 2 then
+    invalid_arg "Fabric.run: slot migration needs a multi-group fabric";
+  List.iter
+    (fun (ev : Domino_fault.Plan.event) ->
+      match ev.action with
+      | Domino_fault.Plan.Migrate { slot; from_g; to_g } ->
+        if slot >= Slots.slots config.slots then
+          invalid_arg "Fabric.run: migrate slot out of range";
+        if from_g >= n_groups || to_g >= n_groups then
+          invalid_arg "Fabric.run: migrate group out of range"
+      | _ -> ())
+    migrations;
   let n_rep =
     let (g0 : group_spec) = config.groups.(0) in
     Array.length g0.replica_dcs
@@ -215,14 +243,23 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
       config.groups;
   (* Slot-map metadata, also multi-group only: offline timeline replay
      (Slots.resolver_of_mark) re-derives key->group attribution from
-     this mark, matching the live router's map below. *)
+     this mark, matching the live router's map below. When live
+     migration is armed the mark carries the starting epoch and
+     explicit assignment, so replay can apply the journaled
+     [migrate.epoch] bumps on top; without migrations the short form
+     keeps pre-existing multi-group journals byte-identical. *)
+  let assignment =
+    Slots.assign ~slots:(Slots.slots config.slots) ~groups:n_groups
+  in
   if n_groups > 1 && Journal.enabled jsink then
     Journal.emit jsink
       (Journal.Mark
          {
            label =
-             Printf.sprintf "slots=%s groups=%d" (Slots.to_string config.slots)
-               n_groups;
+             (if migration_armed then
+                Slots.mark_with_epochs config.slots ~groups:n_groups
+                  ~assignment
+              else Slots.mark config.slots ~groups:n_groups);
            at = Time_ns.zero;
          });
   let cluster =
@@ -235,6 +272,7 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
     }
   in
   let submit_count = ref 0 in
+  let note_commit : (Op.id -> unit) ref = ref (fun _ -> ()) in
   let make_group k (spec : group_spec) : live =
     let prefix = if n_groups = 1 then "" else Printf.sprintf "g%d." k in
     (* Node layout within this group's network: replicas first, then
@@ -289,7 +327,7 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
            (Observer.Recorder.observer recorder ~exec_replica_for ())
            store_observer)
         (obs_observer ~prefix metrics trace tracer jsink ~trace_op
-           ~submit_count ~exec_replica_for)
+           ~submit_count ~exec_replica_for ~note_commit)
     in
     let observer =
       match retry with
@@ -396,33 +434,89 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
       lives);
   (* The shard router: each group's (retry-wrapped) submit behind the
      slot map. With one group it degenerates to that group's submit. *)
-  let assignment =
-    Slots.assign ~slots:(Slots.slots config.slots) ~groups:n_groups
-  in
   let router =
     Router.create ~spec:config.slots ~assignment
       ~submits:(Array.map (fun live -> live.submit) lives)
   in
-  (* The online timeline gets the same key->group map the router
-     routes by, so per-group attribution matches offline replay of the
-     slots mark above. *)
+  (note_commit := fun id -> Router.note_commit router id);
+  (* The online timeline reads the live router's (versioned) map, so
+     per-group attribution matches offline replay of the slots mark
+     above — including across mid-run epoch bumps, because the router
+     is reassigned in the same closure that journals [migrate.epoch].
+     The map's own [migrate] hook is therefore a no-op here; only
+     offline replay uses it. *)
   (match timeline with
   | Some agg when n_groups > 1 ->
-    Timeline.set_group_map agg ~groups:n_groups (fun key ->
-        Slots.owner config.slots assignment key)
+    Timeline.set_group_map agg
+      {
+        Timeline.groups = n_groups;
+        lookup = (fun key -> Router.group_of router key);
+        migrate = (fun ~slot:_ ~to_g:_ -> ());
+      }
   | _ -> ());
+  (* The migration orchestrator, armed only when the plan schedules a
+     migration or auto-rebalance is on: fault-free and plain sharded
+     runs keep their exact event streams. *)
+  let migrate =
+    if migration_armed then
+      Some
+        (Migrate.create engine ~router ~journal:jsink ~spec:config.slots
+           ~kv_of_group:(fun g -> lives.(g).kv_stores)
+           ~dstores_of_group:(fun g -> lives.(g).dstores)
+           ~install_span:(fun ~records ->
+             store.Domino_store.Store.snapshot_latency
+             + (records * store.Domino_store.Store.replay_per_record))
+           ~mutant:migrate_mutant ())
+    else None
+  in
+  List.iter
+    (fun (ev : Domino_fault.Plan.event) ->
+      match ev.action with
+      | Domino_fault.Plan.Migrate { slot; from_g; to_g } ->
+        Engine.schedule_at engine ~at:ev.at (fun () ->
+            match migrate with
+            | Some m when Router.owner_of_slot router slot = from_g ->
+              ignore (Migrate.request m ~slot ~to_g)
+            | _ -> ())
+      | _ -> ())
+    migrations;
   (* Hot-shard detection, multi-group only: a single group can't be
      hot relative to its peers, and the extra sampling timer would
      perturb single-group byte-identity with the flat harness. The
      detector rides a Timeline.Clock at [hot_every] — scheduled here,
      where its private timer used to be, so journal bytes are
      unchanged. *)
+  let on_hot =
+    (* Auto-rebalance closes the detect->act loop: a hot group's most
+       routed slot moves to the group with the fewest routed ops.
+       [Migrate.request] itself serializes (one migration at a time,
+       then a cooldown), so a persistently hot shard triggers at most
+       one move per window. *)
+    match migrate with
+    | Some m when auto_rebalance ->
+      Some
+        (fun ~g ->
+          let slot = Router.hottest_slot router ~group:g in
+          if slot >= 0 then begin
+            let routed = Router.routed router in
+            let dest = ref (-1) and lo = ref max_int in
+            Array.iteri
+              (fun k n ->
+                if k <> g && n < !lo then begin
+                  lo := n;
+                  dest := k
+                end)
+              routed;
+            if !dest >= 0 then ignore (Migrate.request m ~slot ~to_g:!dest)
+          end)
+    | _ -> None
+  in
   let hotspot =
     if n_groups > 1 then
       Some
         (Hotspot.create
            (Timeline.Clock.create engine ~window:hot_every)
-           ~groups:n_groups ~factor:hot_factor
+           ~groups:n_groups ~factor:hot_factor ?on_hot
            ~loads:(fun () ->
              Array.map
                (fun live ->
@@ -555,4 +649,6 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
       | Some h -> Hotspot.flags h
       | None -> Array.make n_groups 0);
     hot_checks = (match hotspot with Some h -> Hotspot.checks h | None -> 0);
+    migrations =
+      (match migrate with Some m -> Migrate.outcomes m | None -> []);
   }

@@ -60,6 +60,9 @@ type result = {
           node surface of the shards experiment *)
   hot_flags : int array;
   hot_checks : int;
+  migrations : Migrate.outcome list;
+      (** finished slot migrations (planned or auto-triggered), oldest
+          first; empty unless migration was armed *)
 }
 
 val run :
@@ -78,6 +81,8 @@ val run :
   ?hot_factor:float ->
   ?faults:Domino_fault.Plan.t ->
   ?dedup:bool ->
+  ?auto_rebalance:bool ->
+  ?migrate_mutant:bool ->
   ?store:Domino_store.Store.params ->
   config ->
   result
@@ -86,8 +91,9 @@ val run :
     3 s drain, and collect per-group plus fabric-wide results.
 
     With [timeline], the run feeds the aggregator online (installing a
-    throwaway journal if none was given) and hands it the router's
-    key->group map, so multi-group timelines attribute per group; call
+    throwaway journal if none was given) and hands it the live
+    router's key->group map, so multi-group timelines attribute per
+    group — including across mid-run slot migrations; call
     [Timeline.finish] on it after [run] returns.
 
     Per-group retry/failover: under [?faults], a group whose params arm
@@ -95,5 +101,17 @@ val run :
     every other group's submit is wrapped in the harness
     {!Domino_smr.Retry}. Without faults neither is armed.
 
+    Live slot migration ({!Migrate}) is armed when the fault plan
+    contains [migrate] events or [auto_rebalance] is set (the
+    {!Hotspot} detector's flags then trigger moves of the hot group's
+    most-routed slot to the least-routed group). The slots [Mark] of a
+    migration-armed run carries [epoch=0 assign=...] so offline replay
+    seeds the starting map before applying journaled [migrate.epoch]
+    bumps; runs without migration keep the short mark, byte-identical
+    to before. [migrate_mutant] arms the double-owner bug after each
+    cutover — test-only, for proving the checker catches it.
+
     @raise Invalid_argument on an empty group list, unequal replica
-    counts across groups, or fewer slots than groups. *)
+    counts across groups, fewer slots than groups, a [migrate] plan
+    event naming an out-of-range slot or group, or migration armed on
+    a single-group fabric. *)

@@ -9,7 +9,7 @@ type t = {
   mutable checks : int;
 }
 
-let create clock ~groups ?(factor = 2.) ~loads ~journal () =
+let create clock ~groups ?(factor = 2.) ?on_hot ~loads ~journal () =
   if groups <= 0 then invalid_arg "Hotspot.create: groups <= 0";
   let t =
     {
@@ -54,7 +54,8 @@ let create clock ~groups ?(factor = 2.) ~loads ~journal () =
                        name = Printf.sprintf "fabric.hot.g%d" g;
                        value = d;
                        at = now;
-                     })
+                     });
+              match on_hot with Some f -> f ~g | None -> ()
             end)
           delta);
   t

@@ -19,13 +19,17 @@ val create :
   Timeline.Clock.t ->
   groups:int ->
   ?factor:float ->
+  ?on_hot:(g:int -> unit) ->
   loads:(unit -> float array) ->
   journal:Journal.sink ->
   unit ->
   t
 (** Register the detector on the clock. [loads] must return a
     cumulative per-group vector of length [groups]; [factor] defaults
-    to 2 (a shard is hot at twice its fair share). *)
+    to 2 (a shard is hot at twice its fair share). [on_hot] fires once
+    per flagged group per window, after the flag is journaled — the
+    hook the fabric's auto-rebalancer uses to turn detection into a
+    live slot migration. *)
 
 val flags : t -> int array
 (** Hot windows detected per group. *)

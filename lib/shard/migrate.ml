@@ -1,0 +1,202 @@
+open Domino_sim
+open Domino_obs
+
+type outcome = {
+  slot : int;
+  from_g : int;
+  to_g : int;
+  epoch : int;
+  records : int;
+  queued : int;
+  started_at : Time_ns.t;
+  finished_at : Time_ns.t;
+  aborted : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  router : Router.t;
+  journal : Journal.sink;
+  spec : Slots.spec;
+  kv_of_group : int -> Domino_kv.Store.t array;
+  dstores_of_group : int -> Domino_store.Store.t array;
+  install_span : records:int -> Time_ns.span;
+  poll : Time_ns.span;
+  drain_deadline : Time_ns.span;
+  grace : Time_ns.span;
+  cooldown : Time_ns.span;
+  mutant : bool;
+  mutable active : bool;
+  mutable next_allowed : Time_ns.t;
+  mutable outcomes_r : outcome list;  (** newest first *)
+}
+
+let create engine ~router ~journal ~spec ~kv_of_group ~dstores_of_group
+    ~install_span ?(poll = Time_ns.ms 10) ?(drain_deadline = Time_ns.ms 1500)
+    ?(grace = Time_ns.ms 200) ?(cooldown = Time_ns.ms 1500) ?(mutant = false)
+    () =
+  {
+    engine;
+    router;
+    journal;
+    spec;
+    kv_of_group;
+    dstores_of_group;
+    install_span;
+    poll;
+    drain_deadline;
+    grace;
+    cooldown;
+    mutant;
+    active = false;
+    next_allowed = Time_ns.zero;
+    outcomes_r = [];
+  }
+
+let active t = t.active
+
+let outcomes t = List.rev t.outcomes_r
+
+let emit t ~stage ~slot ~from_g ~to_g ~epoch ~detail =
+  if Journal.enabled t.journal then
+    Journal.emit t.journal
+      (Journal.Migrate
+         {
+           stage;
+           slot;
+           from_g;
+           to_g;
+           epoch;
+           detail;
+           at = Engine.now t.engine;
+         })
+
+let finish t outcome =
+  t.active <- false;
+  t.next_allowed <- Time_ns.add (Engine.now t.engine) t.cooldown;
+  t.outcomes_r <- outcome :: t.outcomes_r
+
+(* The migration state machine, each phase a journaled [migrate.*]
+   event:
+
+     freeze -> (drain poll) -> drain -> (grace) -> transfer
+            -> (durable handoff + install span) -> epoch -> done
+
+   or, if the drain deadline expires first: freeze -> abort. Aborting
+   unfreezes WITHOUT reassigning: a pre-freeze op still in flight at
+   the source could commit after an epoch bump, and its write would
+   then land invisibly behind the destination's snapshot — the
+   lost-update hazard the deadline exists to dodge (a crashed source
+   leader mid-migration hits exactly this path). *)
+let start t ~slot ~from_g ~to_g =
+  t.active <- true;
+  let started_at = Engine.now t.engine in
+  let epoch0 = Router.epoch t.router in
+  emit t ~stage:"freeze" ~slot ~from_g ~to_g ~epoch:epoch0 ~detail:"";
+  Router.freeze t.router slot;
+  let deadline = Time_ns.add started_at t.drain_deadline in
+  let cutover ~records () =
+    (* Re-point the slot and journal the epoch bump in the same
+       closure: nothing can interleave between the live router's map
+       change and the event offline replay applies, so online and
+       replayed attribution stay byte-identical. *)
+    let epoch = Router.reassign t.router ~slot ~to_g in
+    emit t ~stage:"epoch" ~slot ~from_g ~to_g ~epoch ~detail:"";
+    if t.mutant then Router.set_double_owner t.router ~slot ~old_g:from_g;
+    let queued = Router.unfreeze t.router slot in
+    emit t ~stage:"done" ~slot ~from_g ~to_g ~epoch
+      ~detail:(Printf.sprintf "records=%d queued=%d" records queued);
+    finish t
+      {
+        slot;
+        from_g;
+        to_g;
+        epoch;
+        records;
+        queued;
+        started_at;
+        finished_at = Engine.now t.engine;
+        aborted = false;
+      }
+  in
+  let transfer () =
+    let src = t.kv_of_group from_g in
+    let keep key = Slots.slot_of_key t.spec key = slot in
+    (* Source replica 0's state: the drain plus grace mean every
+       routed op has committed and executed group-wide, so any
+       replica's slice of the slot agrees. Keys are NOT deleted at the
+       source — a stale follower replaying the tail must keep
+       converging to the same fingerprint. *)
+    let bindings = Domino_kv.Store.export src.(0) ~keep in
+    let records = List.length bindings in
+    emit t ~stage:"transfer" ~slot ~from_g ~to_g ~epoch:epoch0
+      ~detail:(Printf.sprintf "records=%d" records);
+    Array.iter
+      (fun kv -> Domino_kv.Store.import kv bindings)
+      (t.kv_of_group to_g);
+    (* Durable handoff: every destination replica persists a handoff
+       record (persist-then-act), and only when the last fsync lands
+       does the modeled snapshot-install span start ticking. *)
+    let dstores = t.dstores_of_group to_g in
+    let n = Array.length dstores in
+    let landed = ref 0 in
+    let record =
+      Printf.sprintf "handoff slot=%d from=g%d to=g%d records=%d" slot from_g
+        to_g records
+    in
+    Array.iter
+      (fun st ->
+        Domino_store.Store.append_sync st record (fun () ->
+            incr landed;
+            if !landed = n then
+              Engine.schedule t.engine ~delay:(t.install_span ~records)
+                (cutover ~records)))
+      dstores
+  in
+  let rec poll_drain () =
+    let left = Router.inflight_on t.router ~slot in
+    let now = Engine.now t.engine in
+    if left = 0 then begin
+      emit t ~stage:"drain" ~slot ~from_g ~to_g ~epoch:epoch0
+        ~detail:
+          (Printf.sprintf "waited_ms=%.0f"
+             (Time_ns.to_ms_f (Time_ns.diff now started_at)));
+      Engine.schedule t.engine ~delay:t.grace transfer
+    end
+    else if now >= deadline then begin
+      let queued = Router.unfreeze t.router slot in
+      emit t ~stage:"abort" ~slot ~from_g ~to_g ~epoch:epoch0
+        ~detail:(Printf.sprintf "left=%d queued=%d" left queued);
+      finish t
+        {
+          slot;
+          from_g;
+          to_g;
+          epoch = epoch0;
+          records = 0;
+          queued;
+          started_at;
+          finished_at = now;
+          aborted = true;
+        }
+    end
+    else Engine.schedule t.engine ~delay:t.poll poll_drain
+  in
+  poll_drain ()
+
+let request t ~slot ~to_g =
+  let groups = Router.groups t.router in
+  if
+    t.active
+    || Engine.now t.engine < t.next_allowed
+    || slot < 0
+    || slot >= Slots.slots t.spec
+    || to_g < 0 || to_g >= groups
+  then false
+  else
+    let from_g = Router.owner_of_slot t.router slot in
+    if from_g = to_g then false
+    else begin
+      start t ~slot ~from_g ~to_g;
+      true
+    end

@@ -2,9 +2,16 @@ open Domino_smr
 
 type t = {
   spec : Slots.spec;
-  assignment : int array;
+  assignment : int array;  (** mutable contents: reassign re-points slots *)
   submits : (Op.t -> unit) array;
   routed : int array;
+  slot_routed : int array;
+  frozen : (int, Op.t Queue.t) Hashtbl.t;
+  pending : (Op.id, int) Hashtbl.t;  (** in-flight op -> slot *)
+  mutable epoch : int;
+  mutable double_owner : (int * int) option;
+      (** mutant hook: (slot, stale owner) — duplicate the slot's
+          submits to the old group *)
 }
 
 let create ~spec ~assignment ~submits =
@@ -14,14 +21,94 @@ let create ~spec ~assignment ~submits =
   if Array.length assignment <> Slots.slots spec then
     invalid_arg "Router.create: assignment size <> slot count";
   ignore (Slots.spread assignment ~groups);
-  { spec; assignment; submits; routed = Array.make groups 0 }
+  {
+    spec;
+    assignment = Array.copy assignment;
+    submits;
+    routed = Array.make groups 0;
+    slot_routed = Array.make (Slots.slots spec) 0;
+    frozen = Hashtbl.create 4;
+    pending = Hashtbl.create 1024;
+    epoch = 0;
+    double_owner = None;
+  }
 
-let group_of t key = Slots.owner t.spec t.assignment key
+let slot_of t key = Slots.slot_of_key t.spec key
+
+let group_of t key = t.assignment.(slot_of t key)
+
+let owner_of_slot t slot = t.assignment.(slot)
+
+let epoch t = t.epoch
+
+let assignment t = Array.copy t.assignment
 
 let submit t (op : Op.t) =
-  let g = group_of t op.Op.key in
-  t.routed.(g) <- t.routed.(g) + 1;
-  t.submits.(g) op
+  let s = slot_of t op.Op.key in
+  match Hashtbl.find_opt t.frozen s with
+  | Some q -> Queue.add op q
+  | None ->
+    let g = t.assignment.(s) in
+    t.routed.(g) <- t.routed.(g) + 1;
+    t.slot_routed.(s) <- t.slot_routed.(s) + 1;
+    if not (Hashtbl.mem t.pending (Op.id op)) then
+      Hashtbl.replace t.pending (Op.id op) s;
+    t.submits.(g) op;
+    (match t.double_owner with
+    | Some (ds, old_g) when ds = s && old_g <> g ->
+      (* The deliberately-broken mutant: the old owner keeps serving the
+         migrated slot. Journal-level submits dedup (same op id), but
+         the stale group commits and executes the op in its own log —
+         exactly what the checker's exactly-once and epoch-split rules
+         must catch. *)
+      t.submits.(old_g) op
+    | _ -> ())
+
+let note_commit t id = Hashtbl.remove t.pending id
+
+let inflight_on t ~slot =
+  Hashtbl.fold (fun _ s acc -> if s = slot then acc + 1 else acc) t.pending 0
+
+let freeze t slot =
+  if slot < 0 || slot >= Array.length t.assignment then
+    invalid_arg "Router.freeze: slot out of range";
+  if not (Hashtbl.mem t.frozen slot) then
+    Hashtbl.replace t.frozen slot (Queue.create ())
+
+let frozen t slot = Hashtbl.mem t.frozen slot
+
+let reassign t ~slot ~to_g =
+  if slot < 0 || slot >= Array.length t.assignment then
+    invalid_arg "Router.reassign: slot out of range";
+  if to_g < 0 || to_g >= Array.length t.submits then
+    invalid_arg "Router.reassign: group out of range";
+  t.assignment.(slot) <- to_g;
+  t.epoch <- t.epoch + 1;
+  t.epoch
+
+let unfreeze t slot =
+  match Hashtbl.find_opt t.frozen slot with
+  | None -> 0
+  | Some q ->
+    Hashtbl.remove t.frozen slot;
+    let n = Queue.length q in
+    (* FIFO flush through the normal submit path: the slot is unfrozen,
+       so queued ops route to the (possibly new) owner in order. *)
+    Queue.iter (fun op -> submit t op) q;
+    n
+
+let set_double_owner t ~slot ~old_g = t.double_owner <- Some (slot, old_g)
+
+let hottest_slot t ~group =
+  let best = ref (-1) and hi = ref (-1) in
+  Array.iteri
+    (fun s n ->
+      if t.assignment.(s) = group && n > !hi then begin
+        hi := n;
+        best := s
+      end)
+    t.slot_routed;
+  !best
 
 let routed t = Array.copy t.routed
 

@@ -72,20 +72,80 @@ let of_string s =
     | _ -> None)
   | _ -> None
 
-let resolver_of_mark label =
-  (* "slots=<spec> groups=<n>", the mark Fabric writes for multi-group
-     runs so offline timeline analysis can re-derive key->group. *)
+let mark spec ~groups =
+  Printf.sprintf "slots=%s groups=%d" (to_string spec) groups
+
+let assignment_csv assignment =
+  String.concat "," (Array.to_list (Array.map string_of_int assignment))
+
+let mark_with_epochs spec ~groups ~assignment =
+  (* Emitted instead of {!mark} when a run arms live migration: the
+     starting epoch and explicit assignment let offline replay seed the
+     exact slot map the router started from before applying the
+     journaled [migrate.epoch] bumps. *)
+  Printf.sprintf "%s epoch=0 assign=%s" (mark spec ~groups)
+    (assignment_csv assignment)
+
+let kv tok =
+  match String.index_opt tok '=' with
+  | None -> (tok, "")
+  | Some i ->
+    (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+
+let parse_mark label =
+  (* "slots=<spec> groups=<n>[ epoch=<e> assign=<g0,g1,...>]": the mark
+     Fabric writes for multi-group runs so offline analysis can
+     re-derive key->group. The short form implies the canonical
+     [assign]. Returns a FRESH assignment array per call, safe for the
+     caller to mutate while replaying epoch bumps. *)
   match String.split_on_char ' ' label with
-  | [ s_tok; g_tok ]
-    when String.length s_tok > 6
-         && String.sub s_tok 0 6 = "slots="
-         && String.length g_tok > 7
-         && String.sub g_tok 0 7 = "groups=" -> (
-    let spec_s = String.sub s_tok 6 (String.length s_tok - 6) in
-    let groups_s = String.sub g_tok 7 (String.length g_tok - 7) in
-    match (of_string spec_s, int_of_string_opt groups_s) with
-    | Some spec, Some groups when groups > 0 && slots spec >= groups ->
-      let assignment = assign ~slots:(slots spec) ~groups in
-      Some (groups, fun key -> assignment.(slot_of_key spec key))
+  | s_tok :: g_tok :: rest -> (
+    match (kv s_tok, kv g_tok) with
+    | ("slots", spec_s), ("groups", groups_s) -> (
+      match (of_string spec_s, int_of_string_opt groups_s) with
+      | Some spec, Some groups when groups > 0 && slots spec >= groups -> (
+        let fields = List.map kv rest in
+        let assignment =
+          match List.assoc_opt "assign" fields with
+          | Some csv -> (
+            let parts =
+              String.split_on_char ',' csv |> List.map int_of_string_opt
+            in
+            if List.for_all Option.is_some parts then
+              let arr = Array.of_list (List.map Option.get parts) in
+              if
+                Array.length arr = slots spec
+                && Array.for_all (fun g -> g >= 0 && g < groups) arr
+              then Some arr
+              else None
+            else None)
+          | None -> Some (assign ~slots:(slots spec) ~groups)
+        in
+        match assignment with
+        | Some assignment -> Some (spec, groups, assignment)
+        | None -> None)
+      | _ -> None)
     | _ -> None)
   | _ -> None
+
+let resolver_of_mark label =
+  match parse_mark label with
+  | None -> None
+  | Some (spec, groups, assignment) ->
+    Some
+      {
+        Domino_obs.Timeline.groups;
+        lookup = (fun key -> assignment.(slot_of_key spec key));
+        migrate =
+          (fun ~slot ~to_g ->
+            if
+              slot >= 0
+              && slot < Array.length assignment
+              && to_g >= 0 && to_g < groups
+            then assignment.(slot) <- to_g);
+      }
+
+let slot_resolver_of_mark label =
+  match parse_mark label with
+  | None -> None
+  | Some (spec, _, _) -> Some (slot_of_key spec)

@@ -43,8 +43,25 @@ val to_string : spec -> string
 val of_string : string -> spec option
 (** Inverse of {!to_string}. *)
 
-val resolver_of_mark : string -> (int * (int -> int)) option
-(** A {!Domino_obs.Timeline.group_resolver}: recognises the fabric's
-    [slots=<spec> groups=<n>] journal mark and rebuilds [(groups, key
-    -> group)] from the canonical {!assign}, so offline timeline
-    replay attributes ops to the same groups the live router did. *)
+val mark : spec -> groups:int -> string
+(** The fabric's journal metadata mark: [slots=<spec> groups=<n>]. *)
+
+val mark_with_epochs : spec -> groups:int -> assignment:int array -> string
+(** The migration-armed form: [slots=<spec> groups=<n> epoch=0
+    assign=<g0,g1,...>] — explicit starting assignment so offline
+    replay seeds the exact slot map the live router started from
+    before applying the journaled [migrate.epoch] bumps. *)
+
+val resolver_of_mark : string -> Domino_obs.Timeline.group_map option
+(** A {!Domino_obs.Timeline.group_resolver}: recognises both mark forms
+    and rebuilds the key→group map (canonical {!assign} for the short
+    form, the explicit [assign=] list otherwise) backed by a fresh
+    mutable assignment whose [migrate] re-points slots on each
+    [migrate.epoch] journal event — so offline timeline replay
+    attributes ops to the same groups the live router did, across
+    ownership changes. *)
+
+val slot_resolver_of_mark : string -> (int -> int) option
+(** The key→slot half of the same mark, shape-compatible with
+    [Fault.Checker]'s [slot_resolver] argument (the checker lives below
+    this library and takes the function injected). *)

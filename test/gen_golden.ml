@@ -2,23 +2,32 @@
 
      dune exec test/gen_golden.exe -- \
        test/golden/recovery-smoke.timeline.csv \
-       test/golden/recovery-smoke.dips.csv
+       test/golden/recovery-smoke.dips.csv \
+       test/golden/rebalance-smoke.timeline.csv \
+       test/golden/rebalance-smoke.dips.csv
 
    Only do this when the timeline/dip output format deliberately
    changes; the goldens otherwise pin byte-identical rendering. *)
 let () =
-  let j = Domino_exp.Exp_recovery.smoke_journal ~seed:42L () in
-  Printf.eprintf "journal: %d events, %d dropped\n%!"
-    (Domino_obs.Journal.length j)
-    (Domino_obs.Journal.dropped j);
-  let tl =
-    Domino_obs.Timeline.of_journal
-      ~group_resolver:Domino_shard.Slots.resolver_of_mark j
-  in
   let write path s =
     let oc = open_out_bin path in
     output_string oc s;
     close_out oc
   in
+  let replay name j =
+    Printf.eprintf "%s journal: %d events, %d dropped\n%!" name
+      (Domino_obs.Journal.length j)
+      (Domino_obs.Journal.dropped j);
+    Domino_obs.Timeline.of_journal
+      ~group_resolver:Domino_shard.Slots.resolver_of_mark j
+  in
+  let tl =
+    replay "recovery" (Domino_exp.Exp_recovery.smoke_journal ~seed:42L ())
+  in
   write Sys.argv.(1) (Domino_obs.Timeline.to_csv tl);
-  write Sys.argv.(2) (Domino_obs.Dip.to_csv (Domino_obs.Dip.analyze tl))
+  write Sys.argv.(2) (Domino_obs.Dip.to_csv (Domino_obs.Dip.analyze tl));
+  let tl =
+    replay "rebalance" (Domino_exp.Exp_rebalance.smoke_journal ~seed:42L ())
+  in
+  write Sys.argv.(3) (Domino_obs.Timeline.to_csv tl);
+  write Sys.argv.(4) (Domino_obs.Dip.to_csv (Domino_obs.Dip.analyze tl))

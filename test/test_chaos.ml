@@ -124,6 +124,113 @@ let test_recovery_deadline plan_file ~bound_ms proto () =
           r.Dip.fault r.Dip.detail r.Dip.at_ms r.Dip.ttr_ms bound_ms)
     reports
 
+(* --- migration chaos: live slot moves crossed with classic faults ---
+
+   Inline plans, not files under plans/: the glob suite above runs
+   every plan file on the single-group fig7-double layout, where a
+   migrate verb is an invalid_arg. These run on Exp_rebalance's
+   2-group NA layout (range slots, Zipf head on g0/slot 0) instead. *)
+
+let migration_scenarios =
+  [
+    ( "migrate_partition",
+      "at 2s partition a=0 b=1,2 sym until=3s\n\
+       at 2500ms migrate slot=0 from=0 to=1\n" );
+    ( "migrate_leader_crash",
+      (* node 1 (VA) is g0's spread leader — the migration source's
+         leader dies 50 ms after the freeze *)
+      "at 2500ms migrate slot=0 from=0 to=1\n\
+       at 2550ms crash node=1\n\
+       at 4s recover node=1\n" );
+  ]
+
+let migration_protocols =
+  [ Exp_common.domino_default; Exp_common.Multi_paxos ]
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let check_migration_cell name plan_text proto () =
+  let faults =
+    match Plan.parse plan_text with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "%s: %s" name e
+  in
+  let journal = Exp_rebalance.chaos_journal ~seed:7L ~faults ~proto () in
+  let report =
+    Checker.check ~require_complete:true
+      ~slot_resolver:Domino_shard.Slots.slot_resolver_of_mark journal
+  in
+  (* Both scenarios delay a replica's execution stream across the
+     cutover (a partitioned or crashed node catches up on its
+     pre-migration backlog after the new owner's replicas moved on),
+     which trips the checker's ordering classes through the aliased
+     replica ids — checker.mli documents the aliasing. Those classes
+     are exempted HERE ONLY, where a fault overlaps the handoff; the
+     fault-free migration tests keep full strictness, and exactly-once
+     and completeness — what a real double-owner or lost-op bug trips —
+     are never exempted. *)
+  let exempt v =
+    contains v "execution order diverges"
+    || contains v "executed pre-migration op"
+    || contains v "but ordered after an op submitted"
+  in
+  let hard =
+    List.filter (fun v -> not (exempt v)) report.Checker.violations
+  in
+  if hard <> [] then begin
+    let saved = dump_journal ~plan_file:name ~proto journal in
+    Alcotest.failf "%s x %s: %s@.journal saved to %s" name
+      (Exp_common.protocol_name proto)
+      (String.concat "; " hard)
+      saved
+  end;
+  (* The orchestrator must either complete the move (epoch bump) or
+     abort it cleanly at the drain deadline — e.g. Multi-Paxos cannot
+     drain the source slot while g0's leader is down, so the slot is
+     released un-migrated rather than cut over with ops in flight. A
+     frozen-forever slot would instead fail completeness above. *)
+  let lines = Journal.to_lines journal in
+  if not (contains lines "migrate.freeze") then
+    Alcotest.failf "%s x %s: migration never started" name
+      (Exp_common.protocol_name proto);
+  if report.Checker.migrations < 1 && not (contains lines "migrate.abort")
+  then begin
+    let saved = dump_journal ~plan_file:name ~proto journal in
+    Alcotest.failf
+      "%s x %s: migration neither completed nor aborted (see %s)" name
+      (Exp_common.protocol_name proto)
+      saved
+  end;
+  if report.Checker.committed < 100 then
+    Alcotest.failf "%s x %s: only %d ops committed" name
+      (Exp_common.protocol_name proto)
+      report.Checker.committed;
+  (* every dip — the injected fault and the migration itself — must
+     recover within 2.5 s of sim time *)
+  let reports =
+    Dip.analyze
+      (Timeline.of_journal
+         ~group_resolver:Domino_shard.Slots.resolver_of_mark journal)
+  in
+  if reports = [] then
+    Alcotest.failf "%s x %s: no fault reports" name
+      (Exp_common.protocol_name proto);
+  List.iter
+    (fun r ->
+      if Float.is_nan r.Dip.ttr_ms then
+        Alcotest.failf "%s x %s: %s %s at %.0fms never recovered" name
+          (Exp_common.protocol_name proto)
+          r.Dip.fault r.Dip.detail r.Dip.at_ms
+      else if r.Dip.ttr_ms > 2500. then
+        Alcotest.failf "%s x %s: %s %s at %.0fms took %.0fms to recover"
+          name
+          (Exp_common.protocol_name proto)
+          r.Dip.fault r.Dip.detail r.Dip.at_ms r.Dip.ttr_ms)
+    reports
+
 let () =
   let groups =
     List.map
@@ -148,6 +255,18 @@ let () =
             Alcotest.test_case "jobs 1 = jobs 4 (wipe)" `Slow
               (test_journal_determinism "rolling_wipe.plan");
           ] );
+        ( "migration chaos",
+          List.concat_map
+            (fun (name, plan_text) ->
+              List.map
+                (fun proto ->
+                  Alcotest.test_case
+                    (Printf.sprintf "%s %s" name
+                       (Exp_common.protocol_name proto))
+                    `Slow
+                    (check_migration_cell name plan_text proto))
+                migration_protocols)
+            migration_scenarios );
         ( "recovery deadlines",
           List.concat_map
             (fun (plan_file, bound_ms) ->

@@ -139,6 +139,48 @@ let test_router () =
       (Router.group_of router k)
   done
 
+(* Live migration at the router: freeze parks submits, reassign bumps
+   the epoch, unfreeze flushes FIFO to the new owner, note_commit
+   drains in-flight tracking, and the double-owner mutant duplicates
+   the slot's submits to the stale group. Range spec for predictable
+   slots: keys 0..99 -> slot 0, 100..199 -> slot 1, ... *)
+let test_router_migration () =
+  let log = ref [] in
+  let spec = Slots.Range { slots = 4; keys = 400 } in
+  let assignment = Slots.assign ~slots:4 ~groups:2 in
+  let router =
+    Router.create ~spec ~assignment
+      ~submits:(Array.init 2 (fun g op -> log := (g, op.Op.key) :: !log))
+  in
+  let op key seq = Op.make ~client:7 ~seq ~key ~value:0L in
+  Router.submit router (op 0 0);
+  check_int "slot 0 routes to g0" 0 (fst (List.hd !log));
+  check_int "one in-flight on slot 0" 1 (Router.inflight_on router ~slot:0);
+  Router.freeze router 0;
+  check_bool "slot frozen" true (Router.frozen router 0);
+  Router.submit router (op 1 1);
+  check_int "frozen submit queued, not routed" 1 (List.length !log);
+  check_int "queued op not in-flight" 1 (Router.inflight_on router ~slot:0);
+  Router.note_commit router (Op.id (op 0 0));
+  check_int "commit drains in-flight" 0 (Router.inflight_on router ~slot:0);
+  check_int "epoch starts at 0" 0 (Router.epoch router);
+  check_int "reassign bumps epoch" 1 (Router.reassign router ~slot:0 ~to_g:1);
+  check_int "released ops" 1 (Router.unfreeze router 0);
+  check_int "released op routed to the new owner" 1 (fst (List.hd !log));
+  check_bool "slot unfrozen" false (Router.frozen router 0);
+  check_int "group_of follows the new map" 1 (Router.group_of router 50);
+  (* hottest slot: slot 0 has 2 routed ops, now owned by g1 *)
+  check_int "hottest slot of g1" 0 (Router.hottest_slot router ~group:1);
+  check_bool "g0 lost the slot" true (Router.hottest_slot router ~group:0 <> 0);
+  (* the deliberately-broken mutant: submits duplicate to the old owner *)
+  Router.set_double_owner router ~slot:0 ~old_g:0;
+  log := [];
+  Router.submit router (op 2 2);
+  check_int "mutant duplicates the submit" 2 (List.length !log);
+  Alcotest.(check (list int))
+    "both owners got it" [ 0; 1 ]
+    (List.sort compare (List.map fst !log))
+
 (* --- fabric --- *)
 
 let replica_dcs = [| "WA"; "VA"; "QC" |]
@@ -292,6 +334,210 @@ let test_fabric_journal_deterministic () =
   check_bool "composition marks present" true
     (contains a "mark g0 proto=domino" && contains a "mark g1 proto=domino")
 
+(* --- live slot migration under traffic --- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let plan_exn text =
+  match Domino_fault.Plan.parse text with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "plan parse: %s" e
+
+let check_safe ?(require_complete = false) name j =
+  let report =
+    Domino_fault.Checker.check ~require_complete
+      ~slot_resolver:Slots.slot_resolver_of_mark j
+  in
+  if not report.Domino_fault.Checker.ok then
+    Alcotest.failf "%s: %a" name Domino_fault.Checker.pp_report report;
+  report
+
+(* The tentpole end-to-end: a planned migration moves slot 0 between
+   groups under live traffic; every phase is journaled, the frozen
+   slot's submits are released to the new owner, and the
+   migration-aware checker proves zero lost or duplicated ops. *)
+let test_fabric_migration () =
+  let j = Journal.create () in
+  let r =
+    Fabric.run ~seed:19L ~rate:100. ~duration:(Time_ns.sec 4) ~journal:j
+      ~faults:(plan_exn "at 2s migrate slot=0 from=0 to=1\n")
+      (fabric_config ())
+  in
+  (match r.Fabric.migrations with
+  | [ o ] ->
+    check_int "migrated slot" 0 o.Migrate.slot;
+    check_int "from g0" 0 o.Migrate.from_g;
+    check_int "to g1" 1 o.Migrate.to_g;
+    check_int "epoch bumped" 1 o.Migrate.epoch;
+    check_bool "completed, not aborted" false o.Migrate.aborted;
+    check_bool "state transferred" true (o.Migrate.records > 0)
+  | os -> Alcotest.failf "expected exactly one migration, got %d" (List.length os));
+  let lines = Journal.to_lines j in
+  List.iter
+    (fun stage ->
+      check_bool (stage ^ " journaled") true (contains lines stage))
+    [
+      "migrate.freeze"; "migrate.drain"; "migrate.transfer"; "migrate.epoch";
+      "migrate.done";
+    ];
+  check_bool "slots mark carries the epoch form" true
+    (contains lines " epoch=0 assign=");
+  let report = check_safe ~require_complete:true "planned migration" j in
+  check_int "checker saw the epoch bump" 1
+    report.Domino_fault.Checker.migrations;
+  (* within-group convergence must survive the import on the dest *)
+  Array.iteri
+    (fun k (g : Fabric.group_result) ->
+      match g.Fabric.store_fingerprints with
+      | fp :: rest ->
+        List.iter
+          (fun fp' ->
+            check_bool
+              (Printf.sprintf "g%d replicas agree after migration" k)
+              true (fp = fp'))
+          rest
+      | [] -> Alcotest.failf "g%d: no store fingerprints" k)
+    r.Fabric.groups
+
+(* The double-owner mutant: after cutover the stale group keeps
+   serving the slot. The migration-aware checker MUST flag it — this
+   is the test that proves the checker can catch a real rebalancing
+   bug, not just bless healthy runs. *)
+let test_migrate_mutant_caught () =
+  let j = Journal.create () in
+  ignore
+    (Fabric.run ~seed:19L ~rate:100. ~duration:(Time_ns.sec 4) ~journal:j
+       ~faults:(plan_exn "at 1500ms migrate slot=0 from=0 to=1\n")
+       ~migrate_mutant:true (fabric_config ()));
+  let report =
+    Domino_fault.Checker.check
+      ~slot_resolver:Slots.slot_resolver_of_mark j
+  in
+  check_bool "checker rejects the double-owner mutant" false
+    report.Domino_fault.Checker.ok;
+  check_bool "duplicate executions detected" true
+    (report.Domino_fault.Checker.duplicate_execs > 0
+    || report.Domino_fault.Checker.violations <> [])
+
+(* Auto mode: the hot-shard detector's flags drive the orchestrator.
+   Range partitioning concentrates the Zipf head on slot 0/g0, so the
+   detector fires and at least one migration happens — and the run
+   stays safe. *)
+let test_fabric_auto_rebalance () =
+  let j = Journal.create () in
+  let config =
+    { (fabric_config ()) with
+      Fabric.slots = Slots.Range { slots = 16; keys = 1_000_000 } }
+  in
+  let r =
+    (* hot_factor 1.3: with 2 groups the default 2x-the-even-split can
+       never fire (a share cannot exceed the total) *)
+    Fabric.run ~seed:23L ~rate:100. ~duration:(Time_ns.sec 6) ~journal:j
+      ~hot_factor:1.3 ~auto_rebalance:true config
+  in
+  check_bool "detector-triggered migrations happened" true
+    (r.Fabric.migrations <> []);
+  List.iter
+    (fun (o : Migrate.outcome) ->
+      check_bool "auto move leaves the hot group" true
+        (o.Migrate.from_g <> o.Migrate.to_g))
+    r.Fabric.migrations;
+  ignore (check_safe ~require_complete:true "auto rebalance" j)
+
+(* Determinism across parallelism, with migrations in every run: the
+   merged sweep journal AND the absorbed timeline must be
+   byte-identical at jobs=1 and jobs=4. *)
+let test_rebalance_sweep_deterministic () =
+  let run jobs =
+    let agg =
+      Timeline.create ~group_resolver:Slots.resolver_of_mark ()
+    in
+    let j =
+      Exp_rebalance.sweep_journal ~runs:2 ~seed:5L ~jobs ~timeline:agg ()
+    in
+    (Journal.to_lines j, Timeline.to_csv (Timeline.finish agg))
+  in
+  let j1, t1 = run 1 and j4, t4 = run 4 in
+  check_bool "sweep journal migrates" true (contains j1 "migrate.epoch");
+  check_string "migration sweep journal byte-identical at jobs 1 vs 4" j1 j4;
+  check_string "migration sweep timeline byte-identical at jobs 1 vs 4" t1 t4
+
+(* Property: a random (migration time x slot x extra fault x protocol
+   x seed) run completes and stays safe under the migration-aware
+   checker. Few cases — each is a full 2-group simulation — but every
+   CI run rolls fresh combinations through the whole stack. *)
+let migration_chaos_gen =
+  QCheck.Gen.(
+    map
+      (fun ((seed, at_ms), (slot, fault_i, proto_i)) ->
+        (seed, at_ms, slot, fault_i, proto_i))
+      (pair
+         (pair (int_range 1 1000) (int_range 1000 3000))
+         (triple (int_range 0 15) (int_range 0 2) (int_range 0 1))))
+
+let migration_chaos_print (seed, at_ms, slot, fault_i, proto_i) =
+  Printf.sprintf "seed=%d at=%dms slot=%d fault=%d proto=%d" seed at_ms slot
+    fault_i proto_i
+
+let test_migration_chaos_prop =
+  QCheck.Test.make ~name:"random migration x fault x protocol stays safe"
+    ~count:4
+    (QCheck.make ~print:migration_chaos_print migration_chaos_gen)
+    (fun (seed, at_ms, slot, fault_i, proto_i) ->
+      let from_g = slot mod 2 in
+      let to_g = 1 - from_g in
+      let fault_text =
+        match fault_i with
+        | 0 -> ""
+        | 1 -> "at 1700ms crash node=2\nat 2800ms recover node=2\n"
+        | _ -> "at 1500ms partition a=0 b=1,2 sym until=2500ms\n"
+      in
+      let plan =
+        plan_exn
+          (Printf.sprintf "at %dms migrate slot=%d from=%d to=%d\n%s" at_ms
+             slot from_g to_g fault_text)
+      in
+      let proto =
+        if proto_i = 0 then Exp_common.domino_default
+        else Exp_common.Multi_paxos
+      in
+      let j =
+        Exp_rebalance.chaos_journal ~seed:(Int64.of_int seed) ~faults:plan
+          ~proto ~duration:(Time_ns.sec 4) ()
+      in
+      let report =
+        Domino_fault.Checker.check ~require_complete:true
+          ~slot_resolver:Slots.slot_resolver_of_mark j
+      in
+      (* A crash or partition overlapping the handoff delays a
+         replica's execution stream across the cutover, and the late
+         catch-up trips the checker's ordering classes through the
+         aliased replica ids (checker.mli documents the aliasing);
+         Domino's delay-based ordering around a faulted coordinator
+         trips the WGL class the same way (see the failover test's
+         note). Those classes are exempted for draws with an extra
+         fault only — exactly-once and completeness never are, and
+         fault-free draws keep full strictness. *)
+      let exempt v =
+        fault_i > 0
+        && (contains v "execution order diverges"
+           || contains v "executed pre-migration op"
+           || contains v "but ordered after an op submitted")
+      in
+      let hard =
+        List.filter
+          (fun v -> not (exempt v))
+          report.Domino_fault.Checker.violations
+      in
+      if hard <> [] then
+        QCheck.Test.fail_reportf "%s: %s"
+          (migration_chaos_print (seed, at_ms, slot, fault_i, proto_i))
+          (String.concat "; " hard);
+      true)
+
 (* --- single-group equivalence against the pre-refactor goldens --- *)
 
 let read_file path =
@@ -343,7 +589,12 @@ let () =
           Alcotest.test_case "closest replica" `Quick test_closest_replica;
           Alcotest.test_case "spread leaders" `Quick test_spread_leaders;
         ] );
-      ("router", [ Alcotest.test_case "routing" `Quick test_router ]);
+      ( "router",
+        [
+          Alcotest.test_case "routing" `Quick test_router;
+          Alcotest.test_case "migration mechanics" `Quick
+            test_router_migration;
+        ] );
       ( "fabric",
         [
           Alcotest.test_case "two groups commit" `Slow test_fabric_two_groups;
@@ -351,6 +602,17 @@ let () =
             test_fabric_leader_crash_failover;
           Alcotest.test_case "journal deterministic" `Slow
             test_fabric_journal_deterministic;
+        ] );
+      ( "migration",
+        [
+          Alcotest.test_case "planned migration end-to-end" `Slow
+            test_fabric_migration;
+          Alcotest.test_case "double-owner mutant caught" `Slow
+            test_migrate_mutant_caught;
+          Alcotest.test_case "auto rebalance" `Slow test_fabric_auto_rebalance;
+          Alcotest.test_case "sweep deterministic across jobs" `Slow
+            test_rebalance_sweep_deterministic;
+          QCheck_alcotest.to_alcotest test_migration_chaos_prop;
         ] );
       ( "golden",
         [

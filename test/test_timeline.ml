@@ -197,10 +197,11 @@ let test_group_attribution () =
   (* The same resolver the offline path uses must agree with a direct map. *)
   match Domino_shard.Slots.resolver_of_mark "slots=hash:8 groups=2" with
   | None -> Alcotest.fail "resolver rejected its own mark"
-  | Some (groups, f) ->
-    check_int "resolver group count" 2 groups;
+  | Some gm ->
+    check_int "resolver group count" 2 gm.Timeline.groups;
     for key = 0 to 63 do
-      check_bool "resolver in range" true (f key >= 0 && f key < groups)
+      check_bool "resolver in range" true
+        (gm.Timeline.lookup key >= 0 && gm.Timeline.lookup key < gm.Timeline.groups)
     done
 
 let test_gauges () =
@@ -302,6 +303,12 @@ let event_gen : Journal.event QCheck.Gen.t =
           (fun (node, stage) detail at ->
             Journal.Recovery { node; stage; detail; at })
           (pair node_gen tok_gen) detail_gen time_gen;
+        map3
+          (fun (stage, slot) (from_g, to_g, epoch) (detail, at) ->
+            Journal.Migrate { stage; slot; from_g; to_g; epoch; detail; at })
+          (pair tok_gen (int_range 0 99))
+          (triple (int_range 0 9) (int_range 0 9) (int_range 0 99))
+          (pair (oneof [ return ""; detail_gen ]) time_gen);
       ])
 
 let render ev =
@@ -543,6 +550,26 @@ let test_golden_dips_csv () =
     (read_file "golden/recovery-smoke.dips.csv")
     (Dip.to_csv (Dip.analyze tl))
 
+(* The migration counterpart: the rebalance smoke's offline replay,
+   pinning window attribution across a mid-run epoch bump and the
+   migrate dip report format. Shared lazily: one 2-group run feeds
+   both goldens. *)
+let rebalance_smoke_timeline =
+  lazy
+    (let j = Exp_rebalance.smoke_journal ~seed:42L () in
+     check_int "rebalance smoke journal fits the ring" 0 (Journal.dropped j);
+     Timeline.of_journal ~group_resolver:Domino_shard.Slots.resolver_of_mark j)
+
+let test_golden_rebalance_timeline_csv () =
+  check_str "rebalance timeline CSV matches golden"
+    (read_file "golden/rebalance-smoke.timeline.csv")
+    (Timeline.to_csv (Lazy.force rebalance_smoke_timeline))
+
+let test_golden_rebalance_dips_csv () =
+  check_str "rebalance dips CSV matches golden"
+    (read_file "golden/rebalance-smoke.dips.csv")
+    (Dip.to_csv (Dip.analyze (Lazy.force rebalance_smoke_timeline)))
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "timeline"
@@ -579,5 +606,9 @@ let () =
         [
           Alcotest.test_case "timeline CSV" `Slow test_golden_timeline_csv;
           Alcotest.test_case "dips CSV" `Slow test_golden_dips_csv;
+          Alcotest.test_case "rebalance timeline CSV" `Slow
+            test_golden_rebalance_timeline_csv;
+          Alcotest.test_case "rebalance dips CSV" `Slow
+            test_golden_rebalance_dips_csv;
         ] );
     ]
