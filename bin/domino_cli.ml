@@ -29,9 +29,12 @@ let faults_arg =
     & info [ "faults" ] ~docv:"FILE"
         ~doc:
           "Inject the fault plan in $(docv) into the run: timed \
-           crash/recover, partitions, link degradation and clock skew \
-           (one event per line, e.g. 'at 2s crash node=0'; see \
-           test/plans/ for examples).")
+           crash/recover, partitions, link degradation, clock skew, \
+           and orchestrated maintenance — slot migration ('migrate \
+           slot=3 to=1'), leader transfer ('transfer group=0 to=1'), \
+           membership change ('reconfig group=0 remove=2'), rolling \
+           patch ('roll group=0 dwell=500ms') — one event per line, \
+           e.g. 'at 2s crash node=0'; see test/plans/ for examples.")
 
 let check_arg =
   Cmdliner.Arg.(

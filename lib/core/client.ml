@@ -32,6 +32,13 @@ type t = {
   mutable retry_count : int;
   mutable abandoned_count : int;
   mutable last_choice : Estimator.choice option;
+  (* DM coordinator steering, set by the reconfiguration orchestrator
+     while a replica is being rolled: route around [steer_avoid]
+     (replica index) and prefer [steer_prefer] as the DM leader. While
+     either is set the client skips DFP — the fast path needs every
+     replica fresh, and the steered-away one is about to go down. *)
+  mutable steer_avoid : int option;
+  mutable steer_prefer : int option;
 }
 
 let now_local t = Fifo_net.local_time t.net t.self
@@ -73,6 +80,8 @@ let create ~net ~cfg ~self ~observer () =
       retry_count = 0;
       abandoned_count = 0;
       last_choice = None;
+      steer_avoid = None;
+      steer_prefer = None;
     }
   in
   ignore
@@ -126,19 +135,30 @@ let submit_dfp t (op : Op.t) ~ts =
   Array.iter (fun r -> send t ~dst:r (Message.Dfp_propose { ts; op })) (replicas t)
 
 let closest_leader t ~now_local =
-  (* Fallback when nothing is measured yet: replica 0. *)
+  (* Fallback when nothing is measured yet: replica 0 (or the next one
+     when 0 is steered away from). *)
   let n = Config.n t.cfg in
+  let avoid i = t.steer_avoid = Some i in
   let best = ref None in
   for i = 0 to n - 1 do
-    match Estimator.rtt t.estimator ~replica:i ~now_local with
-    | Some rtt -> begin
-      match !best with
-      | Some (b, _) when b <= rtt -> ()
-      | _ -> best := Some (rtt, i)
-    end
-    | None -> ()
+    if not (avoid i) then
+      match Estimator.rtt t.estimator ~replica:i ~now_local with
+      | Some rtt -> begin
+        match !best with
+        | Some (b, _) when b <= rtt -> ()
+        | _ -> best := Some (rtt, i)
+      end
+      | None -> ()
   done;
-  match !best with Some (_, i) -> i | None -> 0
+  match !best with
+  | Some (_, i) -> i
+  | None -> if avoid 0 && n > 1 then 1 else 0
+
+let set_steer t ~avoid ~prefer =
+  t.steer_avoid <- avoid;
+  t.steer_prefer <- prefer
+
+let steer_avoid t = t.steer_avoid
 
 let extra_delay t =
   match t.feedback with
@@ -180,6 +200,11 @@ and on_retry_timeout t e =
           (closest + (retries - t.cfg.Config.retry_failover_after))
           mod Config.n t.cfg
       in
+      (* The failover rotation may land on a steered-away replica. *)
+      let leader =
+        if t.steer_avoid = Some leader then (leader + 1) mod Config.n t.cfg
+        else leader
+      in
       t.observer.Observer.on_phase ~node:t.self ~op:(Some e.iop)
         ~name:"client_retry" ~dur:0
         ~now:(Engine.now (Fifo_net.engine t.net));
@@ -209,6 +234,17 @@ let submit t (op : Op.t) =
   t.observer.Observer.on_submit op ~now:(Engine.now (Fifo_net.engine t.net));
   track_retry t op;
   let local = now_local t in
+  if t.steer_avoid <> None || t.steer_prefer <> None then begin
+    let leader =
+      match t.steer_prefer with
+      | Some i -> i
+      | None -> closest_leader t ~now_local:local
+    in
+    t.observer.Observer.on_phase ~node:t.self ~op:(Some op) ~name:"route_dm"
+      ~dur:0 ~now:(Engine.now (Fifo_net.engine t.net));
+    submit_dm t op ~leader
+  end
+  else begin
   let q = Config.supermajority t.cfg in
   let avoid_dfp =
     match t.feedback with
@@ -246,6 +282,7 @@ let submit t (op : Op.t) =
   | Estimator.Dm leader ->
     phase "route_dm" 0;
     submit_dm t op ~leader
+  end
 
 let on_vote t ~subject ~report =
   let id = Op.id subject in

@@ -58,6 +58,16 @@ val commits : t -> int
 val last_choice : t -> Domino_measure.Estimator.choice option
 (** What the client picked for its most recent request. *)
 
+val set_steer : t -> avoid:int option -> prefer:int option -> unit
+(** DM coordinator steering for planned operations (leader transfer,
+    rolling patch): while [avoid]/[prefer] (replica indices) are set,
+    the client skips DFP and routes DM to [prefer] (or its closest
+    replica that is not [avoid]); retries rotate around [avoid] too.
+    Clear both with [None] to restore normal routing. *)
+
+val steer_avoid : t -> int option
+(** The replica index currently steered around, if any. *)
+
 val current_extra_delay : t -> Domino_sim.Time_ns.span
 (** The additional delay currently applied to DFP timestamps — the
     configured constant, or the {!Feedback} controller's value when

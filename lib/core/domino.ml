@@ -292,4 +292,39 @@ module Api = struct
                 (Replica.exec_frontier_lane_watermark t.replicas.(0) ~lane) ))
     in
     ("estimator_err_ms", fun () -> estimator_error_ms t) :: lanes
+
+  (* DM coordinator steering: Domino has no single leader to move —
+     any replica fronts DM — so a transfer steers every client's DM
+     routing around [from_] (and prefers [to_]) while skipping DFP,
+     which needs all replicas fresh. Restore clears the steering so
+     probes can bring the fast path back. *)
+  let control t c ~k =
+    let index_of node =
+      if Array.exists (Nodeid.equal node) t.cfg.Config.replicas then
+        Some (Config.replica_index t.cfg node)
+      else None
+    in
+    match c with
+    | Protocol_intf.Transfer { from_; to_ } -> begin
+      match (index_of from_, index_of to_) with
+      | Some fi, Some ti ->
+        Hashtbl.iter
+          (fun _ c -> Client.set_steer c ~avoid:(Some fi) ~prefer:(Some ti))
+          t.clients;
+        k ();
+        true
+      | _ -> false
+    end
+    | Protocol_intf.Restore { node } -> begin
+      match index_of node with
+      | Some i ->
+        Hashtbl.iter
+          (fun _ c ->
+            if Client.steer_avoid c = Some i then
+              Client.set_steer c ~avoid:None ~prefer:None)
+          t.clients;
+        k ();
+        true
+      | None -> false
+    end
 end

@@ -95,8 +95,8 @@ let closest_replica setting ~client_dc =
    byte-identical (journal and metrics JSON) to the flat harness this
    module used to implement inline. *)
 let run ?seed ?rate ?alpha ?duration ?measure_from ?measure_until ?metrics
-    ?trace_op ?journal ?timeline ?sample_every ?faults ?dedup ?store setting
-    proto =
+    ?trace_op ?journal ?timeline ?sample_every ?faults ?dedup ?reconfig_mutant
+    ?store setting proto =
   let params =
     let p = Protocols.params proto in
     (* Under faults, arm Domino's in-protocol client retry (same
@@ -132,7 +132,7 @@ let run ?seed ?rate ?alpha ?duration ?measure_from ?measure_until ?metrics
   let r =
     Domino_shard.Fabric.run ?seed ?rate ?alpha ?duration ?measure_from
       ?measure_until ?metrics ?trace_op ?journal ?timeline ?sample_every
-      ?faults ?dedup ?store config
+      ?faults ?dedup ?reconfig_mutant ?store config
   in
   let g = r.Domino_shard.Fabric.groups.(0) in
   {

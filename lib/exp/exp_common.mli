@@ -109,6 +109,7 @@ val run :
   ?sample_every:Time_ns.span ->
   ?faults:Domino_fault.Plan.t ->
   ?dedup:bool ->
+  ?reconfig_mutant:bool ->
   ?store:Domino_store.Store.params ->
   setting ->
   protocol ->
@@ -144,6 +145,11 @@ val run :
     with {!Service.Dedup}, so retried ops apply at most once to the
     stores/journal; [~dedup:false] is the deliberately-unsafe mutant
     used to prove the chaos checker catches double execution.
+
+    [reconfig_mutant] (default [false]) is the stale-config mutant:
+    replicas removed by a [reconfig] plan event keep their network
+    endpoints and go on executing — the deliberately-broken build used
+    to prove the checker's removed-node rule catches it.
 
     [store] (default {!Domino_store.Store.default_params}) parameterizes
     each replica's simulated stable store: fsync/append/snapshot

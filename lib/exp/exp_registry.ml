@@ -193,6 +193,18 @@ let all =
             Exp_recovery.smoke_journal ~seed ?faults ?timeline ());
     };
     {
+      id = "patch";
+      describe =
+        "membership reconfig + rolling patch: leader crash vs graceful \
+         transfer vs rolling wipe-upgrade, dip + TTR per protocol";
+      aliases = [ "roll" ];
+      run = (fun ~quick ~seed -> [ Exp_patch.run ~quick ~seed () ]);
+      smoke =
+        Some
+          (fun ~seed ?faults ?rebalance:_ ?timeline () ->
+            Exp_patch.smoke_journal ~seed ?faults ?timeline ());
+    };
+    {
       id = "shards";
       describe =
         "shard-serving fabric: N Domino groups behind a slot router, shard \

@@ -11,6 +11,7 @@ type report = {
   duplicate_execs : int;
   recoveries : int;
   migrations : int;
+  reconfigs : int;
 }
 
 let opid_str (c, s) = Printf.sprintf "%d#%d" c s
@@ -31,6 +32,16 @@ type seg = {
   mutable bumps : (Time_ns.t * int) list;
       (** journaled [migrate.epoch] ownership changes, (at, slot),
           newest first *)
+  mutable rbumps : Time_ns.t list;
+      (** journaled [reconfig.epoch] membership changes, newest first *)
+  removed : (int, Time_ns.t) Hashtbl.t;
+      (** replica -> removal time, cleared by a later add/replace-in.
+          Replica ids are group-local; reconfig plans drive one group
+          per journal (the fabric's patch/chaos harnesses), so ids are
+          unambiguous here. *)
+  mutable stale_execs : (int * Journal.opid * Time_ns.t) list;
+      (** executions at a removed replica after its removal, newest
+          first — found streaming, reported as violations *)
 }
 
 let new_seg label =
@@ -45,6 +56,9 @@ let new_seg label =
     interesting = false;
     recoveries = 0;
     bumps = [];
+    rbumps = [];
+    removed = Hashtbl.create 4;
+    stale_execs = [];
   }
 
 let feed seg ev =
@@ -64,8 +78,11 @@ let feed seg ev =
     end
   | Journal.Commit { op; at; _ } ->
     if not (Hashtbl.mem seg.commit op) then Hashtbl.replace seg.commit op at
-  | Journal.Execute { op; replica; _ } ->
+  | Journal.Execute { op; replica; at; _ } ->
     seg.interesting <- true;
+    (match Hashtbl.find_opt seg.removed replica with
+    | Some rat when at > rat -> seg.stale_execs <- (replica, op, at) :: seg.stale_execs
+    | _ -> ());
     let order =
       match Hashtbl.find_opt seg.exec_order replica with
       | Some l -> l
@@ -83,6 +100,36 @@ let feed seg ev =
     seg.recoveries <- seg.recoveries + 1
   | Journal.Migrate { stage = "epoch"; slot; at; _ } ->
     seg.bumps <- (at, slot) :: seg.bumps
+  | Journal.Reconfig { stage = "epoch"; detail; at; _ } ->
+    (* A membership change took effect: [detail] is
+       "node=N add|remove|replace with=M". Record the bump for the
+       epoch-split rule and keep the removed-replica set current. *)
+    seg.rbumps <- at :: seg.rbumps;
+    let ifield key tok =
+      let p = key ^ "=" in
+      let pl = String.length p in
+      if String.length tok > pl && String.sub tok 0 pl = p then
+        int_of_string_opt (String.sub tok pl (String.length tok - pl))
+      else None
+    in
+    (match String.split_on_char ' ' detail with
+    | node_tok :: verb :: rest -> (
+      match ifield "node" node_tok with
+      | None -> ()
+      | Some node -> (
+        match verb with
+        | "remove" -> Hashtbl.replace seg.removed node at
+        | "add" -> Hashtbl.remove seg.removed node
+        | "replace" -> (
+          Hashtbl.replace seg.removed node at;
+          match rest with
+          | with_tok :: _ -> (
+            match ifield "with" with_tok with
+            | Some w -> Hashtbl.remove seg.removed w
+            | None -> ())
+          | [] -> ())
+        | _ -> ()))
+    | _ -> ())
   | _ -> ()
 
 let rec is_prefix short long =
@@ -114,6 +161,14 @@ let check_seg ~require_complete ~slot_of seg =
         violate "op %s executed %d times at replica %d" (opid_str op) n replica
       end)
     seg.exec_count;
+  (* 1b. removed replicas execute nothing past their removal — the
+     stale-config failure mode: a replica dropped from the membership
+     kept its network endpoints and went on applying ops. *)
+  List.iter
+    (fun (replica, op, at) ->
+      violate "removed replica %d executed op %s @%d after its removal"
+        replica (opid_str op) at)
+    (List.rev seg.stale_execs);
   (* Per-replica, per-key execution sequences (oldest first). *)
   let by_key : (int, (int * Journal.opid list) list ref) Hashtbl.t =
     Hashtbl.create 64
@@ -210,6 +265,37 @@ let check_seg ~require_complete ~slot_of seg =
                     else hi := e)
                 sq)
             seqs);
+      (* 2c. reconfig epoch split: ops submitted under the old
+         membership (before a journaled [reconfig.epoch] bump) must not
+         execute after ops submitted under the new one in any replica's
+         per-key sequence — the stop-the-world drain guarantees the
+         boundary is clean. Per-key, like 2b: leaderless protocols
+         legitimately reorder across keys. *)
+      (let rbumps = List.sort compare seg.rbumps in
+       if rbumps <> [] then
+         let epoch_of op =
+           match Hashtbl.find_opt seg.submit op with
+           | None -> None
+           | Some s ->
+             Some (List.length (List.filter (fun b -> b <= s) rbumps))
+         in
+         List.iter
+           (fun (replica, sq) ->
+             let hi = ref 0 in
+             List.iter
+               (fun op ->
+                 match epoch_of op with
+                 | None -> ()
+                 | Some e ->
+                   if e < !hi then
+                     violate
+                       "key %d: replica %d executed pre-reconfig op %s \
+                        after a post-reconfig op (membership epoch %d \
+                        after %d)"
+                       key replica (opid_str op) e !hi
+                   else hi := e)
+               sq)
+           seqs);
       (* 3. write-only linearizability (WGL-style real-time check): an
          op that committed before another was submitted must be ordered
          before it in the witness order. *)
@@ -280,9 +366,9 @@ let check ?(require_complete = false) ?slot_resolver j =
       ]
     else []
   in
-  let violations, submitted, committed, executed, dups, recs, migs =
+  let violations, submitted, committed, executed, dups, recs, migs, rcfgs =
     List.fold_left
-      (fun (vs, s, c, e, d, r, m) seg ->
+      (fun (vs, s, c, e, d, r, m, rc) seg ->
         let slot_of =
           match slot_resolver with
           | Some resolve -> resolve seg.label
@@ -290,8 +376,8 @@ let check ?(require_complete = false) ?slot_resolver j =
         in
         let v, s', c', e', d', r' = check_seg ~require_complete ~slot_of seg in
         (vs @ v, s + s', c + c', e + e', d + d', r + r',
-         m + List.length seg.bumps))
-      (overflow, 0, 0, 0, 0, 0, 0) segs
+         m + List.length seg.bumps, rc + List.length seg.rbumps))
+      (overflow, 0, 0, 0, 0, 0, 0, 0) segs
   in
   {
     ok = violations = [];
@@ -303,6 +389,7 @@ let check ?(require_complete = false) ?slot_resolver j =
     duplicate_execs = dups;
     recoveries = recs;
     migrations = migs;
+    reconfigs = rcfgs;
   }
 
 let pp_report fmt r =
@@ -318,4 +405,6 @@ let pp_report fmt r =
     Format.fprintf fmt ", %d recoveries" r.recoveries;
   if r.migrations > 0 then
     Format.fprintf fmt ", %d migrations" r.migrations;
+  if r.reconfigs > 0 then
+    Format.fprintf fmt ", %d reconfigs" r.reconfigs;
   List.iter (fun v -> Format.fprintf fmt "@.  violation: %s" v) r.violations

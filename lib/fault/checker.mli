@@ -25,7 +25,20 @@
       and the new owner past the handoff is the double-owner bug.
       Replica ids alias across groups, so a key executed in both
       groups' logs also trips exactly-once/prefix-agreement; the epoch
-      check localizes the failure to the handoff.
+      check localizes the failure to the handoff;
+    - {b reconfig epoch split}: a membership change journals a
+      [reconfig.epoch] bump; no op submitted under the old membership
+      may execute after an op submitted under the new one in any
+      replica's per-key sequence (per key, like the migration rule —
+      leaderless protocols legitimately reorder across keys). The
+      stop-the-world drain makes the boundary clean; an op straddling
+      it is a reconfig that externalized early;
+    - {b removed replicas execute nothing}: once a [reconfig.epoch]
+      bump removes (or replaces out) a replica, any later [Execute] at
+      it is a violation — the stale-config failure mode, where a
+      dropped node keeps its endpoints and goes on applying ops.
+      Replica ids are taken as group-local: reconfig plans drive one
+      group per journal, so ids are unambiguous.
 
     Limits: the checker sees submit/commit times at journal
     granularity and checks writes only (the workload is blind writes),
@@ -49,6 +62,9 @@ type report = {
   migrations : int;
       (** slot ownership changes observed ([migrate.epoch] events) —
           evidence the run exercised live migration at all *)
+  reconfigs : int;
+      (** membership epoch bumps observed ([reconfig.epoch] events) —
+          evidence the run exercised reconfiguration at all *)
 }
 
 val check :

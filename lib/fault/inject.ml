@@ -85,10 +85,11 @@ let schedule_event net jsink { Plan.at; action } =
         else Clock.set_offset c (Time_ns.add (Clock.offset c) delta);
         fault jsink engine "skew"
           (Printf.sprintf "node=%d delta=%dms" node (delta / Time_ns.ms 1)))
-  | Plan.Migrate _ ->
-    (* Not a network fault: the shard fabric splits migrations out of
-       the plan and drives them through Shard.Migrate. Reaching here
-       (e.g. a migrate event left in a per-group plan) is a no-op. *)
+  | Plan.Migrate _ | Plan.Transfer _ | Plan.Reconfig _ | Plan.Roll _ ->
+    (* Not network faults: the shard fabric splits the orchestrated
+       verbs out of the plan (Plan.partition_control) and drives them
+       through Shard.Migrate / Smr.Reconfig / Fault.Roll. Reaching here
+       (e.g. such an event left in a per-group plan) is a no-op. *)
     ()
 
 let install plan ~net ~journal =

@@ -14,6 +14,11 @@ type action =
     }
   | Skew of { node : int; delta : Time_ns.span }
   | Migrate of { slot : int; from_g : int; to_g : int }
+  | Transfer of { group : int; to_ : int }
+  | Reconfig of { group : int; change : change }
+  | Roll of { group : int; dwell : Time_ns.span }
+
+and change = Add of int | Remove of int | Replace of { node : int; with_ : int }
 
 type event = { at : Time_ns.t; action : action }
 
@@ -48,6 +53,15 @@ let action_str = function
     Printf.sprintf "skew node=%d delta=%s" node (span_str delta)
   | Migrate { slot; from_g; to_g } ->
     Printf.sprintf "migrate slot=%d from=%d to=%d" slot from_g to_g
+  | Transfer { group; to_ } -> Printf.sprintf "transfer group=%d to=%d" group to_
+  | Reconfig { group; change } -> (
+    match change with
+    | Add node -> Printf.sprintf "reconfig group=%d add=%d" group node
+    | Remove node -> Printf.sprintf "reconfig group=%d remove=%d" group node
+    | Replace { node; with_ } ->
+      Printf.sprintf "reconfig group=%d replace=%d with=%d" group node with_)
+  | Roll { group; dwell } ->
+    Printf.sprintf "roll group=%d dwell=%s" group (span_str dwell)
 
 let event_str { at; action } =
   Printf.sprintf "at %s %s" (span_str at) (action_str action)
@@ -164,6 +178,41 @@ let parse_action verb fields =
     let* tv = field fields "to" in
     let* to_g = parse_int tv in
     Ok (Migrate { slot; from_g; to_g })
+  | "transfer" ->
+    let* gv = field fields "group" in
+    let* group = parse_int gv in
+    let* tv = field fields "to" in
+    let* to_ = parse_int tv in
+    Ok (Transfer { group; to_ })
+  | "reconfig" ->
+    let* gv = field fields "group" in
+    let* group = parse_int gv in
+    let* change =
+      match
+        ( List.assoc_opt "add" fields,
+          List.assoc_opt "remove" fields,
+          List.assoc_opt "replace" fields )
+      with
+      | Some v, None, None ->
+        let* node = parse_int v in
+        Ok (Add node)
+      | None, Some v, None ->
+        let* node = parse_int v in
+        Ok (Remove node)
+      | None, None, Some v ->
+        let* node = parse_int v in
+        let* wv = field fields "with" in
+        let* with_ = parse_int wv in
+        Ok (Replace { node; with_ })
+      | _ -> Error "reconfig needs exactly one of add= / remove= / replace="
+    in
+    Ok (Reconfig { group; change })
+  | "roll" ->
+    let* gv = field fields "group" in
+    let* group = parse_int gv in
+    let* dv = field fields "dwell" in
+    let* dwell = parse_span dv in
+    Ok (Roll { group; dwell })
   | v -> Error (Printf.sprintf "unknown fault verb %S" v)
 
 let parse_line line =
@@ -229,9 +278,32 @@ let validate ~n t =
         if slot < 0 then err "migrate: slot %d negative" slot;
         if from_g < 0 then err "migrate: from %d negative" from_g;
         if to_g < 0 then err "migrate: to %d negative" to_g;
-        if from_g = to_g then err "migrate: from = to = %d" from_g)
+        if from_g = to_g then err "migrate: from = to = %d" from_g
+      | Transfer { group; to_ } ->
+        (* group is a GROUP index, to a group-local replica index; both
+           range-checked against the layout by the fabric. *)
+        if group < 0 then err "transfer: group %d negative" group;
+        if to_ < 0 then err "transfer: to %d negative" to_
+      | Reconfig { group; change } -> (
+        if group < 0 then err "reconfig: group %d negative" group;
+        match change with
+        | Add node | Remove node ->
+          if node < 0 then err "reconfig: node %d negative" node
+        | Replace { node; with_ } ->
+          if node < 0 then err "reconfig: node %d negative" node;
+          if with_ < 0 then err "reconfig: with %d negative" with_;
+          if node = with_ then err "reconfig: replace %d with itself" node)
+      | Roll { group; dwell } ->
+        if group < 0 then err "roll: group %d negative" group;
+        if dwell < 0 then err "roll: negative dwell")
     t;
   match !errs with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
 
+let is_orchestrated = function
+  | { action = Migrate _ | Transfer _ | Reconfig _ | Roll _; _ } -> true
+  | _ -> false
+
 let partition_migrations t =
   List.partition (function { action = Migrate _; _ } -> true | _ -> false) t
+
+let partition_control t = List.partition is_orchestrated t

@@ -12,6 +12,9 @@
     at 3s degrade src=0 dst=1 delay=40ms loss=0.3 until=4s
     at 6s skew node=3 delta=30ms
     at 3s migrate slot=0 from=0 to=1
+    at 3s transfer group=0 to=2
+    at 3s reconfig group=0 replace=1 with=2
+    at 3s roll group=0 dwell=500ms
     v}
 
     — and {!to_string} emits exactly the syntax {!parse} accepts, so
@@ -36,7 +39,19 @@
       group [from] to group [to]. Not a network fault: {!Inject}
       ignores it; the shard fabric splits these events out of the plan
       (see [Plan.partition_migrations]) and hands them to its
-      [Shard.Migrate] orchestrator. [from]/[to] are group indices. *)
+      [Shard.Migrate] orchestrator. [from]/[to] are group indices.
+    - [transfer]: graceful leader transfer — hand leadership (or the
+      coordinator lease / DM steering, per protocol) of group [group]
+      to its replica [to] (a group-local replica index) without a
+      crash. Orchestrated like [migrate]: {!Inject} ignores it.
+    - [reconfig]: planned membership change for group [group] —
+      stop-the-world epoch bump. [add=<r>] readmits a provisioned
+      replica, [remove=<r>] retires one, [replace=<r> with=<s>] does
+      both under one epoch. Replica indices are group-local.
+    - [roll]: rolling wipe-upgrade of group [group] under load — for
+      each member in turn: transfer leadership away if held, wipe,
+      wait for snapshot+log recovery, readmit, then dwell [dwell]
+      before the next node ([Fault.Roll] orchestrates). *)
 
 open Domino_sim
 
@@ -54,6 +69,11 @@ type action =
     }
   | Skew of { node : int; delta : Time_ns.span }
   | Migrate of { slot : int; from_g : int; to_g : int }
+  | Transfer of { group : int; to_ : int }
+  | Reconfig of { group : int; change : change }
+  | Roll of { group : int; dwell : Time_ns.span }
+
+and change = Add of int | Remove of int | Replace of { node : int; with_ : int }
 
 type event = { at : Time_ns.t; action : action }
 
@@ -78,3 +98,10 @@ val partition_migrations : t -> t * t
 (** Split a plan into its [migrate] events and everything else. The
     fabric drives the first list through its migration orchestrator
     and installs only the second as network faults. *)
+
+val partition_control : t -> t * t
+(** Split a plan into its orchestrated events ([migrate], [transfer],
+    [reconfig], [roll]) and the network faults. The fabric drives the
+    first list through its orchestrators ([Shard.Migrate],
+    [Smr.Reconfig], [Fault.Roll]) and installs only the second with
+    {!Inject}. *)

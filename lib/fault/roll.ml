@@ -1,0 +1,137 @@
+open Domino_sim
+open Domino_obs
+
+type outcome = {
+  group : int;
+  nodes : int list;  (** rolled, in order *)
+  started_at : Time_ns.t;
+  finished_at : Time_ns.t;
+}
+
+(* The roll orchestrator lives in the fault layer (it is a planned
+   fault campaign), so it cannot see the protocol registry or the
+   router — the harness supplies everything through callbacks, the
+   membership/holder/transfer ones typically closing over the group's
+   [Smr.Reconfig] controller. *)
+type hooks = {
+  members : unit -> int list;  (** current member node ids, ascending *)
+  holder : unit -> int;  (** current leader / coordinator *)
+  epoch : unit -> int;  (** current config epoch, for journaling *)
+  transfer : from_:int -> to_:int -> k:(unit -> unit) -> bool;
+      (** graceful handoff (journals its own transfer events) *)
+  restore : node:int -> unit;  (** clear steering once the node is back *)
+  wipe : int -> Time_ns.span;
+      (** wipe-restart the node; returns the modeled recovery span *)
+}
+
+type t = {
+  engine : Engine.t;
+  journal : Journal.sink;
+  group : int;
+  hooks : hooks;
+  mutable active : bool;
+  mutable outcomes_r : outcome list;  (** newest first *)
+}
+
+let create engine ~journal ~group ~hooks () =
+  { engine; journal; group; hooks; active = false; outcomes_r = [] }
+
+let active t = t.active
+
+let outcomes t = List.rev t.outcomes_r
+
+let emit t ~stage ~detail =
+  if Journal.enabled t.journal then
+    Journal.emit t.journal
+      (Journal.Reconfig
+         {
+           stage;
+           group = t.group;
+           epoch = t.hooks.epoch ();
+           detail;
+           at = Engine.now t.engine;
+         })
+
+(* One full rolling wipe-upgrade of the group under load. Per node, in
+   ascending id order over the membership at start:
+
+     1. if the node holds coordination duties, transfer them to the
+        next member (graceful — journals transfer/transfer_done);
+     2. journal [reconfig.roll_node node=<n>] and wipe-restart the
+        node: volatile state gone, stable store truncated to its
+        durable frontier, snapshot + log replay on the way back;
+     3. after the modeled recovery span, journal the node's
+        [recovery.up] (the dip analyzer's heal anchor for the node's
+        row), clear any steering against it, and dwell before the next
+        node.
+
+   The whole campaign is bracketed by [reconfig.roll] /
+   [reconfig.roll_done] so the cluster-wide dip row spans it. Nodes
+   that leave the membership mid-roll (a concurrent reconfig) are
+   skipped. *)
+let start t ~dwell ~k =
+  if t.active then false
+  else begin
+    t.active <- true;
+    let started_at = Engine.now t.engine in
+    let nodes = t.hooks.members () in
+    emit t ~stage:"roll"
+      ~detail:
+        (Printf.sprintf "nodes=%s dwell_ms=%d"
+           (String.concat "," (List.map string_of_int nodes))
+           (dwell / Time_ns.ms 1));
+    let rolled = ref [] in
+    let finish () =
+      emit t ~stage:"roll_done"
+        ~detail:(Printf.sprintf "rolled=%d" (List.length !rolled));
+      t.active <- false;
+      t.outcomes_r <-
+        {
+          group = t.group;
+          nodes = List.rev !rolled;
+          started_at;
+          finished_at = Engine.now t.engine;
+        }
+        :: t.outcomes_r;
+      k ()
+    in
+    let rec roll_next = function
+      | [] -> finish ()
+      | node :: rest ->
+        if not (List.mem node (t.hooks.members ())) then roll_next rest
+        else begin
+          let wipe_node () =
+            emit t ~stage:"roll_node" ~detail:(Printf.sprintf "node=%d" node);
+            let span = t.hooks.wipe node in
+            Engine.schedule t.engine ~delay:span (fun () ->
+                if Journal.enabled t.journal then
+                  Journal.emit t.journal
+                    (Journal.Recovery
+                       {
+                         node;
+                         stage = "up";
+                         detail =
+                           Printf.sprintf "after_us=%d" (span / Time_ns.us 1);
+                         at = Engine.now t.engine;
+                       });
+                t.hooks.restore ~node;
+                rolled := node :: !rolled;
+                Engine.schedule t.engine ~delay:dwell (fun () ->
+                    roll_next rest))
+          in
+          if t.hooks.holder () = node then begin
+            let target =
+              List.find_opt (fun m -> m <> node) (t.hooks.members ())
+            in
+            match target with
+            | Some to_ ->
+              if not (t.hooks.transfer ~from_:node ~to_ ~k:wipe_node) then
+                wipe_node ()
+            | None -> wipe_node ()
+          end
+          else wipe_node ()
+        end
+    in
+    roll_next nodes;
+    true
+  end

@@ -1,0 +1,49 @@
+open Domino_sim
+open Domino_obs
+
+(** The rolling patch orchestrator: wipe-upgrade every member of a
+    consensus group, one node at a time, under load.
+
+    Per node: transfer coordination duties away if held (graceful, via
+    the harness-provided [transfer] hook — typically
+    [Smr.Reconfig.transfer]), wipe-restart the node, wait out its
+    modeled snapshot + log recovery, journal its [recovery.up], clear
+    any client steering against it, and dwell before the next node.
+    The campaign is bracketed by [reconfig.roll] / [reconfig.roll_done]
+    journal events and each node gets its own [reconfig.roll_node]
+    start, so {!Domino_obs.Dip} reports one cluster-wide row for the
+    roll plus a per-node baseline/dip/TTR row for every wipe.
+
+    Driven by the plan verb [roll group=G dwell=SPAN] through the shard
+    fabric; all group knowledge arrives through {!hooks} because the
+    fault layer cannot depend on the protocol or shard layers. *)
+
+type outcome = {
+  group : int;
+  nodes : int list;  (** rolled, in order *)
+  started_at : Time_ns.t;
+  finished_at : Time_ns.t;
+}
+
+type hooks = {
+  members : unit -> int list;
+  holder : unit -> int;
+  epoch : unit -> int;
+  transfer : from_:int -> to_:int -> k:(unit -> unit) -> bool;
+  restore : node:int -> unit;
+  wipe : int -> Time_ns.span;
+}
+
+type t
+
+val create :
+  Engine.t -> journal:Journal.sink -> group:int -> hooks:hooks -> unit -> t
+
+val start : t -> dwell:Time_ns.span -> k:(unit -> unit) -> bool
+(** Begin a roll over the membership at call time; [false] if one is
+    already active. [k] fires once after the last node's dwell. *)
+
+val active : t -> bool
+
+val outcomes : t -> outcome list
+(** Completed rolls, oldest first. *)

@@ -19,7 +19,10 @@ type report = {
 }
 
 let is_start = function
-  | "crash" | "wipe" | "partition" | "degrade" | "skew" | "migrate" -> true
+  | "crash" | "wipe" | "partition" | "degrade" | "skew" | "migrate"
+  | "reconfig" | "reconfig.transfer" | "reconfig.roll"
+  | "reconfig.roll_node" ->
+    true
   | _ -> false
 
 let heal_kinds = function
@@ -27,7 +30,12 @@ let heal_kinds = function
   | "partition" -> [ "heal" ]
   | "degrade" -> [ "restore" ]
   | "migrate" -> [ "migrate.done"; "migrate.abort" ]
-  | _ -> []  (* wipe heals via recovery.up; skew is never healed *)
+  | "reconfig" -> [ "reconfig.done"; "reconfig.abort" ]
+  | "reconfig.transfer" -> [ "reconfig.transfer_done" ]
+  | "reconfig.roll" -> [ "reconfig.roll_done" ]
+  | _ -> []
+(* wipe and reconfig.roll_node heal via recovery.up (node-matched);
+   skew is never healed *)
 
 (* First token of a detail string: "node=3 ..." -> Some 3 for "node";
    "slot=5 from=g0 ..." -> Some 5 for "slot". *)
@@ -55,13 +63,17 @@ let find_heal (seg : Timeline.segment) ~at ~kind ~detail =
     Array.iter
       (fun (hat, hkind, hdetail) ->
         if
-          hat > at
+          (* >=, not >: a synchronous control hook (Domino/Mencius
+             leader steering) journals transfer_done at the same
+             timestamp as transfer; the kinds differ, so the start
+             event itself can never match *)
+          hat >= at
           && List.mem hkind hks
           && (node = None || node_of_detail hdetail = node)
           && (slot = None || slot_of_detail hdetail = slot)
         then consider hat)
       seg.Timeline.faults);
-  if kind = "wipe" then
+  if kind = "wipe" || kind = "reconfig.roll_node" then
     Array.iter
       (fun (rat, rnode, stage) ->
         if rat > at && stage = "up" && (node = None || node = Some rnode) then

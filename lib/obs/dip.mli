@@ -2,9 +2,10 @@
     how deep did throughput dip and how long until it recovered.
 
     For each [fault.*] start event (crash, wipe, partition, degrade,
-    skew) — and each [migrate] lifecycle start the timeline surfaces
-    for a live slot migration — in a {!Timeline.segment}, the report
-    gives:
+    skew) — and each [migrate] or [reconfig.*] lifecycle start the
+    timeline surfaces for a live slot migration, membership change,
+    leader transfer, or rolling patch — in a {!Timeline.segment}, the
+    report gives:
 
     - the {b baseline} RPS: mean cluster throughput over the windows
       immediately preceding the fault;
@@ -43,9 +44,13 @@ val analyze :
   report list
 (** One report per fault-start event, in journal order per segment.
     [baseline_windows] (default 10) is the lookback; heal events
-    ([recover]/[heal]/[restore], [recovery.up] for wipes, and
-    [migrate.done]/[migrate.abort] for migrations) are matched to
-    their start by kind and node (or slot, for migrations). *)
+    ([recover]/[heal]/[restore], [recovery.up] for wipes and rolled
+    nodes, [migrate.done]/[migrate.abort] for migrations,
+    [reconfig.done]/[reconfig.abort] for membership changes,
+    [reconfig.transfer_done] for leader transfers, and
+    [reconfig.roll_done] for rolls) are matched to their start by kind
+    and node (or slot, for migrations) — so a roll yields one
+    cluster-wide row plus a per-node row for every wiped replica. *)
 
 val to_csv : report list -> string
 (** [seg,label,fault,detail,at_ms,heal_ms,baseline_rps,dip_rps,dip_pct,ttr_ms,p99_base_ms,p99_spike_ms];

@@ -53,6 +53,13 @@ type event =
       detail : string;
       at : Time_ns.t;
     }
+  | Reconfig of {
+      stage : string;
+      group : int;
+      epoch : int;
+      detail : string;
+      at : Time_ns.t;
+    }
 
 type t = {
   ring : event array;
@@ -146,6 +153,9 @@ let pp_event buf ev =
   | Migrate { stage; slot; from_g; to_g; epoch; detail; at } ->
     p "@%d migrate.%s slot=%d from=g%d to=g%d epoch=%d%s" at stage slot from_g
       to_g epoch
+      (if detail = "" then "" else " " ^ detail)
+  | Reconfig { stage; group; epoch; detail; at } ->
+    p "@%d reconfig.%s group=%d epoch=%d%s" at stage group epoch
       (if detail = "" then "" else " " ^ detail)
 
 let to_lines t =
@@ -266,6 +276,15 @@ let parse_line line =
             (Migrate
                { stage; slot; from_g; to_g; epoch;
                  detail = String.concat " " detail; at })
+        | _ -> None)
+      | _, _ when strip_prefix ~prefix:"reconfig." kw <> None -> (
+        match (strip_prefix ~prefix:"reconfig." kw, rest) with
+        | Some stage, g :: e :: detail ->
+          let* group = ifield "group" g in
+          let* epoch = ifield "epoch" e in
+          Some
+            (Reconfig
+               { stage; group; epoch; detail = String.concat " " detail; at })
         | _ -> None)
       | _, _ -> (
         match strip_prefix ~prefix:"fault." kw with

@@ -98,6 +98,26 @@ type event =
           mid-run and must not split the checker/timeline segment.
           Rendered as
           [migrate.<stage> slot=<s> from=g<a> to=g<b> epoch=<e> <detail>]. *)
+  | Reconfig of {
+      stage : string;
+      group : int;
+      epoch : int;
+      detail : string;
+      at : Time_ns.t;
+    }
+      (** A membership-reconfiguration / rolling-patch lifecycle event.
+          Membership change ([Smr.Reconfig]): [begin] (group frozen,
+          drain started), [epoch] (new config persisted on every member
+          and the membership epoch bumped — the externalization point),
+          [done] (submits released under the new config), [abort].
+          Leader transfer: [transfer] / [transfer_done]. Rolling patch
+          ([Fault.Roll]): [roll] (roll started), [roll_node] (a node
+          taken down for its wipe-upgrade), [roll_done]. Details lead
+          with [node=<n>] where a node is affected so dip reports can
+          attribute the event. Like [Migrate], NOT a [Mark] — a
+          reconfiguration happens mid-run and must not split the
+          checker/timeline segment. Rendered as
+          [reconfig.<stage> group=<g> epoch=<e> <detail>]. *)
 
 type t
 

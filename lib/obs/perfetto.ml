@@ -115,7 +115,7 @@ let of_journal ?timeline j =
       | Journal.Store_ev { node; _ } | Journal.Recovery { node; _ } ->
         note node
       | Journal.Timer_fired _ | Journal.Sample _ | Journal.Mark _
-      | Journal.Fault _ | Journal.Migrate _ -> ());
+      | Journal.Fault _ | Journal.Migrate _ | Journal.Reconfig _ -> ());
   let node_ids =
     List.sort compare (Hashtbl.fold (fun n () acc -> n :: acc) nodes [])
   in
@@ -210,6 +210,14 @@ let of_journal ?timeline j =
              ~name:
                (Printf.sprintf "migrate.%s slot=%d g%d>g%d epoch=%d" stage
                   slot from_g to_g epoch)
+             ~scope:"g" ~tid:0 ~ts:at [])
+      | Journal.Reconfig { stage; group; epoch; detail; at } ->
+        push
+          (instant
+             ~name:
+               (Printf.sprintf "reconfig.%s group=%d epoch=%d%s" stage group
+                  epoch
+                  (if detail = "" then "" else " " ^ detail))
              ~scope:"g" ~tid:0 ~ts:at [])
       | Journal.Timer_fired _ -> ());
   let extra =

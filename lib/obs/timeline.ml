@@ -439,6 +439,18 @@ let feed agg ev =
     | "done" | "abort" ->
       seg.faults_r <- (at, "migrate." ^ stage, d) :: seg.faults_r
     | _ -> ())
+  | Reconfig { stage; group; epoch; detail; at } -> (
+    ignore (count at);
+    (* Details lead with [node=<n>] (when a node is affected) so the dip
+       analyzer can match heals per node; group/epoch ride along. *)
+    let d =
+      let tail = Printf.sprintf "group=%d epoch=%d" group epoch in
+      if detail = "" then tail else detail ^ " " ^ tail
+    in
+    match stage with
+    | "epoch" -> ()  (* the externalization point, not an outage marker *)
+    | "begin" -> seg.faults_r <- (at, "reconfig", d) :: seg.faults_r
+    | _ -> seg.faults_r <- (at, "reconfig." ^ stage, d) :: seg.faults_r)
   | Store_ev _ | Msg_sent _ | Msg_delivered _ | Timer_fired _ | Phase _ -> ()
 
 let absorb agg ~label t =

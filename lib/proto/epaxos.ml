@@ -691,4 +691,9 @@ module Api = struct
   let fast_slow_counts t = Some (t.fast, t.slow)
   let extra_stats _ = []
   let gauges _ = []
+
+  (* Leaderless: every replica already fronts its own clients, and a
+     rolled replica's instances recover via the explicit-prepare path —
+     there is no lease to hand off. *)
+  let control _ _ ~k:_ = false
 end

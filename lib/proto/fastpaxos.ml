@@ -654,4 +654,8 @@ module Api = struct
   let fast_slow_counts t = Some (t.fast, t.slow)
   let extra_stats _ = []
   let gauges _ = []
+
+  (* The fast path broadcasts to every acceptor and the arbiter role is
+     woven through the vote/P2a machinery — no graceful handoff here. *)
+  let control _ _ ~k:_ = false
 end

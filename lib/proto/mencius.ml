@@ -44,6 +44,11 @@ type t = {
   observer : Observer.t;
   mutable states : replica_state array;  (** indexed by lane *)
   coordinator_of : Nodeid.t -> Nodeid.t;
+  (* Lease handoff: Requests whose coordinator is a key here are
+     steered to the mapped replica instead — every replica can propose
+     in its own lane, so redirecting new submissions is the whole
+     handoff; in-flight proposals on the old lane still settle. *)
+  steer : (Nodeid.t, Nodeid.t) Hashtbl.t;
   mutable committed_count : int;
   (* Durability. WAL records, per replica:
      - "prop <slot> <op>"  owner, synced before the Accept broadcast and
@@ -306,6 +311,7 @@ let create ~net ~replicas ~coordinator_of ~observer ?stores () =
       observer;
       states = [||];
       coordinator_of;
+      steer = Hashtbl.create 4;
       committed_count = 0;
       stores;
       replaying = Array.make n false;
@@ -361,6 +367,9 @@ let create ~net ~replicas ~coordinator_of ~observer ?stores () =
 let submit t (op : Op.t) =
   t.observer.Observer.on_submit op ~now:(now t);
   let dst = t.coordinator_of op.Op.client in
+  let dst =
+    match Hashtbl.find_opt t.steer dst with Some d -> d | None -> dst
+  in
   Fifo_net.send t.net ~src:op.Op.client ~dst (Request op)
 
 let committed_count t = t.committed_count
@@ -393,4 +402,21 @@ module Api = struct
   let fast_slow_counts _ = None
   let extra_stats _ = []
   let gauges _ = []
+
+  let control t c ~k =
+    match c with
+    | Protocol_intf.Transfer { from_; to_ } ->
+      if
+        Array.exists (Nodeid.equal from_) t.replicas
+        && Array.exists (Nodeid.equal to_) t.replicas
+      then begin
+        Hashtbl.replace t.steer from_ to_;
+        k ();
+        true
+      end
+      else false
+    | Protocol_intf.Restore { node } ->
+      Hashtbl.remove t.steer node;
+      k ();
+      true
 end

@@ -22,7 +22,17 @@ type slot_state = {
 type t = {
   net : msg Fifo_net.t;
   replicas : Nodeid.t array;
-  leader : Nodeid.t;
+  mutable leader : Nodeid.t;
+  (* Graceful leader transfer: while draining, new Requests park in
+     [pending_reqs] instead of opening slots, so the open-slot table can
+     empty and the flip is clean even under load. *)
+  mutable draining : bool;
+  pending_reqs : Op.t Queue.t;
+  (* Replicas with a catch-up Pull timer armed. The initial leader gets
+     none (it never parks) until a transfer demotes it — creating the
+     timer lazily keeps the fault-free event schedule, and hence the
+     golden journals, byte-identical to the pre-transfer code. *)
+  pull_timers : (Nodeid.t, unit) Hashtbl.t;
   observer : Observer.t;
   majority : int;
   (* Leader proposal state. *)
@@ -95,6 +105,7 @@ let apply_commit t node slot op =
 
 let handle_leader t ~src msg =
   match msg with
+  | Request op when t.draining -> Queue.add op t.pending_reqs
   | Request op ->
     let slot = t.next_slot in
     t.next_slot <- slot + 1;
@@ -274,6 +285,23 @@ let replay t i snap records =
   List.iter (replay_record t node) records;
   t.replaying.(i) <- false
 
+(* Arm r's catch-up Pull timer, at most once per replica. The guard
+   inside reads [t.leader] at fire time, so a replica that becomes
+   leader stops pulling without tearing the timer down. *)
+let ensure_pull_timer t r =
+  if not (Hashtbl.mem t.pull_timers r) then begin
+    Hashtbl.replace t.pull_timers r ();
+    let engine = Fifo_net.engine t.net in
+    ignore
+      (Engine.every engine ~interval:(Time_ns.ms 250) (fun () ->
+           if
+             (not (Nodeid.equal r t.leader))
+             && Hashtbl.length (Hashtbl.find t.parked r) > 0
+           then
+             Fifo_net.send t.net ~src:r ~dst:t.leader
+               (Pull { from = !(Hashtbl.find t.applied r) })))
+  end
+
 let create ~net ~replicas ~leader ~observer ?stores () =
   let n = Array.length replicas in
   let stores =
@@ -284,6 +312,9 @@ let create ~net ~replicas ~leader ~observer ?stores () =
       net;
       replicas;
       leader;
+      draining = false;
+      pending_reqs = Queue.create ();
+      pull_timers = Hashtbl.create 8;
       observer;
       majority = Quorum.majority n;
       next_slot = 0;
@@ -320,6 +351,8 @@ let create ~net ~replicas ~leader ~observer ?stores () =
      Follower side: pull missing commits whenever out-of-order commits
      are parked behind a gap. *)
   let engine = Fifo_net.engine net in
+  (* Both timers read [t.leader] at fire time, so a leader transfer
+     re-points them without re-arming. *)
   ignore
     (Engine.every engine ~interval:(Time_ns.ms 200) (fun () ->
          Hashtbl.iter
@@ -330,25 +363,57 @@ let create ~net ~replicas ~leader ~observer ?stores () =
              then
                Array.iter
                  (fun r ->
-                   if not (Nodeid.equal r leader) then
-                     Fifo_net.send net ~src:leader ~dst:r
+                   if not (Nodeid.equal r t.leader) then
+                     Fifo_net.send net ~src:t.leader ~dst:r
                        (Accept { slot; op = state.op }))
                  replicas)
            t.slots));
   Array.iter
-    (fun r ->
-      if not (Nodeid.equal r leader) then
-        ignore
-          (Engine.every engine ~interval:(Time_ns.ms 250) (fun () ->
-               if Hashtbl.length (Hashtbl.find t.parked r) > 0 then
-                 Fifo_net.send net ~src:r ~dst:leader
-                   (Pull { from = !(Hashtbl.find t.applied r) }))))
+    (fun r -> if not (Nodeid.equal r leader) then ensure_pull_timer t r)
     replicas;
   t
 
 let submit t (op : Op.t) =
   t.observer.Observer.on_submit op ~now:(now t);
   Fifo_net.send t.net ~src:op.Op.client ~dst:t.leader (Request op)
+
+(* Graceful leader handoff: stop opening slots, wait for every open
+   slot to reach quorum (bounded by a drain deadline — an unreachable
+   acceptor must not wedge the transfer), then flip [t.leader], swap
+   the node handlers, and re-drive the requests parked during the
+   drain through the new leader. In this simulation the proposal state
+   lives on the shared [t], so the flip stands in for the state
+   transfer a real handoff would perform. *)
+let transfer t ~to_ ~k =
+  if not (Array.exists (Nodeid.equal to_) t.replicas) then false
+  else if Nodeid.equal t.leader to_ then begin
+    k ();
+    true
+  end
+  else begin
+    t.draining <- true;
+    let engine = Fifo_net.engine t.net in
+    let deadline = Time_ns.add (now t) (Time_ns.ms 1500) in
+    let rec poll () =
+      if Hashtbl.length t.slots = 0 || now t >= deadline then begin
+        let old = t.leader in
+        t.leader <- to_;
+        t.observer.Observer.on_phase ~node:to_ ~op:None ~name:"leader_transfer"
+          ~dur:0 ~now:(now t);
+        Fifo_net.set_handler t.net old (handle_follower t old);
+        Fifo_net.set_handler t.net to_ (handle_leader t);
+        ensure_pull_timer t old;
+        t.draining <- false;
+        while not (Queue.is_empty t.pending_reqs) do
+          handle_leader t ~src:to_ (Request (Queue.pop t.pending_reqs))
+        done;
+        k ()
+      end
+      else Engine.schedule engine ~delay:(Time_ns.ms 10) poll
+    in
+    poll ();
+    true
+  end
 
 let committed_count t = t.committed_count
 
@@ -380,4 +445,19 @@ module Api = struct
   let fast_slow_counts _ = None
   let extra_stats _ = []
   let gauges _ = []
+
+  let control t c ~k =
+    match c with
+    | Protocol_intf.Transfer { from_; to_ } ->
+      if Nodeid.equal t.leader from_ then transfer t ~to_ ~k
+      else begin
+        (* Nothing to move: the named node holds no leadership. *)
+        k ();
+        true
+      end
+    | Protocol_intf.Restore _ ->
+      (* Leadership stays where it was transferred; the restored node
+         rejoins as a follower. *)
+      k ();
+      true
 end

@@ -32,6 +32,12 @@ val submit : t -> Op.t -> unit
 
 val committed_count : t -> int
 
+val transfer : t -> to_:Nodeid.t -> k:(unit -> unit) -> bool
+(** Graceful leader handoff: stop opening slots, drain the open-slot
+    table (bounded by a 1.5 s deadline), flip the leader to [to_], and
+    re-drive requests parked during the drain. [k] fires once the new
+    leader is serving. [false] if [to_] is not a replica. *)
+
 val classify : msg -> Msg_class.t
 (** Cost class of a message, for the Figure 13 throughput model. *)
 

@@ -59,6 +59,10 @@ type live = {
   sent : unit -> int;
   fast_slow : unit -> (int * int) option;
   extra : unit -> (string * int) list;
+  control : Protocol_intf.control -> k:(unit -> unit) -> bool;
+  wipe_node : int -> Time_ns.span;
+  crash_node : int -> unit;
+  recover_node : int -> unit;
 }
 
 (* The harness-side observability observer: run-level counters, the
@@ -154,17 +158,24 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
     ?trace_op ?journal ?timeline ?(sample_every = Time_ns.ms 100)
     ?(hot_every = Time_ns.ms 500) ?(hot_factor = 2.) ?faults ?(dedup = true)
     ?(auto_rebalance = false) ?(migrate_mutant = false)
-    ?(store = Domino_store.Store.default_params) (config : config) =
+    ?(reconfig_mutant = false) ?(store = Domino_store.Store.default_params)
+    (config : config) =
   let n_groups = Array.length config.groups in
   if n_groups = 0 then invalid_arg "Fabric.run: no groups";
-  (* Planned slot migrations are scheduled by the fabric itself (they
-     need the router, KV stores, and stable stores), not by Inject;
-     the full plan still flows to each group's injector, where Migrate
-     actions are no-ops. *)
-  let migrations =
+  (* Orchestrated plan verbs (migrate / transfer / reconfig / roll) are
+     scheduled by the fabric itself — they need the router, stores, and
+     protocol control hooks — not by Inject; the full plan still flows
+     to each group's injector, where those actions are no-ops. *)
+  let orchestrated =
     match faults with
-    | Some plan -> fst (Domino_fault.Plan.partition_migrations plan)
+    | Some plan -> fst (Domino_fault.Plan.partition_control plan)
     | None -> []
+  in
+  let migrations, controls =
+    List.partition
+      (fun (ev : Domino_fault.Plan.event) ->
+        match ev.action with Domino_fault.Plan.Migrate _ -> true | _ -> false)
+      orchestrated
   in
   let migration_armed = migrations <> [] || auto_rebalance in
   if migration_armed && n_groups < 2 then
@@ -183,6 +194,31 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
     let (g0 : group_spec) = config.groups.(0) in
     Array.length g0.replica_dcs
   in
+  let check_group what g =
+    if g < 0 || g >= n_groups then
+      invalid_arg (Printf.sprintf "Fabric.run: %s group out of range" what)
+  in
+  let check_replica what r =
+    if r < 0 || r >= n_rep then
+      invalid_arg (Printf.sprintf "Fabric.run: %s replica out of range" what)
+  in
+  List.iter
+    (fun (ev : Domino_fault.Plan.event) ->
+      match ev.action with
+      | Domino_fault.Plan.Transfer { group; to_ } ->
+        check_group "transfer" group;
+        check_replica "transfer" to_
+      | Domino_fault.Plan.Reconfig { group; change } -> (
+        check_group "reconfig" group;
+        match change with
+        | Domino_fault.Plan.Add n | Domino_fault.Plan.Remove n ->
+          check_replica "reconfig" n
+        | Domino_fault.Plan.Replace { node; with_ } ->
+          check_replica "reconfig" node;
+          check_replica "reconfig" with_)
+      | Domino_fault.Plan.Roll { group; _ } -> check_group "roll" group
+      | _ -> ())
+    controls;
   Array.iter
     (fun g ->
       if Array.length g.replica_dcs <> n_rep then
@@ -359,6 +395,9 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
     in
     let delivered = ref (fun () -> 0) in
     let sent = ref (fun () -> 0) in
+    let wipe_node = ref (fun (_ : int) : Time_ns.span -> 0) in
+    let crash_node = ref (fun (_ : int) -> ()) in
+    let recover_node = ref (fun (_ : int) -> ()) in
     let env =
       {
         Protocol_intf.Group.cluster;
@@ -374,6 +413,9 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
             | None -> ());
             delivered := (fun () -> Fifo_net.messages_delivered net);
             sent := (fun () -> Fifo_net.messages_sent net);
+            (wipe_node := fun node -> Fifo_net.wipe_restart net node);
+            (crash_node := fun node -> Fifo_net.crash net node);
+            (recover_node := fun node -> Fifo_net.recover net node);
             net);
         replicas;
         leader = replicas.(spec.leader);
@@ -404,6 +446,10 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
       sent = (fun () -> !sent ());
       fast_slow = (fun () -> P.fast_slow_counts p);
       extra = (fun () -> P.extra_stats p);
+      control = (fun c ~k -> P.control p c ~k);
+      wipe_node = (fun node -> !wipe_node node);
+      crash_node = (fun node -> !crash_node node);
+      recover_node = (fun node -> !recover_node node);
     }
   in
   let lives = Array.mapi make_group config.groups in
@@ -480,6 +526,87 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
             | _ -> ())
       | _ -> ())
     migrations;
+  (* Membership reconfiguration / leader transfer / rolling patch,
+     armed only when the plan schedules one of the control verbs: every
+     other run keeps its exact event stream. One [Smr.Reconfig]
+     controller per group owns that group's epoch, membership bitmap,
+     and tracked coordination holder; [Fault.Roll] drives its campaign
+     through the same controller. *)
+  let reconfigs =
+    if controls = [] then [||]
+    else
+      Array.mapi
+        (fun k live ->
+          let frozen_slots = ref [] in
+          Domino_smr.Reconfig.create engine ~journal:jsink ~group:k ~n:n_rep
+            ~leader:config.groups.(k).leader ~stores:live.dstores
+            ~hooks:
+              {
+                Domino_smr.Reconfig.control = live.control;
+                freeze =
+                  (fun () -> frozen_slots := Router.freeze_group router k);
+                unfreeze =
+                  (fun () ->
+                    let released =
+                      List.fold_left
+                        (fun acc s -> acc + Router.unfreeze router s)
+                        0 !frozen_slots
+                    in
+                    frozen_slots := [];
+                    released);
+                inflight = (fun () -> Router.inflight_on_group router ~group:k);
+                crash_node = live.crash_node;
+                recover_node = live.recover_node;
+              }
+            ~mutant:reconfig_mutant ())
+        lives
+  in
+  let rolls =
+    Array.mapi
+      (fun k live ->
+        let rc = reconfigs.(k) in
+        Domino_fault.Roll.create engine ~journal:jsink ~group:k
+          ~hooks:
+            {
+              Domino_fault.Roll.members =
+                (fun () -> Domino_smr.Reconfig.members rc);
+              holder = (fun () -> Domino_smr.Reconfig.holder rc);
+              epoch = (fun () -> Domino_smr.Reconfig.epoch rc);
+              transfer =
+                (fun ~from_ ~to_ ~k ->
+                  Domino_smr.Reconfig.transfer rc ~from_ ~to_ ~k ());
+              restore = (fun ~node -> Domino_smr.Reconfig.restore rc ~node);
+              wipe = live.wipe_node;
+            }
+          ())
+      (if controls = [] then [||] else lives)
+  in
+  List.iter
+    (fun (ev : Domino_fault.Plan.event) ->
+      match ev.action with
+      | Domino_fault.Plan.Transfer { group; to_ } ->
+        Engine.schedule_at engine ~at:ev.at (fun () ->
+            ignore
+              (Domino_smr.Reconfig.transfer reconfigs.(group) ~to_
+                 ~k:(fun () -> ())
+                 ()))
+      | Domino_fault.Plan.Reconfig { group; change } ->
+        let change =
+          match change with
+          | Domino_fault.Plan.Add n -> Domino_smr.Reconfig.Add n
+          | Domino_fault.Plan.Remove n -> Domino_smr.Reconfig.Remove n
+          | Domino_fault.Plan.Replace { node; with_ } ->
+            Domino_smr.Reconfig.Replace { node; with_ }
+        in
+        Engine.schedule_at engine ~at:ev.at (fun () ->
+            ignore
+              (Domino_smr.Reconfig.request reconfigs.(group) change
+                 ~k:(fun () -> ())))
+      | Domino_fault.Plan.Roll { group; dwell } ->
+        Engine.schedule_at engine ~at:ev.at (fun () ->
+            ignore (Domino_fault.Roll.start rolls.(group) ~dwell ~k:(fun () -> ())))
+      | _ -> ())
+    controls;
   (* Hot-shard detection, multi-group only: a single group can't be
      hot relative to its peers, and the extra sampling timer would
      perturb single-group byte-identity with the flat harness. The
@@ -497,7 +624,11 @@ let run ?(seed = 42L) ?(rate = 200.) ?(alpha = 0.75)
       Some
         (fun ~g ->
           let slot = Router.hottest_slot router ~group:g in
-          if slot >= 0 then begin
+          (* A slot that just migrated is skipped for a cooldown: its
+             routed count still reflects the pre-move skew, and moving
+             it straight back is the ping-pong the hysteresis exists to
+             damp. *)
+          if slot >= 0 && not (Migrate.recently_moved m ~slot) then begin
             let routed = Router.routed router in
             let dest = ref (-1) and lo = ref max_int in
             Array.iteri

@@ -83,6 +83,7 @@ val run :
   ?dedup:bool ->
   ?auto_rebalance:bool ->
   ?migrate_mutant:bool ->
+  ?reconfig_mutant:bool ->
   ?store:Domino_store.Store.params ->
   config ->
   result
@@ -111,7 +112,20 @@ val run :
     to before. [migrate_mutant] arms the double-owner bug after each
     cutover — test-only, for proving the checker catches it.
 
+    The control verbs ([transfer group=… to=…], [reconfig group=… add=/
+    remove=/replace=…], [roll group=… dwell=…]) arm one
+    {!Domino_smr.Reconfig} controller per group (stop-the-world epoch
+    bumps over the router's group freeze, leader transfer through the
+    protocol's [control] hook) and a {!Domino_fault.Roll} orchestrator
+    driving rolling wipe-upgrades through it. They work on any fabric,
+    including single-group; runs without control verbs build none of
+    it and keep their exact event streams. [reconfig_mutant] is the
+    stale-config build: removed replicas stay on the network and keep
+    executing — test-only, for proving the checker's removed-node rule
+    catches it.
+
     @raise Invalid_argument on an empty group list, unequal replica
     counts across groups, fewer slots than groups, a [migrate] plan
-    event naming an out-of-range slot or group, or migration armed on
-    a single-group fabric. *)
+    event naming an out-of-range slot or group, migration armed on a
+    single-group fabric, or a control verb naming an out-of-range
+    group or replica. *)

@@ -3,20 +3,26 @@ open Domino_obs
 type t = {
   groups : int;
   factor : float;
+  hysteresis : int;
   mutable last : float array;
   flags : int array;
+  streaks : int array;
   mutable hottest : int;
   mutable checks : int;
 }
 
-let create clock ~groups ?(factor = 2.) ?on_hot ~loads ~journal () =
+let create clock ~groups ?(factor = 2.) ?(hysteresis = 2) ?on_hot ~loads
+    ~journal () =
   if groups <= 0 then invalid_arg "Hotspot.create: groups <= 0";
+  if hysteresis <= 0 then invalid_arg "Hotspot.create: hysteresis <= 0";
   let t =
     {
       groups;
       factor;
+      hysteresis;
       last = Array.make groups 0.;
       flags = Array.make groups 0;
+      streaks = Array.make groups 0;
       hottest = -1;
       checks = 0;
     }
@@ -41,12 +47,16 @@ let create clock ~groups ?(factor = 2.) ?on_hot ~loads ~journal () =
       t.hottest <- !hottest;
       (* A shard is hot when its share of the window's load is [factor]
          times the even split — the same signal a slot rebalancer would
-         act on. *)
+         act on. Every hot window is flagged and journaled; [on_hot]
+         only fires once the group has stayed hot for [hysteresis]
+         consecutive windows, so a single skewed window can't trigger a
+         migration (the ping-pong damper). *)
       if groups > 1 && mean > 0. then
         Array.iteri
           (fun g d ->
             if d > t.factor *. mean then begin
               t.flags.(g) <- t.flags.(g) + 1;
+              t.streaks.(g) <- t.streaks.(g) + 1;
               if Journal.enabled journal then
                 Journal.emit journal
                   (Journal.Sample
@@ -55,9 +65,12 @@ let create clock ~groups ?(factor = 2.) ?on_hot ~loads ~journal () =
                        value = d;
                        at = now;
                      });
-              match on_hot with Some f -> f ~g | None -> ()
-            end)
-          delta);
+              if t.streaks.(g) >= t.hysteresis then
+                match on_hot with Some f -> f ~g | None -> ()
+            end
+            else t.streaks.(g) <- 0)
+          delta
+      else Array.fill t.streaks 0 groups 0);
   t
 
 let flags t = Array.copy t.flags

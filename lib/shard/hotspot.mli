@@ -19,6 +19,7 @@ val create :
   Timeline.Clock.t ->
   groups:int ->
   ?factor:float ->
+  ?hysteresis:int ->
   ?on_hot:(g:int -> unit) ->
   loads:(unit -> float array) ->
   journal:Journal.sink ->
@@ -26,10 +27,13 @@ val create :
   t
 (** Register the detector on the clock. [loads] must return a
     cumulative per-group vector of length [groups]; [factor] defaults
-    to 2 (a shard is hot at twice its fair share). [on_hot] fires once
-    per flagged group per window, after the flag is journaled — the
-    hook the fabric's auto-rebalancer uses to turn detection into a
-    live slot migration. *)
+    to 2 (a shard is hot at twice its fair share). Every hot window is
+    counted in {!flags} and journaled, but [on_hot] only fires once
+    the group has stayed hot for [hysteresis] consecutive windows
+    (default 2) — the dwell that stops a single skewed window from
+    triggering a migration, after which it fires once per further hot
+    window. The hook is what the fabric's auto-rebalancer uses to turn
+    detection into a live slot migration. *)
 
 val flags : t -> int array
 (** Hot windows detected per group. *)

@@ -57,6 +57,14 @@ let active t = t.active
 
 let outcomes t = List.rev t.outcomes_r
 
+let recently_moved t ~slot =
+  List.exists
+    (fun o ->
+      o.slot = slot
+      && (not o.aborted)
+      && Time_ns.diff (Engine.now t.engine) o.finished_at < t.cooldown)
+    t.outcomes_r
+
 let emit t ~stage ~slot ~from_g ~to_g ~epoch ~detail =
   if Journal.enabled t.journal then
     Journal.emit t.journal

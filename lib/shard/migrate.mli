@@ -74,5 +74,10 @@ val request : t -> slot:int -> to_g:int -> bool
 
 val active : t -> bool
 
+val recently_moved : t -> slot:int -> bool
+(** [true] while the slot's last successful migration is younger than
+    the cooldown — the auto-rebalancer skips re-flagging such a slot,
+    so a freshly-moved hot range can't ping-pong straight back. *)
+
 val outcomes : t -> outcome list
 (** Finished migrations, oldest first. *)

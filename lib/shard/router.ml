@@ -97,6 +97,27 @@ let unfreeze t slot =
     Queue.iter (fun op -> submit t op) q;
     n
 
+let freeze_group t g =
+  if g < 0 || g >= Array.length t.submits then
+    invalid_arg "Router.freeze_group: group out of range";
+  (* Freeze only the slots this call actually parks, so a reconfig
+     freeze composes with (and releases independently of) a concurrent
+     per-slot migration freeze. *)
+  let mine = ref [] in
+  Array.iteri
+    (fun s owner ->
+      if owner = g && not (Hashtbl.mem t.frozen s) then begin
+        freeze t s;
+        mine := s :: !mine
+      end)
+    t.assignment;
+  List.rev !mine
+
+let inflight_on_group t ~group =
+  Hashtbl.fold
+    (fun _ s acc -> if t.assignment.(s) = group then acc + 1 else acc)
+    t.pending 0
+
 let set_double_owner t ~slot ~old_g = t.double_owner <- Some (slot, old_g)
 
 let hottest_slot t ~group =

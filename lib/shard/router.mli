@@ -74,6 +74,17 @@ val unfreeze : t -> int -> int
     current owner) and stop queueing; returns the number of released
     ops. *)
 
+val freeze_group : t -> int -> int list
+(** Park new submits for {e every} slot the group currently owns —
+    the stop-the-world gate a membership reconfiguration needs.
+    Returns the slots this call froze (slots already frozen by a
+    concurrent migration are left to that migration), for the caller
+    to {!unfreeze} one by one when the epoch change externalizes. *)
+
+val inflight_on_group : t -> group:int -> int
+(** Routed-but-uncommitted ops across every slot the group owns — the
+    drain gauge a reconfiguration polls toward zero. *)
+
 val set_double_owner : t -> slot:int -> old_g:int -> unit
 (** Arm the deliberately-broken mutant: after a migration, the slot's
     submits are ALSO sent to [old_g], so the stale group keeps

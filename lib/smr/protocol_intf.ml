@@ -56,6 +56,17 @@ end
 
 type env = Group.env
 
+(* Planned-operations interface: graceful, non-crash coordination
+   handoffs driven by the reconfiguration / rolling-patch
+   orchestrators. [Transfer] moves coordination duties away from
+   [from_] (the Multi-Paxos leader role, the Mencius coordinator lease
+   for clients it fronts, Domino's DM steering) toward [to_];
+   [Restore] undoes any steering installed against [node] once it is
+   back. Leaderless protocols refuse (return [false]). *)
+type control =
+  | Transfer of { from_ : Nodeid.t; to_ : Nodeid.t }
+  | Restore of { node : Nodeid.t }
+
 module type S = sig
   type t
 
@@ -66,6 +77,13 @@ module type S = sig
   val fast_slow_counts : t -> (int * int) option
   val extra_stats : t -> (string * int) list
   val gauges : t -> (string * (unit -> float)) list
+
+  val control : t -> control -> k:(unit -> unit) -> bool
+  (** Ask the protocol to perform a planned operation. Returns [false]
+      if unsupported (the continuation is dropped); [true] if accepted,
+      in which case [k] fires exactly once when the operation completes
+      — possibly synchronously, or after a drain for handoffs that wait
+      out in-flight work. *)
 end
 
 type protocol = (module S)

@@ -94,6 +94,20 @@ end
 type env = Group.env
 (** A protocol is created from its group's environment. *)
 
+type control =
+  | Transfer of { from_ : Nodeid.t; to_ : Nodeid.t }
+      (** Graceful, non-crash handoff of coordination duties away from
+          [from_] toward [to_]: the Multi-Paxos leader role drains and
+          flips, the Mencius coordinator lease for clients fronted by
+          [from_] is handed to [to_], Domino steers every client's DM
+          routing around [from_]. *)
+  | Restore of { node : Nodeid.t }
+      (** Undo any steering installed against [node] once it is back
+          in service (transferred leadership stays where it went). *)
+
+(** A planned operation, driven by the reconfiguration / rolling-patch
+    orchestrators. *)
+
 module type S = sig
   type t
 
@@ -124,6 +138,14 @@ module type S = sig
       (stable keys, registration order preserved), e.g. Domino's
       estimator headroom over ground-truth OWD. [[]] for protocols
       with nothing to sample. *)
+
+  val control : t -> control -> k:(unit -> unit) -> bool
+  (** Ask the protocol to perform a planned operation. [false] if
+      unsupported by this protocol (leaderless protocols refuse; the
+      continuation is dropped); [true] if accepted, in which case [k]
+      fires exactly once when the operation completes — possibly
+      synchronously, or after a bounded drain for handoffs that wait
+      out in-flight work. *)
 end
 
 type protocol = (module S)

@@ -1,0 +1,300 @@
+open Domino_sim
+open Domino_obs
+
+type change =
+  | Add of int
+  | Remove of int
+  | Replace of { node : int; with_ : int }
+
+type outcome = {
+  change : change;
+  epoch : int;
+  queued : int;
+  started_at : Time_ns.t;
+  finished_at : Time_ns.t;
+  aborted : bool;
+}
+
+(* The orchestrator drives everything through callbacks so the group's
+   harness (the shard fabric) stays the only module that knows about
+   the router, the network, and the protocol instance at once — the
+   same inversion [Fault.Roll] uses. *)
+type hooks = {
+  control : Protocol_intf.control -> k:(unit -> unit) -> bool;
+      (** the group protocol's planned-operation entry point *)
+  freeze : unit -> unit;  (** park all new submits routed to the group *)
+  unfreeze : unit -> int;  (** release them; returns how many queued *)
+  inflight : unit -> int;  (** submitted-but-uncommitted ops on the group *)
+  crash_node : int -> unit;  (** take a removed replica off the network *)
+  recover_node : int -> unit;  (** readmit an added replica *)
+}
+
+type t = {
+  engine : Engine.t;
+  journal : Journal.sink;
+  group : int;
+  n : int;
+  members : bool array;
+  stores : Domino_store.Store.t array;
+  hooks : hooks;
+  poll : Time_ns.span;
+  drain_deadline : Time_ns.span;
+  mutant : bool;
+  mutable holder : int;
+  mutable epoch : int;
+  mutable active : bool;
+  mutable outcomes_r : outcome list;  (** newest first *)
+}
+
+let create engine ~journal ~group ~n ~leader ~stores ~hooks
+    ?(poll = Time_ns.ms 10) ?(drain_deadline = Time_ns.ms 1500)
+    ?(mutant = false) () =
+  if n <= 0 then invalid_arg "Reconfig.create: empty group";
+  if Array.length stores <> n then
+    invalid_arg "Reconfig.create: one store per replica required";
+  if leader < 0 || leader >= n then invalid_arg "Reconfig.create: bad leader";
+  {
+    engine;
+    journal;
+    group;
+    n;
+    members = Array.make n true;
+    stores;
+    hooks;
+    poll;
+    drain_deadline;
+    mutant;
+    holder = leader;
+    epoch = 0;
+    active = false;
+    outcomes_r = [];
+  }
+
+let epoch t = t.epoch
+
+let holder t = t.holder
+
+let active t = t.active
+
+let is_member t node = node >= 0 && node < t.n && t.members.(node)
+
+let members t =
+  let out = ref [] in
+  for i = t.n - 1 downto 0 do
+    if t.members.(i) then out := i :: !out
+  done;
+  !out
+
+let outcomes t = List.rev t.outcomes_r
+
+let emit t ~stage ~detail =
+  if Journal.enabled t.journal then
+    Journal.emit t.journal
+      (Journal.Reconfig
+         {
+           stage;
+           group = t.group;
+           epoch = t.epoch;
+           detail;
+           at = Engine.now t.engine;
+         })
+
+(* --- leader transfer ---
+
+   A graceful, non-crash handoff: no freeze, no epoch bump — the
+   protocol itself drains whatever the handoff needs (Multi-Paxos
+   parks requests while its open slots empty; Mencius and Domino
+   re-steer routing and are done immediately). [from_] defaults to the
+   tracked coordination holder; [Fault.Roll] passes an explicit
+   [from_] to steer clients away from a non-leader replica it is about
+   to wipe. Protocols with no coordination role at [from_] accept
+   vacuously, so a transfer always completes and always journals its
+   [reconfig.transfer] / [reconfig.transfer_done] pair (the dip
+   analyzer's start/heal anchors). *)
+let transfer t ?from_ ~to_ ~k () =
+  let from_ = match from_ with Some f -> f | None -> t.holder in
+  if not (is_member t to_) || not (is_member t from_) then false
+  else if from_ = to_ then begin
+    k ();
+    true
+  end
+  else begin
+    let detail = Printf.sprintf "node=%d to=%d" from_ to_ in
+    emit t ~stage:"transfer" ~detail;
+    let fin () =
+      if t.holder = from_ then t.holder <- to_;
+      emit t ~stage:"transfer_done" ~detail;
+      k ()
+    in
+    if not (t.hooks.control (Protocol_intf.Transfer { from_; to_ }) ~k:fin)
+    then
+      (* Leaderless protocol: nothing to hand off, vacuously complete. *)
+      fin ();
+    true
+  end
+
+let restore t ~node =
+  if is_member t node then
+    ignore (t.hooks.control (Protocol_intf.Restore { node }) ~k:(fun () -> ()))
+
+(* --- membership change ---
+
+   Stop-the-world epoch bump:
+
+     begin -> freeze -> (drain poll) -> persist config on every member
+           -> epoch -> apply (crash removed / readmit added) -> unfreeze
+           -> done
+
+   or, when the drain deadline expires first: begin -> abort (unfreeze
+   without any change, epoch untouched). Persisting the new config on
+   every post-change member's stable store *before* the epoch event is
+   the externalization gate: a config the journal shows as active is
+   one every member would recover with.
+
+   Quorum arithmetic stays over the group's original size [n] — a
+   removal narrows the fault budget rather than shrinking quorums, so
+   the group must keep a live majority of the original membership.
+   [mutant] is the deliberately-broken stale-config build: the removed
+   replica is never taken off the network, so it keeps executing ops
+   past its removal — exactly what the chaos checker's removed-node
+   rule must catch. *)
+
+let change_detail = function
+  | Add node -> Printf.sprintf "node=%d add" node
+  | Remove node -> Printf.sprintf "node=%d remove" node
+  | Replace { node; with_ } ->
+    Printf.sprintf "node=%d replace with=%d" node with_
+
+let members_str members =
+  let out = ref [] in
+  Array.iteri (fun i m -> if m then out := i :: !out) members;
+  String.concat "," (List.rev_map string_of_int !out)
+
+let validate_change t change =
+  match change with
+  | Add node ->
+    if node < 0 || node >= t.n then Error "add: node out of range"
+    else if t.members.(node) then Error "add: node already a member"
+    else Ok ()
+  | Remove node ->
+    if not (is_member t node) then Error "remove: node not a member"
+    else if
+      Array.fold_left (fun acc m -> if m then acc + 1 else acc) 0 t.members - 1
+      < (t.n / 2) + 1
+    then Error "remove: would drop below a majority of the original group"
+    else Ok ()
+  | Replace { node; with_ } ->
+    if not (is_member t node) then Error "replace: node not a member"
+    else if with_ < 0 || with_ >= t.n then Error "replace: with out of range"
+    else if t.members.(with_) then Error "replace: with already a member"
+    else Ok ()
+
+let request t change ~k =
+  if t.active then false
+  else
+    match validate_change t change with
+    | Error _ -> false
+    | Ok () ->
+      t.active <- true;
+      let started_at = Engine.now t.engine in
+      let detail = change_detail change in
+      let removed =
+        match change with
+        | Remove node | Replace { node; _ } -> Some node
+        | Add _ -> None
+      in
+      let finish ~epoch ~queued ~aborted =
+        t.active <- false;
+        t.outcomes_r <-
+          {
+            change;
+            epoch;
+            queued;
+            started_at;
+            finished_at = Engine.now t.engine;
+            aborted;
+          }
+          :: t.outcomes_r;
+        k ()
+      in
+      let apply_and_release () =
+        (* Everything from the epoch bump to the unfreeze happens in one
+           closure, so no op can route against a half-applied config. *)
+        t.epoch <- t.epoch + 1;
+        emit t ~stage:"epoch" ~detail;
+        (match change with
+        | Add node ->
+          t.members.(node) <- true;
+          t.hooks.recover_node node;
+          restore t ~node
+        | Remove node ->
+          t.members.(node) <- false;
+          if not t.mutant then t.hooks.crash_node node
+        | Replace { node; with_ } ->
+          t.members.(node) <- false;
+          if not t.mutant then t.hooks.crash_node node;
+          t.members.(with_) <- true;
+          t.hooks.recover_node with_;
+          restore t ~node:with_);
+        let queued = t.hooks.unfreeze () in
+        emit t ~stage:"done" ~detail:(Printf.sprintf "%s queued=%d" detail queued);
+        finish ~epoch:t.epoch ~queued ~aborted:false
+      in
+      let persist () =
+        (* Persist-then-act: every member of the NEW configuration
+           fsyncs the config record before the epoch externalizes. *)
+        let members_after = Array.copy t.members in
+        (match change with
+        | Add node -> members_after.(node) <- true
+        | Remove node -> members_after.(node) <- false
+        | Replace { node; with_ } ->
+          members_after.(node) <- false;
+          members_after.(with_) <- true);
+        let record =
+          Printf.sprintf "config group=%d epoch=%d members=%s" t.group
+            (t.epoch + 1)
+            (members_str members_after)
+        in
+        let targets = ref [] in
+        Array.iteri
+          (fun i m -> if m then targets := t.stores.(i) :: !targets)
+          members_after;
+        let want = List.length !targets in
+        let landed = ref 0 in
+        List.iter
+          (fun st ->
+            Domino_store.Store.append_sync st record (fun () ->
+                incr landed;
+                if !landed = want then apply_and_release ()))
+          !targets
+      in
+      let begin_change () =
+        emit t ~stage:"begin" ~detail;
+        t.hooks.freeze ();
+        let deadline = Time_ns.add (Engine.now t.engine) t.drain_deadline in
+        let rec poll_drain () =
+          let left = t.hooks.inflight () in
+          if left = 0 then persist ()
+          else if Engine.now t.engine >= deadline then begin
+            let queued = t.hooks.unfreeze () in
+            emit t ~stage:"abort"
+              ~detail:(Printf.sprintf "%s left=%d queued=%d" detail left queued);
+            finish ~epoch:t.epoch ~queued ~aborted:true
+          end
+          else Engine.schedule t.engine ~delay:t.poll poll_drain
+        in
+        poll_drain ()
+      in
+      (* Removing the coordination holder: steer duties away first so
+         the group is not leaderless the instant the node goes. *)
+      (match removed with
+      | Some node when node = t.holder -> (
+        let target =
+          List.find_opt (fun m -> m <> node) (members t)
+        in
+        match target with
+        | Some to_ ->
+          if not (transfer t ~to_ ~k:begin_change ()) then begin_change ()
+        | None -> begin_change ())
+      | _ -> begin_change ());
+      true

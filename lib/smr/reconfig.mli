@@ -1,0 +1,114 @@
+open Domino_sim
+open Domino_obs
+
+(** Planned membership reconfiguration and leader transfer for one
+    consensus group.
+
+    The membership-epoch state machine is stop-the-world: new submits
+    routed to the group are frozen, in-flight ops drain to commit, the
+    new configuration is fsynced onto every member of the {e new}
+    membership ({!Domino_store.Store.append_sync}), and only then is
+    the epoch bump journaled ([reconfig.epoch]) and the change applied
+    — a removed replica is taken off the network, an added one is
+    readmitted — before the parked submits are released. No op can
+    therefore commit across an epoch boundary out of order, which is
+    the invariant the chaos checker's reconfig rules verify. If the
+    drain deadline expires first, the change aborts: submits are
+    released, the epoch is untouched, and [reconfig.abort] is
+    journaled.
+
+    {!transfer} is the orthogonal graceful operation: hand coordination
+    duties from one replica to another without stopping the world,
+    through the protocol's {!Protocol_intf.S.control} hook
+    (Multi-Paxos drains and flips its leader, Mencius re-steers the
+    handed-off coordinator's clients, Domino steers every client's DM
+    routing; leaderless protocols accept vacuously).
+
+    All stages land in the journal as {!Domino_obs.Journal.Reconfig}
+    events, with details leading with [node=<n>] so the dip analyzer
+    attributes each transfer and roll step to the replica it touched.
+
+    The orchestrator is callback-driven ({!hooks}): it owns the epoch
+    counter, the membership bitmap, and the tracked coordination
+    holder, while the shard fabric supplies the router freeze, the
+    network crash/readmit, and the protocol control dispatch. *)
+
+type change =
+  | Add of int  (** readmit a (previously removed) replica index *)
+  | Remove of int
+  | Replace of { node : int; with_ : int }
+
+type outcome = {
+  change : change;
+  epoch : int;  (** the epoch after the change; unchanged on abort *)
+  queued : int;  (** submits parked during the freeze *)
+  started_at : Time_ns.t;
+  finished_at : Time_ns.t;
+  aborted : bool;
+}
+
+type hooks = {
+  control : Protocol_intf.control -> k:(unit -> unit) -> bool;
+  freeze : unit -> unit;
+  unfreeze : unit -> int;
+  inflight : unit -> int;
+  crash_node : int -> unit;
+  recover_node : int -> unit;
+}
+
+type t
+
+val create :
+  Engine.t ->
+  journal:Journal.sink ->
+  group:int ->
+  n:int ->
+  leader:int ->
+  stores:Domino_store.Store.t array ->
+  hooks:hooks ->
+  ?poll:Time_ns.span ->
+  ?drain_deadline:Time_ns.span ->
+  ?mutant:bool ->
+  unit ->
+  t
+(** [n] is the group's original replica count; quorum arithmetic stays
+    over [n], so removals narrow the fault budget instead of shrinking
+    quorums (a removal that would leave fewer than a majority of the
+    original membership is refused). [leader] seeds the tracked
+    coordination holder. [mutant] is the stale-config build: removed
+    replicas are never taken off the network — the bug the checker's
+    removed-node rule exists to catch. *)
+
+val transfer : t -> ?from_:int -> to_:int -> k:(unit -> unit) -> unit -> bool
+(** Graceful handoff of coordination duties to [to_]; [from_] defaults
+    to the tracked holder (pass it explicitly to steer clients away
+    from a non-leader replica about to be serviced). [false] only when
+    an endpoint is not a member. [k] fires once the protocol reports
+    the handoff complete — immediately for steering-only protocols and
+    vacuous transfers, after the drain for Multi-Paxos. Journals the
+    [reconfig.transfer] / [reconfig.transfer_done] pair. *)
+
+val request : t -> change -> k:(unit -> unit) -> bool
+(** Start a membership change; [false] if one is already active or the
+    change is invalid against the current membership. [k] fires once,
+    on done or abort. Removing the current holder transfers duties
+    away first. *)
+
+val restore : t -> node:int -> unit
+(** Clear any protocol steering against [node] (vacuous where none). *)
+
+val epoch : t -> int
+
+val holder : t -> int
+(** The tracked coordination holder (initially [leader], updated by
+    successful transfers). *)
+
+val active : t -> bool
+
+val is_member : t -> int -> bool
+
+val members : t -> int list
+(** Current member replica indices, ascending. *)
+
+val outcomes : t -> outcome list
+(** Completed (or aborted) membership changes, oldest first. *)

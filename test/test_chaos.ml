@@ -231,6 +231,73 @@ let check_migration_cell name plan_text proto () =
           r.Dip.fault r.Dip.detail r.Dip.at_ms r.Dip.ttr_ms)
     reports
 
+(* --- maintenance chaos: leader transfer and rolling patch, alone and
+   crossed with a minority partition, all with TTR deadlines ---
+
+   Inline plans for the same reason as the migration scenarios: these
+   exercise the orchestrated control verbs, and the deadline is the
+   point — a graceful handoff or a per-node roll that takes longer
+   than 2.5 s to give the throughput back is a regression even when
+   every safety check passes. *)
+
+let maintenance_scenarios =
+  [
+    ("transfer", "at 2500ms transfer group=0 to=1\n", Time_ns.sec 6);
+    ( "transfer_partition",
+      "at 2s partition a=2 b=0,1 sym until=3s\n\
+       at 2500ms transfer group=0 to=1\n",
+      Time_ns.sec 6 );
+    ("roll", "at 2500ms roll group=0 dwell=300ms\n", Time_ns.sec 7);
+    ( "roll_partition",
+      "at 2s partition a=2 b=0,1 sym until=3s\n\
+       at 2500ms roll group=0 dwell=300ms\n",
+      Time_ns.sec 7 );
+  ]
+
+let maintenance_protocols =
+  [ Exp_common.domino_default; Exp_common.Multi_paxos ]
+
+let check_maintenance_cell name plan_text ~duration proto () =
+  let faults =
+    match Plan.parse plan_text with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "%s: %s" name e
+  in
+  let journal = Journal.create () in
+  let _ =
+    Exp_common.run ~seed:7L ~rate:100. ~duration
+      ~measure_from:(Time_ns.ms 500) ~measure_until:duration ~journal ~faults
+      Exp_common.fig7_double proto
+  in
+  let report = Checker.check ~require_complete:true journal in
+  if not report.Checker.ok then begin
+    let saved = dump_journal ~plan_file:name ~proto journal in
+    Alcotest.failf "%s x %s: %a@.journal saved to %s" name
+      (Exp_common.protocol_name proto)
+      Checker.pp_report report saved
+  end;
+  if report.Checker.committed < 100 then
+    Alcotest.failf "%s x %s: only %d ops committed" name
+      (Exp_common.protocol_name proto)
+      report.Checker.committed;
+  (* Every dip row — the partition, the transfer, the roll, and each
+     rolled node — must recover within 2.5 s of sim time. *)
+  let reports = Dip.analyze (Timeline.of_journal journal) in
+  if reports = [] then
+    Alcotest.failf "%s x %s: no fault reports" name
+      (Exp_common.protocol_name proto);
+  List.iter
+    (fun r ->
+      if Float.is_nan r.Dip.ttr_ms then
+        Alcotest.failf "%s x %s: %s %s at %.0fms never recovered" name
+          (Exp_common.protocol_name proto)
+          r.Dip.fault r.Dip.detail r.Dip.at_ms
+      else if r.Dip.ttr_ms > 2500. then
+        Alcotest.failf "%s x %s: %s %s at %.0fms took %.0fms to recover" name
+          (Exp_common.protocol_name proto)
+          r.Dip.fault r.Dip.detail r.Dip.at_ms r.Dip.ttr_ms)
+    reports
+
 let () =
   let groups =
     List.map
@@ -267,6 +334,18 @@ let () =
                     (check_migration_cell name plan_text proto))
                 migration_protocols)
             migration_scenarios );
+        ( "maintenance chaos",
+          List.concat_map
+            (fun (name, plan_text, duration) ->
+              List.map
+                (fun proto ->
+                  Alcotest.test_case
+                    (Printf.sprintf "%s %s" name
+                       (Exp_common.protocol_name proto))
+                    `Slow
+                    (check_maintenance_cell name plan_text ~duration proto))
+                maintenance_protocols)
+            maintenance_scenarios );
         ( "recovery deadlines",
           List.concat_map
             (fun (plan_file, bound_ms) ->

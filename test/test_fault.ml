@@ -63,7 +63,13 @@ let test_plan_roundtrip () =
      at 2s partition a=1 b=0,2 sym until=4s\n\
      at 2600ms wipe node=2\n\
      at 3s degrade src=4 dst=1 delay=30ms loss=0.25 until=4500ms\n\
-     at 3500ms skew node=3 delta=25ms\n"
+     at 3500ms skew node=3 delta=25ms\n\
+     at 4s migrate slot=1 from=0 to=1\n\
+     at 4200ms transfer group=0 to=1\n\
+     at 4400ms reconfig group=0 add=3\n\
+     at 4600ms reconfig group=1 remove=2\n\
+     at 4800ms reconfig group=0 replace=1 with=4\n\
+     at 5s roll group=0 dwell=500ms\n"
   in
   let plan = parse_exn text in
   let printed = Plan.to_string plan in
@@ -71,6 +77,89 @@ let test_plan_roundtrip () =
   check_bool "to_string round-trips through parse" true (plan = reparsed);
   check_bool "second print is a fixpoint" true
     (String.equal printed (Plan.to_string reparsed))
+
+let test_plan_control_parse () =
+  let plan =
+    parse_exn
+      "at 2s transfer group=0 to=1\n\
+       at 2500ms reconfig group=0 replace=1 with=4\n\
+       at 3s roll group=2 dwell=750ms\n"
+  in
+  (match plan with
+  | { Plan.at; action = Plan.Transfer { group; to_ } } :: _ ->
+    check_int "transfer at" (Time_ns.sec 2) at;
+    check_int "transfer group" 0 group;
+    check_int "transfer to" 1 to_
+  | _ -> Alcotest.fail "first event should be the transfer");
+  (match List.nth plan 1 with
+  | {
+      Plan.action =
+        Plan.Reconfig { group = 0; change = Plan.Replace { node = 1; with_ = 4 } };
+      _;
+    } -> ()
+  | _ -> Alcotest.fail "second event should be the replace");
+  match List.rev plan with
+  | { Plan.action = Plan.Roll { group; dwell }; _ } :: _ ->
+    check_int "roll group" 2 group;
+    check_int "roll dwell" (Time_ns.ms 750) dwell
+  | _ -> Alcotest.fail "last event should be the roll"
+
+(* Random control-verb plans: each case is a list of
+   (at, verb, (x, y)) triples compiled to plan text — integers only,
+   so QCheck's built-in shrinkers apply and every shrink candidate is
+   still a well-formed plan by construction. *)
+let control_plan_text case =
+  let line (at_hms, verb, (x, y)) =
+    let at = 100 * (1 + at_hms) in
+    let g = x mod 3 and r = y mod 3 in
+    match verb mod 4 with
+    | 0 -> Printf.sprintf "at %dms transfer group=%d to=%d" at g r
+    | 1 ->
+      Printf.sprintf "at %dms reconfig group=%d %s=%d" at g
+        (if y mod 2 = 0 then "add" else "remove")
+        r
+    | 2 ->
+      Printf.sprintf "at %dms reconfig group=%d replace=%d with=%d" at g r
+        ((r + 1) mod 3)
+    | _ -> Printf.sprintf "at %dms roll group=%d dwell=%dms" at g (50 * (1 + r))
+  in
+  String.concat "\n" (List.map line case) ^ "\n"
+
+let control_case =
+  QCheck.(
+    set_print control_plan_text
+      (small_list (triple (int_bound 50) (int_bound 3) (pair small_nat small_nat))))
+
+let control_roundtrip_property =
+  QCheck.Test.make ~name:"control plans round-trip through to_string" ~count:50
+    control_case (fun case ->
+      let text = control_plan_text case in
+      let plan = parse_exn text in
+      let printed = Plan.to_string plan in
+      parse_exn printed = plan
+      && String.equal printed (Plan.to_string (parse_exn printed))
+      && match Plan.validate ~n:5 plan with Ok () -> true | Error _ -> false)
+
+let test_control_shrink_runnable () =
+  (* Shrink-to-runnable regression: when the chaos property fails, the
+     counterexample QCheck prints must itself be a parseable, valid
+     plan — otherwise the shrunk repro can't be re-run. Walk every
+     shrink candidate of a representative failing case and re-validate
+     its plan. *)
+  let case = [ (20, 0, (1, 2)); (30, 2, (0, 1)); (45, 3, (2, 0)) ] in
+  let candidates = ref [] in
+  (match control_case.QCheck.shrink with
+  | Some shrink -> shrink case (fun c -> candidates := c :: !candidates)
+  | None -> Alcotest.fail "control case must shrink");
+  check_bool "shrinker produced candidates" true (!candidates <> []);
+  List.iter
+    (fun c ->
+      let text = control_plan_text c in
+      let plan = parse_exn text in
+      match Plan.validate ~n:5 plan with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "shrunk plan not runnable (%s):\n%s" e text)
+    !candidates
 
 let test_plan_parse_errors () =
   let expect_error text frag =
@@ -519,6 +608,117 @@ let test_probe_silence_steers_dm () =
   check_bool "DFP resumes after recovery" true
     (count "route_dfp" ~from:(Time_ns.ms 4500) ~upto:(Time_ns.sec 6) > 0)
 
+(* --- Orchestrated maintenance: transfer, reconfig, roll under load --- *)
+
+let count_reconfig journal ~stage =
+  let c = ref 0 in
+  Journal.iter journal (fun ev ->
+      match ev with
+      | Journal.Reconfig { stage = s; _ } when String.equal s stage -> incr c
+      | _ -> ());
+  !c
+
+let test_leader_transfer_under_load () =
+  (* A graceful handoff is not a fault: no crash, no wipe, and every
+     in-flight and parked op still commits and executes. *)
+  List.iter
+    (fun proto ->
+      let name = Exp_common.protocol_name proto in
+      let _, journal, report =
+        run_checked ~duration:(Time_ns.sec 5)
+          ~plan:"at 1500ms transfer group=0 to=1\n" proto
+      in
+      if not report.Checker.ok then
+        Alcotest.failf "%s transfer violates:@.%a" name Checker.pp_report report;
+      check_int (name ^ ": transfer completed") 1
+        (count_reconfig journal ~stage:"transfer_done"))
+    [ Exp_common.domino_default; Exp_common.Multi_paxos; Exp_common.Mencius ]
+
+let test_roll_under_load () =
+  (* The tentpole end-to-end: a full rolling wipe-upgrade of the 3-node
+     group under load — every node in turn is drained of leadership,
+     wiped, recovered, and readmitted — with zero lost ops
+     ([run_checked] passes [require_complete]). *)
+  List.iter
+    (fun proto ->
+      let name = Exp_common.protocol_name proto in
+      let _, journal, report =
+        run_checked ~duration:(Time_ns.sec 7)
+          ~plan:"at 1500ms roll group=0 dwell=300ms\n" proto
+      in
+      if not report.Checker.ok then
+        Alcotest.failf "%s roll violates:@.%a" name Checker.pp_report report;
+      check_int (name ^ ": all three nodes rolled") 3
+        (count_reconfig journal ~stage:"roll_node");
+      check_int (name ^ ": roll completed") 1
+        (count_reconfig journal ~stage:"roll_done");
+      check_bool (name ^ ": every wipe recovered") true
+        (report.Checker.recoveries >= 3))
+    [ Exp_common.domino_default; Exp_common.Multi_paxos ]
+
+let test_reconfig_under_load () =
+  (* Retire replica 2, then readmit it: two epoch bumps, each a
+     stop-the-world drain, with no op lost across either boundary. *)
+  List.iter
+    (fun proto ->
+      let name = Exp_common.protocol_name proto in
+      let _, journal, report =
+        run_checked ~duration:(Time_ns.sec 6)
+          ~plan:
+            "at 1500ms reconfig group=0 remove=2\n\
+             at 3500ms reconfig group=0 add=2\n"
+          proto
+      in
+      if not report.Checker.ok then
+        Alcotest.failf "%s reconfig violates:@.%a" name Checker.pp_report
+          report;
+      check_int (name ^ ": two epoch bumps") 2 report.Checker.reconfigs;
+      check_int (name ^ ": both changes finished") 2
+        (count_reconfig journal ~stage:"done"))
+    [ Exp_common.domino_default; Exp_common.Multi_paxos ]
+
+let test_stale_config_mutant_caught () =
+  (* The deliberately-broken build: a removed replica keeps its network
+     endpoints and goes on executing. The checker's removed-node rule
+     must flag the run. *)
+  List.iter
+    (fun proto ->
+      let name = Exp_common.protocol_name proto in
+      let faults = parse_exn "at 1500ms reconfig group=0 remove=2\n" in
+      let journal = Journal.create () in
+      ignore
+        (Exp_common.run ~seed:5L ~rate:50. ~duration:(Time_ns.sec 5) ~journal
+           ~faults ~reconfig_mutant:true Exp_common.fig7_double proto);
+      let report = Checker.check journal in
+      check_bool (name ^ ": stale-config mutant caught") false report.Checker.ok;
+      check_bool (name ^ ": violation names the removed replica") true
+        (List.exists
+           (fun v -> contains v "removed replica 2")
+           report.Checker.violations))
+    [ Exp_common.domino_default; Exp_common.Multi_paxos ]
+
+let test_roll_sweep_deterministic () =
+  (* The determinism contract extended to rolls: a parallel sweep whose
+     every run performs a rolling patch must merge to byte-identical
+     journals at any --jobs. *)
+  let faults = parse_exn "at 1500ms roll group=0 dwell=300ms\n" in
+  let sweep jobs =
+    let journal = Journal.create () in
+    let cells =
+      List.map
+        (fun p -> (Exp_common.fig7_double, p))
+        [ Exp_common.domino_default; Exp_common.Multi_paxos ]
+    in
+    ignore
+      (Exp_common.run_sweep ~seed:7L ~rate:100. ~duration:(Time_ns.sec 5)
+         ~jobs ~journal ~faults cells);
+    Journal.to_lines journal
+  in
+  let j1 = sweep 1 and j4 = sweep 4 in
+  check_bool "sweep journals rolls" true (contains j1 "reconfig.roll_done");
+  check_bool "roll sweep journal byte-identical at jobs 1 vs 4" true
+    (String.equal j1 j4)
+
 (* --- QCheck: random minority-fault plans never break any protocol --- *)
 
 let plan_of_case ((node, (crash_ms, down_ms), extra), wipe) =
@@ -591,6 +791,10 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_plan_parse;
           Alcotest.test_case "roundtrip" `Quick test_plan_roundtrip;
+          Alcotest.test_case "control verbs" `Quick test_plan_control_parse;
+          q control_roundtrip_property;
+          Alcotest.test_case "shrink stays runnable" `Quick
+            test_control_shrink_runnable;
           Alcotest.test_case "parse errors" `Quick test_plan_parse_errors;
           Alcotest.test_case "validate" `Quick test_plan_validate;
           Alcotest.test_case "shipped plans" `Quick test_shipped_plans_parse;
@@ -634,6 +838,19 @@ let () =
           Alcotest.test_case "dedup mutant caught" `Quick
             test_dedup_mutant_caught;
           q chaos_property;
+        ] );
+      ( "maintenance",
+        [
+          Alcotest.test_case "leader transfer under load" `Quick
+            test_leader_transfer_under_load;
+          Alcotest.test_case "rolling patch under load" `Quick
+            test_roll_under_load;
+          Alcotest.test_case "membership change under load" `Quick
+            test_reconfig_under_load;
+          Alcotest.test_case "stale-config mutant caught" `Quick
+            test_stale_config_mutant_caught;
+          Alcotest.test_case "roll sweep deterministic across jobs" `Slow
+            test_roll_sweep_deterministic;
         ] );
       ( "durability",
         [

@@ -181,6 +181,53 @@ let test_router_migration () =
     "both owners got it" [ 0; 1 ]
     (List.sort compare (List.map fst !log))
 
+(* Group-wide freeze, the reconfiguration orchestrator's stop-the-world
+   primitive: freeze_group freezes exactly the group's not-yet-frozen
+   slots (a concurrent per-slot migration keeps ownership of its own
+   freeze), and inflight_on_group sums routed-but-uncommitted ops. *)
+let test_router_group_freeze () =
+  let log = ref [] in
+  let spec = Slots.Range { slots = 4; keys = 400 } in
+  let assignment = Slots.assign ~slots:4 ~groups:2 in
+  let router =
+    Router.create ~spec ~assignment
+      ~submits:(Array.init 2 (fun g op -> log := (g, op.Op.key) :: !log))
+  in
+  let op key seq = Op.make ~client:7 ~seq ~key ~value:0L in
+  let g0 = Router.group_of router 0 in
+  Router.submit router (op 0 0);
+  check_int "one in-flight on the group" 1
+    (Router.inflight_on_group router ~group:g0);
+  (* slot 0 already frozen by a (simulated) migration: freeze_group
+     must leave it alone and return only the slots it froze itself *)
+  Router.freeze router 0;
+  let frozen = Router.freeze_group router g0 in
+  check_bool "freeze_group skips the already-frozen slot" true
+    (not (List.mem 0 frozen));
+  List.iter
+    (fun s ->
+      check_bool (Printf.sprintf "slot %d frozen" s) true
+        (Router.frozen router s))
+    frozen;
+  let routed_before = List.length !log in
+  Router.submit router (op 1 1);
+  check_int "submit to the frozen group parked, not routed" routed_before
+    (List.length !log);
+  Router.note_commit router (Op.id (op 0 0));
+  check_int "commit drains the group's in-flight" 0
+    (Router.inflight_on_group router ~group:g0);
+  let released =
+    List.fold_left
+      (fun acc s -> acc + Router.unfreeze router s)
+      (Router.unfreeze router 0) frozen
+  in
+  check_int "parked submit released at unfreeze" 1 released;
+  check_bool "out-of-range group rejected" true
+    (try
+       ignore (Router.freeze_group router 9);
+       false
+     with Invalid_argument _ -> true)
+
 (* --- fabric --- *)
 
 let replica_dcs = [| "WA"; "VA"; "QC" |]
@@ -594,6 +641,7 @@ let () =
           Alcotest.test_case "routing" `Quick test_router;
           Alcotest.test_case "migration mechanics" `Quick
             test_router_migration;
+          Alcotest.test_case "group freeze" `Quick test_router_group_freeze;
         ] );
       ( "fabric",
         [

@@ -525,6 +525,64 @@ let test_hotspot_synthetic () =
     | _ -> ());
   check_int "flags journaled" 5 !samples
 
+(* Hysteresis: every hot window is still counted and journaled, but the
+   [on_hot] hook — what turns detection into a migration — only fires
+   once a group has stayed hot for [hysteresis] consecutive windows,
+   and a cold window resets the streak. *)
+let test_hotspot_hysteresis () =
+  let engine = Engine.create ~seed:1L () in
+  let clock = Timeline.Clock.create engine ~window:(ms 100) in
+  let loads = [| 0.; 0. |] in
+  let fired = ref 0 in
+  ignore
+    (Domino_shard.Hotspot.create clock ~groups:2 ~factor:1.5
+       ~loads:(fun () -> Array.copy loads)
+       ~on_hot:(fun ~g ->
+         check_int "only the hot group fires" 1 g;
+         incr fired)
+       ~journal:Journal.null ());
+  (* Window pattern for group 1: hot hot hot cold hot hot. With the
+     default hysteresis of 2, on_hot fires in windows 2, 3, and 6 —
+     never on the first window of a streak. *)
+  let burst ~at ~hot =
+    Engine.schedule_at engine ~at (fun () ->
+        loads.(0) <- loads.(0) +. 1.;
+        loads.(1) <- loads.(1) +. (if hot then 8. else 1.))
+  in
+  List.iteri
+    (fun i hot -> burst ~at:(ms ((100 * i) + 50)) ~hot)
+    [ true; true; true; false; true; true ];
+  Engine.run ~until:(ms 610) engine;
+  check_int "hook fired only after consecutive hot windows" 3 !fired;
+  (* hysteresis 1 restores the old fire-on-first-window behavior *)
+  let engine = Engine.create ~seed:1L () in
+  let clock = Timeline.Clock.create engine ~window:(ms 100) in
+  let loads = [| 0.; 0. |] in
+  let fired = ref 0 in
+  ignore
+    (Domino_shard.Hotspot.create clock ~groups:2 ~factor:1.5 ~hysteresis:1
+       ~loads:(fun () -> Array.copy loads)
+       ~on_hot:(fun ~g:_ -> incr fired)
+       ~journal:Journal.null ());
+  let burst ~at ~hot =
+    Engine.schedule_at engine ~at (fun () ->
+        loads.(0) <- loads.(0) +. 1.;
+        loads.(1) <- loads.(1) +. (if hot then 8. else 1.))
+  in
+  List.iteri
+    (fun i hot -> burst ~at:(ms ((100 * i) + 50)) ~hot)
+    [ true; true; true; false; true; true ];
+  Engine.run ~until:(ms 610) engine;
+  check_int "hysteresis 1 fires on every hot window" 5 !fired;
+  check_bool "hysteresis must be positive" true
+    (try
+       ignore
+         (Domino_shard.Hotspot.create clock ~groups:2 ~hysteresis:0
+            ~loads:(fun () -> [| 0.; 0. |])
+            ~journal:Journal.null ());
+       false
+     with Invalid_argument _ -> true)
+
 (* --- golden analyze CSVs -------------------------------------------- *)
 
 let read_file path =
@@ -601,7 +659,10 @@ let () =
           Alcotest.test_case "never recovers" `Quick test_dip_never_recovers;
         ] );
       ( "hotspot",
-        [ Alcotest.test_case "synthetic skew" `Quick test_hotspot_synthetic ] );
+        [
+          Alcotest.test_case "synthetic skew" `Quick test_hotspot_synthetic;
+          Alcotest.test_case "hysteresis" `Quick test_hotspot_hysteresis;
+        ] );
       ( "golden",
         [
           Alcotest.test_case "timeline CSV" `Slow test_golden_timeline_csv;
